@@ -1,0 +1,57 @@
+//! Cost of the circuit-analysis stack, bottom-up: device operating point,
+//! op-amp DC + small-signal analysis, integrator performance equations,
+//! corner/mismatch robustness, and the two full problem evaluations
+//! (fixed-load and drivable-load with bisection).
+
+use analog_circuits::integrator::{self, ClockContext};
+use analog_circuits::mosfet::Mosfet;
+use analog_circuits::process::{DeviceType, Process};
+use analog_circuits::sizing::DesignVector;
+use analog_circuits::yield_est;
+use analog_circuits::{DrivableLoadProblem, IntegratorProblem, Spec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use moea::Problem;
+use std::hint::black_box;
+
+fn bench_stack(c: &mut Criterion) {
+    let process = Process::nominal();
+    let clock = ClockContext::standard();
+    let dv = DesignVector::reference();
+    let genes = vec![0.5f64; 15];
+
+    c.bench_function("mosfet_operating_point", |b| {
+        let m = Mosfet::new(DeviceType::Nmos, 60e-6, 0.4e-6);
+        b.iter(|| m.operating_point(&process, black_box(0.8), black_box(0.9)));
+    });
+
+    c.bench_function("mosfet_vgs_for_current", |b| {
+        let m = Mosfet::new(DeviceType::Nmos, 60e-6, 0.4e-6);
+        b.iter(|| m.vgs_for_current(&process, black_box(30e-6), 0.9, 1.8));
+    });
+
+    c.bench_function("opamp_analyze", |b| {
+        b.iter(|| analog_circuits::opamp::analyze(black_box(&dv), &process));
+    });
+
+    c.bench_function("integrator_analyze", |b| {
+        b.iter(|| integrator::analyze(black_box(&dv), &process, &clock));
+    });
+
+    c.bench_function("robustness_9_samples", |b| {
+        let spec = Spec::featured();
+        b.iter(|| yield_est::robustness(black_box(&dv), &process, &clock, &spec));
+    });
+
+    c.bench_function("evaluate_fixed_load", |b| {
+        let p = IntegratorProblem::new(Spec::featured());
+        b.iter(|| p.evaluate(black_box(&genes)));
+    });
+
+    c.bench_function("evaluate_drivable_load", |b| {
+        let p = DrivableLoadProblem::new(Spec::featured());
+        b.iter(|| p.evaluate(black_box(&genes)));
+    });
+}
+
+criterion_group!(benches, bench_stack);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Cost of the quality indicators: the paper's origin-anchored staircase
+//! metric, the conventional 2-D hypervolume, and the recursive n-D
+//! hypervolume, across front sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moea::hypervolume::{hypervolume, hypervolume_2d, staircase_area, staircase_volume};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_front_2d(n: usize, seed: u64) -> Vec<[f64; 2]> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x: f64 = rng.gen_range(0.0..10.0);
+            [x, 10.0 - x + rng.gen_range(0.0..1.0)]
+        })
+        .collect()
+}
+
+fn random_front_nd(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect()
+}
+
+fn bench_indicators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypervolume");
+    for n in [10usize, 100, 1000] {
+        let front = random_front_2d(n, 42);
+        group.bench_with_input(BenchmarkId::new("staircase_2d", n), &front, |b, f| {
+            b.iter(|| staircase_area(f));
+        });
+        group.bench_with_input(BenchmarkId::new("conventional_2d", n), &front, |b, f| {
+            b.iter(|| hypervolume_2d(f, [11.0, 12.0]));
+        });
+    }
+    for n in [10usize, 50, 100] {
+        let front3 = random_front_nd(n, 3, 7);
+        group.bench_with_input(BenchmarkId::new("staircase_3d", n), &front3, |b, f| {
+            b.iter(|| staircase_volume(f));
+        });
+        group.bench_with_input(BenchmarkId::new("conventional_3d", n), &front3, |b, f| {
+            b.iter(|| hypervolume(f, &[1.1, 1.1, 1.1]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indicators);
+criterion_main!(benches);

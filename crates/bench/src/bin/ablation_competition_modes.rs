@@ -1,0 +1,78 @@
+//! **Ablation — the competition spectrum.** The paper's argument is that
+//! *pure local* competition diversifies but converges slowly (Sec. 4.3),
+//! *pure global* converges but clusters (Sec. 3), and the SA-mixed
+//! schedule gets both. This harness runs the full spectrum at one budget:
+//!
+//! * Only-Global (m = 1);
+//! * Local-Only (m = 8, promotion disabled forever);
+//! * SACGA (m = 8, annealed promotion) with three different probability
+//!   shapings (aggressive / standard / conservative);
+//! * MESACGA.
+
+use analog_circuits::DrivableLoadProblem;
+use dse_bench::{
+    front_metrics, paper_problem, run_mesacga, run_only_global, seed_from_args, write_csv,
+    PHASE1_MAX, POP,
+};
+use sacga::anneal::ProbabilityShaper;
+use sacga::sacga::{CompetitionMode, Sacga, SacgaConfig};
+
+fn main() {
+    let seed = seed_from_args();
+    let problem = paper_problem();
+    let gens = 600;
+    let (lo, hi) = DrivableLoadProblem::slice_range();
+    println!("competition-mode ablation, pop {POP} x {gens}, seed {seed}");
+    println!("\n{:<26} {:>10} {:>10} {:>7}", "variant", "hv", "occupancy", "front");
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut report = |name: &str, front: &[moea::Individual]| {
+        let (hv, occ, _, n) = front_metrics(front);
+        println!("{name:<26} {hv:10.3} {occ:10.2} {n:7}");
+        rows.push(format!("{name},{hv:.6},{occ:.4},{n}"));
+    };
+
+    let base = |mode: CompetitionMode, shaper: ProbabilityShaper| {
+        SacgaConfig::builder()
+            .population_size(POP)
+            .generations(gens)
+            .partitions(8)
+            .phase1_max(PHASE1_MAX.min(gens / 2))
+            .slice_range(lo, hi)
+            .mode(mode)
+            .shaper(shaper)
+            .build()
+            .expect("static config")
+    };
+
+    let og = run_only_global(&problem, gens, seed);
+    report("only-global(m=1)", &og.front);
+
+    let local = Sacga::new(
+        &problem,
+        base(CompetitionMode::LocalOnly, ProbabilityShaper::standard()),
+    )
+    .run_seeded(seed)
+    .expect("run");
+    report("local-only(m=8)", &local.front);
+
+    for (label, shaper) in [
+        ("sacga8(aggressive)", ProbabilityShaper::new(0.8, 0.3, 0.98).unwrap()),
+        ("sacga8(standard)", ProbabilityShaper::standard()),
+        ("sacga8(conservative)", ProbabilityShaper::new(0.2, 0.02, 0.6).unwrap()),
+    ] {
+        let r = Sacga::new(&problem, base(CompetitionMode::Annealed, shaper))
+            .run_seeded(seed)
+            .expect("run");
+        report(label, &r.front);
+    }
+
+    let mes = run_mesacga(&problem, (gens - PHASE1_MAX) / 7, PHASE1_MAX, seed);
+    report("mesacga", &mes.result.front);
+
+    write_csv(
+        "ablation_competition_modes.csv",
+        "variant,hypervolume,occupancy,front_size",
+        &rows,
+    );
+}

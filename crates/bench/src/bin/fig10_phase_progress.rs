@@ -1,0 +1,49 @@
+//! **Fig. 10** — progress of the Pareto front across the 7 phases of
+//! MESACGA: hypervolume at the end of each phase, for per-phase spans of
+//! 50, 100 and 150 iterations.
+//!
+//! The paper shows monotone improvement across phases and better final
+//! quality for larger spans.
+
+use analog_circuits::DrivableLoadProblem;
+use dse_bench::{paper_problem, run_mesacga, seed_from_args, write_csv, PHASE1_MAX};
+
+fn main() {
+    let seed = seed_from_args();
+    let problem = paper_problem();
+    println!("Fig. 10: hypervolume at the end of each MESACGA phase, seed {seed}");
+
+    let mut rows = Vec::new();
+    let mut tables: Vec<(usize, Vec<f64>)> = Vec::new();
+    for span in [50usize, 100, 150] {
+        let t0 = std::time::Instant::now();
+        let r = run_mesacga(&problem, span, PHASE1_MAX, seed);
+        let hvs: Vec<f64> = r
+            .phase_fronts
+            .iter()
+            .map(|front| DrivableLoadProblem::paper_hypervolume(front))
+            .collect();
+        println!(
+            "span {span:3}: phase I = {} generations, total = {} ({:.0} s)",
+            r.result.gen_t,
+            r.result.generations,
+            t0.elapsed().as_secs_f64()
+        );
+        for (phase, hv) in hvs.iter().enumerate() {
+            rows.push(format!("{span},{},{hv:.6}", phase + 1));
+        }
+        tables.push((span, hvs));
+    }
+
+    println!("\n{:>6} {:>9} {:>9} {:>9}", "phase", "span=50", "span=100", "span=150");
+    for phase in 0..7 {
+        println!(
+            "{:6} {:9.3} {:9.3} {:9.3}",
+            phase + 1,
+            tables[0].1[phase],
+            tables[1].1[phase],
+            tables[2].1[phase]
+        );
+    }
+    write_csv("fig10_phase_progress.csv", "span,phase,hypervolume", &rows);
+}

@@ -1,0 +1,102 @@
+//! Multi-seed statistics for the headline comparison — the paper reports
+//! single runs (2005 practice); this harness adds medians and spreads
+//! over several seeds so the ordering claims can be judged statistically.
+//!
+//! Runs TPG (Only-Global), SACGA-8, MESACGA and the island-model baseline
+//! (\[7\] of the paper) at an equal budget over `N_SEEDS` seeds and prints
+//! median / min / max of the paper hypervolume and load-axis occupancy.
+//!
+//! Usage: `stats_multiseed [base_seed] [gens]` (defaults 42, 400).
+
+use analog_circuits::DrivableLoadProblem;
+use dse_bench::{
+    front_metrics, paper_problem, run_mesacga, run_only_global, run_sacga, seed_from_args,
+    write_csv, PHASE1_MAX, POP,
+};
+use sacga::island::{IslandConfig, IslandGa};
+
+const N_SEEDS: u64 = 5;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let base_seed = seed_from_args();
+    let gens: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let problem = paper_problem();
+    println!(
+        "multi-seed stats: {N_SEEDS} seeds from {base_seed}, pop {POP} x {gens} generations"
+    );
+
+    let mut rows = Vec::new();
+    let mut table: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+
+    type AlgorithmRunner<'p> = Box<dyn Fn(u64) -> Vec<moea::Individual> + 'p>;
+    let algorithms: Vec<(&str, AlgorithmRunner)> = vec![
+        (
+            "only-global",
+            Box::new(|s| run_only_global(&problem, gens, s).front),
+        ),
+        ("sacga8", Box::new(|s| run_sacga(&problem, 8, gens, s).front)),
+        (
+            "mesacga",
+            Box::new(|s| {
+                let span = (gens.saturating_sub(PHASE1_MAX / 2) / 7).max(1);
+                run_mesacga(&problem, span, PHASE1_MAX, s).result.front
+            }),
+        ),
+        (
+            "island5",
+            Box::new(|s| {
+                let cfg = IslandConfig::builder()
+                    .population_size(POP)
+                    .generations(gens)
+                    .islands(5)
+                    .migration_interval(20)
+                    .migrants(2)
+                    .build()
+                    .expect("static config");
+                IslandGa::new(&problem, cfg).run_seeded(s).expect("run").front
+            }),
+        ),
+    ];
+
+    for (name, run) in &algorithms {
+        let mut hvs = Vec::new();
+        let mut occs = Vec::new();
+        for k in 0..N_SEEDS {
+            let front = run(base_seed + k);
+            let (hv, occ, _, _) = front_metrics(&front);
+            let _ = DrivableLoadProblem::slice_range();
+            hvs.push(hv);
+            occs.push(occ);
+            rows.push(format!("{name},{},{hv:.6},{occ:.4}", base_seed + k));
+        }
+        table.push((name.to_string(), hvs, occs));
+    }
+
+    println!(
+        "\n{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "algorithm", "hv med", "hv min", "hv max", "occ med", "occ min"
+    );
+    for (name, hvs, occs) in &table {
+        println!(
+            "{name:<12} {:8.3} {:8.3} {:8.3} {:8.2} {:8.2}",
+            median(hvs.clone()),
+            hvs.iter().copied().fold(f64::INFINITY, f64::min),
+            hvs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            median(occs.clone()),
+            occs.iter().copied().fold(f64::INFINITY, f64::min),
+        );
+    }
+    write_csv(
+        "stats_multiseed.csv",
+        "algorithm,seed,hypervolume,occupancy",
+        &rows,
+    );
+}

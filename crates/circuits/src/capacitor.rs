@@ -1,0 +1,77 @@
+//! Integrated (MiM) capacitors with bottom-plate parasitics.
+
+use crate::process::Process;
+
+/// An integrated capacitor of a given design value.
+///
+/// Real integrated capacitors carry a parasitic capacitance from their
+/// bottom plate to the substrate — a fixed fraction of the main value in
+/// this process description — which loads whichever node the bottom plate
+/// is tied to. The paper explicitly includes bottom-plate parasitics in its
+/// circuit description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntegratedCapacitor {
+    /// Design value (F).
+    pub value: f64,
+}
+
+impl IntegratedCapacitor {
+    /// Creates a capacitor of `value` farads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative.
+    pub fn new(value: f64) -> Self {
+        assert!(value >= 0.0, "capacitance cannot be negative");
+        IntegratedCapacitor { value }
+    }
+
+    /// Bottom-plate parasitic capacitance (F).
+    pub fn bottom_plate(&self, process: &Process) -> f64 {
+        self.value * process.bottom_plate_fraction
+    }
+
+    /// Layout area (m²).
+    pub fn area(&self, process: &Process) -> f64 {
+        self.value / process.cap_density
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_plate_is_a_fraction() {
+        let p = Process::nominal();
+        let c = IntegratedCapacitor::new(1e-12);
+        let bp = c.bottom_plate(&p);
+        assert!(bp > 0.0 && bp < c.value);
+        assert!((bp / c.value - p.bottom_plate_fraction).abs() < 1e-15);
+    }
+
+    #[test]
+    fn area_scales_with_value() {
+        let p = Process::nominal();
+        let small = IntegratedCapacitor::new(0.5e-12);
+        let large = IntegratedCapacitor::new(2e-12);
+        assert!((large.area(&p) / small.area(&p) - 4.0).abs() < 1e-12);
+        // 1 pF at 1 fF/µm² should be 1000 µm².
+        let one_pf = IntegratedCapacitor::new(1e-12);
+        assert!((one_pf.area(&p) - 1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_capacitor_is_legal() {
+        let p = Process::nominal();
+        let c = IntegratedCapacitor::new(0.0);
+        assert_eq!(c.bottom_plate(&p), 0.0);
+        assert_eq!(c.area(&p), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be negative")]
+    fn negative_capacitor_rejected() {
+        let _ = IntegratedCapacitor::new(-1e-12);
+    }
+}

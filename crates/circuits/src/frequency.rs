@@ -1,0 +1,209 @@
+//! Open-loop frequency response of the compensated two-stage op-amp:
+//! gain/phase vs frequency, unity-gain frequency and phase margin — the
+//! AC view behind the analytical `p2`/`zero`/`ω_c` figures.
+//!
+//! The compensated amplifier is modelled with its dominant pole
+//! (`p₁ = ω_u / A₀`), non-dominant pole `p₂` and right-half-plane zero
+//! `z`:
+//!
+//! ```text
+//! A(s) = A₀ · (1 − s/z) / ((1 + s/p₁)(1 + s/p₂))
+//! ```
+//!
+//! (the RHP zero adds phase *lag* while boosting magnitude — the classic
+//! Miller-compensation hazard).
+
+use crate::integrator::IntegratorReport;
+
+/// One point of a frequency sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponsePoint {
+    /// Frequency (Hz).
+    pub frequency: f64,
+    /// Magnitude (dB).
+    pub magnitude_db: f64,
+    /// Phase (degrees, 0 at DC, falling).
+    pub phase_deg: f64,
+}
+
+/// Frequency-domain summary of an op-amp inside its integrator context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyResponse {
+    /// Swept points (log-spaced).
+    pub points: Vec<ResponsePoint>,
+    /// Open-loop unity-gain frequency (Hz).
+    pub unity_gain_hz: f64,
+    /// Phase margin at the *loop* crossover (deg), including the feedback
+    /// factor β.
+    pub phase_margin_deg: f64,
+}
+
+/// Evaluates `A(jω)` for the three-singularity model of `report`.
+fn gain_at(report: &IntegratorReport, omega: f64) -> (f64, f64) {
+    let a0 = report.opamp.a0.max(1e-9);
+    let p1 = (report.omega_c / report.beta.max(1e-9)) / a0; // dominant pole
+    let p2 = report.p2;
+    let z = report.zero;
+    // magnitude
+    let num = (1.0 + (omega / z).powi(2)).sqrt();
+    let den = ((1.0 + (omega / p1).powi(2)) * (1.0 + (omega / p2).powi(2))).sqrt();
+    let mag = a0 * num / den;
+    // phase: two pole lags plus the RHP-zero lag
+    let phase = -(omega / p1).atan() - (omega / p2).atan() - (omega / z).atan();
+    (mag, phase.to_degrees())
+}
+
+/// Sweeps the open-loop response over `[f_lo, f_hi]` with `points`
+/// log-spaced samples and computes unity-gain frequency and loop phase
+/// margin.
+///
+/// # Panics
+///
+/// Panics if `points < 2` or the frequency range is not positive and
+/// increasing.
+pub fn sweep(report: &IntegratorReport, f_lo: f64, f_hi: f64, points: usize) -> FrequencyResponse {
+    assert!(points >= 2, "need at least two sweep points");
+    assert!(
+        f_lo > 0.0 && f_hi > f_lo,
+        "need a positive, increasing frequency range"
+    );
+    let ratio = (f_hi / f_lo).ln();
+    let pts: Vec<ResponsePoint> = (0..points)
+        .map(|k| {
+            let f = f_lo * (ratio * k as f64 / (points - 1) as f64).exp();
+            let (mag, phase) = gain_at(report, 2.0 * std::f64::consts::PI * f);
+            ResponsePoint {
+                frequency: f,
+                magnitude_db: 20.0 * mag.max(1e-30).log10(),
+                phase_deg: phase,
+            }
+        })
+        .collect();
+
+    // Unity-gain frequency of the open loop: bisection on |A| = 1.
+    let mag_of = |f: f64| gain_at(report, 2.0 * std::f64::consts::PI * f).0;
+    let unity_gain_hz = bisect_crossing(mag_of, 1.0, f_lo, f_hi);
+
+    // Loop phase margin: crossover where β·|A| = 1.
+    let beta = report.beta.max(1e-9);
+    let loop_mag = |f: f64| beta * mag_of(f);
+    let f_c = bisect_crossing(loop_mag, 1.0, f_lo, f_hi);
+    let (_, phase_at_c) = gain_at(report, 2.0 * std::f64::consts::PI * f_c);
+    let phase_margin_deg = 180.0 + phase_at_c;
+
+    FrequencyResponse {
+        points: pts,
+        unity_gain_hz,
+        phase_margin_deg,
+    }
+}
+
+/// Finds the frequency where a monotone-decreasing magnitude crosses
+/// `level` (clamps to the range edges when it never does).
+fn bisect_crossing(mag: impl Fn(f64) -> f64, level: f64, f_lo: f64, f_hi: f64) -> f64 {
+    if mag(f_lo) <= level {
+        return f_lo;
+    }
+    if mag(f_hi) >= level {
+        return f_hi;
+    }
+    let (mut lo, mut hi) = (f_lo, f_hi);
+    for _ in 0..60 {
+        let mid = (lo * hi).sqrt(); // geometric midpoint for log-scaled axis
+        if mag(mid) > level {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrator::{analyze, ClockContext};
+    use crate::process::Process;
+    use crate::sizing::DesignVector;
+
+    fn reference_report() -> IntegratorReport {
+        analyze(
+            &DesignVector::reference().with_cl(1e-12),
+            &Process::nominal(),
+            &ClockContext::standard(),
+        )
+    }
+
+    #[test]
+    fn dc_gain_matches_report() {
+        let r = reference_report();
+        let resp = sweep(&r, 1.0, 1e9, 61);
+        let dc = resp.points.first().unwrap();
+        assert!(
+            (dc.magnitude_db - r.opamp.a0_db()).abs() < 0.5,
+            "DC gain {} vs report {}",
+            dc.magnitude_db,
+            r.opamp.a0_db()
+        );
+        assert!(dc.phase_deg.abs() < 1.0);
+    }
+
+    #[test]
+    fn magnitude_is_monotone_decreasing() {
+        let r = reference_report();
+        let resp = sweep(&r, 10.0, 1e9, 101);
+        for w in resp.points.windows(2) {
+            assert!(
+                w[1].magnitude_db <= w[0].magnitude_db + 1e-6,
+                "magnitude rose between {} and {} Hz",
+                w[0].frequency,
+                w[1].frequency
+            );
+        }
+    }
+
+    #[test]
+    fn unity_gain_matches_gbw_scale() {
+        let r = reference_report();
+        let resp = sweep(&r, 1.0, 1e10, 61);
+        let gbw = r.opamp.gm1 / r.opamp.cc_eff / (2.0 * std::f64::consts::PI);
+        let ratio = resp.unity_gain_hz / gbw;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "unity gain {} vs GBW {gbw}",
+            resp.unity_gain_hz
+        );
+    }
+
+    #[test]
+    fn phase_margin_is_positive_and_sane() {
+        let r = reference_report();
+        let resp = sweep(&r, 1.0, 1e10, 61);
+        assert!(
+            (20.0..=120.0).contains(&resp.phase_margin_deg),
+            "phase margin {}",
+            resp.phase_margin_deg
+        );
+    }
+
+    #[test]
+    fn heavier_load_erodes_phase_margin() {
+        let clock = ClockContext::standard();
+        let p = Process::nominal();
+        let light = analyze(&DesignVector::reference().with_cl(0.2e-12), &p, &clock);
+        let heavy = analyze(&DesignVector::reference().with_cl(5e-12), &p, &clock);
+        let pm_light = sweep(&light, 1.0, 1e10, 41).phase_margin_deg;
+        let pm_heavy = sweep(&heavy, 1.0, 1e10, 41).phase_margin_deg;
+        assert!(
+            pm_heavy < pm_light,
+            "phase margin should fall with load: {pm_light} -> {pm_heavy}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn sweep_rejects_single_point() {
+        let r = reference_report();
+        let _ = sweep(&r, 1.0, 1e9, 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Circuit specifications: the featured specification of the paper and the
+//! set of 20 specifications "graded by their level of difficulty" used for
+//! the trends table (Sec. 5).
+
+/// One complete specification set for the integrator.
+///
+/// All fields are constraint bounds; the two objectives (power, load
+/// capacitance) are never constrained — they form the explored trade-off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    /// Human-readable identifier ("featured", "grade-07", …).
+    pub name: String,
+    /// Dynamic range lower bound (dB).
+    pub dr_min_db: f64,
+    /// Output range lower bound (V, differential peak-to-peak).
+    pub or_min_v: f64,
+    /// Settling-time upper bound (s).
+    pub st_max: f64,
+    /// Settling-error upper bound (relative).
+    pub se_max: f64,
+    /// Robustness (yield) lower bound in [0, 1].
+    pub robustness_min: f64,
+    /// Area upper bound (m²).
+    pub area_max: f64,
+    /// Minimum saturation margin required of every device (V).
+    pub sat_margin_min: f64,
+}
+
+impl Spec {
+    /// The featured specification quoted in Sec. 2 of the paper:
+    /// DR ≥ 96 dB, OR ≥ 1.4 V, ST ≤ 0.24 µs, SE ≤ 7·10⁻⁴,
+    /// Robustness ≥ 0.85.
+    pub fn featured() -> Self {
+        Spec {
+            name: "featured".to_owned(),
+            dr_min_db: 96.0,
+            or_min_v: 1.4,
+            st_max: 0.24e-6,
+            se_max: 7e-4,
+            robustness_min: 0.85,
+            area_max: 0.08e-6, // 0.08 mm²
+            sat_margin_min: 0.04,
+        }
+    }
+
+    /// A deliberately loose specification for smoke tests and examples.
+    pub fn relaxed() -> Self {
+        Spec {
+            name: "relaxed".to_owned(),
+            dr_min_db: 80.0,
+            or_min_v: 1.0,
+            st_max: 1.0e-6,
+            se_max: 5e-3,
+            robustness_min: 0.5,
+            area_max: 0.5e-6,
+            sat_margin_min: 0.02,
+        }
+    }
+
+    /// The 20 specifications graded by difficulty (grade 1 = easiest,
+    /// grade 20 = hardest). Tightness interpolates linearly from a relaxed
+    /// envelope to slightly beyond the featured spec; the featured spec
+    /// sits near grade 16.
+    pub fn graded_suite() -> Vec<Spec> {
+        (1..=20)
+            .map(|grade| {
+                let t = (grade - 1) as f64 / 19.0; // 0 (easy) → 1 (hard)
+                Spec {
+                    name: format!("grade-{grade:02}"),
+                    dr_min_db: 88.0 + t * 10.0,        // 88 → 98 dB
+                    or_min_v: 1.2 + t * 0.3,           // 1.2 → 1.5 V
+                    st_max: (0.45 - t * 0.23) * 1e-6,  // 0.45 → 0.22 µs
+                    se_max: 2.0e-3 * (1.0 - t) + 5.0e-4 * t, // 2e-3 → 5e-4
+                    robustness_min: 0.70 + t * 0.20,   // 0.70 → 0.90
+                    area_max: (0.15 - t * 0.08) * 1e-6, // 0.15 → 0.07 mm²
+                    sat_margin_min: 0.03 + t * 0.02,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn featured_matches_paper_numbers() {
+        let s = Spec::featured();
+        assert_eq!(s.dr_min_db, 96.0);
+        assert_eq!(s.or_min_v, 1.4);
+        assert!((s.st_max - 0.24e-6).abs() < 1e-18);
+        assert!((s.se_max - 7e-4).abs() < 1e-12);
+        assert_eq!(s.robustness_min, 0.85);
+    }
+
+    #[test]
+    fn graded_suite_has_twenty_monotone_specs() {
+        let suite = Spec::graded_suite();
+        assert_eq!(suite.len(), 20);
+        for w in suite.windows(2) {
+            assert!(w[1].dr_min_db >= w[0].dr_min_db);
+            assert!(w[1].st_max <= w[0].st_max);
+            assert!(w[1].se_max <= w[0].se_max);
+            assert!(w[1].robustness_min >= w[0].robustness_min);
+            assert!(w[1].or_min_v >= w[0].or_min_v);
+        }
+    }
+
+    #[test]
+    fn grades_bracket_the_featured_spec() {
+        let suite = Spec::graded_suite();
+        let featured = Spec::featured();
+        assert!(suite.first().unwrap().dr_min_db < featured.dr_min_db);
+        assert!(suite.last().unwrap().dr_min_db > featured.dr_min_db);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let suite = Spec::graded_suite();
+        let mut names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+}

@@ -1,0 +1,368 @@
+//! The simulated-annealing machinery of SACGA (Sec. 4.4 of the paper).
+//!
+//! Three pieces:
+//!
+//! * [`AnnealingSchedule`] — the temperature
+//!   `T_A(gen) = T_init · exp(−k₃ · ln(T_init)/span · (gen − gen_t))`,
+//!   cooling from `T_init` at the start of phase II down to exactly `1` at
+//!   its end (eqn (4));
+//! * [`PromotionPolicy`] — the promotion cost
+//!   `c(i) = k₁ · exp(k₂ · i/(n−1))` (eqn (2)) and participation
+//!   probability `prob(i, gen) = 1 − exp(−α / (c·T_A))` (eqn (3));
+//! * [`ProbabilityShaper`] — closed-form selection of `k₂`, `α`, `T_init`
+//!   from three interpretable targets, per the paper's remark that the
+//!   constants are "chosen for desired values of probability at
+//!   `gen = gen_t + span/2` for `i = 1, n` and at `gen = gen_t + span`".
+
+use moea::OptimizeError;
+
+/// Cooling schedule of eqn (4): `T_A` decays exponentially from `T_init`
+/// to `T_init^(1−k₃)` over `span` generations (with the paper's `k₃ = 1`,
+/// down to exactly 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealingSchedule {
+    /// Initial temperature `T_init` (> 1).
+    pub t_init: f64,
+    /// Schedule shape constant `k₃` (> 0); the paper cools to 1, i.e.
+    /// `k₃ = 1`.
+    pub k3: f64,
+    /// Number of phase-II generations over which to cool.
+    pub span: usize,
+}
+
+impl AnnealingSchedule {
+    /// Creates a schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidConfig`] when `t_init <= 1` or
+    /// `k3 <= 0`.
+    pub fn new(t_init: f64, k3: f64, span: usize) -> Result<Self, OptimizeError> {
+        if t_init.is_nan() || t_init <= 1.0 {
+            return Err(OptimizeError::invalid_config(
+                "t_init",
+                format!("must exceed 1, got {t_init}"),
+            ));
+        }
+        if k3.is_nan() || k3 <= 0.0 {
+            return Err(OptimizeError::invalid_config(
+                "k3",
+                format!("must be positive, got {k3}"),
+            ));
+        }
+        Ok(AnnealingSchedule { t_init, k3, span })
+    }
+
+    /// Temperature at `elapsed = gen − gen_t` phase-II generations.
+    ///
+    /// `elapsed` is clamped to `[0, span]`; a zero-span schedule is always
+    /// fully cooled.
+    pub fn temperature(&self, elapsed: usize) -> f64 {
+        if self.span == 0 {
+            return self.t_init.powf(1.0 - self.k3);
+        }
+        let e = elapsed.min(self.span) as f64;
+        self.t_init
+            * (-self.k3 * self.t_init.ln() / self.span as f64 * e).exp()
+    }
+}
+
+/// Promotion policy of eqns (2) and (3): which locally superior solutions
+/// join the global competition, as a function of their (randomized) index
+/// `i` within their partition and the annealing temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PromotionPolicy {
+    /// Cost scale `k₁` (> 0).
+    pub k1: f64,
+    /// Cost growth `k₂` (≥ 0): later-considered solutions cost more.
+    pub k2: f64,
+    /// Probability scale `α` (> 0).
+    pub alpha: f64,
+    /// Desired number of globally superior solutions per partition (`n` of
+    /// the paper, ≥ 2) — normalizes the index in the cost exponent.
+    pub n_superior: usize,
+}
+
+impl PromotionPolicy {
+    /// Creates a policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidConfig`] for non-positive `k1`/
+    /// `alpha`, negative `k2`, or `n_superior < 2`.
+    pub fn new(k1: f64, k2: f64, alpha: f64, n_superior: usize) -> Result<Self, OptimizeError> {
+        if k1.is_nan() || k1 <= 0.0 {
+            return Err(OptimizeError::invalid_config("k1", "must be positive"));
+        }
+        if k2.is_nan() || k2 < 0.0 {
+            return Err(OptimizeError::invalid_config("k2", "must be non-negative"));
+        }
+        if alpha.is_nan() || alpha <= 0.0 {
+            return Err(OptimizeError::invalid_config("alpha", "must be positive"));
+        }
+        if n_superior < 2 {
+            return Err(OptimizeError::invalid_config(
+                "n_superior",
+                "must be at least 2",
+            ));
+        }
+        Ok(PromotionPolicy {
+            k1,
+            k2,
+            alpha,
+            n_superior,
+        })
+    }
+
+    /// Promotion cost `c(i) = k₁·exp(k₂·i/(n−1))` for the 1-based index
+    /// `i` (eqn (2)).
+    pub fn cost(&self, i: usize) -> f64 {
+        self.k1 * (self.k2 * i as f64 / (self.n_superior - 1) as f64).exp()
+    }
+
+    /// Participation probability `1 − exp(−α/(c·T_A))` (eqn (3)).
+    pub fn probability(&self, i: usize, temperature: f64) -> f64 {
+        let c = self.cost(i);
+        1.0 - (-self.alpha / (c * temperature.max(1e-12))).exp()
+    }
+}
+
+/// Closed-form solver for the annealing constants from three interpretable
+/// probability targets (the paper's Fig. 4 methodology), with `k₁ = 1` and
+/// `k₃ = 1`:
+///
+/// * `p_mid_first` — probability of the **first**-considered locally
+///   superior solution (`i = 1`) at mid-span;
+/// * `p_mid_last` — probability of the `i = n` solution at mid-span;
+/// * `p_end_last` — probability of the `i = n` solution at the end of the
+///   span (every earlier solution is then even more likely).
+///
+/// Derivation (with `T_A(mid) = √T_init`, `T_A(end) = 1`): writing
+/// `aₓ = −ln(1−pₓ)`,
+///
+/// ```text
+/// k₂      = ln(a_mid_first / a_mid_last)
+/// √T_init = a_end_last / a_mid_last
+/// α       = a_end_last · exp(k₂ · n/(n−1))
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbabilityShaper {
+    /// Target probability for `i = 1` at mid-span.
+    pub p_mid_first: f64,
+    /// Target probability for `i = n` at mid-span.
+    pub p_mid_last: f64,
+    /// Target probability for `i = n` at the end of the span.
+    pub p_end_last: f64,
+}
+
+impl ProbabilityShaper {
+    /// The default targets used throughout this workspace: 0.5 / 0.1 / 0.9.
+    /// They reproduce the qualitative shape of the paper's Fig. 4.
+    pub fn standard() -> Self {
+        ProbabilityShaper {
+            p_mid_first: 0.5,
+            p_mid_last: 0.1,
+            p_end_last: 0.9,
+        }
+    }
+
+    /// Creates a shaper from explicit targets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidConfig`] unless
+    /// `0 < p_mid_last < p_mid_first < 1`, `p_mid_last < p_end_last < 1`.
+    pub fn new(
+        p_mid_first: f64,
+        p_mid_last: f64,
+        p_end_last: f64,
+    ) -> Result<Self, OptimizeError> {
+        let in_unit = |p: f64| p > 0.0 && p < 1.0;
+        if !in_unit(p_mid_first) || !in_unit(p_mid_last) || !in_unit(p_end_last) {
+            return Err(OptimizeError::invalid_config(
+                "probability_targets",
+                "all targets must lie strictly inside (0, 1)",
+            ));
+        }
+        if p_mid_last >= p_mid_first {
+            return Err(OptimizeError::invalid_config(
+                "probability_targets",
+                "the first-considered solution must be more likely than the last at mid-span",
+            ));
+        }
+        if p_mid_last >= p_end_last {
+            return Err(OptimizeError::invalid_config(
+                "probability_targets",
+                "the end-of-span probability must exceed the mid-span one",
+            ));
+        }
+        Ok(ProbabilityShaper {
+            p_mid_first,
+            p_mid_last,
+            p_end_last,
+        })
+    }
+
+    /// Solves the constants for a given `n` and `span`, returning the
+    /// ready-to-use `(policy, schedule)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (only possible for degenerate
+    /// targets, e.g. equal probabilities collapsing `T_init` to 1).
+    pub fn solve(
+        &self,
+        n_superior: usize,
+        span: usize,
+    ) -> Result<(PromotionPolicy, AnnealingSchedule), OptimizeError> {
+        let n = n_superior.max(2);
+        let a_mid_first = -(1.0 - self.p_mid_first).ln();
+        let a_mid_last = -(1.0 - self.p_mid_last).ln();
+        let a_end_last = -(1.0 - self.p_end_last).ln();
+        let k2 = (a_mid_first / a_mid_last).ln();
+        let sqrt_t = a_end_last / a_mid_last;
+        let t_init = sqrt_t * sqrt_t;
+        let alpha = a_end_last * (k2 * n as f64 / (n - 1) as f64).exp();
+        let policy = PromotionPolicy::new(1.0, k2, alpha, n)?;
+        let schedule = AnnealingSchedule::new(t_init, 1.0, span)?;
+        Ok((policy, schedule))
+    }
+}
+
+impl Default for ProbabilityShaper {
+    fn default() -> Self {
+        ProbabilityShaper::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_cools_from_tinit_to_one() {
+        let s = AnnealingSchedule::new(479.0, 1.0, 100).unwrap();
+        assert!((s.temperature(0) - 479.0).abs() < 1e-9);
+        assert!((s.temperature(100) - 1.0).abs() < 1e-9);
+        // mid-span: sqrt(T_init)
+        assert!((s.temperature(50) - 479.0_f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn schedule_is_monotone_decreasing() {
+        let s = AnnealingSchedule::new(100.0, 1.0, 60).unwrap();
+        let mut prev = f64::INFINITY;
+        for g in 0..=60 {
+            let t = s.temperature(g);
+            assert!(t < prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn schedule_clamps_beyond_span() {
+        let s = AnnealingSchedule::new(100.0, 1.0, 10).unwrap();
+        assert_eq!(s.temperature(10), s.temperature(99));
+    }
+
+    #[test]
+    fn zero_span_schedule_is_cooled() {
+        let s = AnnealingSchedule::new(100.0, 1.0, 0).unwrap();
+        assert!((s.temperature(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_rejects_bad_inputs() {
+        assert!(AnnealingSchedule::new(1.0, 1.0, 10).is_err());
+        assert!(AnnealingSchedule::new(10.0, 0.0, 10).is_err());
+    }
+
+    #[test]
+    fn cost_grows_with_index() {
+        let p = PromotionPolicy::new(1.0, 1.884, 2.3, 5).unwrap();
+        let costs: Vec<f64> = (1..=5).map(|i| p.cost(i)).collect();
+        for w in costs.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // c(i) = exp(k2 * i / 4)
+        assert!((p.cost(4) - (1.884_f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probability_in_unit_interval_and_monotone() {
+        let p = PromotionPolicy::new(1.0, 1.884, 2.3, 5).unwrap();
+        for &t in &[1.0, 10.0, 479.0] {
+            for i in 1..=5 {
+                let pr = p.probability(i, t);
+                assert!((0.0..=1.0).contains(&pr), "prob {pr}");
+                if i > 1 {
+                    assert!(pr <= p.probability(i - 1, t) + 1e-12);
+                }
+            }
+        }
+        // hotter temperature => lower probability
+        assert!(p.probability(1, 479.0) < p.probability(1, 1.0));
+    }
+
+    #[test]
+    fn shaper_hits_its_targets_exactly() {
+        let shaper = ProbabilityShaper::standard();
+        let (policy, schedule) = shaper.solve(5, 100).unwrap();
+        let t_mid = schedule.temperature(50);
+        let t_end = schedule.temperature(100);
+        assert!((policy.probability(1, t_mid) - 0.5).abs() < 1e-9);
+        assert!((policy.probability(5, t_mid) - 0.1).abs() < 1e-9);
+        assert!((policy.probability(5, t_end) - 0.9).abs() < 1e-9);
+        // earlier indices at the end are even more likely
+        assert!(policy.probability(1, t_end) > 0.99);
+    }
+
+    #[test]
+    fn shaper_closed_form_constants() {
+        // Independent recomputation of the derivation for n = 5.
+        let shaper = ProbabilityShaper::standard();
+        let (policy, schedule) = shaper.solve(5, 100).unwrap();
+        let a1 = -(0.5_f64.ln()); // -ln(1-0.5)
+        let a2 = -(0.9_f64.ln()); // -ln(1-0.1)
+        let a3 = -(0.1_f64.ln()); // -ln(1-0.9)
+        assert!((policy.k2 - (a1 / a2).ln()).abs() < 1e-12);
+        assert!((schedule.t_init - (a3 / a2).powi(2)).abs() < 1e-9);
+        assert!((policy.alpha - a3 * (policy.k2 * 5.0 / 4.0).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shaper_reproduces_fig4_shape() {
+        // Fig. 4: n = 5, span = 100; probabilities start near 0, fan out,
+        // and all approach ~1 by the end of the span, ordered by i.
+        let (policy, schedule) = ProbabilityShaper::standard().solve(5, 100).unwrap();
+        let p_start: Vec<f64> = (1..=5)
+            .map(|i| policy.probability(i, schedule.temperature(0)))
+            .collect();
+        let p_end: Vec<f64> = (1..=5)
+            .map(|i| policy.probability(i, schedule.temperature(100)))
+            .collect();
+        assert!(p_start.iter().all(|&p| p < 0.05), "{p_start:?}");
+        assert!(p_end[0] > 0.99);
+        assert!(p_end[4] > 0.85);
+        for w in p_end.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn shaper_rejects_inconsistent_targets() {
+        assert!(ProbabilityShaper::new(0.1, 0.5, 0.9).is_err()); // first < last
+        assert!(ProbabilityShaper::new(0.5, 0.4, 0.2).is_err()); // end < mid
+        assert!(ProbabilityShaper::new(1.0, 0.1, 0.9).is_err()); // out of (0,1)
+    }
+
+    #[test]
+    fn shaper_works_for_other_n() {
+        for n in [2usize, 3, 8, 12] {
+            let (policy, schedule) = ProbabilityShaper::standard().solve(n, 50).unwrap();
+            let t_mid = schedule.temperature(25);
+            assert!((policy.probability(1, t_mid) - 0.5).abs() < 1e-9, "n={n}");
+            assert!((policy.probability(n, t_mid) - 0.1).abs() < 1e-9, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! # sacga — mixing local and global competition in genetic optimization
+//!
+//! Implementation of the DATE 2005 paper *"Mixing Global and Local
+//! Competition in Genetic Optimization based Design Space Exploration of
+//! Analog Circuits"* (Somani, Chakrabarti, Patra).
+//!
+//! Traditional multi-objective GAs rank every individual against every
+//! other (*purely global competition*), which on tightly-constrained
+//! problems lets an early feasible cluster take over: crossover keeps
+//! producing children *inside* the cluster, weaker outlying solutions lose
+//! the global competition and die, and the Pareto front ends up covering a
+//! small fraction of the objective space.
+//!
+//! This crate provides the paper's remedies on top of the [`moea`]
+//! substrate:
+//!
+//! * [`partition`] — slicing the objective space into partitions along one
+//!   objective, inducing *local* competitions;
+//! * [`local`] — the pure local-competition GA of Sec. 4.3 (diverse but
+//!   slow to converge);
+//! * [`anneal`] — the simulated-annealing machinery of Sec. 4.4: the
+//!   promotion-cost function `c = k₁·e^(k₂·i/(n−1))`, the participation
+//!   probability `prob = 1 − e^(−α/(c·T_A))`, the cooling schedule
+//!   `T_A = T_init·e^(−k₃·ln(T_init)/span·(gen−gen_t))`, and a closed-form
+//!   [`ProbabilityShaper`] that solves the
+//!   constants from target probabilities (reproducing Fig. 4);
+//! * [`sacga`] — the Simulated-Annealing-driven Competition GA: pure local
+//!   competition transitioning gradually into pure global competition;
+//! * [`mesacga`] — the Multi-phase Expanding-partitions SACGA of Sec. 4.5:
+//!   a cascade of SACGA phases with progressively fewer, larger partitions
+//!   (e.g. 20 → 13 → 8 → 5 → 3 → 2 → 1), removing the need to guess the
+//!   optimal static partition count.
+//!
+//! ## Example
+//!
+//! ```
+//! use sacga::sacga::{Sacga, SacgaConfig};
+//! use moea::problems::Schaffer;
+//!
+//! # fn main() -> Result<(), moea::OptimizeError> {
+//! let config = SacgaConfig::builder()
+//!     .population_size(40)
+//!     .generations(60)
+//!     .partitions(8)
+//!     .build()?;
+//! let result = Sacga::new(Schaffer::new(), config).run_seeded(42)?;
+//! assert!(!result.front.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod anneal;
+pub mod island;
+pub mod local;
+pub mod mesacga;
+pub mod partition;
+pub mod sacga;
+
+pub use anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
+pub use island::{IslandConfig, IslandGa};
+pub use mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
+pub use partition::PartitionGrid;
+pub use sacga::{Sacga, SacgaConfig, SacgaResult};

@@ -1,0 +1,173 @@
+//! The pure local-competition GA of Sec. 4.3 — a thin preset over the
+//! SACGA engine with promotion disabled.
+//!
+//! Within each iteration, only local competition happens inside each
+//! partition; a Global Mating Pool is still drawn by rank-based selection
+//! over the whole population, and a single global competition at output
+//! time extracts the Global Pareto Front. The paper observes that this
+//! preserves diversity well but advances the front "extremely slowly"
+//! because many locally superior solutions are globally inferior — the
+//! motivation for SACGA's annealed promotion.
+
+use crate::sacga::{CompetitionMode, Sacga, SacgaConfig, SacgaConfigBuilder, SacgaResult};
+use moea::problem::Problem;
+use moea::OptimizeError;
+
+/// The pure local-competition GA.
+///
+/// # Examples
+///
+/// ```
+/// use sacga::local::LocalCompetitionGa;
+/// use moea::problems::Schaffer;
+///
+/// # fn main() -> Result<(), moea::OptimizeError> {
+/// use sacga::local::LocalCompetitionGaBuilder;
+///
+/// let ga = LocalCompetitionGaBuilder::new()
+///     .population_size(40)
+///     .generations(30)
+///     .partitions(6)
+///     .build(Schaffer::new())?;
+/// let result = ga.run_seeded(7)?;
+/// assert!(!result.front.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LocalCompetitionGa<P: Problem> {
+    inner: Sacga<P>,
+}
+
+impl<P: Problem> LocalCompetitionGa<P> {
+    /// Runs with a seeded RNG.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-definition errors discovered at start-up.
+    pub fn run_seeded(&self, seed: u64) -> Result<SacgaResult, OptimizeError> {
+        self.inner.run_seeded(seed)
+    }
+
+    /// Runs with a per-generation observer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-definition errors discovered at start-up.
+    pub fn run_observed<F>(&self, seed: u64, observer: F) -> Result<SacgaResult, OptimizeError>
+    where
+        F: FnMut(usize, &[moea::individual::Individual]),
+    {
+        self.inner.run_observed(seed, observer)
+    }
+}
+
+/// Builder for [`LocalCompetitionGa`].
+#[derive(Debug, Clone)]
+pub struct LocalCompetitionGaBuilder {
+    inner: SacgaConfigBuilder,
+}
+
+impl Default for LocalCompetitionGaBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalCompetitionGaBuilder {
+    /// Starts a builder with the default SACGA parameters.
+    pub fn new() -> Self {
+        LocalCompetitionGaBuilder {
+            inner: SacgaConfig::builder(),
+        }
+    }
+
+    /// Sets the population size.
+    pub fn population_size(mut self, n: usize) -> Self {
+        self.inner = self.inner.population_size(n);
+        self
+    }
+
+    /// Sets the generation budget.
+    pub fn generations(mut self, n: usize) -> Self {
+        self.inner = self.inner.generations(n);
+        self
+    }
+
+    /// Sets the partition count.
+    pub fn partitions(mut self, m: usize) -> Self {
+        self.inner = self.inner.partitions(m);
+        self
+    }
+
+    /// Fixes the partitioned objective range.
+    pub fn slice_range(mut self, lo: f64, hi: f64) -> Self {
+        self.inner = self.inner.slice_range(lo, hi);
+        self
+    }
+
+    /// Chooses the partitioned objective.
+    pub fn slice_objective(mut self, k: usize) -> Self {
+        self.inner = self.inner.slice_objective(k);
+        self
+    }
+
+    /// Finalizes against a problem.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SacgaConfigBuilder::build`].
+    pub fn build<P: Problem>(self, problem: P) -> Result<LocalCompetitionGa<P>, OptimizeError> {
+        let config = self.inner.mode(CompetitionMode::LocalOnly).build()?;
+        Ok(LocalCompetitionGa {
+            inner: Sacga::new(problem, config),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moea::problems::Schaffer;
+
+    #[test]
+    fn local_only_run_produces_front() {
+        let ga = LocalCompetitionGaBuilder::new()
+            .population_size(30)
+            .generations(20)
+            .partitions(5)
+            .build(Schaffer::new())
+            .unwrap();
+        let r = ga.run_seeded(3).unwrap();
+        assert!(!r.front.is_empty());
+        assert!(r.history.iter().all(|h| h.promoted == 0));
+    }
+
+    #[test]
+    fn local_only_is_deterministic() {
+        let make = || {
+            LocalCompetitionGaBuilder::new()
+                .population_size(30)
+                .generations(15)
+                .partitions(5)
+                .build(Schaffer::new())
+                .unwrap()
+        };
+        let a = make().run_seeded(9).unwrap();
+        let b = make().run_seeded(9).unwrap();
+        assert_eq!(a.front_objectives(), b.front_objectives());
+    }
+
+    #[test]
+    fn observer_is_forwarded() {
+        let ga = LocalCompetitionGaBuilder::new()
+            .population_size(20)
+            .generations(10)
+            .partitions(4)
+            .build(Schaffer::new())
+            .unwrap();
+        let mut called = 0;
+        let _ = ga.run_observed(1, |_, _| called += 1).unwrap();
+        assert_eq!(called, 10);
+    }
+}

@@ -1,0 +1,454 @@
+//! MESACGA — Multi-phase Expanding-partitions SACGA (Sec. 4.5, Fig. 7).
+//!
+//! Rather than guessing the optimal static partition count, MESACGA starts
+//! with many small partitions and repeatedly *expands* them: at the end of
+//! each phase the partition count shrinks (capacity grows), local Pareto
+//! fronts merge, and some locally-superior-but-globally-inferior solutions
+//! are discarded — accelerating front movement while the earlier
+//! fine-grained phases have already seeded diversity. The final phase has
+//! a single partition covering the whole objective space, i.e. pure global
+//! competition.
+//!
+//! The paper's example schedule: 7 phases of 20, 13, 8, 5, 3, 2, 1
+//! partitions, each running `span` iterations, after a pure-local phase.
+
+use crate::anneal::ProbabilityShaper;
+use crate::partition::PartitionGrid;
+use crate::sacga::{Engine, GenerationStats, SacgaConfig, SacgaResult};
+use moea::individual::Individual;
+use moea::problem::Problem;
+use moea::OptimizeError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One MESACGA phase: a partition count and how many generations to spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseSpec {
+    /// Number of partitions during this phase.
+    pub partitions: usize,
+    /// Generations (the `span` of this phase's annealing schedule).
+    pub span: usize,
+}
+
+impl PhaseSpec {
+    /// Creates a phase spec.
+    pub fn new(partitions: usize, span: usize) -> Self {
+        PhaseSpec { partitions, span }
+    }
+}
+
+/// Configuration of a MESACGA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MesacgaConfig {
+    pub(crate) base: SacgaConfig,
+    pub(crate) phases: Vec<PhaseSpec>,
+}
+
+impl MesacgaConfig {
+    /// Starts a builder.
+    pub fn builder() -> MesacgaConfigBuilder {
+        MesacgaConfigBuilder::default()
+    }
+
+    /// The phase schedule.
+    pub fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    /// Total phase-II generations across all phases.
+    pub fn total_span(&self) -> usize {
+        self.phases.iter().map(|p| p.span).sum()
+    }
+}
+
+/// Builder for [`MesacgaConfig`].
+#[derive(Debug, Clone)]
+pub struct MesacgaConfigBuilder {
+    population_size: usize,
+    phase1_max: usize,
+    phases: Vec<PhaseSpec>,
+    shaper: ProbabilityShaper,
+    n_superior: usize,
+    roulette_decay: f64,
+    slice_objective: usize,
+    slice_range: Option<(f64, f64)>,
+    variation: Option<moea::operators::Variation>,
+}
+
+impl Default for MesacgaConfigBuilder {
+    fn default() -> Self {
+        MesacgaConfigBuilder {
+            population_size: 100,
+            phase1_max: 50,
+            phases: Self::paper_phase_counts(100),
+            shaper: ProbabilityShaper::standard(),
+            n_superior: 5,
+            roulette_decay: 0.8,
+            slice_objective: 0,
+            slice_range: None,
+            variation: None,
+        }
+    }
+}
+
+impl MesacgaConfigBuilder {
+    /// The paper's 7-phase schedule (20, 13, 8, 5, 3, 2, 1 partitions)
+    /// with a uniform `span` per phase.
+    pub fn paper_phase_counts(span: usize) -> Vec<PhaseSpec> {
+        [20, 13, 8, 5, 3, 2, 1]
+            .into_iter()
+            .map(|m| PhaseSpec::new(m, span))
+            .collect()
+    }
+
+    /// Sets the population size.
+    pub fn population_size(mut self, n: usize) -> Self {
+        self.population_size = n;
+        self
+    }
+
+    /// Caps the pure-local phase I.
+    pub fn phase1_max(mut self, cap: usize) -> Self {
+        self.phase1_max = cap;
+        self
+    }
+
+    /// Replaces the phase schedule.
+    pub fn phases(mut self, phases: Vec<PhaseSpec>) -> Self {
+        self.phases = phases;
+        self
+    }
+
+    /// Uses the paper's 20/13/8/5/3/2/1 schedule with uniform `span`.
+    pub fn paper_phases(mut self, span: usize) -> Self {
+        self.phases = Self::paper_phase_counts(span);
+        self
+    }
+
+    /// Overrides the probability-shaping targets.
+    pub fn shaper(mut self, shaper: ProbabilityShaper) -> Self {
+        self.shaper = shaper;
+        self
+    }
+
+    /// Sets `n`, the desired globally superior solutions per partition.
+    pub fn n_superior(mut self, n: usize) -> Self {
+        self.n_superior = n;
+        self
+    }
+
+    /// Sets the rank-roulette decay.
+    pub fn roulette_decay(mut self, d: f64) -> Self {
+        self.roulette_decay = d;
+        self
+    }
+
+    /// Chooses the partitioned objective.
+    pub fn slice_objective(mut self, k: usize) -> Self {
+        self.slice_objective = k;
+        self
+    }
+
+    /// Fixes the partitioned objective range a priori.
+    pub fn slice_range(mut self, lo: f64, hi: f64) -> Self {
+        self.slice_range = Some((lo, hi));
+        self
+    }
+
+    /// Overrides the variation operators.
+    pub fn variation(mut self, v: moea::operators::Variation) -> Self {
+        self.variation = Some(v);
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidConfig`] when the phase list is
+    /// empty, any phase has zero partitions or zero span, or the base
+    /// parameters are invalid (see [`SacgaConfig::builder`]).
+    pub fn build(self) -> Result<MesacgaConfig, OptimizeError> {
+        if self.phases.is_empty() {
+            return Err(OptimizeError::invalid_config(
+                "phases",
+                "need at least one phase",
+            ));
+        }
+        for (i, ph) in self.phases.iter().enumerate() {
+            if ph.partitions == 0 {
+                return Err(OptimizeError::invalid_config(
+                    "phases",
+                    format!("phase {i} has zero partitions"),
+                ));
+            }
+            if ph.span == 0 {
+                return Err(OptimizeError::invalid_config(
+                    "phases",
+                    format!("phase {i} has zero span"),
+                ));
+            }
+        }
+        let total: usize = self.phases.iter().map(|p| p.span).sum();
+        let mut base_builder = SacgaConfig::builder()
+            .population_size(self.population_size)
+            .generations(self.phase1_max + total)
+            .partitions(self.phases[0].partitions)
+            .n_superior(self.n_superior)
+            .phase1_max(self.phase1_max)
+            .shaper(self.shaper)
+            .roulette_decay(self.roulette_decay)
+            .slice_objective(self.slice_objective);
+        if let Some((lo, hi)) = self.slice_range {
+            base_builder = base_builder.slice_range(lo, hi);
+        }
+        if let Some(v) = self.variation {
+            base_builder = base_builder.variation(v);
+        }
+        let base = base_builder.build()?;
+        Ok(MesacgaConfig {
+            base,
+            phases: self.phases,
+        })
+    }
+}
+
+/// Outcome of a MESACGA run: the final result plus a front snapshot at the
+/// end of every phase (what the paper's Fig. 10 plots).
+#[derive(Debug, Clone)]
+pub struct MesacgaResult {
+    /// The overall result (front, population, counters, history).
+    pub result: SacgaResult,
+    /// Feasible global front at the end of each phase, in phase order.
+    pub phase_fronts: Vec<Vec<Individual>>,
+}
+
+/// The MESACGA optimizer.
+#[derive(Debug)]
+pub struct Mesacga<P: Problem> {
+    problem: P,
+    config: MesacgaConfig,
+}
+
+impl<P: Problem> Mesacga<P> {
+    /// Creates an optimizer for `problem` with `config`.
+    pub fn new(problem: P, config: MesacgaConfig) -> Self {
+        Mesacga { problem, config }
+    }
+
+    /// Runs with a seeded RNG.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-definition errors discovered at start-up.
+    pub fn run_seeded(&self, seed: u64) -> Result<MesacgaResult, OptimizeError> {
+        self.run_observed(seed, |_, _| {})
+    }
+
+    /// Runs, invoking `observer(generation, flattened_population)` after
+    /// every generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-definition errors discovered at start-up.
+    pub fn run_observed<F>(
+        &self,
+        seed: u64,
+        mut observer: F,
+    ) -> Result<MesacgaResult, OptimizeError>
+    where
+        F: FnMut(usize, &[Individual]),
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = &self.config.base;
+        let mut engine = Engine::start(&self.problem, base, &mut rng)?;
+
+        // Phase I: pure local competition with the first phase's grid.
+        while engine.gen < base.phase1_max
+            && !(engine.pop.all_partitions_feasible() && engine.gen > 0)
+        {
+            engine.local_generation(&mut rng);
+            observer(engine.gen, &engine.flat_cache);
+        }
+        if !engine.pop.all_partitions_feasible() {
+            engine.pop.discard_infeasible_partitions();
+        }
+        let gen_t = engine.gen;
+
+        // Expanding-partition SACGA phases.
+        let mut phase_fronts: Vec<Vec<Individual>> = Vec::with_capacity(self.config.phases.len());
+        for (pi, phase) in self.config.phases.iter().enumerate() {
+            if pi > 0 || engine.pop.grid().partition_count() != phase.partitions {
+                let new_grid = engine.pop.grid().with_partitions(phase.partitions)?;
+                engine.pop = take_and_regrid(&mut engine.pop, new_grid);
+                engine.pop.rank_locally();
+            }
+            let (policy, schedule) = base.shaper.solve(base.n_superior, phase.span)?;
+            let phase_start = engine.gen;
+            for _ in 0..phase.span {
+                engine.annealed_generation(&mut rng, &policy, &schedule, phase_start);
+                observer(engine.gen, &engine.flat_cache);
+            }
+            // End-of-phase Global Pareto Front: one global competition on
+            // the current population (what Fig. 10 tracks).
+            phase_fronts.push(population_front(&engine.flat_cache));
+        }
+
+        let result = engine.finish(gen_t);
+        Ok(MesacgaResult {
+            result,
+            phase_fronts,
+        })
+    }
+}
+
+/// Feasible globally non-dominated front of a population snapshot.
+fn population_front(snapshot: &[Individual]) -> Vec<Individual> {
+    let mut pop = snapshot.to_vec();
+    moea::sorting::rank_and_crowd(&mut pop);
+    pop.into_iter()
+        .filter(|m| m.rank == 0 && m.is_feasible())
+        .collect()
+}
+
+/// Moves the population out of the engine, regrids it, and hands it back.
+fn take_and_regrid(
+    pop: &mut crate::partition::PartitionedPopulation,
+    grid: PartitionGrid,
+) -> crate::partition::PartitionedPopulation {
+    let placeholder = crate::partition::PartitionedPopulation::distribute(grid, Vec::new());
+    let owned = std::mem::replace(pop, placeholder);
+    owned.regrid(grid)
+}
+
+/// Accessor used by benches: the per-generation history of a MESACGA run.
+impl MesacgaResult {
+    /// Per-generation statistics (delegates to the inner result).
+    pub fn history(&self) -> &[GenerationStats] {
+        &self.result.history
+    }
+
+    /// Final feasible global front.
+    pub fn front(&self) -> &[Individual] {
+        &self.result.front
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moea::problems::{NarrowingCorridor, Schaffer};
+
+    fn quick_config() -> MesacgaConfig {
+        MesacgaConfig::builder()
+            .population_size(40)
+            .phase1_max(5)
+            .phases(vec![
+                PhaseSpec::new(8, 10),
+                PhaseSpec::new(4, 10),
+                PhaseSpec::new(1, 10),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_phases() {
+        assert!(MesacgaConfig::builder().phases(vec![]).build().is_err());
+        assert!(MesacgaConfig::builder()
+            .phases(vec![PhaseSpec::new(0, 10)])
+            .build()
+            .is_err());
+        assert!(MesacgaConfig::builder()
+            .phases(vec![PhaseSpec::new(4, 0)])
+            .build()
+            .is_err());
+        assert!(MesacgaConfig::builder().build().is_ok());
+    }
+
+    #[test]
+    fn paper_schedule_shape() {
+        let phases = MesacgaConfigBuilder::paper_phase_counts(150);
+        assert_eq!(phases.len(), 7);
+        let counts: Vec<usize> = phases.iter().map(|p| p.partitions).collect();
+        assert_eq!(counts, vec![20, 13, 8, 5, 3, 2, 1]);
+        assert!(phases.iter().all(|p| p.span == 150));
+    }
+
+    #[test]
+    fn run_produces_front_and_phase_snapshots() {
+        let r = Mesacga::new(Schaffer::new(), quick_config())
+            .run_seeded(5)
+            .unwrap();
+        assert!(!r.front().is_empty());
+        assert_eq!(r.phase_fronts.len(), 3);
+        assert!(r.phase_fronts.iter().all(|f| !f.is_empty()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Mesacga::new(Schaffer::new(), quick_config())
+            .run_seeded(6)
+            .unwrap();
+        let b = Mesacga::new(Schaffer::new(), quick_config())
+            .run_seeded(6)
+            .unwrap();
+        assert_eq!(a.result.front_objectives(), b.result.front_objectives());
+    }
+
+    #[test]
+    fn generations_total_phase1_plus_spans() {
+        let r = Mesacga::new(Schaffer::new(), quick_config())
+            .run_seeded(7)
+            .unwrap();
+        // phase 1 ends immediately on an unconstrained problem
+        assert_eq!(r.result.generations, r.result.gen_t + 30);
+    }
+
+    #[test]
+    fn phase_fronts_quality_non_degrading_on_average() {
+        use moea::hypervolume::hypervolume_2d;
+        let r = Mesacga::new(Schaffer::new(), quick_config())
+            .run_seeded(8)
+            .unwrap();
+        let hv = |front: &[Individual]| {
+            let pts: Vec<[f64; 2]> = front
+                .iter()
+                .map(|m| [m.objective(0), m.objective(1)])
+                .collect();
+            hypervolume_2d(&pts, [16.0, 16.0])
+        };
+        let first = hv(&r.phase_fronts[0]);
+        let last = hv(r.phase_fronts.last().unwrap());
+        assert!(
+            last >= first * 0.9,
+            "front should not collapse across phases: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn constrained_problem_runs_through_all_phases() {
+        let cfg = MesacgaConfig::builder()
+            .population_size(30)
+            .phase1_max(8)
+            .phases(vec![PhaseSpec::new(6, 8), PhaseSpec::new(2, 8)])
+            .slice_range(-1.0, 0.0)
+            .build()
+            .unwrap();
+        let r = Mesacga::new(NarrowingCorridor::new(0.05), cfg)
+            .run_seeded(9)
+            .unwrap();
+        assert_eq!(r.phase_fronts.len(), 2);
+        assert!(!r.front().is_empty());
+    }
+
+    #[test]
+    fn observer_sees_all_generations() {
+        let mut count = 0;
+        let _ = Mesacga::new(Schaffer::new(), quick_config())
+            .run_observed(1, |_, _| count += 1)
+            .unwrap();
+        // ≥ 30 phase-II generations + phase-I generations
+        assert!(count >= 30);
+    }
+}

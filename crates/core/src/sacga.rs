@@ -1,0 +1,847 @@
+//! SACGA — the Simulated-Annealing-driven Competition Genetic Algorithm
+//! (Sec. 4.4 of the paper, Fig. 3 flow).
+//!
+//! * **Phase I** — pure local competition inside objective-space
+//!   partitions until every partition holds at least one
+//!   constraint-satisfying solution (or an iteration cap is hit, after
+//!   which infeasible partitions are discarded). Takes `gen_t` iterations.
+//! * **Phase II** (`span = generations − gen_t` iterations) — each
+//!   partition's locally superior solutions are considered in random order
+//!   `i = 1..m_p`; the `i`-th joins the **global competition** with
+//!   probability `1 − exp(−α/(c(i)·T_A))`, where `T_A` anneals from
+//!   `T_init` to 1 across the span. Promoted solutions have their rank
+//!   revised by a global non-dominated sort (a promoted solution that is
+//!   globally dominated loses its local rank-0 status); protected
+//!   solutions keep their local rank. A **Global Mating Pool** is drawn by
+//!   rank-based selection over the entire population, crossover/mutation
+//!   produce offspring, and survivors are selected per partition (local
+//!   elitism).
+//! * Termination: one final global competition over everything yields the
+//!   Global Pareto Front.
+
+use crate::anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
+use crate::partition::{PartitionGrid, PartitionedPopulation};
+use moea::individual::Individual;
+use moea::operators::{random_vector, Variation};
+use moea::problem::Problem;
+use moea::selection::RankRoulette;
+use moea::sorting::rank_and_crowd;
+use moea::OptimizeError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How candidates enter the global competition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompetitionMode {
+    /// Full SACGA: annealed promotion from local to global competition.
+    Annealed,
+    /// Pure local competition forever (the Sec. 4.3 baseline); a single
+    /// global competition happens only at output time.
+    LocalOnly,
+}
+
+/// Per-generation statistics recorded by SACGA runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationStats {
+    /// Generation index (0 = initial population).
+    pub generation: usize,
+    /// 1 = pure local phase, 2 = annealed phase.
+    pub phase: u8,
+    /// Annealing temperature (∞ during phase I).
+    pub temperature: f64,
+    /// How many locally superior solutions were promoted this generation.
+    pub promoted: usize,
+    /// Feasible individuals in the population.
+    pub feasible: usize,
+    /// Population size after survivor selection.
+    pub population: usize,
+}
+
+/// Configuration of a SACGA run. Build with [`SacgaConfig::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SacgaConfig {
+    pub(crate) population_size: usize,
+    pub(crate) generations: usize,
+    pub(crate) partitions: usize,
+    pub(crate) n_superior: usize,
+    pub(crate) phase1_max: usize,
+    pub(crate) shaper: ProbabilityShaper,
+    pub(crate) variation: Option<Variation>,
+    pub(crate) roulette_decay: f64,
+    pub(crate) slice_objective: usize,
+    pub(crate) slice_range: Option<(f64, f64)>,
+    pub(crate) mode: CompetitionMode,
+}
+
+impl SacgaConfig {
+    /// Starts a configuration builder.
+    pub fn builder() -> SacgaConfigBuilder {
+        SacgaConfigBuilder::default()
+    }
+
+    /// Population size.
+    pub fn population_size(&self) -> usize {
+        self.population_size
+    }
+
+    /// Total generation budget (phase I + phase II).
+    pub fn generations(&self) -> usize {
+        self.generations
+    }
+
+    /// Number of partitions `m`.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+}
+
+/// Builder for [`SacgaConfig`].
+#[derive(Debug, Clone)]
+pub struct SacgaConfigBuilder {
+    population_size: usize,
+    generations: usize,
+    partitions: usize,
+    n_superior: usize,
+    phase1_max: Option<usize>,
+    shaper: ProbabilityShaper,
+    variation: Option<Variation>,
+    roulette_decay: f64,
+    slice_objective: usize,
+    slice_range: Option<(f64, f64)>,
+    mode: CompetitionMode,
+}
+
+impl Default for SacgaConfigBuilder {
+    fn default() -> Self {
+        SacgaConfigBuilder {
+            population_size: 100,
+            generations: 250,
+            partitions: 8,
+            n_superior: 5,
+            phase1_max: None,
+            shaper: ProbabilityShaper::standard(),
+            variation: None,
+            roulette_decay: 0.8,
+            slice_objective: 0,
+            slice_range: None,
+            mode: CompetitionMode::Annealed,
+        }
+    }
+}
+
+impl SacgaConfigBuilder {
+    /// Sets the population size (≥ 4, even).
+    pub fn population_size(mut self, n: usize) -> Self {
+        self.population_size = n;
+        self
+    }
+
+    /// Sets the total generation budget.
+    pub fn generations(mut self, n: usize) -> Self {
+        self.generations = n;
+        self
+    }
+
+    /// Sets the partition count `m` (≥ 1).
+    pub fn partitions(mut self, m: usize) -> Self {
+        self.partitions = m;
+        self
+    }
+
+    /// Sets `n`, the desired number of globally superior solutions per
+    /// partition (≥ 2), which shapes the promotion-cost exponent.
+    pub fn n_superior(mut self, n: usize) -> Self {
+        self.n_superior = n;
+        self
+    }
+
+    /// Caps the pure-local phase (default: a quarter of the budget).
+    pub fn phase1_max(mut self, cap: usize) -> Self {
+        self.phase1_max = Some(cap);
+        self
+    }
+
+    /// Overrides the probability-shaping targets.
+    pub fn shaper(mut self, shaper: ProbabilityShaper) -> Self {
+        self.shaper = shaper;
+        self
+    }
+
+    /// Overrides the variation operators.
+    pub fn variation(mut self, v: Variation) -> Self {
+        self.variation = Some(v);
+        self
+    }
+
+    /// Sets the geometric rank-roulette decay in `(0, 1]`.
+    pub fn roulette_decay(mut self, d: f64) -> Self {
+        self.roulette_decay = d;
+        self
+    }
+
+    /// Chooses which objective's range is partitioned (default 0).
+    pub fn slice_objective(mut self, k: usize) -> Self {
+        self.slice_objective = k;
+        self
+    }
+
+    /// Fixes the partitioned range a priori (e.g. the paper's 0–5 pF load
+    /// axis, in internal minimized coordinates). When unset, the range is
+    /// derived from the initial population.
+    pub fn slice_range(mut self, lo: f64, hi: f64) -> Self {
+        self.slice_range = Some((lo, hi));
+        self
+    }
+
+    /// Switches between full SACGA and the pure-local baseline.
+    pub fn mode(mut self, mode: CompetitionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidConfig`] for population sizes below
+    /// 4 or odd, zero budgets, zero partitions, `n_superior < 2`, a bad
+    /// roulette decay, or an inverted slice range.
+    pub fn build(self) -> Result<SacgaConfig, OptimizeError> {
+        if self.population_size < 4 || !self.population_size.is_multiple_of(2) {
+            return Err(OptimizeError::invalid_config(
+                "population_size",
+                format!("must be even and at least 4, got {}", self.population_size),
+            ));
+        }
+        if self.generations == 0 {
+            return Err(OptimizeError::invalid_config(
+                "generations",
+                "must be at least 1",
+            ));
+        }
+        if self.partitions == 0 {
+            return Err(OptimizeError::invalid_config(
+                "partitions",
+                "must be at least 1",
+            ));
+        }
+        if self.n_superior < 2 {
+            return Err(OptimizeError::invalid_config(
+                "n_superior",
+                "must be at least 2",
+            ));
+        }
+        if self.roulette_decay.is_nan() || self.roulette_decay <= 0.0 || self.roulette_decay > 1.0 {
+            return Err(OptimizeError::invalid_config(
+                "roulette_decay",
+                "must lie in (0, 1]",
+            ));
+        }
+        if let Some((lo, hi)) = self.slice_range {
+            if lo >= hi || !lo.is_finite() || !hi.is_finite() {
+                return Err(OptimizeError::invalid_config(
+                    "slice_range",
+                    format!("need finite lo < hi, got [{lo}, {hi}]"),
+                ));
+            }
+        }
+        let phase1_max = self
+            .phase1_max
+            .unwrap_or_else(|| (self.generations / 4).max(1));
+        Ok(SacgaConfig {
+            population_size: self.population_size,
+            generations: self.generations,
+            partitions: self.partitions,
+            n_superior: self.n_superior,
+            phase1_max,
+            shaper: self.shaper,
+            variation: self.variation,
+            roulette_decay: self.roulette_decay,
+            slice_objective: self.slice_objective,
+            slice_range: self.slice_range,
+            mode: self.mode,
+        })
+    }
+}
+
+/// Outcome of a SACGA (or MESACGA phase) run.
+#[derive(Debug, Clone)]
+pub struct SacgaResult {
+    /// Final population (flattened; globally ranked and crowded).
+    pub population: Vec<Individual>,
+    /// Feasible, globally non-dominated front of the final population.
+    pub front: Vec<Individual>,
+    /// Objective evaluations performed.
+    pub evaluations: usize,
+    /// Generations executed.
+    pub generations: usize,
+    /// Length of the pure-local phase I.
+    pub gen_t: usize,
+    /// Per-generation statistics.
+    pub history: Vec<GenerationStats>,
+}
+
+impl SacgaResult {
+    /// Objective vectors of the front.
+    pub fn front_objectives(&self) -> Vec<Vec<f64>> {
+        self.front.iter().map(|m| m.objectives().to_vec()).collect()
+    }
+}
+
+/// The SACGA optimizer.
+#[derive(Debug)]
+pub struct Sacga<P: Problem> {
+    problem: P,
+    config: SacgaConfig,
+}
+
+impl<P: Problem> Sacga<P> {
+    /// Creates an optimizer for `problem` with `config`.
+    pub fn new(problem: P, config: SacgaConfig) -> Self {
+        Sacga { problem, config }
+    }
+
+    /// Runs with a seeded RNG.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-definition errors discovered at start-up.
+    pub fn run_seeded(&self, seed: u64) -> Result<SacgaResult, OptimizeError> {
+        self.run_observed(seed, |_, _| {})
+    }
+
+    /// Runs, invoking `observer(generation, flattened_population)` after
+    /// every generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-definition errors discovered at start-up.
+    pub fn run_observed<F>(&self, seed: u64, mut observer: F) -> Result<SacgaResult, OptimizeError>
+    where
+        F: FnMut(usize, &[Individual]),
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut engine = Engine::start(&self.problem, &self.config, &mut rng)?;
+        // Phase I.
+        while engine.gen < self.config.generations
+            && engine.gen < self.config.phase1_max
+            && !(engine.pop.all_partitions_feasible() && engine.gen > 0)
+        {
+            engine.local_generation(&mut rng);
+            observer(engine.gen, &engine.flat_cache);
+        }
+        if !engine.pop.all_partitions_feasible() {
+            engine.pop.discard_infeasible_partitions();
+        }
+        let gen_t = engine.gen;
+
+        // Phase II.
+        let span = self.config.generations.saturating_sub(gen_t);
+        let (policy, schedule) = self.config.shaper.solve(self.config.n_superior, span)?;
+        while engine.gen < self.config.generations {
+            match self.config.mode {
+                CompetitionMode::Annealed => {
+                    engine.annealed_generation(&mut rng, &policy, &schedule, gen_t);
+                }
+                CompetitionMode::LocalOnly => {
+                    engine.local_generation(&mut rng);
+                }
+            }
+            observer(engine.gen, &engine.flat_cache);
+        }
+        Ok(engine.finish(gen_t))
+    }
+}
+
+/// Shared partition-GA engine, also driven by MESACGA.
+pub(crate) struct Engine<'p, P: Problem> {
+    problem: &'p P,
+    config: &'p SacgaConfig,
+    pub(crate) pop: PartitionedPopulation,
+    pub(crate) gen: usize,
+    pub(crate) evaluations: usize,
+    pub(crate) history: Vec<GenerationStats>,
+    variation: Variation,
+    roulette: RankRoulette,
+    /// Flattened population after the last generation (for observers).
+    pub(crate) flat_cache: Vec<Individual>,
+}
+
+impl<'p, P: Problem> Engine<'p, P> {
+    /// Initializes the population and the partition grid.
+    pub(crate) fn start(
+        problem: &'p P,
+        config: &'p SacgaConfig,
+        rng: &mut StdRng,
+    ) -> Result<Self, OptimizeError> {
+        if problem.num_objectives() == 0 {
+            return Err(OptimizeError::invalid_problem(
+                "problem must declare at least one objective",
+            ));
+        }
+        if config.slice_objective >= problem.num_objectives() {
+            return Err(OptimizeError::invalid_config(
+                "slice_objective",
+                format!(
+                    "objective {} out of range for a {}-objective problem",
+                    config.slice_objective,
+                    problem.num_objectives()
+                ),
+            ));
+        }
+        let bounds = problem.bounds().clone();
+        let mut evaluations = 0usize;
+        let initial: Vec<Individual> = (0..config.population_size)
+            .map(|_| {
+                let genes = random_vector(rng, &bounds);
+                let ev = problem.evaluate(&genes);
+                evaluations += 1;
+                Individual::new(genes, ev)
+            })
+            .collect();
+        problem.check_evaluation(&initial[0].evaluation)?;
+        let grid = match config.slice_range {
+            Some((lo, hi)) => PartitionGrid::new(config.slice_objective, lo, hi, config.partitions)?,
+            None => PartitionGrid::from_population(
+                config.slice_objective,
+                &initial,
+                config.partitions,
+            )?,
+        };
+        let mut pop = PartitionedPopulation::distribute(grid, initial);
+        pop.rank_locally();
+        let variation = config
+            .variation
+            .unwrap_or_else(|| Variation::standard(bounds.len()));
+        let flat_cache = pop.flatten();
+        let feasible = flat_cache.iter().filter(|m| m.is_feasible()).count();
+        let history = vec![GenerationStats {
+            generation: 0,
+            phase: 1,
+            temperature: f64::INFINITY,
+            promoted: 0,
+            feasible,
+            population: flat_cache.len(),
+        }];
+        Ok(Engine {
+            problem,
+            config,
+            pop,
+            gen: 0,
+            evaluations,
+            history,
+            variation,
+            roulette: RankRoulette::new(config.roulette_decay),
+            flat_cache,
+        })
+    }
+
+    fn capacity(&self) -> usize {
+        let alive = (0..self.pop.partition_count())
+            .filter(|&p| self.pop.is_alive(p))
+            .count()
+            .max(1);
+        self.config.population_size.div_ceil(alive)
+    }
+
+    /// One pure-local generation (phase I / LocalOnly mode).
+    pub(crate) fn local_generation(&mut self, rng: &mut StdRng) {
+        self.pop.rank_locally();
+        let flat = self.pop.flatten();
+        let offspring = self.make_offspring(rng, &flat);
+        self.pop.absorb(offspring);
+        self.pop.truncate_to(self.capacity(), rng);
+        self.pop.rank_locally();
+        self.gen += 1;
+        self.flat_cache = self.pop.flatten();
+        self.record(1, f64::INFINITY, 0);
+    }
+
+    /// One annealed generation (phase II): local ranking, SA-gated
+    /// promotion, global rank revision, global mating pool, variation,
+    /// local survivor selection.
+    pub(crate) fn annealed_generation(
+        &mut self,
+        rng: &mut StdRng,
+        policy: &PromotionPolicy,
+        schedule: &AnnealingSchedule,
+        gen_t: usize,
+    ) {
+        self.pop.rank_locally();
+        let mut flat = self.pop.flatten();
+        // The generation being produced is `gen + 1`; its elapsed phase-II
+        // age runs 1..=span so the final generation anneals at exactly
+        // T_A = 1 (pure global competition), per eqn (4).
+        let temperature = schedule.temperature((self.gen + 1).saturating_sub(gen_t));
+
+        // --- Promotion: locally superior members, per partition, in random
+        // order; the i-th (1-based) joins with prob(i, T_A).
+        let grid = *self.pop.grid();
+        let mut per_partition: Vec<Vec<usize>> = vec![Vec::new(); grid.partition_count()];
+        for (idx, ind) in flat.iter().enumerate() {
+            if ind.rank == 0 {
+                per_partition[grid.partition_of(ind.objectives())].push(idx);
+            }
+        }
+        let mut promoted: Vec<usize> = Vec::new();
+        for locally_superior in per_partition.iter_mut() {
+            locally_superior.shuffle(rng);
+            for (pos, &idx) in locally_superior.iter().enumerate() {
+                let prob = policy.probability(pos + 1, temperature);
+                if rng.gen::<f64>() < prob {
+                    promoted.push(idx);
+                }
+            }
+        }
+
+        // --- Global rank revision of the promoted candidates.
+        if !promoted.is_empty() {
+            let mut arena: Vec<Individual> =
+                promoted.iter().map(|&i| flat[i].clone()).collect();
+            rank_and_crowd(&mut arena);
+            for (slot, &i) in promoted.iter().enumerate() {
+                flat[i].rank = arena[slot].rank;
+            }
+        }
+
+        // --- Global mating pool over the entire population with revised
+        // ranks, then variation and local survivor selection.
+        let offspring = self.make_offspring(rng, &flat);
+        self.pop.absorb(offspring);
+        self.pop.truncate_to(self.capacity(), rng);
+        self.pop.rank_locally();
+        self.gen += 1;
+        self.flat_cache = self.pop.flatten();
+        self.record(2, temperature, promoted.len());
+    }
+
+    fn make_offspring(&mut self, rng: &mut StdRng, flat: &[Individual]) -> Vec<Individual> {
+        let n = self.config.population_size;
+        let bounds = self.problem.bounds();
+        let mut offspring = Vec::with_capacity(n);
+        if flat.is_empty() {
+            // Degenerate: reseed randomly.
+            while offspring.len() < n {
+                let genes = random_vector(rng, bounds);
+                let ev = self.problem.evaluate(&genes);
+                self.evaluations += 1;
+                offspring.push(Individual::new(genes, ev));
+            }
+            return offspring;
+        }
+        while offspring.len() < n {
+            let pa = self.roulette.select(rng, flat);
+            let pb = self.roulette.select(rng, flat);
+            let (c1, c2) = self
+                .variation
+                .offspring(rng, &flat[pa].genes, &flat[pb].genes, bounds);
+            for genes in [c1, c2] {
+                if offspring.len() >= n {
+                    break;
+                }
+                let ev = self.problem.evaluate(&genes);
+                self.evaluations += 1;
+                offspring.push(Individual::new(genes, ev));
+            }
+        }
+        offspring
+    }
+
+    fn record(&mut self, phase: u8, temperature: f64, promoted: usize) {
+        let feasible = self.flat_cache.iter().filter(|m| m.is_feasible()).count();
+        self.history.push(GenerationStats {
+            generation: self.gen,
+            phase,
+            temperature,
+            promoted,
+            feasible,
+            population: self.flat_cache.len(),
+        });
+    }
+
+    /// Final global competition and result assembly: per the paper, the
+    /// Global Pareto Front is found by one global competition over the
+    /// entire final population.
+    pub(crate) fn finish(self, gen_t: usize) -> SacgaResult {
+        let mut population = self.pop.flatten();
+        rank_and_crowd(&mut population);
+        let front: Vec<Individual> = population
+            .iter()
+            .filter(|m| m.rank == 0 && m.is_feasible())
+            .cloned()
+            .collect();
+        SacgaResult {
+            population,
+            front,
+            evaluations: self.evaluations,
+            generations: self.gen,
+            gen_t,
+            history: self.history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moea::problems::{NarrowingCorridor, Schaffer, Zdt1};
+
+    fn small_config(generations: usize, partitions: usize) -> SacgaConfig {
+        SacgaConfig::builder()
+            .population_size(40)
+            .generations(generations)
+            .partitions(partitions)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(SacgaConfig::builder().population_size(3).build().is_err());
+        assert!(SacgaConfig::builder().population_size(7).build().is_err());
+        assert!(SacgaConfig::builder().generations(0).build().is_err());
+        assert!(SacgaConfig::builder().partitions(0).build().is_err());
+        assert!(SacgaConfig::builder().n_superior(1).build().is_err());
+        assert!(SacgaConfig::builder().roulette_decay(0.0).build().is_err());
+        assert!(SacgaConfig::builder().slice_range(2.0, 1.0).build().is_err());
+        assert!(SacgaConfig::builder().build().is_ok());
+    }
+
+    #[test]
+    fn runs_deterministically_per_seed() {
+        let cfg = small_config(30, 6);
+        let a = Sacga::new(Schaffer::new(), cfg.clone()).run_seeded(5).unwrap();
+        let b = Sacga::new(Schaffer::new(), cfg).run_seeded(5).unwrap();
+        assert_eq!(a.front_objectives(), b.front_objectives());
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn front_is_globally_nondominated_and_feasible() {
+        let cfg = small_config(40, 8);
+        let r = Sacga::new(Schaffer::new(), cfg).run_seeded(1).unwrap();
+        assert!(!r.front.is_empty());
+        assert!(r.front.iter().all(|m| m.rank == 0 && m.is_feasible()));
+        // pairwise non-domination
+        use moea::dominance::{dominates, Dominance};
+        for a in &r.front {
+            for b in &r.front {
+                assert_ne!(
+                    dominates(a.objectives(), b.objectives()),
+                    Dominance::First
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase1_ends_when_feasible_everywhere() {
+        // Unconstrained problem: every individual is feasible, so phase I
+        // should end after a single generation.
+        let cfg = small_config(20, 4);
+        let r = Sacga::new(Schaffer::new(), cfg).run_seeded(2).unwrap();
+        assert!(r.gen_t <= 2, "gen_t = {}", r.gen_t);
+        assert_eq!(r.generations, 20);
+    }
+
+    #[test]
+    fn phase1_capped_on_constrained_problem() {
+        let cfg = SacgaConfig::builder()
+            .population_size(24)
+            .generations(30)
+            .partitions(10)
+            .phase1_max(5)
+            .build()
+            .unwrap();
+        let r = Sacga::new(NarrowingCorridor::new(0.02), cfg)
+            .run_seeded(3)
+            .unwrap();
+        assert!(r.gen_t <= 5);
+    }
+
+    #[test]
+    fn history_tracks_phases_and_temperature() {
+        let cfg = small_config(20, 4);
+        let r = Sacga::new(Schaffer::new(), cfg).run_seeded(4).unwrap();
+        assert_eq!(r.history.len(), r.generations + 1);
+        // phase-2 temperatures must be finite and decreasing
+        let temps: Vec<f64> = r
+            .history
+            .iter()
+            .filter(|h| h.phase == 2)
+            .map(|h| h.temperature)
+            .collect();
+        assert!(!temps.is_empty());
+        for w in temps.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+        let last = temps.last().copied().unwrap();
+        assert!(
+            (last - 1.0).abs() < 1e-6,
+            "temperature should cool to 1, got {last}"
+        );
+    }
+
+    #[test]
+    fn promotions_increase_as_annealing_cools() {
+        let cfg = SacgaConfig::builder()
+            .population_size(60)
+            .generations(60)
+            .partitions(6)
+            .build()
+            .unwrap();
+        let r = Sacga::new(Zdt1::new(6), cfg).run_seeded(7).unwrap();
+        let phase2: Vec<&GenerationStats> =
+            r.history.iter().filter(|h| h.phase == 2).collect();
+        assert!(phase2.len() > 10);
+        let early: usize = phase2[..5].iter().map(|h| h.promoted).sum();
+        let late: usize = phase2[phase2.len() - 5..].iter().map(|h| h.promoted).sum();
+        assert!(
+            late > early,
+            "promotions should grow as T_A cools: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn local_only_mode_never_promotes() {
+        let cfg = SacgaConfig::builder()
+            .population_size(40)
+            .generations(25)
+            .partitions(5)
+            .mode(CompetitionMode::LocalOnly)
+            .build()
+            .unwrap();
+        let r = Sacga::new(Schaffer::new(), cfg).run_seeded(8).unwrap();
+        assert!(r.history.iter().all(|h| h.promoted == 0));
+        assert!(!r.front.is_empty());
+    }
+
+    #[test]
+    fn evaluations_match_budget() {
+        let cfg = small_config(15, 4);
+        let r = Sacga::new(Schaffer::new(), cfg).run_seeded(9).unwrap();
+        // init + one offspring batch per generation
+        assert_eq!(r.evaluations, 40 + 15 * 40);
+    }
+
+    #[test]
+    fn observer_called_every_generation() {
+        let cfg = small_config(12, 4);
+        let mut gens = Vec::new();
+        let _ = Sacga::new(Schaffer::new(), cfg)
+            .run_observed(1, |g, pop| {
+                gens.push(g);
+                assert!(!pop.is_empty());
+            })
+            .unwrap();
+        assert_eq!(gens.len(), 12);
+        assert_eq!(*gens.last().unwrap(), 12);
+    }
+
+    #[test]
+    fn slice_range_respected() {
+        let cfg = SacgaConfig::builder()
+            .population_size(20)
+            .generations(10)
+            .partitions(4)
+            .slice_range(0.0, 4.0)
+            .build()
+            .unwrap();
+        let r = Sacga::new(Schaffer::new(), cfg).run_seeded(11).unwrap();
+        assert!(!r.front.is_empty());
+    }
+
+    #[test]
+    fn single_partition_behaves_like_global_ga() {
+        // m = 1: local competition IS global competition; the run should
+        // still converge on Schaffer. Rank-roulette selection is gentler
+        // than crowded tournament, so the tolerance is loose.
+        let cfg = small_config(150, 1);
+        let r = Sacga::new(Schaffer::new(), cfg).run_seeded(13).unwrap();
+        assert!(r.front.len() > 5);
+        for m in &r.front {
+            let f1 = m.objective(0);
+            let f2 = m.objective(1);
+            let expected = (f1.sqrt() - 2.0).powi(2);
+            assert!(
+                (f2 - expected).abs() < 0.2 + 0.2 * (1.0 + expected),
+                "({f1}, {f2}) vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_objective_extension_works() {
+        // Sec. 1 of the paper: "the extension to an arbitrary number of
+        // objective functions is straight-forward" — partition one
+        // objective's range and run as usual. DTLZ2 has a spherical
+        // 3-objective front; partition along f0.
+        use moea::problems::Dtlz2;
+        let cfg = SacgaConfig::builder()
+            .population_size(60)
+            .generations(60)
+            .partitions(6)
+            .slice_objective(0)
+            .slice_range(0.0, 1.2)
+            .build()
+            .unwrap();
+        let r = Sacga::new(Dtlz2::new(3, 6), cfg).run_seeded(19).unwrap();
+        assert!(r.front.len() > 10);
+        // front points lie near the unit sphere
+        for m in &r.front {
+            let norm2: f64 = m.objectives().iter().map(|&v| v * v).sum();
+            assert!(
+                (0.9..1.6).contains(&norm2),
+                "front point off the sphere: |f|^2 = {norm2}"
+            );
+        }
+        // coverage along the partitioned objective
+        let pts: Vec<Vec<f64>> = r.front_objectives();
+        assert!(moea::metrics::extent(&pts, 0) > 0.5);
+    }
+
+    #[test]
+    fn infeasible_partitions_are_discarded_after_phase1_cap() {
+        // Slice range [-2, 0] while the corridor's coverage objective only
+        // spans [-1, 0]: the lower half of the partitions can never hold a
+        // feasible member and must be discarded at the phase-I cap instead
+        // of stalling the run.
+        let cfg = SacgaConfig::builder()
+            .population_size(30)
+            .generations(25)
+            .partitions(8)
+            .phase1_max(6)
+            .slice_range(-2.0, 0.0)
+            .build()
+            .unwrap();
+        let r = Sacga::new(NarrowingCorridor::new(0.05), cfg)
+            .run_seeded(21)
+            .unwrap();
+        assert_eq!(r.gen_t, 6, "phase I must end at the cap");
+        assert_eq!(r.generations, 25);
+        assert!(!r.front.is_empty());
+        // every front member lies in the achievable half of the range
+        assert!(r.front.iter().all(|m| m.objective(0) >= -1.0));
+    }
+
+    #[test]
+    fn sacga_covers_corridor_better_than_expected_minimum() {
+        // Diversity sanity: on the corridor problem the front should span
+        // a good part of the coverage axis.
+        let cfg = SacgaConfig::builder()
+            .population_size(60)
+            .generations(80)
+            .partitions(8)
+            .slice_range(-1.0, 0.0) // f0 = -coverage
+            .build()
+            .unwrap();
+        let r = Sacga::new(NarrowingCorridor::new(0.05), cfg)
+            .run_seeded(17)
+            .unwrap();
+        let pts: Vec<Vec<f64>> = r.front_objectives();
+        assert!(!pts.is_empty());
+        let ext = moea::metrics::extent(&pts, 0);
+        assert!(ext > 0.5, "front should span the coverage axis, got {ext}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the SACGA machinery invariants.
+
+use proptest::prelude::*;
+use sacga::anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
+use sacga::partition::PartitionGrid;
+
+proptest! {
+    #[test]
+    fn temperature_is_monotone_and_bounded(
+        t_init in 1.5f64..1e5,
+        span in 1usize..500,
+        g1 in 0usize..500,
+        g2 in 0usize..500,
+    ) {
+        let s = AnnealingSchedule::new(t_init, 1.0, span).unwrap();
+        let (lo, hi) = (g1.min(g2), g1.max(g2));
+        let (t_lo, t_hi) = (s.temperature(hi), s.temperature(lo));
+        prop_assert!(t_lo <= t_hi + 1e-9);
+        prop_assert!(s.temperature(0) <= t_init * (1.0 + 1e-12));
+        // fully cooled value is 1 for k3 = 1
+        prop_assert!((s.temperature(span) - 1.0).abs() < 1e-6 * t_init.max(1.0));
+    }
+
+    #[test]
+    fn promotion_probability_laws(
+        k2 in 0.0f64..5.0,
+        alpha in 0.01f64..10.0,
+        n in 2usize..12,
+        temp in 1.0f64..1e4,
+    ) {
+        let p = PromotionPolicy::new(1.0, k2, alpha, n).unwrap();
+        let mut prev = f64::INFINITY;
+        for i in 1..=n {
+            let pr = p.probability(i, temp);
+            prop_assert!((0.0..=1.0).contains(&pr));
+            prop_assert!(pr <= prev + 1e-12, "prob must fall with i");
+            prev = pr;
+        }
+        // cooling raises every probability
+        for i in 1..=n {
+            prop_assert!(p.probability(i, temp) <= p.probability(i, 1.0) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn shaper_solves_exactly_for_valid_targets(
+        p_mid_last in 0.02f64..0.4,
+        gap in 0.05f64..0.5,
+        end_gap in 0.05f64..0.5,
+        n in 2usize..10,
+        span in 2usize..400,
+    ) {
+        let p_mid_first = (p_mid_last + gap).min(0.97);
+        let p_end_last = (p_mid_last + end_gap).min(0.97);
+        prop_assume!(p_mid_first > p_mid_last && p_end_last > p_mid_last);
+        let shaper = ProbabilityShaper::new(p_mid_first, p_mid_last, p_end_last).unwrap();
+        let (policy, schedule) = shaper.solve(n, span).unwrap();
+        let t_mid = schedule.t_init.sqrt();
+        prop_assert!((policy.probability(1, t_mid) - p_mid_first).abs() < 1e-6);
+        prop_assert!((policy.probability(n, t_mid) - p_mid_last).abs() < 1e-6);
+        prop_assert!((policy.probability(n, 1.0) - p_end_last).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partition_of_is_total_and_ordered(
+        lo in -100.0f64..0.0,
+        width in 0.1f64..100.0,
+        m in 1usize..40,
+        v1 in -200.0f64..200.0,
+        v2 in -200.0f64..200.0,
+    ) {
+        let grid = PartitionGrid::new(0, lo, lo + width, m).unwrap();
+        let p1 = grid.partition_of(&[v1]);
+        let p2 = grid.partition_of(&[v2]);
+        prop_assert!(p1 < m && p2 < m);
+        if v1 <= v2 {
+            prop_assert!(p1 <= p2, "partition index must be monotone in value");
+        }
+    }
+
+    #[test]
+    fn slice_ranges_tile_without_gaps(
+        lo in -10.0f64..10.0,
+        width in 0.5f64..50.0,
+        m in 1usize..30,
+    ) {
+        let grid = PartitionGrid::new(0, lo, lo + width, m).unwrap();
+        let mut edge = lo;
+        for p in 0..m {
+            let (a, b) = grid.slice_range(p);
+            prop_assert!((a - edge).abs() < 1e-9 * width.max(1.0));
+            prop_assert!(b > a);
+            edge = b;
+        }
+        prop_assert!((edge - (lo + width)).abs() < 1e-9 * width.max(1.0));
+    }
+
+    #[test]
+    fn interior_values_land_in_their_slice(
+        m in 1usize..25,
+        t in 0.001f64..0.999,
+    ) {
+        let grid = PartitionGrid::new(0, 0.0, 1.0, m).unwrap();
+        let p = grid.partition_of(&[t]);
+        let (a, b) = grid.slice_range(p);
+        prop_assert!(t >= a - 1e-12 && t < b + 1e-12, "{t} not in [{a}, {b})");
+    }
+}

@@ -1,0 +1,226 @@
+//! A bounded archive of non-dominated, feasible solutions.
+
+use crate::dominance::{dominates, Dominance};
+use crate::individual::Individual;
+use crate::sorting::assign_crowding;
+
+/// A Pareto archive keeps the best feasible non-dominated individuals seen
+/// so far, truncating by crowding distance when a capacity is set.
+///
+/// Infeasible candidates are rejected outright: the archive's purpose is to
+/// record the usable design surface.
+///
+/// # Examples
+///
+/// ```
+/// use moea::{Individual, Evaluation, ParetoArchive};
+///
+/// let mut archive = ParetoArchive::unbounded();
+/// archive.offer(Individual::new(vec![0.0], Evaluation::unconstrained(vec![1.0, 2.0])));
+/// archive.offer(Individual::new(vec![0.0], Evaluation::unconstrained(vec![2.0, 1.0])));
+/// archive.offer(Individual::new(vec![0.0], Evaluation::unconstrained(vec![3.0, 3.0])));
+/// assert_eq!(archive.len(), 2); // (3,3) is dominated
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParetoArchive {
+    members: Vec<Individual>,
+    capacity: Option<usize>,
+}
+
+impl ParetoArchive {
+    /// Creates an archive without a size bound.
+    pub fn unbounded() -> Self {
+        ParetoArchive::default()
+    }
+
+    /// Creates an archive truncated to `capacity` members by crowding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "archive capacity must be positive");
+        ParetoArchive {
+            members: Vec::new(),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Number of archived individuals.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when nothing has been archived.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The archived front.
+    pub fn as_slice(&self) -> &[Individual] {
+        &self.members
+    }
+
+    /// Consumes the archive, returning its members.
+    pub fn into_members(self) -> Vec<Individual> {
+        self.members
+    }
+
+    /// Offers a candidate. Returns `true` when it was accepted (i.e. it was
+    /// feasible and not dominated by an archived member).
+    ///
+    /// Accepting a candidate evicts every archived member it dominates.
+    /// Duplicates (identical objectives) are rejected to keep the archive a
+    /// set.
+    pub fn offer(&mut self, candidate: Individual) -> bool {
+        if !candidate.is_feasible() {
+            return false;
+        }
+        let c_obj = candidate.objectives();
+        for m in &self.members {
+            match dominates(m.objectives(), c_obj) {
+                Dominance::First => return false,
+                _ => {
+                    if m.objectives() == c_obj {
+                        return false;
+                    }
+                }
+            }
+        }
+        self.members
+            .retain(|m| dominates(c_obj, m.objectives()) != Dominance::First);
+        self.members.push(candidate);
+        if let Some(cap) = self.capacity {
+            if self.members.len() > cap {
+                self.truncate_by_crowding(cap);
+            }
+        }
+        true
+    }
+
+    /// Offers every member of an iterator; returns how many were accepted.
+    pub fn offer_all<I: IntoIterator<Item = Individual>>(&mut self, candidates: I) -> usize {
+        candidates
+            .into_iter()
+            .filter(|c| self.offer(c.clone()))
+            .count()
+    }
+
+    /// Objective vectors of the archived front.
+    pub fn objective_rows(&self) -> Vec<Vec<f64>> {
+        self.members
+            .iter()
+            .map(|m| m.objectives().to_vec())
+            .collect()
+    }
+
+    fn truncate_by_crowding(&mut self, cap: usize) {
+        let idx: Vec<usize> = (0..self.members.len()).collect();
+        assign_crowding(&mut self.members, &idx);
+        // Drop the most crowded (smallest distance) members one at a time.
+        while self.members.len() > cap {
+            let worst = self
+                .members
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.crowding
+                        .partial_cmp(&b.crowding)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty archive");
+            self.members.remove(worst);
+            let idx: Vec<usize> = (0..self.members.len()).collect();
+            assign_crowding(&mut self.members, &idx);
+        }
+    }
+}
+
+impl Extend<Individual> for ParetoArchive {
+    fn extend<I: IntoIterator<Item = Individual>>(&mut self, iter: I) {
+        for ind in iter {
+            let _ = self.offer(ind);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::Evaluation;
+
+    fn ind(objs: Vec<f64>) -> Individual {
+        Individual::new(vec![0.0], Evaluation::unconstrained(objs))
+    }
+
+    fn infeasible(objs: Vec<f64>) -> Individual {
+        Individual::new(vec![0.0], Evaluation::new(objs, vec![1.0]))
+    }
+
+    #[test]
+    fn rejects_infeasible() {
+        let mut a = ParetoArchive::unbounded();
+        assert!(!a.offer(infeasible(vec![0.0, 0.0])));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn rejects_dominated_and_evicts() {
+        let mut a = ParetoArchive::unbounded();
+        assert!(a.offer(ind(vec![2.0, 2.0])));
+        assert!(!a.offer(ind(vec![3.0, 3.0])));
+        assert!(a.offer(ind(vec![1.0, 1.0]))); // evicts (2,2)
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.as_slice()[0].objectives(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut a = ParetoArchive::unbounded();
+        assert!(a.offer(ind(vec![1.0, 2.0])));
+        assert!(!a.offer(ind(vec![1.0, 2.0])));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn keeps_incomparable_members() {
+        let mut a = ParetoArchive::unbounded();
+        a.offer(ind(vec![1.0, 3.0]));
+        a.offer(ind(vec![3.0, 1.0]));
+        a.offer(ind(vec![2.0, 2.0]));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn bounded_archive_truncates_crowded_interior() {
+        let mut a = ParetoArchive::bounded(3);
+        // Line front with one tight pair; the pair member should be evicted.
+        a.offer(ind(vec![0.0, 1.0]));
+        a.offer(ind(vec![0.5, 0.5]));
+        a.offer(ind(vec![0.52, 0.48]));
+        a.offer(ind(vec![1.0, 0.0]));
+        assert_eq!(a.len(), 3);
+        // extremes must survive
+        let objs = a.objective_rows();
+        assert!(objs.contains(&vec![0.0, 1.0]));
+        assert!(objs.contains(&vec![1.0, 0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn bounded_zero_rejected() {
+        let _ = ParetoArchive::bounded(0);
+    }
+
+    #[test]
+    fn offer_all_counts_acceptances() {
+        let mut a = ParetoArchive::unbounded();
+        let n = a.offer_all(vec![
+            ind(vec![1.0, 1.0]),
+            ind(vec![2.0, 2.0]),
+            ind(vec![0.5, 2.0]),
+        ]);
+        assert_eq!(n, 2);
+    }
+}

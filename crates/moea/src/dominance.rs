@@ -1,0 +1,235 @@
+//! Pareto dominance and Deb's constrained dominance.
+//!
+//! All objectives are minimized. `a` *dominates* `b` when `a` is no worse in
+//! every objective and strictly better in at least one. The constrained
+//! variant (Deb 2000, as used by NSGA-II) additionally prefers feasible
+//! solutions to infeasible ones and, among infeasible solutions, the one with
+//! smaller total violation.
+
+use crate::individual::Individual;
+use std::cmp::Ordering;
+
+/// Three-way outcome of a dominance comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dominance {
+    /// The first argument dominates the second.
+    First,
+    /// The second argument dominates the first.
+    Second,
+    /// Neither dominates (incomparable or equal).
+    Neither,
+}
+
+impl Dominance {
+    /// Flips the roles of the two arguments.
+    pub fn flip(self) -> Dominance {
+        match self {
+            Dominance::First => Dominance::Second,
+            Dominance::Second => Dominance::First,
+            Dominance::Neither => Dominance::Neither,
+        }
+    }
+}
+
+/// Pure Pareto dominance on raw objective vectors (minimization).
+///
+/// # Panics
+///
+/// Panics in debug builds if the vectors differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use moea::dominance::{dominates, Dominance};
+///
+/// assert_eq!(dominates(&[1.0, 1.0], &[2.0, 2.0]), Dominance::First);
+/// assert_eq!(dominates(&[1.0, 3.0], &[2.0, 2.0]), Dominance::Neither);
+/// ```
+pub fn dominates(a: &[f64], b: &[f64]) -> Dominance {
+    debug_assert_eq!(a.len(), b.len(), "objective dimension mismatch");
+    // A vector containing NaN represents a numerically broken design: it
+    // never dominates, and is dominated by any clean vector. Two broken
+    // vectors are incomparable.
+    let a_nan = a.iter().any(|v| v.is_nan());
+    let b_nan = b.iter().any(|v| v.is_nan());
+    match (a_nan, b_nan) {
+        (true, true) => return Dominance::Neither,
+        (true, false) => return Dominance::Second,
+        (false, true) => return Dominance::First,
+        (false, false) => {}
+    }
+    let mut a_better = false;
+    let mut b_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x < y {
+            a_better = true;
+        } else if y < x {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return Dominance::Neither;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => Dominance::First,
+        (false, true) => Dominance::Second,
+        _ => Dominance::Neither,
+    }
+}
+
+/// Deb's constrained dominance between two individuals.
+///
+/// Rules, in order:
+/// 1. feasible dominates infeasible;
+/// 2. between two infeasible individuals, the smaller total constraint
+///    violation dominates;
+/// 3. between two feasible individuals, plain Pareto dominance applies.
+pub fn constrained_dominates(a: &Individual, b: &Individual) -> Dominance {
+    match (a.is_feasible(), b.is_feasible()) {
+        (true, false) => Dominance::First,
+        (false, true) => Dominance::Second,
+        (false, false) => {
+            let va = a.total_violation();
+            let vb = b.total_violation();
+            match va.partial_cmp(&vb) {
+                Some(Ordering::Less) => Dominance::First,
+                Some(Ordering::Greater) => Dominance::Second,
+                _ => Dominance::Neither,
+            }
+        }
+        (true, true) => dominates(a.objectives(), b.objectives()),
+    }
+}
+
+/// Crowded-comparison operator of NSGA-II: lower rank wins; within a rank,
+/// larger crowding distance wins.
+///
+/// Returns [`Ordering::Less`] when `a` is *preferred* over `b`, so sorting
+/// ascending with this comparator puts the best individual first.
+pub fn crowded_compare(a: &Individual, b: &Individual) -> Ordering {
+    match a.rank.cmp(&b.rank) {
+        Ordering::Equal => b
+            .crowding
+            .partial_cmp(&a.crowding)
+            .unwrap_or(Ordering::Equal),
+        other => other,
+    }
+}
+
+/// Extracts the non-dominated subset of a set of objective vectors
+/// (indices into `points`), using pure Pareto dominance.
+///
+/// `O(n^2)` pairwise filter; fine for the front sizes handled here.
+pub fn non_dominated_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut keep = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i != j && dominates(q, p) == Dominance::First {
+                continue 'outer;
+            }
+        }
+        keep.push(i);
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::Evaluation;
+
+    fn ind(objs: Vec<f64>, violations: Vec<f64>) -> Individual {
+        Individual::new(vec![0.0], Evaluation::new(objs, violations))
+    }
+
+    #[test]
+    fn equal_vectors_do_not_dominate() {
+        assert_eq!(dominates(&[1.0, 2.0], &[1.0, 2.0]), Dominance::Neither);
+    }
+
+    #[test]
+    fn strict_improvement_in_one_objective_suffices() {
+        assert_eq!(dominates(&[1.0, 2.0], &[1.0, 3.0]), Dominance::First);
+        assert_eq!(dominates(&[1.0, 3.0], &[1.0, 2.0]), Dominance::Second);
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric() {
+        let a = [0.5, 0.5];
+        let b = [1.0, 1.0];
+        assert_eq!(dominates(&a, &b), dominates(&b, &a).flip());
+    }
+
+    #[test]
+    fn nan_never_dominates() {
+        // A NaN-containing vector loses to any clean vector and never wins.
+        assert_eq!(dominates(&[f64::NAN, 1.0], &[1.0, 2.0]), Dominance::Second);
+        assert_eq!(dominates(&[1.0, 2.0], &[f64::NAN, 1.0]), Dominance::First);
+        assert_eq!(
+            dominates(&[f64::NAN, 1.0], &[f64::NAN, 0.0]),
+            Dominance::Neither
+        );
+    }
+
+    #[test]
+    fn feasible_beats_infeasible_regardless_of_objectives() {
+        let good_objs_infeasible = ind(vec![0.0, 0.0], vec![0.1]);
+        let bad_objs_feasible = ind(vec![10.0, 10.0], vec![0.0]);
+        assert_eq!(
+            constrained_dominates(&bad_objs_feasible, &good_objs_infeasible),
+            Dominance::First
+        );
+    }
+
+    #[test]
+    fn smaller_violation_wins_among_infeasible() {
+        let a = ind(vec![5.0], vec![0.1]);
+        let b = ind(vec![1.0], vec![0.2]);
+        assert_eq!(constrained_dominates(&a, &b), Dominance::First);
+        assert_eq!(constrained_dominates(&b, &a), Dominance::Second);
+    }
+
+    #[test]
+    fn equal_violation_is_neither() {
+        let a = ind(vec![5.0], vec![0.1]);
+        let b = ind(vec![1.0], vec![0.1]);
+        assert_eq!(constrained_dominates(&a, &b), Dominance::Neither);
+    }
+
+    #[test]
+    fn feasible_pair_uses_pareto() {
+        let a = ind(vec![1.0, 2.0], vec![0.0]);
+        let b = ind(vec![2.0, 3.0], vec![0.0]);
+        assert_eq!(constrained_dominates(&a, &b), Dominance::First);
+    }
+
+    #[test]
+    fn crowded_compare_prefers_lower_rank_then_larger_crowding() {
+        let mut a = ind(vec![1.0], vec![0.0]);
+        let mut b = ind(vec![2.0], vec![0.0]);
+        a.rank = 0;
+        b.rank = 1;
+        assert_eq!(crowded_compare(&a, &b), Ordering::Less);
+        b.rank = 0;
+        a.crowding = 1.0;
+        b.crowding = 2.0;
+        assert_eq!(crowded_compare(&a, &b), Ordering::Greater);
+    }
+
+    #[test]
+    fn non_dominated_indices_filters_dominated_points() {
+        let pts = vec![
+            vec![1.0, 4.0],
+            vec![2.0, 3.0],
+            vec![3.0, 3.5], // dominated by [2,3]
+            vec![4.0, 1.0],
+        ];
+        assert_eq!(non_dominated_indices(&pts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn non_dominated_indices_keeps_duplicates() {
+        let pts = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert_eq!(non_dominated_indices(&pts), vec![0, 1]);
+    }
+}

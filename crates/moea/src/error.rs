@@ -1,0 +1,108 @@
+//! Error types shared by the optimization machinery.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when an optimizer or one of its configuration builders is
+/// given inconsistent input.
+///
+/// The [`Display`](fmt::Display) form is a lowercase, punctuation-free
+/// sentence per the Rust API guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OptimizeError {
+    /// A configuration value is outside its legal range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Explanation of the legal range and what was supplied.
+        reason: String,
+    },
+    /// A problem definition is internally inconsistent (e.g. mismatched
+    /// bounds length, zero objectives).
+    InvalidProblem {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// An evaluation returned vectors whose lengths disagree with the
+    /// problem's declared dimensions.
+    EvaluationMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What the evaluation produced.
+        actual: usize,
+        /// Which vector mismatched ("objectives" or "constraints").
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            OptimizeError::InvalidProblem { reason } => {
+                write!(f, "invalid problem definition: {reason}")
+            }
+            OptimizeError::EvaluationMismatch {
+                expected,
+                actual,
+                what,
+            } => write!(
+                f,
+                "evaluation produced {actual} {what} but the problem declares {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for OptimizeError {}
+
+impl OptimizeError {
+    /// Convenience constructor for [`OptimizeError::InvalidConfig`].
+    pub fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
+        OptimizeError::InvalidConfig {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`OptimizeError::InvalidProblem`].
+    pub fn invalid_problem(reason: impl Into<String>) -> Self {
+        OptimizeError::InvalidProblem {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = OptimizeError::invalid_config("population_size", "must be at least 4, got 0");
+        let text = err.to_string();
+        assert!(text.contains("population_size"));
+        assert!(text.contains("at least 4"));
+        assert!(text.starts_with("invalid"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OptimizeError>();
+    }
+
+    #[test]
+    fn mismatch_display_mentions_both_sizes() {
+        let err = OptimizeError::EvaluationMismatch {
+            expected: 2,
+            actual: 3,
+            what: "objectives",
+        };
+        let text = err.to_string();
+        assert!(text.contains('2') && text.contains('3') && text.contains("objectives"));
+    }
+}

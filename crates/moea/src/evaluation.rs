@@ -1,0 +1,224 @@
+//! The result of evaluating a candidate design: objective values plus
+//! constraint-violation amounts.
+
+/// Outcome of evaluating one decision vector.
+///
+/// * `objectives` are **minimized**. Problems whose natural formulation
+///   maximizes a quantity should negate it (and un-negate for reporting).
+/// * `constraint_violations[k]` is the *amount* by which inequality
+///   constraint `k` is violated: `0.0` (or any non-positive value, which is
+///   clamped to zero) means satisfied, positive values measure infeasibility.
+///   Deb's constrained-dominance uses the sum of violations, so amounts
+///   should be scaled to comparable magnitudes by the problem definition.
+///
+/// # Examples
+///
+/// ```
+/// use moea::Evaluation;
+///
+/// let feasible = Evaluation::new(vec![1.0, 2.0], vec![0.0, 0.0]);
+/// assert!(feasible.is_feasible());
+/// let infeasible = Evaluation::new(vec![1.0, 2.0], vec![0.5, 0.0]);
+/// assert_eq!(infeasible.total_violation(), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    objectives: Vec<f64>,
+    constraint_violations: Vec<f64>,
+}
+
+impl Evaluation {
+    /// Creates an evaluation from raw objective values and violation amounts.
+    ///
+    /// Negative violation entries are clamped to `0.0`; NaN violations are
+    /// treated as maximal (`f64::INFINITY`) so that numerically broken
+    /// designs are never considered feasible.
+    pub fn new(objectives: Vec<f64>, mut constraint_violations: Vec<f64>) -> Self {
+        for v in &mut constraint_violations {
+            if v.is_nan() {
+                *v = f64::INFINITY;
+            } else if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        Evaluation {
+            objectives,
+            constraint_violations,
+        }
+    }
+
+    /// Creates an evaluation of an unconstrained problem.
+    pub fn unconstrained(objectives: Vec<f64>) -> Self {
+        Evaluation {
+            objectives,
+            constraint_violations: Vec::new(),
+        }
+    }
+
+    /// The minimized objective values.
+    pub fn objectives(&self) -> &[f64] {
+        &self.objectives
+    }
+
+    /// The clamped constraint-violation amounts (all `>= 0`).
+    pub fn constraint_violations(&self) -> &[f64] {
+        &self.constraint_violations
+    }
+
+    /// `true` when every constraint violation is exactly zero.
+    pub fn is_feasible(&self) -> bool {
+        self.constraint_violations.iter().all(|&v| v == 0.0)
+    }
+
+    /// Sum of all violation amounts; `0.0` for feasible designs.
+    pub fn total_violation(&self) -> f64 {
+        self.constraint_violations.iter().sum()
+    }
+
+    /// Decomposes into `(objectives, constraint_violations)`.
+    pub fn into_parts(self) -> (Vec<f64>, Vec<f64>) {
+        (self.objectives, self.constraint_violations)
+    }
+}
+
+/// Builds violation amounts from natural specification comparisons.
+///
+/// Analog specifications come in two flavors: "at least" (e.g. DC gain ≥ 96
+/// dB) and "at most" (e.g. settling time ≤ 0.24 µs). These helpers convert
+/// them to normalized violation amounts: the relative shortfall w.r.t. the
+/// bound, which keeps heterogeneous constraints (dB vs seconds vs unitless)
+/// comparable inside constrained dominance.
+#[derive(Debug, Clone, Default)]
+pub struct ViolationBuilder {
+    violations: Vec<f64>,
+}
+
+impl ViolationBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requires `value >= bound`. Records a relative shortfall when violated.
+    pub fn at_least(&mut self, value: f64, bound: f64) -> &mut Self {
+        self.violations.push(relative_shortfall_at_least(value, bound));
+        self
+    }
+
+    /// Requires `value <= bound`. Records a relative excess when violated.
+    pub fn at_most(&mut self, value: f64, bound: f64) -> &mut Self {
+        self.violations.push(relative_excess_at_most(value, bound));
+        self
+    }
+
+    /// Requires a boolean condition; violation `1.0` when false.
+    pub fn require(&mut self, ok: bool) -> &mut Self {
+        self.violations.push(if ok { 0.0 } else { 1.0 });
+        self
+    }
+
+    /// Number of constraints recorded so far.
+    pub fn len(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// `true` when no constraints have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Finishes the builder, returning the violation vector.
+    pub fn finish(self) -> Vec<f64> {
+        self.violations
+    }
+}
+
+/// Relative violation of `value >= bound` (0 when satisfied).
+///
+/// The shortfall is normalized by `max(|bound|, 1e-30)` so that constraints
+/// on quantities of very different magnitude contribute comparably.
+pub fn relative_shortfall_at_least(value: f64, bound: f64) -> f64 {
+    if value.is_nan() {
+        return f64::INFINITY;
+    }
+    if value >= bound {
+        0.0
+    } else {
+        (bound - value) / bound.abs().max(1e-30)
+    }
+}
+
+/// Relative violation of `value <= bound` (0 when satisfied).
+pub fn relative_excess_at_most(value: f64, bound: f64) -> f64 {
+    if value.is_nan() {
+        return f64::INFINITY;
+    }
+    if value <= bound {
+        0.0
+    } else {
+        (value - bound) / bound.abs().max(1e-30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_violations_are_clamped() {
+        let ev = Evaluation::new(vec![1.0], vec![-0.5, 0.25]);
+        assert_eq!(ev.constraint_violations(), &[0.0, 0.25]);
+        assert!(!ev.is_feasible());
+        assert_eq!(ev.total_violation(), 0.25);
+    }
+
+    #[test]
+    fn nan_violation_is_infeasible() {
+        let ev = Evaluation::new(vec![1.0], vec![f64::NAN]);
+        assert!(!ev.is_feasible());
+        assert!(ev.total_violation().is_infinite());
+    }
+
+    #[test]
+    fn unconstrained_is_feasible() {
+        assert!(Evaluation::unconstrained(vec![1.0, 2.0]).is_feasible());
+    }
+
+    #[test]
+    fn builder_accumulates_constraints_in_order() {
+        let mut b = ViolationBuilder::new();
+        b.at_least(96.0, 96.0).at_most(0.3, 0.24).require(true);
+        let v = b.finish();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], 0.0);
+        assert!((v[1] - 0.06 / 0.24).abs() < 1e-12);
+        assert_eq!(v[2], 0.0);
+    }
+
+    #[test]
+    fn shortfall_is_relative() {
+        assert!((relative_shortfall_at_least(90.0, 100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_shortfall_at_least(100.0, 100.0), 0.0);
+        assert_eq!(relative_shortfall_at_least(101.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn excess_is_relative() {
+        assert!((relative_excess_at_most(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_excess_at_most(99.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn nan_values_in_helpers_are_infinite() {
+        assert!(relative_shortfall_at_least(f64::NAN, 1.0).is_infinite());
+        assert!(relative_excess_at_most(f64::NAN, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn into_parts_round_trips() {
+        let ev = Evaluation::new(vec![1.0, 2.0], vec![0.1]);
+        let (obj, cons) = ev.into_parts();
+        assert_eq!(obj, vec![1.0, 2.0]);
+        assert_eq!(cons, vec![0.1]);
+    }
+}

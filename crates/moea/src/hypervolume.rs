@@ -1,0 +1,397 @@
+//! Hypervolume quality indicators.
+//!
+//! Two flavors are provided:
+//!
+//! 1. [`staircase_area`] / [`staircase_volume`] — the metric *as defined in
+//!    the reproduced paper* (Sec. 4.2): for each solution build the
+//!    axis-aligned box with the **origin** and the solution as diagonal
+//!    corners, take the union of all boxes, and measure its (hyper)volume.
+//!    **Lower is better** — a front pushed toward the origin covers less.
+//!    This differs from the conventional indicator; the paper reports it in
+//!    units of 0.1 mW·pF for the integrator problem.
+//! 2. [`hypervolume_2d`] / [`hypervolume`] — the conventional dominated
+//!    hypervolume w.r.t. a reference point (higher is better), for
+//!    cross-checking and for the benchmark problems.
+//!
+//! All functions accept arbitrary point sets; dominated points simply do not
+//! change the result.
+
+use crate::dominance::{dominates, Dominance};
+
+/// Union-of-boxes "hypervolume" of the paper for the 2-D case: the area of
+/// `⋃ᵢ [0, xᵢ] × [0, yᵢ]`. Lower is better for minimization fronts.
+///
+/// Points with non-positive coordinates are clamped to zero (a box of zero
+/// extent contributes nothing). Non-finite points are ignored.
+///
+/// # Examples
+///
+/// ```
+/// use moea::hypervolume::staircase_area;
+///
+/// // A single point (2, 3) spans a 2x3 box.
+/// assert_eq!(staircase_area(&[[2.0, 3.0]]), 6.0);
+/// // Adding a point inside that box changes nothing.
+/// assert_eq!(staircase_area(&[[2.0, 3.0], [1.0, 1.0]]), 6.0);
+/// ```
+pub fn staircase_area(points: &[[f64; 2]]) -> f64 {
+    let mut pts: Vec<[f64; 2]> = points
+        .iter()
+        .filter(|p| p[0].is_finite() && p[1].is_finite())
+        .map(|p| [p[0].max(0.0), p[1].max(0.0)])
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sort by x ascending, then y descending. Sweep keeping the max y seen
+    // from the right; the union is a staircase whose area is
+    // Σ (x_i - x_{i-1}) * max_{j >= i} y_j.
+    pts.sort_by(|a, b| {
+        a[0].partial_cmp(&b[0])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b[1].partial_cmp(&a[1]).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    // suffix_max_y[i] = max y over pts[i..]
+    let n = pts.len();
+    let mut suffix_max_y = vec![0.0f64; n];
+    let mut running = 0.0f64;
+    for i in (0..n).rev() {
+        running = running.max(pts[i][1]);
+        suffix_max_y[i] = running;
+    }
+    let mut area = 0.0;
+    let mut prev_x = 0.0;
+    for i in 0..n {
+        let x = pts[i][0];
+        if x > prev_x {
+            area += (x - prev_x) * suffix_max_y[i];
+            prev_x = x;
+        }
+    }
+    area
+}
+
+/// Union-of-boxes volume for any dimension (the paper's metric generalized).
+///
+/// Uses inclusion-free sweep in 2-D; in higher dimensions it recursively
+/// slices on the last coordinate (an HSO-style sweep). Complexity is
+/// exponential in dimension but fronts here are small.
+pub fn staircase_volume(points: &[Vec<f64>]) -> f64 {
+    let pts: Vec<Vec<f64>> = points
+        .iter()
+        .filter(|p| p.iter().all(|v| v.is_finite()))
+        .map(|p| p.iter().map(|&v| v.max(0.0)).collect())
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    let dim = pts[0].len();
+    assert!(
+        pts.iter().all(|p| p.len() == dim),
+        "all points must share a dimension"
+    );
+    match dim {
+        0 => 0.0,
+        1 => pts.iter().map(|p| p[0]).fold(0.0, f64::max),
+        2 => {
+            let arr: Vec<[f64; 2]> = pts.iter().map(|p| [p[0], p[1]]).collect();
+            staircase_area(&arr)
+        }
+        _ => {
+            // Slice on the last coordinate: sort descending by z; between
+            // consecutive distinct z values, the cross-section is the union
+            // of the projections of all points with z >= current slab top.
+            let mut order: Vec<usize> = (0..pts.len()).collect();
+            order.sort_by(|&a, &b| {
+                pts[b][dim - 1]
+                    .partial_cmp(&pts[a][dim - 1])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut volume = 0.0;
+            let mut active: Vec<Vec<f64>> = Vec::new();
+            let mut i = 0;
+            while i < order.len() {
+                let z_top = pts[order[i]][dim - 1];
+                // add all points at this z level
+                while i < order.len() && pts[order[i]][dim - 1] == z_top {
+                    active.push(pts[order[i]][..dim - 1].to_vec());
+                    i += 1;
+                }
+                let z_bottom = if i < order.len() {
+                    pts[order[i]][dim - 1]
+                } else {
+                    0.0
+                };
+                if z_top > z_bottom {
+                    volume += staircase_volume(&active) * (z_top - z_bottom);
+                }
+            }
+            volume
+        }
+    }
+}
+
+/// Conventional 2-D dominated hypervolume w.r.t. reference point `ref_point`
+/// (minimization; higher is better).
+///
+/// Points not strictly dominating the reference point contribute nothing.
+/// Dominated points in the set are harmless.
+pub fn hypervolume_2d(points: &[[f64; 2]], ref_point: [f64; 2]) -> f64 {
+    let mut pts: Vec<[f64; 2]> = points
+        .iter()
+        .copied()
+        .filter(|p| p[0] < ref_point[0] && p[1] < ref_point[1] && p[0].is_finite() && p[1].is_finite())
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Keep only the non-dominated subset, sorted by x ascending.
+    pts.sort_by(|a, b| {
+        a[0].partial_cmp(&b[0])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a[1].partial_cmp(&b[1]).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let mut front: Vec<[f64; 2]> = Vec::new();
+    let mut best_y = f64::INFINITY;
+    for p in pts {
+        if p[1] < best_y {
+            front.push(p);
+            best_y = p[1];
+        }
+    }
+    let mut hv = 0.0;
+    let mut prev_y = ref_point[1];
+    for p in &front {
+        hv += (ref_point[0] - p[0]) * (prev_y - p[1]);
+        prev_y = p[1];
+    }
+    hv
+}
+
+/// Conventional dominated hypervolume in any dimension w.r.t. `ref_point`
+/// (minimization; higher is better). Recursive slicing; exponential in
+/// dimension, fine for the 2–4 objective fronts used here.
+///
+/// # Panics
+///
+/// Panics when point/reference dimensions disagree.
+pub fn hypervolume(points: &[Vec<f64>], ref_point: &[f64]) -> f64 {
+    let dim = ref_point.len();
+    let pts: Vec<Vec<f64>> = points
+        .iter()
+        .filter(|p| {
+            assert_eq!(p.len(), dim, "point/reference dimension mismatch");
+            p.iter().zip(ref_point).all(|(&v, &r)| v < r) && p.iter().all(|v| v.is_finite())
+        })
+        .cloned()
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    match dim {
+        1 => {
+            let best = pts.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
+            ref_point[0] - best
+        }
+        2 => {
+            let arr: Vec<[f64; 2]> = pts.iter().map(|p| [p[0], p[1]]).collect();
+            hypervolume_2d(&arr, [ref_point[0], ref_point[1]])
+        }
+        _ => {
+            // Slice on the last coordinate ascending: between consecutive z
+            // cuts, the cross-section is the hv of projections of points
+            // with z <= slab bottom.
+            let mut zs: Vec<f64> = pts.iter().map(|p| p[dim - 1]).collect();
+            zs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            zs.dedup();
+            zs.push(ref_point[dim - 1]);
+            let mut hv = 0.0;
+            for w in zs.windows(2) {
+                let (z_lo, z_hi) = (w[0], w[1]);
+                if z_hi <= z_lo {
+                    continue;
+                }
+                let slab: Vec<Vec<f64>> = pts
+                    .iter()
+                    .filter(|p| p[dim - 1] <= z_lo)
+                    .map(|p| p[..dim - 1].to_vec())
+                    .collect();
+                hv += hypervolume(&slab, &ref_point[..dim - 1]) * (z_hi - z_lo);
+            }
+            hv
+        }
+    }
+}
+
+/// Helper: evaluates the paper's metric over a front given as objective
+/// vectors (any dimension ≥ 2), after an optional per-axis rescale.
+///
+/// `scale[i]` multiplies coordinate `i` before the union is computed — the
+/// paper reports hypervolume in "0.1 mW · pF" units, i.e. power scaled by
+/// 10⁴ (W → 0.1 mW) and capacitance by 10¹² (F → pF).
+pub fn scaled_staircase_volume(points: &[Vec<f64>], scale: &[f64]) -> f64 {
+    let scaled: Vec<Vec<f64>> = points
+        .iter()
+        .map(|p| {
+            assert_eq!(p.len(), scale.len(), "point/scale dimension mismatch");
+            p.iter().zip(scale).map(|(&v, &s)| v * s).collect()
+        })
+        .collect();
+    staircase_volume(&scaled)
+}
+
+/// Returns `true` when `candidate` is dominated by any point in `front`.
+pub fn is_dominated_by_front(candidate: &[f64], front: &[Vec<f64>]) -> bool {
+    front
+        .iter()
+        .any(|p| dominates(p, candidate) == Dominance::First)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_empty_is_zero() {
+        assert_eq!(staircase_area(&[]), 0.0);
+        assert_eq!(staircase_volume(&[]), 0.0);
+    }
+
+    #[test]
+    fn staircase_single_point() {
+        assert_eq!(staircase_area(&[[2.0, 3.0]]), 6.0);
+    }
+
+    #[test]
+    fn staircase_two_disjoint_steps() {
+        // (1,3) and (2,1): union area = 1*3 + 1*1 = 4
+        assert_eq!(staircase_area(&[[1.0, 3.0], [2.0, 1.0]]), 4.0);
+        // order must not matter
+        assert_eq!(staircase_area(&[[2.0, 1.0], [1.0, 3.0]]), 4.0);
+    }
+
+    #[test]
+    fn staircase_dominated_point_is_free() {
+        let base = staircase_area(&[[2.0, 3.0]]);
+        let plus = staircase_area(&[[2.0, 3.0], [1.5, 2.0]]);
+        assert_eq!(base, plus);
+    }
+
+    #[test]
+    fn staircase_monotone_under_growth() {
+        let small = staircase_area(&[[1.0, 1.0], [2.0, 0.5]]);
+        let big = staircase_area(&[[1.0, 1.5], [2.0, 0.5]]);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn staircase_negative_coordinates_clamped() {
+        assert_eq!(staircase_area(&[[-1.0, 5.0]]), 0.0);
+        assert_eq!(staircase_area(&[[2.0, -1.0], [1.0, 1.0]]), 1.0);
+    }
+
+    #[test]
+    fn staircase_nonfinite_points_ignored() {
+        assert_eq!(staircase_area(&[[f64::NAN, 1.0], [2.0, 3.0]]), 6.0);
+        assert_eq!(staircase_area(&[[f64::INFINITY, 1.0]]), 0.0);
+    }
+
+    #[test]
+    fn staircase_duplicate_x_takes_max_y() {
+        assert_eq!(staircase_area(&[[2.0, 3.0], [2.0, 5.0]]), 10.0);
+    }
+
+    #[test]
+    fn staircase_volume_matches_area_in_2d() {
+        let pts = vec![vec![1.0, 3.0], vec![2.0, 1.0], vec![1.5, 2.0]];
+        let arr: Vec<[f64; 2]> = pts.iter().map(|p| [p[0], p[1]]).collect();
+        assert!((staircase_volume(&pts) - staircase_area(&arr)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staircase_volume_3d_boxes() {
+        // Single box 1x2x3 = 6.
+        assert!((staircase_volume(&[vec![1.0, 2.0, 3.0]]) - 6.0).abs() < 1e-12);
+        // Two nested boxes: inner adds nothing.
+        let v = staircase_volume(&[vec![1.0, 2.0, 3.0], vec![0.5, 1.0, 1.0]]);
+        assert!((v - 6.0).abs() < 1e-12);
+        // Two disjoint-ish boxes: [2,1,1] and [1,1,2]:
+        // union = 2*1*1 + 1*1*1 = 3.
+        let v = staircase_volume(&[vec![2.0, 1.0, 1.0], vec![1.0, 1.0, 2.0]]);
+        assert!((v - 3.0).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn staircase_volume_1d_is_max() {
+        assert_eq!(staircase_volume(&[vec![3.0], vec![5.0], vec![1.0]]), 5.0);
+    }
+
+    #[test]
+    fn hv2d_single_point() {
+        assert_eq!(hypervolume_2d(&[[1.0, 1.0]], [3.0, 3.0]), 4.0);
+    }
+
+    #[test]
+    fn hv2d_ignores_points_beyond_reference() {
+        assert_eq!(hypervolume_2d(&[[4.0, 0.0]], [3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn hv2d_two_points() {
+        // ref (4,4): (1,3) adds (4-1)*(4-3)=3; (3,1) adds (4-3)*(3-1)=2 => 5
+        let hv = hypervolume_2d(&[[1.0, 3.0], [3.0, 1.0]], [4.0, 4.0]);
+        assert!((hv - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv2d_dominated_points_add_nothing() {
+        let a = hypervolume_2d(&[[1.0, 1.0]], [4.0, 4.0]);
+        let b = hypervolume_2d(&[[1.0, 1.0], [2.0, 2.0]], [4.0, 4.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hv_nd_matches_2d() {
+        let pts = vec![vec![1.0, 3.0], vec![3.0, 1.0], vec![2.0, 2.0]];
+        let arr: Vec<[f64; 2]> = pts.iter().map(|p| [p[0], p[1]]).collect();
+        let a = hypervolume(&pts, &[4.0, 4.0]);
+        let b = hypervolume_2d(&arr, [4.0, 4.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv_3d_unit_cube_corner() {
+        // point (0,0,0), ref (1,1,1): hv = 1
+        let hv = hypervolume(&[vec![0.0, 0.0, 0.0]], &[1.0, 1.0, 1.0]);
+        assert!((hv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hv_3d_two_points() {
+        // Points (0,0,0.5) and (0.5,0.5,0), ref (1,1,1):
+        // box1 = 1*1*0.5 ... hv of union:
+        // slice z in [0,0.5): only p2 qualifies (z<=z_lo -> p2 z=0):
+        //   cross-section hv2d of (0.5,0.5) ref (1,1) = 0.25, times 0.5 = .125
+        // slice z in [0.5,1): both: cross = hv2d{(0,0),(0.5,0.5)} = 1.0*... =
+        //   (1-0)*(1-0)=1 => 1 * 0.5 = 0.5; total 0.625
+        let hv = hypervolume(
+            &[vec![0.0, 0.0, 0.5], vec![0.5, 0.5, 0.0]],
+            &[1.0, 1.0, 1.0],
+        );
+        assert!((hv - 0.625).abs() < 1e-12, "{hv}");
+    }
+
+    #[test]
+    fn scaled_staircase_applies_axis_scales() {
+        // (2e-12 F, 5e-4 W) with scale (1e12, 1e4) -> (2 pF, 5 0.1mW) -> 10
+        let v = scaled_staircase_volume(&[vec![2e-12, 5e-4]], &[1e12, 1e4]);
+        assert!((v - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominated_by_front_detects() {
+        let front = vec![vec![1.0, 1.0]];
+        assert!(is_dominated_by_front(&[2.0, 2.0], &front));
+        assert!(!is_dominated_by_front(&[0.5, 2.0], &front));
+    }
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+//! # moea — multi-objective evolutionary optimization substrate
+//!
+//! A from-scratch, real-coded multi-objective genetic-algorithm toolkit.
+//! It provides everything a partition-based diversity-controlled GA (such as
+//! SACGA / MESACGA from the `sacga` crate) needs to stand on:
+//!
+//! * [`problem::Problem`] — the optimization-problem abstraction
+//!   (box-bounded real decision variables, several minimized objectives,
+//!   inequality constraints expressed as violation amounts);
+//! * [`operators`] — simulated binary crossover (SBX), polynomial mutation
+//!   and uniform initialization, the classic real-coded NSGA-II operator
+//!   suite;
+//! * [`dominance`] — Pareto dominance and Deb's constrained dominance;
+//! * [`sorting`] — fast non-dominated sorting and crowding-distance
+//!   assignment;
+//! * [`selection`] — crowded binary tournament and rank-based roulette
+//!   selection;
+//! * [`nsga2`] — a complete elitist non-dominated sorting GA
+//!   (NSGA-II), the "traditional purely global competition" baseline of the
+//!   reproduced paper;
+//! * [`hypervolume`] — the paper's origin-anchored staircase hypervolume
+//!   together with conventional reference-point hypervolume in 2-D and n-D;
+//! * [`metrics`] — spacing, spread, generational distance, set coverage;
+//! * [`problems`] — standard benchmark suites (SCH, ZDT, BNH, SRN, TNK,
+//!   OSY, CONSTR) used to validate the machinery independently of any
+//!   application domain;
+//! * [`archive`] — a bounded Pareto archive.
+//!
+//! All stochastic components are driven by caller-supplied [`rand::Rng`]
+//! values, so every run is reproducible from a seed.
+//!
+//! ## Example
+//!
+//! Minimize Schaffer's two-objective problem with NSGA-II:
+//!
+//! ```
+//! use moea::nsga2::{Nsga2, Nsga2Config};
+//! use moea::problems::Schaffer;
+//!
+//! # fn main() -> Result<(), moea::error::OptimizeError> {
+//! let config = Nsga2Config::builder()
+//!     .population_size(40)
+//!     .generations(50)
+//!     .build()?;
+//! let result = Nsga2::new(Schaffer::new(), config).run_seeded(42)?;
+//! assert!(!result.front.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod archive;
+pub mod dominance;
+pub mod error;
+pub mod evaluation;
+pub mod hypervolume;
+pub mod individual;
+pub mod metrics;
+pub mod nsga2;
+pub mod operators;
+pub mod problem;
+pub mod problems;
+pub mod scalarize;
+pub mod selection;
+pub mod sorting;
+
+pub use archive::ParetoArchive;
+pub use dominance::{constrained_dominates, dominates, Dominance};
+pub use error::OptimizeError;
+pub use evaluation::Evaluation;
+pub use individual::{Individual, Population};
+pub use problem::{Bounds, Problem};

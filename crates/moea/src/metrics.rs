@@ -1,0 +1,239 @@
+//! Front quality metrics beyond hypervolume: spacing, spread (Δ),
+//! generational distance, set coverage, and objective-range extent.
+//!
+//! These back up the paper's *diversity* claims quantitatively: the
+//! reproduced figures argue visually that SACGA/MESACGA fronts are better
+//! spread than NSGA-II's; [`spread`] and [`extent`] let tests assert it.
+
+/// Euclidean distance between two objective vectors.
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Schott's spacing metric: standard deviation of nearest-neighbour
+/// distances within the front. `0` means perfectly even spacing.
+///
+/// Returns `0.0` for fronts with fewer than 2 points.
+pub fn spacing(front: &[Vec<f64>]) -> f64 {
+    let n = front.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nearest: Vec<f64> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| dist(&front[i], &front[j]))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let mean = nearest.iter().sum::<f64>() / n as f64;
+    (nearest.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64).sqrt()
+}
+
+/// Deb's Δ spread metric for biobjective fronts, *without* the extreme-point
+/// terms (no true front is assumed known):
+/// `Δ = Σ|dᵢ − d̄| / (N·d̄)` over consecutive gaps along the front sorted by
+/// the first objective. `0` = perfectly uniform; larger = more clustered.
+///
+/// Returns `0.0` for fronts with fewer than 3 points.
+pub fn spread(front: &[Vec<f64>]) -> f64 {
+    let n = front.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let mut sorted: Vec<&Vec<f64>> = front.iter().collect();
+    sorted.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap_or(std::cmp::Ordering::Equal));
+    let gaps: Vec<f64> = sorted.windows(2).map(|w| dist(w[0], w[1])).collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    gaps.iter().map(|g| (g - mean).abs()).sum::<f64>() / (gaps.len() as f64 * mean)
+}
+
+/// Generational distance: average Euclidean distance from each front point
+/// to its nearest point of `reference` (an approximation of the true front).
+/// Lower = better convergence. Returns `0.0` when either set is empty.
+pub fn generational_distance(front: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
+    if front.is_empty() || reference.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = front
+        .iter()
+        .map(|p| {
+            reference
+                .iter()
+                .map(|q| dist(p, q))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    total / front.len() as f64
+}
+
+/// Zitzler's coverage (C-metric): fraction of points in `b` that are weakly
+/// dominated by at least one point in `a`. `coverage(a, b) = 1` means `a`
+/// entirely covers `b`. Not symmetric. Returns `0.0` when `b` is empty.
+pub fn coverage(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    if b.is_empty() {
+        return 0.0;
+    }
+    let covered = b
+        .iter()
+        .filter(|q| {
+            a.iter().any(|p| {
+                // weak domination: no worse everywhere
+                p.iter().zip(q.iter()).all(|(&x, &y)| x <= y)
+            })
+        })
+        .count();
+    covered as f64 / b.len() as f64
+}
+
+/// Extent of the front along objective `k`: `max − min`. A direct measure of
+/// the "covered range" the paper cares about (e.g. how much of the 0–5 pF
+/// load-capacitance axis the front spans). Returns `0.0` for empty fronts.
+pub fn extent(front: &[Vec<f64>], k: usize) -> f64 {
+    if front.is_empty() {
+        return 0.0;
+    }
+    let lo = front.iter().map(|p| p[k]).fold(f64::INFINITY, f64::min);
+    let hi = front.iter().map(|p| p[k]).fold(f64::NEG_INFINITY, f64::max);
+    hi - lo
+}
+
+/// Fraction of `m` equal-width bins of `[lo, hi]` along objective `k` that
+/// contain at least one front point — the paper's notion of "solutions well
+/// distributed over the entire range", quantified.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `hi <= lo`.
+pub fn bin_occupancy(front: &[Vec<f64>], k: usize, lo: f64, hi: f64, m: usize) -> f64 {
+    assert!(m > 0, "bin count must be positive");
+    assert!(hi > lo, "bin range must be non-degenerate");
+    if front.is_empty() {
+        return 0.0;
+    }
+    let mut occupied = vec![false; m];
+    let width = (hi - lo) / m as f64;
+    for p in front {
+        let v = p[k];
+        if v < lo || v > hi {
+            continue;
+        }
+        let idx = (((v - lo) / width) as usize).min(m - 1);
+        occupied[idx] = true;
+    }
+    occupied.iter().filter(|&&o| o).count() as f64 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_front(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                vec![t, 1.0 - t]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spacing_zero_for_uniform_line() {
+        let f = line_front(11);
+        assert!(spacing(&f) < 1e-12);
+    }
+
+    #[test]
+    fn spacing_positive_for_clustered_front() {
+        let mut f = line_front(6);
+        f.push(vec![0.001, 0.999]); // near-duplicate creates uneven spacing
+        assert!(spacing(&f) > 1e-3);
+    }
+
+    #[test]
+    fn spacing_degenerate_inputs() {
+        assert_eq!(spacing(&[]), 0.0);
+        assert_eq!(spacing(&[vec![1.0, 2.0]]), 0.0);
+    }
+
+    #[test]
+    fn spread_zero_for_uniform() {
+        assert!(spread(&line_front(11)) < 1e-12);
+    }
+
+    #[test]
+    fn spread_larger_for_clustered() {
+        // half the points squeezed into [0, 0.1]
+        let mut f: Vec<Vec<f64>> = (0..5).map(|i| vec![0.02 * i as f64, 1.0]).collect();
+        f.extend((1..=5).map(|i| vec![0.1 + 0.18 * i as f64, 0.5]));
+        let clustered = spread(&f);
+        let uniform = spread(&line_front(10));
+        assert!(clustered > uniform + 0.1, "{clustered} vs {uniform}");
+    }
+
+    #[test]
+    fn gd_zero_when_on_reference() {
+        let f = line_front(5);
+        assert!(generational_distance(&f, &f) < 1e-12);
+    }
+
+    #[test]
+    fn gd_measures_offset() {
+        let f = vec![vec![0.0, 2.0]];
+        let r = vec![vec![0.0, 1.0]];
+        assert!((generational_distance(&f, &r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_full_and_empty() {
+        let a = vec![vec![0.0, 0.0]];
+        let b = vec![vec![1.0, 1.0], vec![2.0, 0.5]];
+        assert_eq!(coverage(&a, &b), 1.0);
+        assert_eq!(coverage(&b, &a), 0.0);
+    }
+
+    #[test]
+    fn coverage_partial() {
+        let a = vec![vec![0.0, 1.0]];
+        let b = vec![vec![0.5, 1.5], vec![-1.0, 0.0]];
+        assert_eq!(coverage(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn extent_spans_range() {
+        let f = line_front(5);
+        assert!((extent(&f, 0) - 1.0).abs() < 1e-12);
+        assert!((extent(&f, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(extent(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn bin_occupancy_counts_bins() {
+        // Points at bin centres avoid float boundary ambiguity.
+        let f: Vec<Vec<f64>> = (0..10).map(|i| vec![0.05 + 0.1 * i as f64, 0.0]).collect();
+        assert_eq!(bin_occupancy(&f, 0, 0.0, 1.0, 10), 1.0);
+        // clustered front occupies few bins
+        let clustered = vec![vec![0.91, 0.0], vec![0.95, 0.0], vec![0.99, 0.0]];
+        assert!(bin_occupancy(&clustered, 0, 0.0, 1.0, 10) <= 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count")]
+    fn bin_occupancy_rejects_zero_bins() {
+        let _ = bin_occupancy(&[], 0, 0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn bin_occupancy_ignores_out_of_range() {
+        let f = vec![vec![-5.0, 0.0], vec![10.0, 0.0], vec![0.55, 0.0]];
+        assert!((bin_occupancy(&f, 0, 0.0, 1.0, 10) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,388 @@
+//! NSGA-II — the elitist non-dominated sorting genetic algorithm
+//! (Deb, Pratap, Agarwal, Meyarivan, 2002), with Deb's constrained
+//! dominance.
+//!
+//! In the reproduced paper this algorithm is the baseline, referred to as
+//! **TPG** — *Traditional Purely Global competition* based GA: every
+//! individual competes with every other individual in a single global
+//! non-dominated sort each generation.
+
+use crate::error::OptimizeError;
+use crate::individual::Individual;
+use crate::operators::{random_vector, Variation};
+use crate::problem::Problem;
+use crate::selection::binary_tournament;
+use crate::sorting::{environmental_selection, rank_and_crowd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of an NSGA-II run. Build with [`Nsga2Config::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nsga2Config {
+    population_size: usize,
+    generations: usize,
+    variation: Option<Variation>,
+}
+
+impl Nsga2Config {
+    /// Starts a configuration builder.
+    pub fn builder() -> Nsga2ConfigBuilder {
+        Nsga2ConfigBuilder::default()
+    }
+
+    /// Population size.
+    pub fn population_size(&self) -> usize {
+        self.population_size
+    }
+
+    /// Number of generations.
+    pub fn generations(&self) -> usize {
+        self.generations
+    }
+}
+
+/// Builder for [`Nsga2Config`].
+#[derive(Debug, Clone, Default)]
+pub struct Nsga2ConfigBuilder {
+    population_size: Option<usize>,
+    generations: Option<usize>,
+    variation: Option<Variation>,
+}
+
+impl Nsga2ConfigBuilder {
+    /// Sets the population size (must be ≥ 4 and even).
+    pub fn population_size(mut self, n: usize) -> Self {
+        self.population_size = Some(n);
+        self
+    }
+
+    /// Sets the generation budget (must be ≥ 1).
+    pub fn generations(mut self, n: usize) -> Self {
+        self.generations = Some(n);
+        self
+    }
+
+    /// Overrides the variation operators (default:
+    /// [`Variation::standard`] for the problem's dimension).
+    pub fn variation(mut self, v: Variation) -> Self {
+        self.variation = Some(v);
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidConfig`] when the population size is
+    /// below 4 or odd, or the generation budget is zero.
+    pub fn build(self) -> Result<Nsga2Config, OptimizeError> {
+        let population_size = self.population_size.unwrap_or(100);
+        let generations = self.generations.unwrap_or(250);
+        if population_size < 4 {
+            return Err(OptimizeError::invalid_config(
+                "population_size",
+                format!("must be at least 4, got {population_size}"),
+            ));
+        }
+        if !population_size.is_multiple_of(2) {
+            return Err(OptimizeError::invalid_config(
+                "population_size",
+                format!("must be even, got {population_size}"),
+            ));
+        }
+        if generations == 0 {
+            return Err(OptimizeError::invalid_config(
+                "generations",
+                "must be at least 1",
+            ));
+        }
+        Ok(Nsga2Config {
+            population_size,
+            generations,
+            variation: self.variation,
+        })
+    }
+}
+
+/// Outcome of a GA run: final population and its feasible non-dominated
+/// front, plus counters.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Final population (ranked and crowded).
+    pub population: Vec<Individual>,
+    /// Feasible rank-0 members of the final population.
+    pub front: Vec<Individual>,
+    /// Total objective-function evaluations performed.
+    pub evaluations: usize,
+    /// Generations actually executed.
+    pub generations: usize,
+}
+
+impl RunResult {
+    /// Objective vectors of the front.
+    pub fn front_objectives(&self) -> Vec<Vec<f64>> {
+        self.front.iter().map(|m| m.objectives().to_vec()).collect()
+    }
+}
+
+/// Extracts the feasible rank-0 subset of a ranked population.
+pub fn feasible_front(pop: &[Individual]) -> Vec<Individual> {
+    pop.iter()
+        .filter(|m| m.rank == 0 && m.is_feasible())
+        .cloned()
+        .collect()
+}
+
+/// The NSGA-II optimizer.
+///
+/// # Examples
+///
+/// ```
+/// use moea::nsga2::{Nsga2, Nsga2Config};
+/// use moea::problems::Zdt1;
+///
+/// # fn main() -> Result<(), moea::OptimizeError> {
+/// let config = Nsga2Config::builder()
+///     .population_size(48)
+///     .generations(30)
+///     .build()?;
+/// let result = Nsga2::new(Zdt1::new(10), config).run_seeded(1)?;
+/// assert!(result.evaluations > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Nsga2<P: Problem> {
+    problem: P,
+    config: Nsga2Config,
+}
+
+impl<P: Problem> Nsga2<P> {
+    /// Creates an optimizer for `problem` with `config`.
+    pub fn new(problem: P, config: Nsga2Config) -> Self {
+        Nsga2 { problem, config }
+    }
+
+    /// Runs the optimizer with a seeded RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidProblem`] when the problem declares
+    /// zero objectives, or an evaluation-shape error on the first
+    /// evaluation.
+    pub fn run_seeded(&self, seed: u64) -> Result<RunResult, OptimizeError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.run_with_rng(&mut rng, |_, _| {})
+    }
+
+    /// Runs the optimizer, invoking `observer(generation, population)` after
+    /// every environmental selection — used by the experiment harness to
+    /// record convergence traces.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_seeded`](Nsga2::run_seeded).
+    pub fn run_observed<F>(&self, seed: u64, observer: F) -> Result<RunResult, OptimizeError>
+    where
+        F: FnMut(usize, &[Individual]),
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.run_with_rng(&mut rng, observer)
+    }
+
+    fn run_with_rng<R: Rng, F>(&self, rng: &mut R, mut observer: F) -> Result<RunResult, OptimizeError>
+    where
+        F: FnMut(usize, &[Individual]),
+    {
+        if self.problem.num_objectives() == 0 {
+            return Err(OptimizeError::invalid_problem(
+                "problem must declare at least one objective",
+            ));
+        }
+        let bounds = self.problem.bounds().clone();
+        let variation = self
+            .config
+            .variation
+            .unwrap_or_else(|| Variation::standard(bounds.len()));
+        let n = self.config.population_size;
+        let mut evaluations = 0usize;
+
+        // Initialization.
+        let mut pop: Vec<Individual> = (0..n)
+            .map(|_| {
+                let genes = random_vector(rng, &bounds);
+                let ev = self.problem.evaluate(&genes);
+                evaluations += 1;
+                Individual::new(genes, ev)
+            })
+            .collect();
+        self.problem.check_evaluation(&pop[0].evaluation)?;
+        rank_and_crowd(&mut pop);
+        observer(0, &pop);
+
+        for gen in 1..=self.config.generations {
+            // Offspring via crowded tournament + SBX + mutation.
+            let mut offspring: Vec<Individual> = Vec::with_capacity(n);
+            while offspring.len() < n {
+                let pa = binary_tournament(rng, &pop);
+                let pb = binary_tournament(rng, &pop);
+                let (c1, c2) =
+                    variation.offspring(rng, &pop[pa].genes, &pop[pb].genes, &bounds);
+                for genes in [c1, c2] {
+                    if offspring.len() >= n {
+                        break;
+                    }
+                    let ev = self.problem.evaluate(&genes);
+                    evaluations += 1;
+                    offspring.push(Individual::new(genes, ev));
+                }
+            }
+            // µ+λ environmental selection.
+            let mut combined = pop;
+            combined.extend(offspring);
+            pop = environmental_selection(combined, n);
+            observer(gen, &pop);
+        }
+
+        // The reported front is the paper's semantics: one final global
+        // competition on the entire (final) population.
+        let front = feasible_front(&pop);
+        Ok(RunResult {
+            population: pop,
+            front,
+            evaluations,
+            generations: self.config.generations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{Schaffer, Zdt1};
+
+    #[test]
+    fn builder_validates() {
+        assert!(Nsga2Config::builder().population_size(3).build().is_err());
+        assert!(Nsga2Config::builder().population_size(5).build().is_err());
+        assert!(Nsga2Config::builder().generations(0).build().is_err());
+        assert!(Nsga2Config::builder().build().is_ok());
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let cfg = Nsga2Config::builder()
+            .population_size(20)
+            .generations(10)
+            .build()
+            .unwrap();
+        let a = Nsga2::new(Schaffer::new(), cfg.clone()).run_seeded(7).unwrap();
+        let b = Nsga2::new(Schaffer::new(), cfg).run_seeded(7).unwrap();
+        assert_eq!(a.front_objectives(), b.front_objectives());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = Nsga2Config::builder()
+            .population_size(20)
+            .generations(10)
+            .build()
+            .unwrap();
+        let a = Nsga2::new(Schaffer::new(), cfg.clone()).run_seeded(7).unwrap();
+        let b = Nsga2::new(Schaffer::new(), cfg).run_seeded(8).unwrap();
+        assert_ne!(a.front_objectives(), b.front_objectives());
+    }
+
+    #[test]
+    fn evaluation_budget_accounted() {
+        let cfg = Nsga2Config::builder()
+            .population_size(10)
+            .generations(5)
+            .build()
+            .unwrap();
+        let r = Nsga2::new(Schaffer::new(), cfg).run_seeded(1).unwrap();
+        assert_eq!(r.evaluations, 10 + 5 * 10);
+        assert_eq!(r.generations, 5);
+    }
+
+    #[test]
+    fn schaffer_converges_near_true_front() {
+        // SCH true front: f2 = (sqrt(f1) - 2)^2 for f1 in [0,4].
+        let cfg = Nsga2Config::builder()
+            .population_size(60)
+            .generations(60)
+            .build()
+            .unwrap();
+        let r = Nsga2::new(Schaffer::new(), cfg).run_seeded(42).unwrap();
+        assert!(r.front.len() > 10);
+        for m in &r.front {
+            let f1 = m.objective(0);
+            let f2 = m.objective(1);
+            let expected = (f1.sqrt() - 2.0).powi(2);
+            // Relative tolerance: the front is steep near f1 = 0, where a
+            // tiny gene offset moves f2 a lot.
+            assert!(
+                (f2 - expected).abs() < 0.05 + 0.1 * (1.0 + expected),
+                "point ({f1}, {f2}) too far from true front ({expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn zdt1_improves_over_generations() {
+        use crate::hypervolume::hypervolume_2d;
+        let problem = Zdt1::new(8);
+        let cfg_short = Nsga2Config::builder()
+            .population_size(40)
+            .generations(5)
+            .build()
+            .unwrap();
+        let cfg_long = Nsga2Config::builder()
+            .population_size(40)
+            .generations(80)
+            .build()
+            .unwrap();
+        let to_pts = |r: &RunResult| -> Vec<[f64; 2]> {
+            r.front
+                .iter()
+                .map(|m| [m.objective(0), m.objective(1)])
+                .collect()
+        };
+        let short = Nsga2::new(&problem, cfg_short).run_seeded(3).unwrap();
+        let long = Nsga2::new(&problem, cfg_long).run_seeded(3).unwrap();
+        let hv_short = hypervolume_2d(&to_pts(&short), [1.1, 11.0]);
+        let hv_long = hypervolume_2d(&to_pts(&long), [1.1, 11.0]);
+        assert!(
+            hv_long > hv_short,
+            "hypervolume should improve: {hv_short} -> {hv_long}"
+        );
+    }
+
+    #[test]
+    fn observer_sees_every_generation() {
+        let cfg = Nsga2Config::builder()
+            .population_size(8)
+            .generations(4)
+            .build()
+            .unwrap();
+        let mut seen = Vec::new();
+        let _ = Nsga2::new(Schaffer::new(), cfg)
+            .run_observed(1, |gen, pop| {
+                seen.push((gen, pop.len()));
+            })
+            .unwrap();
+        assert_eq!(seen.len(), 5); // init + 4 generations
+        assert!(seen.iter().all(|&(_, n)| n == 8));
+    }
+
+    #[test]
+    fn front_members_are_rank_zero_feasible() {
+        let cfg = Nsga2Config::builder()
+            .population_size(16)
+            .generations(8)
+            .build()
+            .unwrap();
+        let r = Nsga2::new(Schaffer::new(), cfg).run_seeded(2).unwrap();
+        assert!(r.front.iter().all(|m| m.rank == 0 && m.is_feasible()));
+    }
+}

@@ -1,0 +1,344 @@
+//! Real-coded variation operators: uniform initialization, simulated binary
+//! crossover (SBX) and polynomial mutation — the classic NSGA-II suite
+//! (Deb & Agrawal 1995).
+
+use crate::problem::Bounds;
+use rand::Rng;
+
+/// Simulated binary crossover.
+///
+/// `eta` (the distribution index, typically 10–20) controls how close
+/// children stay to their parents: larger `eta` produces nearer children.
+/// `probability` is the per-pair crossover probability; within a crossing
+/// pair each variable crosses with probability 0.5 (the standard
+/// "variable-wise" SBX).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sbx {
+    /// Distribution index (η_c > 0).
+    pub eta: f64,
+    /// Per-pair crossover probability in `[0, 1]`.
+    pub probability: f64,
+}
+
+impl Sbx {
+    /// Creates an SBX operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta <= 0` or `probability` is outside `[0, 1]`.
+    pub fn new(eta: f64, probability: f64) -> Self {
+        assert!(eta > 0.0, "sbx eta must be positive");
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "sbx probability must lie in [0, 1]"
+        );
+        Sbx { eta, probability }
+    }
+
+    /// Crosses two parents, returning two children clamped into `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when parent/bounds dimensions disagree.
+    pub fn cross<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        a: &[f64],
+        b: &[f64],
+        bounds: &Bounds,
+    ) -> (Vec<f64>, Vec<f64>) {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(a.len(), bounds.len());
+        let mut c1 = a.to_vec();
+        let mut c2 = b.to_vec();
+        if rng.gen::<f64>() > self.probability {
+            return (c1, c2);
+        }
+        for i in 0..a.len() {
+            if rng.gen::<f64>() > 0.5 {
+                continue;
+            }
+            let (x1, x2) = (a[i].min(b[i]), a[i].max(b[i]));
+            if (x2 - x1).abs() < 1e-14 {
+                continue;
+            }
+            let (lo, hi) = (bounds.lower()[i], bounds.upper()[i]);
+            let u: f64 = rng.gen();
+
+            // Bounded SBX (Deb): contract the spread factor so children stay
+            // in [lo, hi].
+            let beta_l = 1.0 + 2.0 * (x1 - lo) / (x2 - x1);
+            let beta_u = 1.0 + 2.0 * (hi - x2) / (x2 - x1);
+            let child = |beta_bound: f64, u: f64, sign: f64, rng_u: f64| -> f64 {
+                let alpha = 2.0 - beta_bound.powf(-(self.eta + 1.0));
+                let betaq = if rng_u <= 1.0 / alpha {
+                    (u * alpha).powf(1.0 / (self.eta + 1.0))
+                } else {
+                    (1.0 / (2.0 - u * alpha)).powf(1.0 / (self.eta + 1.0))
+                };
+                0.5 * ((x1 + x2) + sign * betaq * (x2 - x1))
+            };
+            let y1 = child(beta_l, u, -1.0, u);
+            let y2 = child(beta_u, u, 1.0, u);
+            let (y1, y2) = (y1.clamp(lo, hi), y2.clamp(lo, hi));
+            // Randomly swap which child receives which value, as in the
+            // reference implementation.
+            if rng.gen::<f64>() < 0.5 {
+                c1[i] = y2;
+                c2[i] = y1;
+            } else {
+                c1[i] = y1;
+                c2[i] = y2;
+            }
+        }
+        (c1, c2)
+    }
+}
+
+/// Polynomial mutation (Deb).
+///
+/// `eta` (typically 20) controls perturbation size; `probability` is the
+/// per-variable mutation probability, conventionally `1 / n_vars`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolynomialMutation {
+    /// Distribution index (η_m > 0).
+    pub eta: f64,
+    /// Per-variable mutation probability in `[0, 1]`.
+    pub probability: f64,
+}
+
+impl PolynomialMutation {
+    /// Creates a polynomial-mutation operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta <= 0` or `probability` is outside `[0, 1]`.
+    pub fn new(eta: f64, probability: f64) -> Self {
+        assert!(eta > 0.0, "mutation eta must be positive");
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "mutation probability must lie in [0, 1]"
+        );
+        PolynomialMutation { eta, probability }
+    }
+
+    /// Mutates `x` in place, keeping every variable inside `bounds`.
+    pub fn mutate<R: Rng + ?Sized>(&self, rng: &mut R, x: &mut [f64], bounds: &Bounds) {
+        debug_assert_eq!(x.len(), bounds.len());
+        for (i, xi) in x.iter_mut().enumerate() {
+            if rng.gen::<f64>() > self.probability {
+                continue;
+            }
+            let (lo, hi) = (bounds.lower()[i], bounds.upper()[i]);
+            let range = hi - lo;
+            if range <= 0.0 {
+                continue;
+            }
+            let y = *xi;
+            let delta1 = (y - lo) / range;
+            let delta2 = (hi - y) / range;
+            let u: f64 = rng.gen();
+            let mut_pow = 1.0 / (self.eta + 1.0);
+            let deltaq = if u < 0.5 {
+                let xy = 1.0 - delta1;
+                let val = 2.0 * u + (1.0 - 2.0 * u) * xy.powf(self.eta + 1.0);
+                val.powf(mut_pow) - 1.0
+            } else {
+                let xy = 1.0 - delta2;
+                let val = 2.0 * (1.0 - u) + 2.0 * (u - 0.5) * xy.powf(self.eta + 1.0);
+                1.0 - val.powf(mut_pow)
+            };
+            *xi = (y + deltaq * range).clamp(lo, hi);
+        }
+    }
+}
+
+/// Draws a uniformly random decision vector inside `bounds`.
+pub fn random_vector<R: Rng + ?Sized>(rng: &mut R, bounds: &Bounds) -> Vec<f64> {
+    bounds
+        .lower()
+        .iter()
+        .zip(bounds.upper())
+        .map(|(&lo, &hi)| {
+            if hi > lo {
+                rng.gen_range(lo..=hi)
+            } else {
+                lo
+            }
+        })
+        .collect()
+}
+
+/// Bundled variation configuration shared by all GA variants in this
+/// workspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Variation {
+    /// Crossover operator.
+    pub sbx: Sbx,
+    /// Mutation operator.
+    pub mutation: PolynomialMutation,
+}
+
+impl Variation {
+    /// The conventional NSGA-II settings for an `n_vars`-dimensional
+    /// problem: SBX(η=15, p=0.9), polynomial mutation(η=20, p=1/n_vars).
+    pub fn standard(n_vars: usize) -> Self {
+        Variation {
+            sbx: Sbx::new(15.0, 0.9),
+            mutation: PolynomialMutation::new(20.0, 1.0 / n_vars.max(1) as f64),
+        }
+    }
+
+    /// Produces two mutated children from two parents.
+    pub fn offspring<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        a: &[f64],
+        b: &[f64],
+        bounds: &Bounds,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let (mut c1, mut c2) = self.sbx.cross(rng, a, b, bounds);
+        self.mutation.mutate(rng, &mut c1, bounds);
+        self.mutation.mutate(rng, &mut c2, bounds);
+        (c1, c2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bounds(n: usize) -> Bounds {
+        Bounds::uniform(n, -1.0, 3.0).unwrap()
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be positive")]
+    fn sbx_rejects_nonpositive_eta() {
+        let _ = Sbx::new(0.0, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must lie")]
+    fn mutation_rejects_bad_probability() {
+        let _ = PolynomialMutation::new(20.0, 1.5);
+    }
+
+    #[test]
+    fn sbx_children_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = bounds(5);
+        let sbx = Sbx::new(15.0, 1.0);
+        for _ in 0..200 {
+            let p1 = random_vector(&mut rng, &b);
+            let p2 = random_vector(&mut rng, &b);
+            let (c1, c2) = sbx.cross(&mut rng, &p1, &p2, &b);
+            assert!(b.contains(&c1), "c1 out of bounds: {c1:?}");
+            assert!(b.contains(&c2), "c2 out of bounds: {c2:?}");
+        }
+    }
+
+    #[test]
+    fn sbx_zero_probability_copies_parents() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = bounds(3);
+        let sbx = Sbx::new(15.0, 0.0);
+        let p1 = vec![0.0, 1.0, 2.0];
+        let p2 = vec![2.0, 1.0, 0.0];
+        let (c1, c2) = sbx.cross(&mut rng, &p1, &p2, &b);
+        assert_eq!(c1, p1);
+        assert_eq!(c2, p2);
+    }
+
+    #[test]
+    fn sbx_preserves_midpoint_structure() {
+        // SBX children are symmetric around the parent midpoint before
+        // clamping; verify mean of children ~ mean of parents across trials
+        // on an interior pair far from the bounds.
+        let mut rng = StdRng::seed_from_u64(11);
+        let b = Bounds::uniform(1, -100.0, 100.0).unwrap();
+        let sbx = Sbx::new(15.0, 1.0);
+        let (p1, p2) = (vec![0.4], vec![0.6]);
+        let mut sum = 0.0;
+        let trials = 4000;
+        let mut crossed = 0;
+        for _ in 0..trials {
+            let (c1, c2) = sbx.cross(&mut rng, &p1, &p2, &b);
+            if c1 != p1 {
+                crossed += 1;
+            }
+            sum += c1[0] + c2[0];
+        }
+        assert!(crossed > trials / 4, "crossover rarely happened");
+        let mean = sum / (2.0 * trials as f64);
+        assert!((mean - 0.5).abs() < 0.01, "children mean {mean} drifted");
+    }
+
+    #[test]
+    fn mutation_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = bounds(8);
+        let op = PolynomialMutation::new(20.0, 1.0);
+        for _ in 0..200 {
+            let mut x = random_vector(&mut rng, &b);
+            op.mutate(&mut rng, &mut x, &b);
+            assert!(b.contains(&x));
+        }
+    }
+
+    #[test]
+    fn mutation_probability_zero_is_identity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = bounds(4);
+        let op = PolynomialMutation::new(20.0, 0.0);
+        let mut x = vec![0.0, 1.0, 2.0, 3.0];
+        let orig = x.clone();
+        op.mutate(&mut rng, &mut x, &b);
+        assert_eq!(x, orig);
+    }
+
+    #[test]
+    fn mutation_actually_perturbs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = bounds(4);
+        let op = PolynomialMutation::new(20.0, 1.0);
+        let mut x = vec![0.0, 1.0, 2.0, 3.0];
+        let orig = x.clone();
+        op.mutate(&mut rng, &mut x, &b);
+        assert_ne!(x, orig);
+    }
+
+    #[test]
+    fn random_vector_in_bounds_and_varied() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let b = bounds(6);
+        let a = random_vector(&mut rng, &b);
+        let c = random_vector(&mut rng, &b);
+        assert!(b.contains(&a));
+        assert!(b.contains(&c));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_vector_degenerate_interval() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let b = Bounds::new(vec![2.0], vec![2.0]).unwrap();
+        assert_eq!(random_vector(&mut rng, &b), vec![2.0]);
+    }
+
+    #[test]
+    fn standard_variation_offspring_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = bounds(15);
+        let v = Variation::standard(15);
+        for _ in 0..100 {
+            let p1 = random_vector(&mut rng, &b);
+            let p2 = random_vector(&mut rng, &b);
+            let (c1, c2) = v.offspring(&mut rng, &p1, &p2, &b);
+            assert!(b.contains(&c1));
+            assert!(b.contains(&c2));
+        }
+    }
+}

@@ -1,0 +1,772 @@
+//! Standard multi-objective benchmark problems used to validate the GA
+//! substrate independently of the analog-circuit application: Schaffer's
+//! SCH, the ZDT suite, and the constrained BNH / SRN / TNK / CONSTR
+//! problems.
+//!
+//! All problems follow the minimization + violation-amount conventions of
+//! [`Problem`].
+
+use crate::error::OptimizeError;
+use crate::evaluation::Evaluation;
+use crate::problem::{Bounds, Problem};
+
+/// Schaffer's single-variable biobjective problem (SCH).
+///
+/// `f1 = x²`, `f2 = (x − 2)²`, `x ∈ [−10³, 10³]`.
+/// True Pareto front: `x ∈ [0, 2]`, i.e. `f2 = (√f1 − 2)²`.
+#[derive(Debug, Clone)]
+pub struct Schaffer {
+    bounds: Bounds,
+}
+
+impl Schaffer {
+    /// Creates the SCH problem.
+    pub fn new() -> Self {
+        Schaffer {
+            bounds: Bounds::uniform(1, -1e3, 1e3).expect("static bounds"),
+        }
+    }
+}
+
+impl Default for Schaffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Problem for Schaffer {
+    fn name(&self) -> &str {
+        "SCH"
+    }
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let v = x[0];
+        Evaluation::unconstrained(vec![v * v, (v - 2.0) * (v - 2.0)])
+    }
+}
+
+macro_rules! zdt_struct {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            bounds: Bounds,
+        }
+
+        impl $name {
+            /// Creates the problem with `n` decision variables (`n ≥ 2`).
+            ///
+            /// # Panics
+            ///
+            /// Panics if `n < 2`.
+            pub fn new(n: usize) -> Self {
+                assert!(n >= 2, "ZDT problems need at least 2 variables");
+                $name {
+                    bounds: Bounds::uniform(n, 0.0, 1.0).expect("static bounds"),
+                }
+            }
+        }
+    };
+}
+
+zdt_struct! {
+    /// ZDT1: convex Pareto front `f2 = 1 − √f1`.
+    Zdt1
+}
+
+impl Problem for Zdt1 {
+    fn name(&self) -> &str {
+        "ZDT1"
+    }
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let f1 = x[0];
+        let n = x.len();
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (n - 1) as f64;
+        let f2 = g * (1.0 - (f1 / g).sqrt());
+        Evaluation::unconstrained(vec![f1, f2])
+    }
+}
+
+zdt_struct! {
+    /// ZDT2: concave Pareto front `f2 = 1 − f1²`.
+    Zdt2
+}
+
+impl Problem for Zdt2 {
+    fn name(&self) -> &str {
+        "ZDT2"
+    }
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let f1 = x[0];
+        let n = x.len();
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (n - 1) as f64;
+        let f2 = g * (1.0 - (f1 / g) * (f1 / g));
+        Evaluation::unconstrained(vec![f1, f2])
+    }
+}
+
+zdt_struct! {
+    /// ZDT3: disconnected Pareto front
+    /// `f2 = 1 − √f1 − f1·sin(10πf1)` (on five disjoint pieces).
+    Zdt3
+}
+
+impl Problem for Zdt3 {
+    fn name(&self) -> &str {
+        "ZDT3"
+    }
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let f1 = x[0];
+        let n = x.len();
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (n - 1) as f64;
+        let h = 1.0 - (f1 / g).sqrt() - (f1 / g) * (10.0 * std::f64::consts::PI * f1).sin();
+        Evaluation::unconstrained(vec![f1, g * h])
+    }
+}
+
+/// ZDT4: ZDT1 shape with 21⁹ local fronts (multi-modal `g`).
+/// `x1 ∈ [0, 1]`, `x2..n ∈ [−5, 5]`.
+#[derive(Debug, Clone)]
+pub struct Zdt4 {
+    bounds: Bounds,
+}
+
+impl Zdt4 {
+    /// Creates ZDT4 with `n` decision variables (`n ≥ 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "ZDT problems need at least 2 variables");
+        let mut lower = vec![-5.0; n];
+        let mut upper = vec![5.0; n];
+        lower[0] = 0.0;
+        upper[0] = 1.0;
+        Zdt4 {
+            bounds: Bounds::new(lower, upper).expect("static bounds"),
+        }
+    }
+}
+
+impl Problem for Zdt4 {
+    fn name(&self) -> &str {
+        "ZDT4"
+    }
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let f1 = x[0];
+        let n = x.len();
+        let g = 1.0
+            + 10.0 * (n - 1) as f64
+            + x[1..]
+                .iter()
+                .map(|&v| v * v - 10.0 * (4.0 * std::f64::consts::PI * v).cos())
+                .sum::<f64>();
+        let f2 = g * (1.0 - (f1 / g).sqrt());
+        Evaluation::unconstrained(vec![f1, f2])
+    }
+}
+
+zdt_struct! {
+    /// ZDT6: non-uniformly spaced concave front with biased density.
+    Zdt6
+}
+
+impl Problem for Zdt6 {
+    fn name(&self) -> &str {
+        "ZDT6"
+    }
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let n = x.len();
+        let f1 = 1.0
+            - (-4.0 * x[0]).exp() * (6.0 * std::f64::consts::PI * x[0]).sin().powi(6);
+        let g = 1.0
+            + 9.0 * (x[1..].iter().sum::<f64>() / (n - 1) as f64).powf(0.25);
+        let f2 = g * (1.0 - (f1 / g) * (f1 / g));
+        Evaluation::unconstrained(vec![f1, f2])
+    }
+}
+
+/// Binh & Korn's constrained biobjective problem (BNH).
+///
+/// Minimize `f1 = 4x² + 4y²`, `f2 = (x−5)² + (y−5)²` s.t.
+/// `(x−5)² + y² ≤ 25` and `(x−8)² + (y+3)² ≥ 7.7`.
+#[derive(Debug, Clone)]
+pub struct BinhKorn {
+    bounds: Bounds,
+}
+
+impl BinhKorn {
+    /// Creates the BNH problem.
+    pub fn new() -> Self {
+        BinhKorn {
+            bounds: Bounds::new(vec![0.0, 0.0], vec![5.0, 3.0]).expect("static bounds"),
+        }
+    }
+}
+
+impl Default for BinhKorn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Problem for BinhKorn {
+    fn name(&self) -> &str {
+        "BNH"
+    }
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn num_constraints(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let (a, b) = (x[0], x[1]);
+        let f1 = 4.0 * a * a + 4.0 * b * b;
+        let f2 = (a - 5.0) * (a - 5.0) + (b - 5.0) * (b - 5.0);
+        let g1 = (a - 5.0) * (a - 5.0) + b * b - 25.0; // <= 0
+        let g2 = 7.7 - ((a - 8.0) * (a - 8.0) + (b + 3.0) * (b + 3.0)); // <= 0
+        Evaluation::new(vec![f1, f2], vec![g1.max(0.0), g2.max(0.0)])
+    }
+}
+
+/// Srinivas & Deb's constrained problem (SRN).
+#[derive(Debug, Clone)]
+pub struct Srinivas {
+    bounds: Bounds,
+}
+
+impl Srinivas {
+    /// Creates the SRN problem.
+    pub fn new() -> Self {
+        Srinivas {
+            bounds: Bounds::uniform(2, -20.0, 20.0).expect("static bounds"),
+        }
+    }
+}
+
+impl Default for Srinivas {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Problem for Srinivas {
+    fn name(&self) -> &str {
+        "SRN"
+    }
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn num_constraints(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let (a, b) = (x[0], x[1]);
+        let f1 = (a - 2.0) * (a - 2.0) + (b - 1.0) * (b - 1.0) + 2.0;
+        let f2 = 9.0 * a - (b - 1.0) * (b - 1.0);
+        let g1 = a * a + b * b - 225.0; // <= 0
+        let g2 = a - 3.0 * b + 10.0; // <= 0
+        Evaluation::new(vec![f1, f2], vec![g1.max(0.0), g2.max(0.0)])
+    }
+}
+
+/// Tanaka's constrained problem (TNK): disconnected feasible front along
+/// a sinusoid boundary.
+#[derive(Debug, Clone)]
+pub struct Tanaka {
+    bounds: Bounds,
+}
+
+impl Tanaka {
+    /// Creates the TNK problem.
+    pub fn new() -> Self {
+        Tanaka {
+            bounds: Bounds::uniform(2, 1e-9, std::f64::consts::PI).expect("static bounds"),
+        }
+    }
+}
+
+impl Default for Tanaka {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Problem for Tanaka {
+    fn name(&self) -> &str {
+        "TNK"
+    }
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn num_constraints(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let (a, b) = (x[0], x[1]);
+        let g1 = -(a * a + b * b - 1.0 - 0.1 * (16.0 * (b / a).atan()).cos()); // <= 0
+        let g2 = (a - 0.5) * (a - 0.5) + (b - 0.5) * (b - 0.5) - 0.5; // <= 0
+        Evaluation::new(vec![a, b], vec![g1.max(0.0), g2.max(0.0)])
+    }
+}
+
+/// The CONSTR problem of the NSGA-II paper: linear constraints shaping the
+/// lower-left of the front.
+#[derive(Debug, Clone)]
+pub struct Constr {
+    bounds: Bounds,
+}
+
+impl Constr {
+    /// Creates the CONSTR problem.
+    pub fn new() -> Self {
+        Constr {
+            bounds: Bounds::new(vec![0.1, 0.0], vec![1.0, 5.0]).expect("static bounds"),
+        }
+    }
+}
+
+impl Default for Constr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Problem for Constr {
+    fn name(&self) -> &str {
+        "CONSTR"
+    }
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn num_constraints(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let (a, b) = (x[0], x[1]);
+        let f1 = a;
+        let f2 = (1.0 + b) / a;
+        let g1 = 6.0 - (b + 9.0 * a); // <= 0
+        let g2 = 1.0 + b - 9.0 * a; // <= 0
+        Evaluation::new(vec![f1, f2], vec![g1.max(0.0), g2.max(0.0)])
+    }
+}
+
+/// A deliberately *diversity-hostile* constrained problem used to test
+/// partition-based algorithms: the feasible corridor narrows sharply as the
+/// first objective shrinks, so purely global competition tends to cluster
+/// at the wide (large-`f1`) end — a 2-variable caricature of the paper's
+/// integrator landscape.
+///
+/// Objectives: minimize `f2 = cost(x)`, maximize coverage variable
+/// `f1 = x[0] ∈ [0, 1]` (reported as minimize `-x[0]`).
+/// Constraint: `x[1]` must track a narrow band whose width shrinks with
+/// decreasing `x[0]`.
+#[derive(Debug, Clone)]
+pub struct NarrowingCorridor {
+    bounds: Bounds,
+    /// Corridor width multiplier (smaller = harder).
+    width: f64,
+}
+
+impl NarrowingCorridor {
+    /// Creates the corridor problem with the given base width (e.g. 0.05).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not strictly positive.
+    pub fn new(width: f64) -> Self {
+        assert!(width > 0.0, "corridor width must be positive");
+        NarrowingCorridor {
+            bounds: Bounds::uniform(4, 0.0, 1.0).expect("static bounds"),
+            width,
+        }
+    }
+}
+
+impl Problem for NarrowingCorridor {
+    fn name(&self) -> &str {
+        "NarrowingCorridor"
+    }
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn num_constraints(&self) -> usize {
+        1
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let coverage = x[0];
+        // Feasible band centre wiggles with coverage; width shrinks toward
+        // low coverage, making the easy end (high coverage) attract the GA.
+        let centre = 0.5 + 0.3 * (3.0 * std::f64::consts::PI * coverage).sin();
+        let band = self.width * (0.05 + coverage);
+        let off_track = (x[1] - centre).abs();
+        let violation = (off_track - band).max(0.0) / band;
+        // Cost grows with coverage (the "power" analogue) plus nuisance vars.
+        let cost = 0.2 + coverage + 0.5 * (x[2] - 0.3).powi(2) + 0.5 * (x[3] - 0.7).powi(2);
+        Evaluation::new(vec![-coverage, cost], vec![violation])
+    }
+}
+
+/// Convenience: returns a boxed instance of every unconstrained benchmark.
+///
+/// # Errors
+///
+/// Currently infallible; the `Result` mirrors future fallible loaders.
+pub fn all_unconstrained(n: usize) -> Result<Vec<Box<dyn Problem>>, OptimizeError> {
+    Ok(vec![
+        Box::new(Schaffer::new()),
+        Box::new(Zdt1::new(n)),
+        Box::new(Zdt2::new(n)),
+        Box::new(Zdt3::new(n)),
+        Box::new(Zdt4::new(n)),
+        Box::new(Zdt6::new(n)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mid(p: &dyn Problem) -> Vec<f64> {
+        p.bounds()
+            .lower()
+            .iter()
+            .zip(p.bounds().upper())
+            .map(|(&lo, &hi)| 0.5 * (lo + hi))
+            .collect()
+    }
+
+    #[test]
+    fn all_problems_evaluate_with_declared_shapes() {
+        let problems: Vec<Box<dyn Problem>> = vec![
+            Box::new(Schaffer::new()),
+            Box::new(Zdt1::new(5)),
+            Box::new(Zdt2::new(5)),
+            Box::new(Zdt3::new(5)),
+            Box::new(Zdt4::new(5)),
+            Box::new(Zdt6::new(5)),
+            Box::new(BinhKorn::new()),
+            Box::new(Srinivas::new()),
+            Box::new(Tanaka::new()),
+            Box::new(Constr::new()),
+            Box::new(NarrowingCorridor::new(0.05)),
+        ];
+        for p in &problems {
+            let ev = p.evaluate(&mid(p.as_ref()));
+            assert!(
+                p.check_evaluation(&ev).is_ok(),
+                "shape mismatch for {}",
+                p.name()
+            );
+            assert!(
+                ev.objectives().iter().all(|v| v.is_finite()),
+                "non-finite objectives for {}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn schaffer_true_front_points() {
+        let p = Schaffer::new();
+        // x = 1 lies on the true front: f1 = 1, f2 = 1.
+        let ev = p.evaluate(&[1.0]);
+        assert_eq!(ev.objectives(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn zdt1_optimal_when_tail_zero() {
+        let p = Zdt1::new(6);
+        let ev = p.evaluate(&[0.25, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let f = ev.objectives();
+        assert!((f[1] - (1.0 - f[0].sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zdt2_front_is_concave() {
+        let p = Zdt2::new(4);
+        let ev = p.evaluate(&[0.5, 0.0, 0.0, 0.0]);
+        assert!((ev.objectives()[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zdt4_g_grows_away_from_zero_tail() {
+        let p = Zdt4::new(3);
+        let near = p.evaluate(&[0.5, 0.0, 0.0]);
+        let far = p.evaluate(&[0.5, 3.1, -2.7]);
+        assert!(far.objectives()[1] > near.objectives()[1]);
+    }
+
+    #[test]
+    fn binh_korn_feasible_origin_region() {
+        let p = BinhKorn::new();
+        let ev = p.evaluate(&[1.0, 1.0]);
+        assert!(ev.is_feasible());
+        // (0,3): g1 = 25 + 9 - 25 = 9 > 0, violates the disc constraint.
+        let ev_bad = p.evaluate(&[0.0, 3.0]);
+        assert!(!ev_bad.is_feasible());
+    }
+
+    #[test]
+    fn tanaka_constraint_boundary() {
+        let p = Tanaka::new();
+        // Point well outside the unit ring is feasible for g1 but maybe not g2
+        let ev = p.evaluate(&[1.05, 1.05]);
+        assert!(!ev.is_feasible()); // g2: (0.55)^2*2 - 0.5 = 0.105 > 0
+    }
+
+    #[test]
+    fn corridor_constrains_track() {
+        let p = NarrowingCorridor::new(0.05);
+        // On-centre at coverage 0: centre = 0.5
+        let ev = p.evaluate(&[0.0, 0.5, 0.3, 0.7]);
+        assert!(ev.is_feasible());
+        let ev_off = p.evaluate(&[0.0, 0.9, 0.3, 0.7]);
+        assert!(!ev_off.is_feasible());
+    }
+
+    #[test]
+    fn corridor_wider_at_high_coverage() {
+        let p = NarrowingCorridor::new(0.05);
+        // Same absolute offset from centre: infeasible at low coverage,
+        // feasible at high coverage.
+        let centre_lo = 0.5 + 0.3 * (0.0f64).sin();
+        let off = 0.04;
+        let ev_lo = p.evaluate(&[0.0, centre_lo + off, 0.3, 0.7]);
+        let centre_hi = 0.5 + 0.3 * (3.0 * std::f64::consts::PI).sin();
+        let ev_hi = p.evaluate(&[1.0, centre_hi + off, 0.3, 0.7]);
+        assert!(!ev_lo.is_feasible());
+        assert!(ev_hi.is_feasible());
+    }
+
+    #[test]
+    fn all_unconstrained_builds() {
+        let list = all_unconstrained(6).unwrap();
+        assert_eq!(list.len(), 6);
+    }
+}
+
+/// DTLZ1: a scalable many-objective problem with a linear Pareto front
+/// `Σ fᵢ = 0.5` and `11^k − 1` local fronts.
+///
+/// `m` objectives, `m − 1 + k` variables (`k = 5` conventional).
+#[derive(Debug, Clone)]
+pub struct Dtlz1 {
+    bounds: Bounds,
+    m: usize,
+}
+
+impl Dtlz1 {
+    /// Creates DTLZ1 with `m ≥ 2` objectives and `k ≥ 1` distance
+    /// variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2` or `k < 1`.
+    pub fn new(m: usize, k: usize) -> Self {
+        assert!(m >= 2, "DTLZ needs at least 2 objectives");
+        assert!(k >= 1, "DTLZ needs at least 1 distance variable");
+        Dtlz1 {
+            bounds: Bounds::uniform(m - 1 + k, 0.0, 1.0).expect("static bounds"),
+            m,
+        }
+    }
+
+    fn g(&self, tail: &[f64]) -> f64 {
+        let k = tail.len() as f64;
+        100.0
+            * (k + tail
+                .iter()
+                .map(|&v| {
+                    (v - 0.5) * (v - 0.5)
+                        - (20.0 * std::f64::consts::PI * (v - 0.5)).cos()
+                })
+                .sum::<f64>())
+    }
+}
+
+impl Problem for Dtlz1 {
+    fn name(&self) -> &str {
+        "DTLZ1"
+    }
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+    fn num_objectives(&self) -> usize {
+        self.m
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let m = self.m;
+        let g = self.g(&x[m - 1..]);
+        let scale = 0.5 * (1.0 + g);
+        let mut objs = Vec::with_capacity(m);
+        for i in 0..m {
+            let mut f = scale;
+            for &xv in &x[..m - 1 - i] {
+                f *= xv;
+            }
+            if i > 0 {
+                f *= 1.0 - x[m - 1 - i];
+            }
+            objs.push(f);
+        }
+        Evaluation::unconstrained(objs)
+    }
+}
+
+/// DTLZ2: a scalable many-objective problem with a spherical Pareto front
+/// `Σ fᵢ² = 1`.
+#[derive(Debug, Clone)]
+pub struct Dtlz2 {
+    bounds: Bounds,
+    m: usize,
+}
+
+impl Dtlz2 {
+    /// Creates DTLZ2 with `m ≥ 2` objectives and `k ≥ 1` distance
+    /// variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2` or `k < 1`.
+    pub fn new(m: usize, k: usize) -> Self {
+        assert!(m >= 2, "DTLZ needs at least 2 objectives");
+        assert!(k >= 1, "DTLZ needs at least 1 distance variable");
+        Dtlz2 {
+            bounds: Bounds::uniform(m - 1 + k, 0.0, 1.0).expect("static bounds"),
+            m,
+        }
+    }
+}
+
+impl Problem for Dtlz2 {
+    fn name(&self) -> &str {
+        "DTLZ2"
+    }
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+    fn num_objectives(&self) -> usize {
+        self.m
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        use std::f64::consts::FRAC_PI_2;
+        let m = self.m;
+        let g: f64 = x[m - 1..].iter().map(|&v| (v - 0.5) * (v - 0.5)).sum();
+        let mut objs = Vec::with_capacity(m);
+        for i in 0..m {
+            let mut f = 1.0 + g;
+            for &xv in &x[..m - 1 - i] {
+                f *= (xv * FRAC_PI_2).cos();
+            }
+            if i > 0 {
+                f *= (x[m - 1 - i] * FRAC_PI_2).sin();
+            }
+            objs.push(f);
+        }
+        Evaluation::unconstrained(objs)
+    }
+}
+
+#[cfg(test)]
+mod dtlz_tests {
+    use super::*;
+
+    #[test]
+    fn dtlz1_front_sums_to_half() {
+        let p = Dtlz1::new(3, 5);
+        // All distance variables at 0.5 => g = 0 => Σf = 0.5.
+        let x = [0.3, 0.7, 0.5, 0.5, 0.5, 0.5, 0.5];
+        let f = p.evaluate(&x);
+        let sum: f64 = f.objectives().iter().sum();
+        assert!((sum - 0.5).abs() < 1e-9, "sum {sum}");
+        assert!(f.objectives().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn dtlz1_offset_tail_raises_g() {
+        let p = Dtlz1::new(3, 5);
+        let on = p.evaluate(&[0.3, 0.7, 0.5, 0.5, 0.5, 0.5, 0.5]);
+        let off = p.evaluate(&[0.3, 0.7, 0.9, 0.1, 0.9, 0.1, 0.9]);
+        let s_on: f64 = on.objectives().iter().sum();
+        let s_off: f64 = off.objectives().iter().sum();
+        assert!(s_off > s_on * 10.0, "{s_off} vs {s_on}");
+    }
+
+    #[test]
+    fn dtlz2_front_is_unit_sphere() {
+        let p = Dtlz2::new(3, 8);
+        let mut x = vec![0.5; 10];
+        x[0] = 0.2;
+        x[1] = 0.8;
+        let f = p.evaluate(&x);
+        let norm2: f64 = f.objectives().iter().map(|&v| v * v).sum();
+        assert!((norm2 - 1.0).abs() < 1e-9, "|f|^2 = {norm2}");
+    }
+
+    #[test]
+    fn dtlz_declares_consistent_shapes() {
+        for m in [2usize, 3, 4] {
+            let p1 = Dtlz1::new(m, 5);
+            let p2 = Dtlz2::new(m, 5);
+            assert_eq!(p1.num_variables(), m - 1 + 5);
+            let ev = p1.evaluate(&vec![0.5; p1.num_variables()]);
+            assert_eq!(ev.objectives().len(), m);
+            let ev = p2.evaluate(&vec![0.5; p2.num_variables()]);
+            assert_eq!(ev.objectives().len(), m);
+        }
+    }
+}

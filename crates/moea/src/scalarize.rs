@@ -1,0 +1,255 @@
+//! Scalarization baselines: the weighted-sum approach the paper's
+//! introduction contrasts with population-based multi-objective search.
+//!
+//! *"One method of solving a multi-objective circuit optimization problem
+//! is to transform it into a set of scalarized single objective
+//! optimization problems by the weighted sum approach or the
+//! Normal-Boundary Intersection method \[4\]."*
+//!
+//! This module provides a single-objective GA
+//! ([`SingleObjectiveGa`]) plus [`weighted_sum_front`], which sweeps a
+//! set of weight vectors and assembles the non-dominated union of the
+//! per-weight optima. Its known weaknesses — missing concave front
+//! regions, uneven coverage — are demonstrated by the module tests on
+//! ZDT2, motivating the population-based approaches of the rest of the
+//! workspace.
+
+use crate::dominance::non_dominated_indices;
+use crate::individual::Individual;
+use crate::operators::{random_vector, Variation};
+use crate::problem::Problem;
+use crate::OptimizeError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Penalty factor applied to constraint violations in the scalar fitness.
+const PENALTY: f64 = 1e3;
+
+/// A minimal elitist single-objective GA over a scalar fitness
+/// (weighted objective sum + violation penalty).
+#[derive(Debug, Clone)]
+pub struct SingleObjectiveGa {
+    population_size: usize,
+    generations: usize,
+}
+
+impl SingleObjectiveGa {
+    /// Creates a GA with the given population and generation budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidConfig`] when the population is
+    /// below 4 or the budget is zero.
+    pub fn new(population_size: usize, generations: usize) -> Result<Self, OptimizeError> {
+        if population_size < 4 {
+            return Err(OptimizeError::invalid_config(
+                "population_size",
+                "must be at least 4",
+            ));
+        }
+        if generations == 0 {
+            return Err(OptimizeError::invalid_config(
+                "generations",
+                "must be at least 1",
+            ));
+        }
+        Ok(SingleObjectiveGa {
+            population_size,
+            generations,
+        })
+    }
+
+    /// Minimizes `Σ wᵢ·fᵢ(x) + penalty·violations` over the problem's
+    /// decision space, returning the best individual found (with its true
+    /// multi-objective evaluation) and the evaluation count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from the problem's objective
+    /// count.
+    pub fn minimize<P: Problem>(
+        &self,
+        problem: &P,
+        weights: &[f64],
+        seed: u64,
+    ) -> (Individual, usize) {
+        assert_eq!(
+            weights.len(),
+            problem.num_objectives(),
+            "one weight per objective"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bounds = problem.bounds().clone();
+        let variation = Variation::standard(bounds.len());
+        let fitness = |ind: &Individual| -> f64 {
+            let objective: f64 = ind
+                .objectives()
+                .iter()
+                .zip(weights)
+                .map(|(&f, &w)| w * f)
+                .sum();
+            objective + PENALTY * ind.total_violation()
+        };
+
+        let mut evaluations = 0usize;
+        let mut pop: Vec<Individual> = (0..self.population_size)
+            .map(|_| {
+                let genes = random_vector(&mut rng, &bounds);
+                let ev = problem.evaluate(&genes);
+                evaluations += 1;
+                Individual::new(genes, ev)
+            })
+            .collect();
+
+        for _ in 0..self.generations {
+            let mut offspring = Vec::with_capacity(self.population_size);
+            while offspring.len() < self.population_size {
+                // Binary tournament on scalar fitness.
+                let pick = |rng: &mut StdRng| -> usize {
+                    let a = rng.gen_range(0..pop.len());
+                    let b = rng.gen_range(0..pop.len());
+                    if fitness(&pop[a]) <= fitness(&pop[b]) {
+                        a
+                    } else {
+                        b
+                    }
+                };
+                let pa = pick(&mut rng);
+                let pb = pick(&mut rng);
+                let (c1, c2) =
+                    variation.offspring(&mut rng, &pop[pa].genes, &pop[pb].genes, &bounds);
+                for genes in [c1, c2] {
+                    if offspring.len() >= self.population_size {
+                        break;
+                    }
+                    let ev = problem.evaluate(&genes);
+                    evaluations += 1;
+                    offspring.push(Individual::new(genes, ev));
+                }
+            }
+            // µ+λ truncation on fitness.
+            pop.extend(offspring);
+            pop.sort_by(|a, b| fitness(a).total_cmp(&fitness(b)));
+            pop.truncate(self.population_size);
+        }
+
+        (pop.into_iter().next().expect("non-empty population"), evaluations)
+    }
+}
+
+/// Sweeps `count` evenly-spaced weight vectors `(w, 1−w)` over a
+/// biobjective problem, one GA run per weight, and returns the
+/// non-dominated, feasible union of the optima plus the total evaluation
+/// count.
+///
+/// Objectives must be scaled comparably for the sweep to spread; pass
+/// `scales` to normalize (`fᵢ/scaleᵢ` enters the weighted sum).
+///
+/// # Errors
+///
+/// Returns [`OptimizeError::InvalidConfig`] when `count == 0` or the
+/// problem is not biobjective.
+pub fn weighted_sum_front<P: Problem>(
+    problem: &P,
+    count: usize,
+    ga: &SingleObjectiveGa,
+    scales: [f64; 2],
+    seed: u64,
+) -> Result<(Vec<Individual>, usize), OptimizeError> {
+    if count == 0 {
+        return Err(OptimizeError::invalid_config(
+            "count",
+            "need at least one weight vector",
+        ));
+    }
+    if problem.num_objectives() != 2 {
+        return Err(OptimizeError::invalid_config(
+            "problem",
+            "weighted_sum_front supports biobjective problems",
+        ));
+    }
+    let mut optima = Vec::with_capacity(count);
+    let mut evaluations = 0usize;
+    for k in 0..count {
+        let w = if count == 1 {
+            0.5
+        } else {
+            k as f64 / (count - 1) as f64
+        };
+        let weights = [w / scales[0], (1.0 - w) / scales[1]];
+        let (best, evals) = ga.minimize(problem, &weights, seed.wrapping_add(k as u64));
+        evaluations += evals;
+        if best.is_feasible() {
+            optima.push(best);
+        }
+    }
+    let objs: Vec<Vec<f64>> = optima.iter().map(|m| m.objectives().to_vec()).collect();
+    let keep = non_dominated_indices(&objs);
+    let front = keep.into_iter().map(|i| optima[i].clone()).collect();
+    Ok((front, evaluations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{Schaffer, Zdt1, Zdt2};
+
+    #[test]
+    fn constructor_validates() {
+        assert!(SingleObjectiveGa::new(3, 10).is_err());
+        assert!(SingleObjectiveGa::new(10, 0).is_err());
+        assert!(SingleObjectiveGa::new(10, 10).is_ok());
+    }
+
+    #[test]
+    fn single_weight_finds_an_extreme() {
+        // All weight on f1 of SCH drives x toward 0 (f1 = x² minimal).
+        let ga = SingleObjectiveGa::new(40, 60).unwrap();
+        let (best, _) = ga.minimize(&Schaffer::new(), &[1.0, 0.0], 1);
+        assert!(best.objective(0) < 0.05, "f1 = {}", best.objective(0));
+    }
+
+    #[test]
+    fn sweep_covers_a_convex_front() {
+        let ga = SingleObjectiveGa::new(40, 60).unwrap();
+        let (front, evals) =
+            weighted_sum_front(&Zdt1::new(6), 11, &ga, [1.0, 1.0], 3).unwrap();
+        assert!(evals > 0);
+        assert!(front.len() >= 5, "sweep found only {} optima", front.len());
+        let ext = crate::metrics::extent(
+            &front.iter().map(|m| m.objectives().to_vec()).collect::<Vec<_>>(),
+            0,
+        );
+        assert!(ext > 0.5, "convex front should be covered: extent {ext}");
+    }
+
+    #[test]
+    fn sweep_misses_concave_interior() {
+        // The textbook failure: on ZDT2 (concave front) the weighted sum
+        // only finds the extremes, never the interior.
+        let ga = SingleObjectiveGa::new(40, 80).unwrap();
+        let (front, _) = weighted_sum_front(&Zdt2::new(6), 11, &ga, [1.0, 1.0], 5).unwrap();
+        let interior = front
+            .iter()
+            .filter(|m| m.objective(0) > 0.15 && m.objective(0) < 0.85)
+            .count();
+        assert!(
+            interior <= 2,
+            "weighted sum should miss the concave interior, found {interior}"
+        );
+    }
+
+    #[test]
+    fn sweep_rejects_bad_inputs() {
+        let ga = SingleObjectiveGa::new(10, 5).unwrap();
+        assert!(weighted_sum_front(&Zdt1::new(4), 0, &ga, [1.0, 1.0], 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ga = SingleObjectiveGa::new(20, 20).unwrap();
+        let (a, _) = ga.minimize(&Schaffer::new(), &[0.5, 0.5], 9);
+        let (b, _) = ga.minimize(&Schaffer::new(), &[0.5, 0.5], 9);
+        assert_eq!(a.objectives(), b.objectives());
+    }
+}

@@ -1,0 +1,203 @@
+//! Parent-selection schemes: crowded binary tournament (NSGA-II) and
+//! rank-based roulette (used by the paper's global mating pool).
+
+use crate::dominance::crowded_compare;
+use crate::individual::Individual;
+use rand::Rng;
+use std::cmp::Ordering;
+
+/// Crowded binary tournament: draws two random members and returns the index
+/// of the preferred one under the crowded-comparison operator.
+///
+/// Requires ranks/crowding to have been assigned (see
+/// [`rank_and_crowd`](crate::sorting::rank_and_crowd)).
+///
+/// # Panics
+///
+/// Panics if `pop` is empty.
+pub fn binary_tournament<R: Rng + ?Sized>(rng: &mut R, pop: &[Individual]) -> usize {
+    assert!(!pop.is_empty(), "tournament on empty population");
+    let a = rng.gen_range(0..pop.len());
+    let b = rng.gen_range(0..pop.len());
+    match crowded_compare(&pop[a], &pop[b]) {
+        Ordering::Less => a,
+        Ordering::Greater => b,
+        Ordering::Equal => {
+            if rng.gen::<bool>() {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// Rank-based roulette selection.
+///
+/// Each individual's selection weight decays geometrically with its rank:
+/// `w = decay^rank` (rank 0 is the best). This is the "rank-based selection
+/// of individuals from the entire population" the paper uses to build the
+/// Global Mating Pool: it gives every partition's members a chance while
+/// still biasing toward locally/globally superior solutions.
+///
+/// Individuals whose rank is `usize::MAX` (unranked) get the smallest
+/// weight present.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankRoulette {
+    /// Geometric decay per rank, in `(0, 1]`. Smaller = greedier.
+    pub decay: f64,
+}
+
+impl RankRoulette {
+    /// Creates a rank-roulette with the given decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay` is not in `(0, 1]`.
+    pub fn new(decay: f64) -> Self {
+        assert!(
+            decay > 0.0 && decay <= 1.0,
+            "rank roulette decay must lie in (0, 1]"
+        );
+        RankRoulette { decay }
+    }
+
+    /// Selects one index from `pop` with rank-weighted probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pop` is empty.
+    pub fn select<R: Rng + ?Sized>(&self, rng: &mut R, pop: &[Individual]) -> usize {
+        assert!(!pop.is_empty(), "roulette on empty population");
+        let max_rank = pop
+            .iter()
+            .map(|p| if p.rank == usize::MAX { 0 } else { p.rank })
+            .max()
+            .unwrap_or(0);
+        let weight = |ind: &Individual| -> f64 {
+            let r = if ind.rank == usize::MAX {
+                max_rank + 1
+            } else {
+                ind.rank
+            };
+            self.decay.powi(r as i32)
+        };
+        let total: f64 = pop.iter().map(weight).sum();
+        if total <= 0.0 || !total.is_finite() {
+            return rng.gen_range(0..pop.len());
+        }
+        let mut target = rng.gen::<f64>() * total;
+        for (i, ind) in pop.iter().enumerate() {
+            target -= weight(ind);
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        pop.len() - 1
+    }
+
+    /// Fills a mating pool of `n` selected indices.
+    pub fn pool<R: Rng + ?Sized>(&self, rng: &mut R, pop: &[Individual], n: usize) -> Vec<usize> {
+        (0..n).map(|_| self.select(rng, pop)).collect()
+    }
+}
+
+impl Default for RankRoulette {
+    /// Decay 0.8: rank-1 individuals are selected 80 % as often as rank-0.
+    fn default() -> Self {
+        RankRoulette::new(0.8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::Evaluation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ranked(rank: usize, crowding: f64) -> Individual {
+        let mut i = Individual::new(vec![0.0], Evaluation::unconstrained(vec![0.0, 0.0]));
+        i.rank = rank;
+        i.crowding = crowding;
+        i
+    }
+
+    #[test]
+    fn tournament_prefers_lower_rank() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pop = vec![ranked(0, 1.0), ranked(5, 1.0)];
+        let mut zero_wins = 0;
+        for _ in 0..200 {
+            if binary_tournament(&mut rng, &pop) == 0 {
+                zero_wins += 1;
+            }
+        }
+        // index 0 wins every tournament it appears in; expected ~75 % overall
+        assert!(zero_wins > 120, "rank-0 won only {zero_wins}/200");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn tournament_panics_on_empty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pop: Vec<Individual> = Vec::new();
+        let _ = binary_tournament(&mut rng, &pop);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must lie")]
+    fn roulette_rejects_bad_decay() {
+        let _ = RankRoulette::new(0.0);
+    }
+
+    #[test]
+    fn roulette_biases_toward_rank_zero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = vec![ranked(0, 0.0), ranked(1, 0.0), ranked(2, 0.0)];
+        let roulette = RankRoulette::new(0.5);
+        let mut counts = [0usize; 3];
+        for _ in 0..6000 {
+            counts[roulette.select(&mut rng, &pop)] += 1;
+        }
+        // weights 1 : 0.5 : 0.25 -> expected ~3428 : 1714 : 857
+        assert!(counts[0] > counts[1] && counts[1] > counts[2], "{counts:?}");
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((ratio - 2.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn roulette_with_decay_one_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pop = vec![ranked(0, 0.0), ranked(9, 0.0)];
+        let roulette = RankRoulette::new(1.0);
+        let mut zero = 0;
+        for _ in 0..2000 {
+            if roulette.select(&mut rng, &pop) == 0 {
+                zero += 1;
+            }
+        }
+        assert!((zero as f64 - 1000.0).abs() < 120.0, "zero={zero}");
+    }
+
+    #[test]
+    fn roulette_handles_unranked_members() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pop = vec![ranked(usize::MAX, 0.0), ranked(0, 0.0)];
+        let roulette = RankRoulette::default();
+        // must not panic / overflow
+        for _ in 0..100 {
+            let i = roulette.select(&mut rng, &pop);
+            assert!(i < 2);
+        }
+    }
+
+    #[test]
+    fn pool_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pop = vec![ranked(0, 0.0), ranked(1, 0.0)];
+        let pool = RankRoulette::default().pool(&mut rng, &pop, 17);
+        assert_eq!(pool.len(), 17);
+        assert!(pool.iter().all(|&i| i < 2));
+    }
+}

@@ -1,0 +1,344 @@
+//! Fast non-dominated sorting and crowding-distance assignment
+//! (Deb et al., NSGA-II).
+
+use crate::dominance::{constrained_dominates, Dominance};
+use crate::individual::Individual;
+
+/// Result of a non-dominated sort: fronts of indices into the sorted slice,
+/// front 0 being the non-dominated set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fronts {
+    fronts: Vec<Vec<usize>>,
+}
+
+impl Fronts {
+    /// The fronts, best (rank 0) first.
+    pub fn as_slice(&self) -> &[Vec<usize>] {
+        &self.fronts
+    }
+
+    /// Number of fronts.
+    pub fn len(&self) -> usize {
+        self.fronts.len()
+    }
+
+    /// `true` when the sorted set was empty.
+    pub fn is_empty(&self) -> bool {
+        self.fronts.is_empty()
+    }
+
+    /// Indices of the rank-0 (non-dominated) front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sorted set was empty.
+    pub fn best(&self) -> &[usize] {
+        &self.fronts[0]
+    }
+
+    /// Iterates over fronts.
+    pub fn iter(&self) -> std::slice::Iter<'_, Vec<usize>> {
+        self.fronts.iter()
+    }
+
+    /// Consumes into the underlying `Vec<Vec<usize>>`.
+    pub fn into_vec(self) -> Vec<Vec<usize>> {
+        self.fronts
+    }
+}
+
+/// Fast non-dominated sort under **constrained dominance**, writing `rank`
+/// into each individual and returning the fronts.
+///
+/// Complexity `O(M·N²)` like the original algorithm. Individuals' `crowding`
+/// fields are left untouched; call [`assign_crowding`] per front afterwards
+/// (or use [`rank_and_crowd`]).
+pub fn fast_non_dominated_sort(pop: &mut [Individual]) -> Fronts {
+    let n = pop.len();
+    if n == 0 {
+        return Fronts { fronts: Vec::new() };
+    }
+    // dominated_by[i]: how many individuals dominate i
+    // dominates_list[i]: indices that i dominates
+    let mut dominated_by = vec![0usize; n];
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match constrained_dominates(&pop[i], &pop[j]) {
+                Dominance::First => {
+                    dominates_list[i].push(j);
+                    dominated_by[j] += 1;
+                }
+                Dominance::Second => {
+                    dominates_list[j].push(i);
+                    dominated_by[i] += 1;
+                }
+                Dominance::Neither => {}
+            }
+        }
+    }
+
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    let mut rank = 0usize;
+    while !current.is_empty() {
+        for &i in &current {
+            pop[i].rank = rank;
+        }
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominates_list[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+        rank += 1;
+    }
+    Fronts { fronts }
+}
+
+/// Assigns NSGA-II crowding distances to the individuals referenced by
+/// `front` (indices into `pop`).
+///
+/// Boundary individuals in each objective get `f64::INFINITY`. Objectives
+/// with zero range contribute nothing. Fronts of size <= 2 get all-infinite
+/// distances.
+pub fn assign_crowding(pop: &mut [Individual], front: &[usize]) {
+    let m = front.len();
+    if m == 0 {
+        return;
+    }
+    for &i in front {
+        pop[i].crowding = 0.0;
+    }
+    if m <= 2 {
+        for &i in front {
+            pop[i].crowding = f64::INFINITY;
+        }
+        return;
+    }
+    let num_objs = pop[front[0]].objectives().len();
+    let mut order: Vec<usize> = front.to_vec();
+    for k in 0..num_objs {
+        order.sort_by(|&a, &b| {
+            pop[a].objective(k)
+                .partial_cmp(&pop[b].objective(k))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let lo = pop[order[0]].objective(k);
+        let hi = pop[order[m - 1]].objective(k);
+        pop[order[0]].crowding = f64::INFINITY;
+        pop[order[m - 1]].crowding = f64::INFINITY;
+        let range = hi - lo;
+        if range <= 0.0 || !range.is_finite() {
+            continue;
+        }
+        for w in 1..(m - 1) {
+            let prev = pop[order[w - 1]].objective(k);
+            let next = pop[order[w + 1]].objective(k);
+            let idx = order[w];
+            if pop[idx].crowding.is_finite() {
+                pop[idx].crowding += (next - prev) / range;
+            }
+        }
+    }
+}
+
+/// Convenience: full rank + crowding assignment over a population slice.
+///
+/// Returns the fronts. Equivalent to [`fast_non_dominated_sort`] followed by
+/// [`assign_crowding`] on every front.
+pub fn rank_and_crowd(pop: &mut [Individual]) -> Fronts {
+    let fronts = fast_non_dominated_sort(pop);
+    for front in fronts.iter() {
+        assign_crowding(pop, front);
+    }
+    fronts
+}
+
+/// Elitist environmental selection: given a combined parent+offspring
+/// population, keep the best `target` individuals by (rank, crowding).
+///
+/// This is the survivor-selection step of NSGA-II: whole fronts are accepted
+/// until one no longer fits; that boundary front is truncated by descending
+/// crowding distance. Returns the survivors as a new vector (rank/crowding
+/// freshly assigned).
+pub fn environmental_selection(mut pop: Vec<Individual>, target: usize) -> Vec<Individual> {
+    if pop.len() <= target {
+        rank_and_crowd(&mut pop);
+        return pop;
+    }
+    let fronts = rank_and_crowd(&mut pop);
+    let mut chosen: Vec<usize> = Vec::with_capacity(target);
+    for front in fronts.iter() {
+        if chosen.len() + front.len() <= target {
+            chosen.extend_from_slice(front);
+        } else {
+            let mut rest: Vec<usize> = front.clone();
+            rest.sort_by(|&a, &b| {
+                pop[b]
+                    .crowding
+                    .partial_cmp(&pop[a].crowding)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            rest.truncate(target - chosen.len());
+            chosen.extend(rest);
+            break;
+        }
+    }
+    // Extract in index order to keep determinism independent of front layout.
+    let mut take = vec![false; pop.len()];
+    for &i in &chosen {
+        take[i] = true;
+    }
+    pop.into_iter()
+        .zip(take)
+        .filter_map(|(ind, keep)| keep.then_some(ind))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::Evaluation;
+
+    fn ind(objs: Vec<f64>) -> Individual {
+        Individual::new(vec![0.0], Evaluation::unconstrained(objs))
+    }
+
+    fn infeasible(objs: Vec<f64>, violation: f64) -> Individual {
+        Individual::new(vec![0.0], Evaluation::new(objs, vec![violation]))
+    }
+
+    #[test]
+    fn sort_of_empty_population() {
+        let mut pop: Vec<Individual> = Vec::new();
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert!(fronts.is_empty());
+    }
+
+    #[test]
+    fn two_layer_sort() {
+        // Layer 0: (1,4),(2,3),(4,1) ; layer 1: (3,4),(4,3)
+        let mut pop = vec![
+            ind(vec![1.0, 4.0]),
+            ind(vec![3.0, 4.0]),
+            ind(vec![2.0, 3.0]),
+            ind(vec![4.0, 3.0]),
+            ind(vec![4.0, 1.0]),
+        ];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts.len(), 2);
+        assert_eq!(fronts.best(), &[0, 2, 4]);
+        assert_eq!(pop[1].rank, 1);
+        assert_eq!(pop[3].rank, 1);
+    }
+
+    #[test]
+    fn infeasible_individuals_rank_behind_feasible() {
+        let mut pop = vec![
+            infeasible(vec![0.0, 0.0], 0.5),
+            ind(vec![9.0, 9.0]),
+            infeasible(vec![0.0, 0.0], 0.1),
+        ];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts.len(), 3);
+        assert_eq!(pop[1].rank, 0);
+        assert_eq!(pop[2].rank, 1); // smaller violation first among infeasible
+        assert_eq!(pop[0].rank, 2);
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite() {
+        let mut pop = vec![
+            ind(vec![1.0, 4.0]),
+            ind(vec![2.0, 3.0]),
+            ind(vec![3.0, 2.0]),
+            ind(vec![4.0, 1.0]),
+        ];
+        let front: Vec<usize> = (0..4).collect();
+        assign_crowding(&mut pop, &front);
+        assert!(pop[0].crowding.is_infinite());
+        assert!(pop[3].crowding.is_infinite());
+        assert!(pop[1].crowding.is_finite());
+        assert!(pop[2].crowding.is_finite());
+        // interior, evenly spaced: each gets 2/3 + 2/3 = 4/3
+        assert!((pop[1].crowding - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowding_small_front_all_infinite() {
+        let mut pop = vec![ind(vec![1.0, 2.0]), ind(vec![2.0, 1.0])];
+        assign_crowding(&mut pop, &[0, 1]);
+        assert!(pop[0].crowding.is_infinite());
+        assert!(pop[1].crowding.is_infinite());
+    }
+
+    #[test]
+    fn crowding_degenerate_objective_range() {
+        let mut pop = vec![
+            ind(vec![1.0, 1.0]),
+            ind(vec![1.0, 1.0]),
+            ind(vec![1.0, 1.0]),
+        ];
+        assign_crowding(&mut pop, &[0, 1, 2]);
+        // All identical: boundaries infinite, middle zero (no contribution).
+        let finite: Vec<f64> = pop
+            .iter()
+            .map(|p| p.crowding)
+            .filter(|c| c.is_finite())
+            .collect();
+        for c in finite {
+            assert_eq!(c, 0.0);
+        }
+    }
+
+    #[test]
+    fn environmental_selection_truncates_boundary_front() {
+        // 4 on front 0, 2 on front 1; target 5 keeps all of front 0 and one
+        // of front 1.
+        let pop = vec![
+            ind(vec![1.0, 4.0]),
+            ind(vec![2.0, 3.0]),
+            ind(vec![3.0, 2.0]),
+            ind(vec![4.0, 1.0]),
+            ind(vec![5.0, 5.0]),
+            ind(vec![6.0, 6.0]),
+        ];
+        let survivors = environmental_selection(pop, 5);
+        assert_eq!(survivors.len(), 5);
+        let rank1: Vec<&Individual> = survivors.iter().filter(|s| s.rank == 1).collect();
+        assert_eq!(rank1.len(), 1);
+        // the rank-1 survivor must be (5,5), which dominates (6,6)... both
+        // are rank 1 (5,5 dominates 6,6 so actually (6,6) is rank 2).
+        assert_eq!(rank1[0].objectives(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn environmental_selection_noop_when_small() {
+        let pop = vec![ind(vec![1.0, 2.0]), ind(vec![2.0, 1.0])];
+        let survivors = environmental_selection(pop, 10);
+        assert_eq!(survivors.len(), 2);
+        assert_eq!(survivors[0].rank, 0);
+    }
+
+    #[test]
+    fn ranks_are_contiguous_from_zero() {
+        let mut pop: Vec<Individual> = (0..20)
+            .map(|i| {
+                let x = f64::from(i);
+                ind(vec![x % 5.0, (x / 5.0).floor() + (x % 5.0) * 0.1])
+            })
+            .collect();
+        let fronts = fast_non_dominated_sort(&mut pop);
+        let max_rank = pop.iter().map(|p| p.rank).max().unwrap();
+        assert_eq!(max_rank + 1, fronts.len());
+        let total: usize = fronts.iter().map(Vec::len).sum();
+        assert_eq!(total, pop.len());
+    }
+}

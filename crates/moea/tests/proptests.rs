@@ -1,0 +1,249 @@
+//! Property-based tests of the moea substrate invariants.
+
+use moea::dominance::{constrained_dominates, dominates, Dominance};
+use moea::evaluation::Evaluation;
+use moea::hypervolume::{hypervolume_2d, staircase_area, staircase_volume};
+use moea::individual::Individual;
+use moea::operators::{random_vector, PolynomialMutation, Sbx, Variation};
+use moea::problem::Bounds;
+use moea::sorting::{environmental_selection, fast_non_dominated_sort, rank_and_crowd};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite_objs() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, 2)
+}
+
+fn point_set(max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(finite_objs(), 1..max)
+}
+
+fn positive_points(max: usize) -> impl Strategy<Value = Vec<[f64; 2]>> {
+    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0).prop_map(|(a, b)| [a, b]), 0..max)
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_asymmetric(a in finite_objs(), b in finite_objs()) {
+        let ab = dominates(&a, &b);
+        let ba = dominates(&b, &a);
+        prop_assert_eq!(ab, ba.flip());
+        // never both strict in the same direction
+        prop_assert!(!(ab == Dominance::First && ba == Dominance::First));
+    }
+
+    #[test]
+    fn dominance_is_irreflexive(a in finite_objs()) {
+        prop_assert_eq!(dominates(&a, &a), Dominance::Neither);
+    }
+
+    #[test]
+    fn dominance_is_transitive(a in finite_objs(), b in finite_objs(), c in finite_objs()) {
+        if dominates(&a, &b) == Dominance::First && dominates(&b, &c) == Dominance::First {
+            prop_assert_eq!(dominates(&a, &c), Dominance::First);
+        }
+    }
+
+    #[test]
+    fn sort_assigns_every_rank_and_partitions(pop_objs in point_set(40)) {
+        let mut pop: Vec<Individual> = pop_objs
+            .iter()
+            .map(|o| Individual::new(vec![0.0], Evaluation::unconstrained(o.clone())))
+            .collect();
+        let fronts = fast_non_dominated_sort(&mut pop);
+        let total: usize = fronts.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, pop.len());
+        // each member's rank matches its front index
+        for (r, front) in fronts.iter().enumerate() {
+            for &i in front {
+                prop_assert_eq!(pop[i].rank, r);
+            }
+        }
+        // no member of front r+1 may dominate a member of front r
+        for r in 0..fronts.len().saturating_sub(1) {
+            for &i in &fronts.as_slice()[r] {
+                for &j in &fronts.as_slice()[r + 1] {
+                    prop_assert_ne!(
+                        constrained_dominates(&pop[j], &pop[i]),
+                        Dominance::First
+                    );
+                }
+            }
+        }
+        // within a front, no member dominates another
+        for front in fronts.iter() {
+            for &i in front {
+                for &j in front {
+                    if i != j {
+                        prop_assert_ne!(
+                            constrained_dominates(&pop[i], &pop[j]),
+                            Dominance::First
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_extremes_are_infinite(pop_objs in point_set(30)) {
+        let mut pop: Vec<Individual> = pop_objs
+            .iter()
+            .map(|o| Individual::new(vec![0.0], Evaluation::unconstrained(o.clone())))
+            .collect();
+        let fronts = rank_and_crowd(&mut pop);
+        for front in fronts.iter() {
+            // the member with minimal objective-0 must have infinite crowding
+            let min0 = front
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    pop[a].objective(0)
+                        .partial_cmp(&pop[b].objective(0))
+                        .unwrap()
+                })
+                .unwrap();
+            prop_assert!(pop[min0].crowding.is_infinite());
+        }
+    }
+
+    #[test]
+    fn environmental_selection_respects_target(
+        pop_objs in point_set(50),
+        target in 1usize..30,
+    ) {
+        let pop: Vec<Individual> = pop_objs
+            .iter()
+            .map(|o| Individual::new(vec![0.0], Evaluation::unconstrained(o.clone())))
+            .collect();
+        let n = pop.len();
+        let survivors = environmental_selection(pop, target);
+        prop_assert_eq!(survivors.len(), target.min(n));
+    }
+
+    #[test]
+    fn environmental_selection_keeps_best_ranks(pop_objs in point_set(40)) {
+        let pop: Vec<Individual> = pop_objs
+            .iter()
+            .map(|o| Individual::new(vec![0.0], Evaluation::unconstrained(o.clone())))
+            .collect();
+        let n = pop.len();
+        let target = (n / 2).max(1);
+        let survivors = environmental_selection(pop.clone(), target);
+        let max_surviving_rank = survivors.iter().map(|s| s.rank).max().unwrap();
+        // Recompute full ranking; every individual strictly better-ranked
+        // than the worst surviving rank must have survived.
+        let mut full = pop;
+        let fronts = fast_non_dominated_sort(&mut full);
+        let better: usize = fronts
+            .iter()
+            .take(max_surviving_rank)
+            .map(Vec::len)
+            .sum();
+        prop_assert!(better <= target);
+    }
+
+    #[test]
+    fn sbx_respects_bounds(
+        seed in 0u64..1000,
+        eta in 1.0f64..30.0,
+        p1 in prop::collection::vec(-0.9f64..0.9, 4),
+        p2 in prop::collection::vec(-0.9f64..0.9, 4),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bounds = Bounds::uniform(4, -1.0, 1.0).unwrap();
+        let sbx = Sbx::new(eta, 1.0);
+        let (c1, c2) = sbx.cross(&mut rng, &p1, &p2, &bounds);
+        prop_assert!(bounds.contains(&c1));
+        prop_assert!(bounds.contains(&c2));
+    }
+
+    #[test]
+    fn mutation_respects_bounds(
+        seed in 0u64..1000,
+        eta in 1.0f64..30.0,
+        x in prop::collection::vec(-0.999f64..0.999, 6),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bounds = Bounds::uniform(6, -1.0, 1.0).unwrap();
+        let op = PolynomialMutation::new(eta, 1.0);
+        let mut y = x;
+        op.mutate(&mut rng, &mut y, &bounds);
+        prop_assert!(bounds.contains(&y));
+    }
+
+    #[test]
+    fn variation_offspring_in_bounds(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bounds = Bounds::uniform(15, 0.0, 1.0).unwrap();
+        let v = Variation::standard(15);
+        let p1 = random_vector(&mut rng, &bounds);
+        let p2 = random_vector(&mut rng, &bounds);
+        let (c1, c2) = v.offspring(&mut rng, &p1, &p2, &bounds);
+        prop_assert!(bounds.contains(&c1));
+        prop_assert!(bounds.contains(&c2));
+    }
+
+    #[test]
+    fn staircase_is_permutation_invariant(pts in positive_points(12)) {
+        let a = staircase_area(&pts);
+        let mut rev = pts.clone();
+        rev.reverse();
+        let b = staircase_area(&rev);
+        prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn staircase_monotone_under_union(pts in positive_points(12), extra in positive_points(4)) {
+        let base = staircase_area(&pts);
+        let mut bigger = pts.clone();
+        bigger.extend_from_slice(&extra);
+        prop_assert!(staircase_area(&bigger) + 1e-9 >= base);
+    }
+
+    #[test]
+    fn staircase_bounded_by_bounding_box(pts in positive_points(12)) {
+        let area = staircase_area(&pts);
+        let max_x = pts.iter().map(|p| p[0]).fold(0.0, f64::max);
+        let max_y = pts.iter().map(|p| p[1]).fold(0.0, f64::max);
+        prop_assert!(area <= max_x * max_y + 1e-9);
+        // and at least as large as any single box
+        for p in &pts {
+            prop_assert!(area + 1e-9 >= p[0] * p[1]);
+        }
+    }
+
+    #[test]
+    fn staircase_volume_agrees_with_area(pts in positive_points(10)) {
+        let as_vec: Vec<Vec<f64>> = pts.iter().map(|p| vec![p[0], p[1]]).collect();
+        let a = staircase_area(&pts);
+        let v = staircase_volume(&as_vec);
+        prop_assert!((a - v).abs() <= 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn hv2d_dominated_points_are_free(pts in positive_points(10)) {
+        let reference = [120.0, 120.0];
+        let base = hypervolume_2d(&pts, reference);
+        // add a point dominated by the first point (if any)
+        if let Some(p) = pts.first() {
+            let mut plus = pts.clone();
+            plus.push([p[0] + 1.0, p[1] + 1.0]);
+            let with_dominated = hypervolume_2d(&plus, reference);
+            prop_assert!((with_dominated - base).abs() <= 1e-9 * (1.0 + base));
+        }
+    }
+
+    #[test]
+    fn hv2d_monotone_under_improvement(pts in positive_points(10)) {
+        let reference = [120.0, 120.0];
+        let base = hypervolume_2d(&pts, reference);
+        if let Some(p) = pts.first() {
+            let mut improved = pts.clone();
+            improved.push([p[0] * 0.5, p[1] * 0.5]);
+            let better = hypervolume_2d(&improved, reference);
+            prop_assert!(better + 1e-9 >= base);
+        }
+    }
+}

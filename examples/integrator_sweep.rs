@@ -1,0 +1,75 @@
+//! Inspect the circuit substrate directly: sweep the reference op-amp
+//! sizing across loads and process corners and print the full performance
+//! report — no GA involved.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example integrator_sweep
+//! ```
+
+use analog_dse::circuits::integrator::{analyze, ClockContext};
+use analog_dse::circuits::process::{Corner, Process};
+use analog_dse::circuits::yield_est;
+use analog_dse::circuits::{DesignVector, Spec};
+
+fn main() {
+    let dv = DesignVector::reference();
+    let clock = ClockContext::standard();
+    let nominal = Process::nominal();
+
+    println!("reference two-stage op-amp, swept across load capacitance (TT):\n");
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9}",
+        "CL (pF)", "ST (ns)", "SE", "DR (dB)", "OR (V)", "P (mW)", "p2/wc", "zeta"
+    );
+    for cl_pf in [0.1, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0] {
+        let r = analyze(&dv.with_cl(cl_pf * 1e-12), &nominal, &clock);
+        println!(
+            "{:8.1} {:9.2} {:9.2e} {:9.1} {:8.2} {:8.3} {:9.2} {:9.2}",
+            cl_pf,
+            r.settling_time * 1e9,
+            r.settling_error,
+            r.dynamic_range_db,
+            r.output_range,
+            r.power * 1e3,
+            r.p2 / r.omega_c,
+            r.zeta
+        );
+    }
+
+    println!("\nsame design at 1 pF across manufacturing corners:\n");
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>8} {:>9} {:>10}",
+        "corner", "ST (ns)", "SE", "DR (dB)", "OR (V)", "A0 (dB)", "margin (V)"
+    );
+    for corner in Corner::ALL {
+        let process = nominal.at_corner(corner);
+        let r = analyze(&dv.with_cl(1e-12), &process, &clock);
+        println!(
+            "{:>8} {:9.2} {:9.2e} {:9.1} {:8.2} {:9.1} {:10.3}",
+            corner.name(),
+            r.settling_time * 1e9,
+            r.settling_error,
+            r.dynamic_range_db,
+            r.output_range,
+            r.opamp.a0_db(),
+            r.opamp.sat_margin
+        );
+    }
+
+    let spec = Spec::featured();
+    let (rob, detail) =
+        yield_est::robustness_detailed(&dv.with_cl(1e-12), &nominal, &clock, &spec);
+    println!("\nrobustness against '{}' at 1 pF: {rob:.2}", spec.name);
+    for (sample, ok) in detail {
+        println!(
+            "  {} dvt_n={:+.3} dvt_p={:+.3} dkp={:+.2}  ->  {}",
+            sample.corner,
+            sample.dvt_n,
+            sample.dvt_p,
+            sample.dkp,
+            if ok { "pass" } else { "FAIL" }
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Validate the analytical settling model against transient simulation
+//! and print the op-amp's Bode summary — the circuit substrate's two
+//! dynamic views, no GA involved.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example settling_and_bode
+//! ```
+
+use analog_dse::circuits::frequency;
+use analog_dse::circuits::integrator::{analyze, ClockContext};
+use analog_dse::circuits::process::Process;
+use analog_dse::circuits::transient::simulate_settling;
+use analog_dse::circuits::DesignVector;
+
+fn main() {
+    let clock = ClockContext::standard();
+    let process = Process::nominal();
+    let dv = DesignVector::reference();
+
+    println!("reference design: analytical vs simulated settling\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8} {:>10}",
+        "CL (pF)", "ST formula", "ST simulated", "ratio", "overshoot"
+    );
+    for cl_pf in [0.2, 0.5, 1.0, 2.0, 3.5, 5.0] {
+        let report = analyze(&dv.with_cl(cl_pf * 1e-12), &process, &clock);
+        let sim = simulate_settling(&report, clock.settle_tolerance, 4e-6)
+            .expect("reference design is biased");
+        println!(
+            "{cl_pf:8.1} {:11.1} ns {:11.1} ns {:8.2} {:10.3}",
+            report.settling_time * 1e9,
+            sim.settling_time * 1e9,
+            sim.settling_time / report.settling_time,
+            sim.overshoot
+        );
+    }
+
+    let report = analyze(&dv.with_cl(1e-12), &process, &clock);
+    let resp = frequency::sweep(&report, 10.0, 1e10, 46);
+    println!("\nopen-loop Bode summary at 1 pF:");
+    println!(
+        "  DC gain {:.1} dB | unity gain {:.1} MHz | loop phase margin {:.1} deg",
+        report.opamp.a0_db(),
+        resp.unity_gain_hz / 1e6,
+        resp.phase_margin_deg
+    );
+    println!("\n{:>12} {:>10} {:>10}", "f (Hz)", "mag (dB)", "phase");
+    for p in resp.points.iter().step_by(5) {
+        println!(
+            "{:12.0} {:10.1} {:10.1}",
+            p.frequency, p.magnitude_db, p.phase_deg
+        );
+    }
+}

@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+//! # analog-dse — analog design space exploration with local/global
+//! competition genetic optimization
+//!
+//! Umbrella crate of the workspace reproducing the DATE 2005 paper
+//! *"Mixing Global and Local Competition in Genetic Optimization based
+//! Design Space Exploration of Analog Circuits"* (Somani, Chakrabarti,
+//! Patra). It re-exports the three layers:
+//!
+//! * [`moea`] — the real-coded multi-objective GA substrate (operators,
+//!   dominance, NSGA-II baseline, hypervolume and diversity metrics,
+//!   benchmark problems);
+//! * [`sacga`] — the paper's contribution: objective-space partitioning,
+//!   pure local competition, the Simulated-Annealing-driven Competition GA
+//!   (SACGA) and its Multi-phase Expanding-partitions variant (MESACGA);
+//! * [`circuits`] — the evaluation vehicle: a synthetic 0.18 µm process,
+//!   eqn-(1) MOSFET model, two-stage op-amp and CDS switched-capacitor
+//!   integrator performance equations, corner-based yield, and the sizing
+//!   problems.
+//!
+//! ## Quickstart
+//!
+//! Explore the integrator's power-vs-drivable-load design surface with
+//! MESACGA:
+//!
+//! ```no_run
+//! use analog_dse::circuits::{DrivableLoadProblem, Spec};
+//! use analog_dse::sacga::mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
+//!
+//! # fn main() -> Result<(), analog_dse::moea::OptimizeError> {
+//! let problem = DrivableLoadProblem::new(Spec::featured());
+//! let (lo, hi) = DrivableLoadProblem::slice_range();
+//! let config = MesacgaConfig::builder()
+//!     .population_size(100)
+//!     .phase1_max(100)
+//!     .phases(vec![
+//!         PhaseSpec::new(20, 100),
+//!         PhaseSpec::new(8, 100),
+//!         PhaseSpec::new(1, 100),
+//!     ])
+//!     .slice_range(lo, hi)
+//!     .build()?;
+//! let result = Mesacga::new(&problem, config).run_seeded(42)?;
+//! for design in result.front() {
+//!     let (cl_pf, power_w) = DrivableLoadProblem::to_paper_axes(design.objectives());
+//!     println!("drives {cl_pf:.2} pF at {:.3} mW", power_w * 1e3);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub use analog_circuits as circuits;
+pub use moea;
+pub use sacga;
+
+/// Workspace version, mirroring `Cargo.toml`.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_wired() {
+        let _ = crate::circuits::Spec::featured();
+        let b = crate::moea::Bounds::uniform(2, 0.0, 1.0).unwrap();
+        assert_eq!(b.len(), 2);
+        assert!(crate::sacga::SacgaConfig::builder().build().is_ok());
+        assert!(!crate::VERSION.is_empty());
+    }
+}
