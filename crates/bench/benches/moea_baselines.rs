@@ -58,7 +58,7 @@ fn bench_nsga2_suite(c: &mut Criterion) {
         .generations(50)
         .build()
         .unwrap();
-    let problems: Vec<(&str, Box<dyn Problem>)> = vec![
+    let problems: Vec<(&str, Box<dyn Problem + Sync>)> = vec![
         ("SCH", Box::new(Schaffer::new())),
         ("ZDT1", Box::new(Zdt1::new(15))),
         ("ZDT3", Box::new(Zdt3::new(15))),

@@ -23,7 +23,10 @@ fn main() {
     let gens = 600;
     let (lo, hi) = DrivableLoadProblem::slice_range();
     println!("competition-mode ablation, pop {POP} x {gens}, seed {seed}");
-    println!("\n{:<26} {:>10} {:>10} {:>7}", "variant", "hv", "occupancy", "front");
+    println!(
+        "\n{:<26} {:>10} {:>10} {:>7}",
+        "variant", "hv", "occupancy", "front"
+    );
 
     let mut rows: Vec<String> = Vec::new();
     let mut report = |name: &str, front: &[moea::Individual]| {
@@ -57,9 +60,15 @@ fn main() {
     report("local-only(m=8)", &local.front);
 
     for (label, shaper) in [
-        ("sacga8(aggressive)", ProbabilityShaper::new(0.8, 0.3, 0.98).unwrap()),
+        (
+            "sacga8(aggressive)",
+            ProbabilityShaper::new(0.8, 0.3, 0.98).unwrap(),
+        ),
         ("sacga8(standard)", ProbabilityShaper::standard()),
-        ("sacga8(conservative)", ProbabilityShaper::new(0.2, 0.02, 0.6).unwrap()),
+        (
+            "sacga8(conservative)",
+            ProbabilityShaper::new(0.2, 0.02, 0.6).unwrap(),
+        ),
     ] {
         let r = Sacga::new(&problem, base(CompetitionMode::Annealed, shaper))
             .run_seeded(seed)

@@ -17,7 +17,10 @@ fn main() {
     let gens = 400;
     let (lo, hi) = analog_circuits::DrivableLoadProblem::slice_range();
     println!("mutation-probability sweep, Only-Global engine, pop {POP} x {gens}, seed {seed}");
-    println!("\n{:>8} {:>10} {:>10} {:>7}", "pm", "hv", "occupancy", "front");
+    println!(
+        "\n{:>8} {:>10} {:>10} {:>7}",
+        "pm", "hv", "occupancy", "front"
+    );
 
     let mut rows = Vec::new();
     for pm in [0.01, 1.0 / 15.0, 0.15, 0.3, 0.5, 0.8] {

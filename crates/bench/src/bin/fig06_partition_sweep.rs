@@ -14,7 +14,10 @@ fn main() {
     let problem = paper_problem();
     let gens = 1200;
     println!("Fig. 6: SACGA hypervolume after {gens} iterations vs partition count, seed {seed}");
-    println!("\n{:>4} {:>10} {:>10} {:>8} {:>8}", "m", "hv", "occupancy", "front", "gen_t");
+    println!(
+        "\n{:>4} {:>10} {:>10} {:>8} {:>8}",
+        "m", "hv", "occupancy", "front", "gen_t"
+    );
 
     let mut rows = Vec::new();
     for m in [6usize, 8, 12, 16, 20, 24] {

@@ -50,5 +50,9 @@ fn main() {
             rows.push(format!("{label},{cl:.6},{p:.9}"));
         }
     }
-    write_csv("fig08_three_way_fronts.csv", "algorithm,cl_pf,power_w", &rows);
+    write_csv(
+        "fig08_three_way_fronts.csv",
+        "algorithm,cl_pf,power_w",
+        &rows,
+    );
 }

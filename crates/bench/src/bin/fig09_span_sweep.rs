@@ -11,7 +11,10 @@ fn main() {
     let seed = seed_from_args();
     let problem = paper_problem();
     println!("Fig. 9: SACGA-8 hypervolume vs preset total iteration budget, seed {seed}");
-    println!("\n{:>6} {:>10} {:>10} {:>8}", "iters", "hv", "occupancy", "front");
+    println!(
+        "\n{:>6} {:>10} {:>10} {:>8}",
+        "iters", "hv", "occupancy", "front"
+    );
 
     let mut rows = Vec::new();
     for gens in [100usize, 200, 400, 600, 800, 1000, 1200] {

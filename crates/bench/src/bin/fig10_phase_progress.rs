@@ -35,7 +35,10 @@ fn main() {
         tables.push((span, hvs));
     }
 
-    println!("\n{:>6} {:>9} {:>9} {:>9}", "phase", "span=50", "span=100", "span=150");
+    println!(
+        "\n{:>6} {:>9} {:>9} {:>9}",
+        "phase", "span=50", "span=100", "span=150"
+    );
     for phase in 0..7 {
         println!(
             "{:6} {:9.3} {:9.3} {:9.3}",

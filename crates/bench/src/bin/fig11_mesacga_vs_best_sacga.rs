@@ -7,8 +7,8 @@
 //! MESACGA matches the best hand-tuned partition count without the sweep.
 
 use dse_bench::{
-    front_metrics, paper_front, paper_problem, print_front, run_mesacga, run_sacga,
-    seed_from_args, write_csv,
+    front_metrics, paper_front, paper_problem, print_front, run_mesacga, run_sacga, seed_from_args,
+    write_csv,
 };
 
 fn main() {

@@ -29,9 +29,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(400);
     let problem = paper_problem();
-    println!(
-        "multi-seed stats: {N_SEEDS} seeds from {base_seed}, pop {POP} x {gens} generations"
-    );
+    println!("multi-seed stats: {N_SEEDS} seeds from {base_seed}, pop {POP} x {gens} generations");
 
     let mut rows = Vec::new();
     let mut table: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
@@ -42,7 +40,10 @@ fn main() {
             "only-global",
             Box::new(|s| run_only_global(&problem, gens, s).front),
         ),
-        ("sacga8", Box::new(|s| run_sacga(&problem, 8, gens, s).front)),
+        (
+            "sacga8",
+            Box::new(|s| run_sacga(&problem, 8, gens, s).front),
+        ),
         (
             "mesacga",
             Box::new(|s| {
@@ -61,7 +62,10 @@ fn main() {
                     .migrants(2)
                     .build()
                     .expect("static config");
-                IslandGa::new(&problem, cfg).run_seeded(s).expect("run").front
+                IslandGa::new(&problem, cfg)
+                    .run_seeded(s)
+                    .expect("run")
+                    .front
             }),
         ),
     ];

@@ -67,11 +67,7 @@ pub fn run_tpg(problem: &DrivableLoadProblem, gens: usize, seed: u64) -> moea::n
 /// # Panics
 ///
 /// Panics on configuration errors (static configs in this harness).
-pub fn run_only_global(
-    problem: &DrivableLoadProblem,
-    gens: usize,
-    seed: u64,
-) -> SacgaResult {
+pub fn run_only_global(problem: &DrivableLoadProblem, gens: usize, seed: u64) -> SacgaResult {
     run_sacga(problem, 1, gens, seed)
 }
 
@@ -95,7 +91,9 @@ pub fn run_sacga(
         .slice_range(lo, hi)
         .build()
         .expect("static config");
-    Sacga::new(problem, cfg).run_seeded(seed).expect("sacga run")
+    Sacga::new(problem, cfg)
+        .run_seeded(seed)
+        .expect("sacga run")
 }
 
 /// Runs the paper's 7-phase MESACGA (20, 13, 8, 5, 3, 2, 1 partitions)

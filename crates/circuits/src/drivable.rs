@@ -238,7 +238,7 @@ impl Problem for DrivableLoadProblem {
         let mut v = ViolationBuilder::new();
         v.at_least(report.dynamic_range_db, spec.dr_min_db); // 1 DR
         v.at_least(report.output_range, spec.or_min_v); // 2 OR
-        // 3–5: drivability at the minimum load (zero once drivable).
+                                                        // 3–5: drivability at the minimum load (zero once drivable).
         if drivable {
             v.require(true).require(true).require(true);
         } else {
@@ -360,4 +360,3 @@ mod tests {
         assert!(r.power.is_finite());
     }
 }
-

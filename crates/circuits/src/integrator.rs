@@ -173,9 +173,9 @@ pub fn analyze(dv: &DesignVector, process: &Process, clock: &ClockContext) -> In
     // --- Dynamic range.
     let swing = amp.swing;
     let signal_power = swing * swing / 8.0; // full-scale sine, differential
-    // CDS double-samples: 2 kT/C charges per period, differential halves
-    // combine to an effective 4kT/Cs; oversampling divides the in-band
-    // share.
+                                            // CDS double-samples: 2 kT/C charges per period, differential halves
+                                            // combine to an effective 4kT/Cs; oversampling divides the in-band
+                                            // share.
     let ktc_noise = 4.0 * KT / dv.cs.max(1e-18) / clock.osr;
     // Op-amp broadband noise aliases into the band; the sampled noise
     // bandwidth is set by the closed-loop crossover.

@@ -325,7 +325,11 @@ mod tests {
         let narrow = Mosfet::new(DeviceType::Nmos, 5e-6, 0.5e-6);
         let wide = Mosfet::new(DeviceType::Nmos, 10e-6, 0.5e-6);
         let (i1, i2) = (narrow.id(&p, 0.8, 0.9), wide.id(&p, 0.8, 0.9));
-        assert!((i2 / i1 - 2.0).abs() < 1e-9, "width scaling broken: {}", i2 / i1);
+        assert!(
+            (i2 / i1 - 2.0).abs() < 1e-9,
+            "width scaling broken: {}",
+            i2 / i1
+        );
     }
 
     #[test]

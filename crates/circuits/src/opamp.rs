@@ -212,11 +212,8 @@ pub fn analyze(dv: &DesignVector, process: &Process) -> OpampReport {
 
     // Node capacitances.
     let cc_eff = dv.cc + m6.cgd(process);
-    let c1 = m1.cdb(process)
-        + m1.cgd(process)
-        + m3.cdb(process)
-        + m3.cgd(process)
-        + m6.cgs(process);
+    let c1 =
+        m1.cdb(process) + m1.cgd(process) + m3.cdb(process) + m3.cgd(process) + m6.cgs(process);
     let cout = m6.cdb(process) + m7.cdb(process) + m7.cgd(process);
     let cin = m1.cgs(process);
 
@@ -248,8 +245,7 @@ pub fn analyze(dv: &DesignVector, process: &Process) -> OpampReport {
     // 2 devices × 4kTγ/gm1, plus the mirror contribution scaled by
     // (gm3/gm1)². γ ≈ 2/3 · (short-channel excess 1.5) = 1.
     let gamma = 1.0;
-    let noise_psd = 2.0 * 4.0 * KT * gamma / gm1.max(1e-12)
-        * (1.0 + op3.gm / gm1.max(1e-12));
+    let noise_psd = 2.0 * 4.0 * KT * gamma / gm1.max(1e-12) * (1.0 + op3.gm / gm1.max(1e-12));
 
     OpampReport {
         gm1,

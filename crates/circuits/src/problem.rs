@@ -114,7 +114,7 @@ impl IntegratorProblem {
         v.at_most(report.area, spec.area_max); // 5 area
         v.at_least(report.opamp.sat_margin, spec.sat_margin_min); // 6 regions
         v.at_least(robustness, spec.robustness_min); // 7 yield
-        // 8: matching / systematic offset below 2 mV input-referred.
+                                                     // 8: matching / systematic offset below 2 mV input-referred.
         v.at_most(report.opamp.systematic_offset, 2e-3);
         // 9: stability — non-dominant pole at least 1.5× the crossover.
         v.at_least(report.p2, 1.5 * report.omega_c); // 9 phase margin

@@ -57,8 +57,8 @@ impl StageModel {
     pub fn from_report(report: &IntegratorReport, gain: f64, osr: f64) -> Self {
         let a0 = report.opamp.a0.max(1.0);
         let full_scale = (report.output_range * 0.5).max(1e-3); // ±FS in volts
-        // In-band noise power from DR: P_n = P_sig / 10^(DR/10) with
-        // P_sig = FS²/2; wideband per-sample variance is OSR× larger.
+                                                                // In-band noise power from DR: P_n = P_sig / 10^(DR/10) with
+                                                                // P_sig = FS²/2; wideband per-sample variance is OSR× larger.
         let p_sig = full_scale * full_scale / 2.0;
         let p_noise_inband = p_sig / 10f64.powf(report.dynamic_range_db / 10.0);
         let noise_rms = (p_noise_inband * osr).sqrt() / full_scale;
@@ -216,7 +216,7 @@ pub fn measure_snr(bitstream: &[f64], signal_bin: usize, osr: usize) -> SnrRepor
     for k in 1..band_edge {
         let (re, im) = dft(k);
         let p = 2.0 * (re * re + im * im); // one-sided
-        // The tone leaks nowhere (coherent); adjacent bins are all noise.
+                                           // The tone leaks nowhere (coherent); adjacent bins are all noise.
         if k == signal_bin {
             signal_power = p;
         } else {
@@ -328,7 +328,11 @@ mod tests {
             &ClockContext::standard(),
         );
         let stage = StageModel::from_report(&report, 1.0, 128.0);
-        assert!(stage.leak < 1.0 && stage.leak > 0.999, "leak {}", stage.leak);
+        assert!(
+            stage.leak < 1.0 && stage.leak > 0.999,
+            "leak {}",
+            stage.leak
+        );
         assert!(stage.gain_error > 0.0 && stage.gain_error < 1e-2);
         assert!(stage.noise_rms > 0.0 && stage.noise_rms < 1e-2);
     }

@@ -95,20 +95,20 @@ pub const I_UNIT: f64 = 0.5e-6;
 
 /// `(min, max, log?)` for each of the 15 parameters, in gene order.
 const PARAM_RANGES: [(f64, f64, bool); NUM_PARAMS] = [
-    (1.0e-6, 400.0e-6, true),   // w1
-    (0.18e-6, 1.5e-6, true),    // l1
-    (1.0e-6, 400.0e-6, true),   // w3
-    (0.18e-6, 1.5e-6, true),    // l3
-    (2.0e-6, 500.0e-6, true),   // w5
-    (0.18e-6, 1.5e-6, true),    // l5
-    (2.0e-6, 1000.0e-6, true),  // w6
-    (0.18e-6, 1.0e-6, true),    // l6
-    (2.0e-6, 500.0e-6, true),   // w7
-    (0.18e-6, 1.0e-6, true),    // l7
-    (2.0e-6, 500.0e-6, true),   // itail (A)
-    (0.1e-12, 6.0e-12, true),   // cc
-    (0.2e-12, 8.0e-12, true),   // cs
-    (0.2e-12, 8.0e-12, true),   // cf
+    (1.0e-6, 400.0e-6, true),        // w1
+    (0.18e-6, 1.5e-6, true),         // l1
+    (1.0e-6, 400.0e-6, true),        // w3
+    (0.18e-6, 1.5e-6, true),         // l3
+    (2.0e-6, 500.0e-6, true),        // w5
+    (0.18e-6, 1.5e-6, true),         // l5
+    (2.0e-6, 1000.0e-6, true),       // w6
+    (0.18e-6, 1.0e-6, true),         // l6
+    (2.0e-6, 500.0e-6, true),        // w7
+    (0.18e-6, 1.0e-6, true),         // l7
+    (2.0e-6, 500.0e-6, true),        // itail (A)
+    (0.1e-12, 6.0e-12, true),        // cc
+    (0.2e-12, 8.0e-12, true),        // cs
+    (0.2e-12, 8.0e-12, true),        // cf
     (CL_RANGE.0, CL_RANGE.1, false), // cl — linear
 ];
 

@@ -67,12 +67,12 @@ impl Spec {
                 let t = (grade - 1) as f64 / 19.0; // 0 (easy) → 1 (hard)
                 Spec {
                     name: format!("grade-{grade:02}"),
-                    dr_min_db: 88.0 + t * 10.0,        // 88 → 98 dB
-                    or_min_v: 1.2 + t * 0.3,           // 1.2 → 1.5 V
-                    st_max: (0.45 - t * 0.23) * 1e-6,  // 0.45 → 0.22 µs
+                    dr_min_db: 88.0 + t * 10.0,              // 88 → 98 dB
+                    or_min_v: 1.2 + t * 0.3,                 // 1.2 → 1.5 V
+                    st_max: (0.45 - t * 0.23) * 1e-6,        // 0.45 → 0.22 µs
                     se_max: 2.0e-3 * (1.0 - t) + 5.0e-4 * t, // 2e-3 → 5e-4
-                    robustness_min: 0.70 + t * 0.20,   // 0.70 → 0.90
-                    area_max: (0.15 - t * 0.08) * 1e-6, // 0.15 → 0.07 mm²
+                    robustness_min: 0.70 + t * 0.20,         // 0.70 → 0.90
+                    area_max: (0.15 - t * 0.08) * 1e-6,      // 0.15 → 0.07 mm²
                     sat_margin_min: 0.03 + t * 0.02,
                 }
             })

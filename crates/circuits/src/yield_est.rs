@@ -43,10 +43,30 @@ pub fn sample_plan() -> Vec<SamplePoint> {
         .collect();
     let mm = 0.012;
     let dk = 0.06;
-    plan.push(SamplePoint { corner: Corner::Tt, dvt_n: mm, dvt_p: -mm, dkp: -dk });
-    plan.push(SamplePoint { corner: Corner::Tt, dvt_n: -mm, dvt_p: mm, dkp: dk });
-    plan.push(SamplePoint { corner: Corner::Tt, dvt_n: mm, dvt_p: mm, dkp: -dk });
-    plan.push(SamplePoint { corner: Corner::Tt, dvt_n: -mm, dvt_p: -mm, dkp: dk });
+    plan.push(SamplePoint {
+        corner: Corner::Tt,
+        dvt_n: mm,
+        dvt_p: -mm,
+        dkp: -dk,
+    });
+    plan.push(SamplePoint {
+        corner: Corner::Tt,
+        dvt_n: -mm,
+        dvt_p: mm,
+        dkp: dk,
+    });
+    plan.push(SamplePoint {
+        corner: Corner::Tt,
+        dvt_n: mm,
+        dvt_p: mm,
+        dkp: -dk,
+    });
+    plan.push(SamplePoint {
+        corner: Corner::Tt,
+        dvt_n: -mm,
+        dvt_p: -mm,
+        dkp: dk,
+    });
     plan
 }
 
@@ -89,12 +109,7 @@ pub fn robustness_detailed(
 }
 
 /// Robustness of a design (just the fraction). See [`robustness_detailed`].
-pub fn robustness(
-    dv: &DesignVector,
-    nominal: &Process,
-    clock: &ClockContext,
-    spec: &Spec,
-) -> f64 {
+pub fn robustness(dv: &DesignVector, nominal: &Process, clock: &ClockContext, spec: &Spec) -> f64 {
     robustness_detailed(dv, nominal, clock, spec).0
 }
 

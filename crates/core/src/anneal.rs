@@ -62,8 +62,7 @@ impl AnnealingSchedule {
             return self.t_init.powf(1.0 - self.k3);
         }
         let e = elapsed.min(self.span) as f64;
-        self.t_init
-            * (-self.k3 * self.t_init.ln() / self.span as f64 * e).exp()
+        self.t_init * (-self.k3 * self.t_init.ln() / self.span as f64 * e).exp()
     }
 }
 
@@ -172,11 +171,7 @@ impl ProbabilityShaper {
     ///
     /// Returns [`OptimizeError::InvalidConfig`] unless
     /// `0 < p_mid_last < p_mid_first < 1`, `p_mid_last < p_end_last < 1`.
-    pub fn new(
-        p_mid_first: f64,
-        p_mid_last: f64,
-        p_end_last: f64,
-    ) -> Result<Self, OptimizeError> {
+    pub fn new(p_mid_first: f64, p_mid_last: f64, p_end_last: f64) -> Result<Self, OptimizeError> {
         let in_unit = |p: f64| p > 0.0 && p < 1.0;
         if !in_unit(p_mid_first) || !in_unit(p_mid_last) || !in_unit(p_end_last) {
             return Err(OptimizeError::invalid_config(

@@ -15,6 +15,7 @@
 //! island's best individuals. Compare against SACGA with the
 //! `ablation_competition_modes` harness or your own experiments.
 
+use engine::{EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine};
 use moea::individual::Individual;
 use moea::operators::{random_vector, Variation};
 use moea::problem::Problem;
@@ -34,6 +35,7 @@ pub struct IslandConfig {
     migration_interval: usize,
     migrants: usize,
     variation: Option<Variation>,
+    engine: EngineConfig,
 }
 
 impl IslandConfig {
@@ -67,6 +69,7 @@ pub struct IslandConfigBuilder {
     migration_interval: usize,
     migrants: usize,
     variation: Option<Variation>,
+    engine: EngineConfig,
 }
 
 impl Default for IslandConfigBuilder {
@@ -78,6 +81,7 @@ impl Default for IslandConfigBuilder {
             migration_interval: 20,
             migrants: 2,
             variation: None,
+            engine: EngineConfig::default(),
         }
     }
 }
@@ -116,6 +120,25 @@ impl IslandConfigBuilder {
     /// Overrides the variation operators.
     pub fn variation(mut self, v: Variation) -> Self {
         self.variation = Some(v);
+        self
+    }
+
+    /// Selects the candidate-evaluation strategy (default: serial).
+    pub fn evaluator(mut self, evaluator: impl Into<EvaluatorKind>) -> Self {
+        self.engine = self.engine.evaluator(evaluator);
+        self
+    }
+
+    /// Enables evaluation memoization with room for `capacity` entries
+    /// (default: disabled).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.engine = self.engine.cache_capacity(capacity);
+        self
+    }
+
+    /// Sets the memoization quantization grid (must be positive).
+    pub fn cache_grid(mut self, grid: f64) -> Self {
+        self.engine = self.engine.cache_grid(grid);
         self
     }
 
@@ -169,6 +192,7 @@ impl IslandConfigBuilder {
             migration_interval: self.migration_interval,
             migrants: self.migrants,
             variation: self.variation,
+            engine: self.engine,
         })
     }
 }
@@ -186,6 +210,8 @@ pub struct IslandResult {
     pub generations: usize,
     /// Migration events performed.
     pub migrations: usize,
+    /// Evaluation-engine instrumentation (batching, caching, timing).
+    pub stats: EngineStats,
 }
 
 impl IslandResult {
@@ -231,7 +257,10 @@ impl<P: Problem> IslandGa<P> {
     /// # Errors
     ///
     /// Propagates problem-definition errors discovered at start-up.
-    pub fn run_seeded(&self, seed: u64) -> Result<IslandResult, OptimizeError> {
+    pub fn run_seeded(&self, seed: u64) -> Result<IslandResult, OptimizeError>
+    where
+        P: Sync,
+    {
         let mut rng = StdRng::seed_from_u64(seed);
         if self.problem.num_objectives() == 0 {
             return Err(OptimizeError::invalid_problem(
@@ -244,19 +273,23 @@ impl<P: Problem> IslandGa<P> {
             .variation
             .unwrap_or_else(|| Variation::standard(bounds.len()));
         let per_island = self.config.population_size / self.config.islands;
-        let mut evaluations = 0usize;
+        // One shared engine: the memoization cache spans the archipelago.
+        let mut exec: ExecutionEngine<moea::Evaluation> =
+            ExecutionEngine::new(self.config.engine.clone());
+        let eval_fn = |genes: &[f64]| self.problem.evaluate(genes);
 
+        // Draw every island's genes first (sole RNG consumer), then
+        // batch-evaluate the whole archipelago in one engine call.
+        let init_genes: Vec<Vec<f64>> = (0..self.config.islands * per_island)
+            .map(|_| random_vector(&mut rng, &bounds))
+            .collect();
+        let init_evals = exec.evaluate_batch(&init_genes, &eval_fn);
+        let mut members = init_genes
+            .into_iter()
+            .zip(init_evals)
+            .map(|(genes, ev)| Individual::new(genes, ev));
         let mut islands: Vec<Vec<Individual>> = (0..self.config.islands)
-            .map(|_| {
-                (0..per_island)
-                    .map(|_| {
-                        let genes = random_vector(&mut rng, &bounds);
-                        let ev = self.problem.evaluate(&genes);
-                        evaluations += 1;
-                        Individual::new(genes, ev)
-                    })
-                    .collect()
-            })
+            .map(|_| members.by_ref().take(per_island).collect())
             .collect();
         self.problem.check_evaluation(&islands[0][0].evaluation)?;
         for isl in &mut islands {
@@ -268,21 +301,23 @@ impl<P: Problem> IslandGa<P> {
             // Independent evolution on each island (µ+λ with crowded
             // tournament parents).
             for isl in islands.iter_mut() {
-                let mut offspring = Vec::with_capacity(per_island);
-                while offspring.len() < per_island {
+                let mut child_genes: Vec<Vec<f64>> = Vec::with_capacity(per_island);
+                while child_genes.len() < per_island {
                     let pa = binary_tournament(&mut rng, isl);
                     let pb = binary_tournament(&mut rng, isl);
                     let (c1, c2) =
                         variation.offspring(&mut rng, &isl[pa].genes, &isl[pb].genes, &bounds);
-                    for genes in [c1, c2] {
-                        if offspring.len() >= per_island {
-                            break;
-                        }
-                        let ev = self.problem.evaluate(&genes);
-                        evaluations += 1;
-                        offspring.push(Individual::new(genes, ev));
+                    child_genes.push(c1);
+                    if child_genes.len() < per_island {
+                        child_genes.push(c2);
                     }
                 }
+                let evals = exec.evaluate_batch(&child_genes, &eval_fn);
+                let offspring: Vec<Individual> = child_genes
+                    .into_iter()
+                    .zip(evals)
+                    .map(|(genes, ev)| Individual::new(genes, ev))
+                    .collect();
                 let mut combined = std::mem::take(isl);
                 combined.extend(offspring);
                 *isl = environmental_selection(combined, per_island);
@@ -294,8 +329,7 @@ impl<P: Problem> IslandGa<P> {
                 let k = islands.len();
                 let mut outgoing: Vec<Vec<Individual>> = Vec::with_capacity(k);
                 for isl in &islands {
-                    let rank0: Vec<&Individual> =
-                        isl.iter().filter(|m| m.rank == 0).collect();
+                    let rank0: Vec<&Individual> = isl.iter().filter(|m| m.rank == 0).collect();
                     let mut picks = Vec::with_capacity(self.config.migrants);
                     for _ in 0..self.config.migrants {
                         let src = if rank0.is_empty() {
@@ -325,12 +359,14 @@ impl<P: Problem> IslandGa<P> {
             .filter(|m| m.rank == 0 && m.is_feasible())
             .cloned()
             .collect();
+        let stats = exec.into_stats();
         Ok(IslandResult {
             population,
             front,
-            evaluations,
+            evaluations: stats.evaluations as usize,
             generations: self.config.generations,
             migrations,
+            stats,
         })
     }
 }
@@ -359,7 +395,10 @@ mod tests {
             .islands(5)
             .build()
             .is_err());
-        assert!(IslandConfig::builder().migration_interval(0).build().is_err());
+        assert!(IslandConfig::builder()
+            .migration_interval(0)
+            .build()
+            .is_err());
         assert!(IslandConfig::builder()
             .population_size(20)
             .islands(2)

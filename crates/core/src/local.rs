@@ -45,7 +45,10 @@ impl<P: Problem> LocalCompetitionGa<P> {
     /// # Errors
     ///
     /// Propagates problem-definition errors discovered at start-up.
-    pub fn run_seeded(&self, seed: u64) -> Result<SacgaResult, OptimizeError> {
+    pub fn run_seeded(&self, seed: u64) -> Result<SacgaResult, OptimizeError>
+    where
+        P: Sync,
+    {
         self.inner.run_seeded(seed)
     }
 
@@ -56,6 +59,7 @@ impl<P: Problem> LocalCompetitionGa<P> {
     /// Propagates problem-definition errors discovered at start-up.
     pub fn run_observed<F>(&self, seed: u64, observer: F) -> Result<SacgaResult, OptimizeError>
     where
+        P: Sync,
         F: FnMut(usize, &[moea::individual::Individual]),
     {
         self.inner.run_observed(seed, observer)
@@ -109,6 +113,24 @@ impl LocalCompetitionGaBuilder {
     /// Chooses the partitioned objective.
     pub fn slice_objective(mut self, k: usize) -> Self {
         self.inner = self.inner.slice_objective(k);
+        self
+    }
+
+    /// Selects the candidate-evaluation strategy (default: serial).
+    pub fn evaluator(mut self, evaluator: impl Into<engine::EvaluatorKind>) -> Self {
+        self.inner = self.inner.evaluator(evaluator);
+        self
+    }
+
+    /// Enables evaluation memoization with room for `capacity` entries.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.inner = self.inner.cache_capacity(capacity);
+        self
+    }
+
+    /// Sets the memoization quantization grid (must be positive).
+    pub fn cache_grid(mut self, grid: f64) -> Self {
+        self.inner = self.inner.cache_grid(grid);
         self
     }
 

@@ -73,6 +73,7 @@ pub struct MesacgaConfigBuilder {
     slice_objective: usize,
     slice_range: Option<(f64, f64)>,
     variation: Option<moea::operators::Variation>,
+    engine: engine::EngineConfig,
 }
 
 impl Default for MesacgaConfigBuilder {
@@ -87,6 +88,7 @@ impl Default for MesacgaConfigBuilder {
             slice_objective: 0,
             slice_range: None,
             variation: None,
+            engine: engine::EngineConfig::default(),
         }
     }
 }
@@ -161,6 +163,25 @@ impl MesacgaConfigBuilder {
         self
     }
 
+    /// Selects the candidate-evaluation strategy (default: serial).
+    pub fn evaluator(mut self, evaluator: impl Into<engine::EvaluatorKind>) -> Self {
+        self.engine = self.engine.evaluator(evaluator);
+        self
+    }
+
+    /// Enables evaluation memoization with room for `capacity` entries
+    /// (default: disabled).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.engine = self.engine.cache_capacity(capacity);
+        self
+    }
+
+    /// Sets the memoization quantization grid (must be positive).
+    pub fn cache_grid(mut self, grid: f64) -> Self {
+        self.engine = self.engine.cache_grid(grid);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -205,7 +226,8 @@ impl MesacgaConfigBuilder {
         if let Some(v) = self.variation {
             base_builder = base_builder.variation(v);
         }
-        let base = base_builder.build()?;
+        let mut base = base_builder.build()?;
+        base.engine = self.engine;
         Ok(MesacgaConfig {
             base,
             phases: self.phases,
@@ -241,7 +263,10 @@ impl<P: Problem> Mesacga<P> {
     /// # Errors
     ///
     /// Propagates problem-definition errors discovered at start-up.
-    pub fn run_seeded(&self, seed: u64) -> Result<MesacgaResult, OptimizeError> {
+    pub fn run_seeded(&self, seed: u64) -> Result<MesacgaResult, OptimizeError>
+    where
+        P: Sync,
+    {
         self.run_observed(seed, |_, _| {})
     }
 
@@ -257,6 +282,7 @@ impl<P: Problem> Mesacga<P> {
         mut observer: F,
     ) -> Result<MesacgaResult, OptimizeError>
     where
+        P: Sync,
         F: FnMut(usize, &[Individual]),
     {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -153,9 +153,8 @@ pub struct PartitionedPopulation {
 impl PartitionedPopulation {
     /// Distributes `individuals` over the grid's partitions.
     pub fn distribute(grid: PartitionGrid, individuals: Vec<Individual>) -> Self {
-        let mut members: Vec<Vec<Individual>> = (0..grid.partition_count())
-            .map(|_| Vec::new())
-            .collect();
+        let mut members: Vec<Vec<Individual>> =
+            (0..grid.partition_count()).map(|_| Vec::new()).collect();
         for ind in individuals {
             let p = grid.partition_of(ind.objectives());
             members[p].push(ind);

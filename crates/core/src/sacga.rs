@@ -21,12 +21,13 @@
 
 use crate::anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
 use crate::partition::{PartitionGrid, PartitionedPopulation};
+use engine::{EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine};
 use moea::individual::Individual;
 use moea::operators::{random_vector, Variation};
 use moea::problem::Problem;
 use moea::selection::RankRoulette;
 use moea::sorting::rank_and_crowd;
-use moea::OptimizeError;
+use moea::{Evaluation, OptimizeError};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -72,6 +73,7 @@ pub struct SacgaConfig {
     pub(crate) slice_objective: usize,
     pub(crate) slice_range: Option<(f64, f64)>,
     pub(crate) mode: CompetitionMode,
+    pub(crate) engine: EngineConfig,
 }
 
 impl SacgaConfig {
@@ -94,6 +96,11 @@ impl SacgaConfig {
     pub fn partitions(&self) -> usize {
         self.partitions
     }
+
+    /// Evaluation-engine settings.
+    pub fn engine(&self) -> &EngineConfig {
+        &self.engine
+    }
 }
 
 /// Builder for [`SacgaConfig`].
@@ -110,6 +117,7 @@ pub struct SacgaConfigBuilder {
     slice_objective: usize,
     slice_range: Option<(f64, f64)>,
     mode: CompetitionMode,
+    engine: EngineConfig,
 }
 
 impl Default for SacgaConfigBuilder {
@@ -126,6 +134,7 @@ impl Default for SacgaConfigBuilder {
             slice_objective: 0,
             slice_range: None,
             mode: CompetitionMode::Annealed,
+            engine: EngineConfig::default(),
         }
     }
 }
@@ -200,6 +209,25 @@ impl SacgaConfigBuilder {
         self
     }
 
+    /// Selects the candidate-evaluation strategy (default: serial).
+    pub fn evaluator(mut self, evaluator: impl Into<EvaluatorKind>) -> Self {
+        self.engine = self.engine.evaluator(evaluator);
+        self
+    }
+
+    /// Enables evaluation memoization with room for `capacity` entries
+    /// (default: disabled).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.engine = self.engine.cache_capacity(capacity);
+        self
+    }
+
+    /// Sets the memoization quantization grid (must be positive).
+    pub fn cache_grid(mut self, grid: f64) -> Self {
+        self.engine = self.engine.cache_grid(grid);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -261,6 +289,7 @@ impl SacgaConfigBuilder {
             slice_objective: self.slice_objective,
             slice_range: self.slice_range,
             mode: self.mode,
+            engine: self.engine,
         })
     }
 }
@@ -280,6 +309,8 @@ pub struct SacgaResult {
     pub gen_t: usize,
     /// Per-generation statistics.
     pub history: Vec<GenerationStats>,
+    /// Evaluation-engine instrumentation (batching, caching, timing).
+    pub stats: EngineStats,
 }
 
 impl SacgaResult {
@@ -307,7 +338,10 @@ impl<P: Problem> Sacga<P> {
     /// # Errors
     ///
     /// Propagates problem-definition errors discovered at start-up.
-    pub fn run_seeded(&self, seed: u64) -> Result<SacgaResult, OptimizeError> {
+    pub fn run_seeded(&self, seed: u64) -> Result<SacgaResult, OptimizeError>
+    where
+        P: Sync,
+    {
         self.run_observed(seed, |_, _| {})
     }
 
@@ -319,6 +353,7 @@ impl<P: Problem> Sacga<P> {
     /// Propagates problem-definition errors discovered at start-up.
     pub fn run_observed<F>(&self, seed: u64, mut observer: F) -> Result<SacgaResult, OptimizeError>
     where
+        P: Sync,
         F: FnMut(usize, &[Individual]),
     {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -360,15 +395,15 @@ pub(crate) struct Engine<'p, P: Problem> {
     config: &'p SacgaConfig,
     pub(crate) pop: PartitionedPopulation,
     pub(crate) gen: usize,
-    pub(crate) evaluations: usize,
     pub(crate) history: Vec<GenerationStats>,
     variation: Variation,
     roulette: RankRoulette,
+    exec: ExecutionEngine<Evaluation>,
     /// Flattened population after the last generation (for observers).
     pub(crate) flat_cache: Vec<Individual>,
 }
 
-impl<'p, P: Problem> Engine<'p, P> {
+impl<'p, P: Problem + Sync> Engine<'p, P> {
     /// Initializes the population and the partition grid.
     pub(crate) fn start(
         problem: &'p P,
@@ -391,23 +426,24 @@ impl<'p, P: Problem> Engine<'p, P> {
             ));
         }
         let bounds = problem.bounds().clone();
-        let mut evaluations = 0usize;
-        let initial: Vec<Individual> = (0..config.population_size)
-            .map(|_| {
-                let genes = random_vector(rng, &bounds);
-                let ev = problem.evaluate(&genes);
-                evaluations += 1;
-                Individual::new(genes, ev)
-            })
+        let mut exec = ExecutionEngine::new(config.engine.clone());
+        let init_genes: Vec<Vec<f64>> = (0..config.population_size)
+            .map(|_| random_vector(rng, &bounds))
+            .collect();
+        let init_evals = exec.evaluate_batch(&init_genes, &|genes| problem.evaluate(genes));
+        let initial: Vec<Individual> = init_genes
+            .into_iter()
+            .zip(init_evals)
+            .map(|(genes, ev)| Individual::new(genes, ev))
             .collect();
         problem.check_evaluation(&initial[0].evaluation)?;
         let grid = match config.slice_range {
-            Some((lo, hi)) => PartitionGrid::new(config.slice_objective, lo, hi, config.partitions)?,
-            None => PartitionGrid::from_population(
-                config.slice_objective,
-                &initial,
-                config.partitions,
-            )?,
+            Some((lo, hi)) => {
+                PartitionGrid::new(config.slice_objective, lo, hi, config.partitions)?
+            }
+            None => {
+                PartitionGrid::from_population(config.slice_objective, &initial, config.partitions)?
+            }
         };
         let mut pop = PartitionedPopulation::distribute(grid, initial);
         pop.rank_locally();
@@ -429,10 +465,10 @@ impl<'p, P: Problem> Engine<'p, P> {
             config,
             pop,
             gen: 0,
-            evaluations,
             history,
             variation,
             roulette: RankRoulette::new(config.roulette_decay),
+            exec,
             flat_cache,
         })
     }
@@ -497,8 +533,7 @@ impl<'p, P: Problem> Engine<'p, P> {
 
         // --- Global rank revision of the promoted candidates.
         if !promoted.is_empty() {
-            let mut arena: Vec<Individual> =
-                promoted.iter().map(|&i| flat[i].clone()).collect();
+            let mut arena: Vec<Individual> = promoted.iter().map(|&i| flat[i].clone()).collect();
             rank_and_crowd(&mut arena);
             for (slot, &i) in promoted.iter().enumerate() {
                 flat[i].rank = arena[slot].rank;
@@ -518,34 +553,37 @@ impl<'p, P: Problem> Engine<'p, P> {
 
     fn make_offspring(&mut self, rng: &mut StdRng, flat: &[Individual]) -> Vec<Individual> {
         let n = self.config.population_size;
-        let bounds = self.problem.bounds();
-        let mut offspring = Vec::with_capacity(n);
+        let problem = self.problem;
+        let bounds = problem.bounds();
+        // Draw the full gene batch first (the only RNG consumer), then
+        // evaluate it in one engine call.
+        let mut child_genes: Vec<Vec<f64>> = Vec::with_capacity(n);
         if flat.is_empty() {
             // Degenerate: reseed randomly.
-            while offspring.len() < n {
-                let genes = random_vector(rng, bounds);
-                let ev = self.problem.evaluate(&genes);
-                self.evaluations += 1;
-                offspring.push(Individual::new(genes, ev));
+            while child_genes.len() < n {
+                child_genes.push(random_vector(rng, bounds));
             }
-            return offspring;
-        }
-        while offspring.len() < n {
-            let pa = self.roulette.select(rng, flat);
-            let pb = self.roulette.select(rng, flat);
-            let (c1, c2) = self
-                .variation
-                .offspring(rng, &flat[pa].genes, &flat[pb].genes, bounds);
-            for genes in [c1, c2] {
-                if offspring.len() >= n {
-                    break;
+        } else {
+            while child_genes.len() < n {
+                let pa = self.roulette.select(rng, flat);
+                let pb = self.roulette.select(rng, flat);
+                let (c1, c2) =
+                    self.variation
+                        .offspring(rng, &flat[pa].genes, &flat[pb].genes, bounds);
+                child_genes.push(c1);
+                if child_genes.len() < n {
+                    child_genes.push(c2);
                 }
-                let ev = self.problem.evaluate(&genes);
-                self.evaluations += 1;
-                offspring.push(Individual::new(genes, ev));
             }
         }
-        offspring
+        let evals = self
+            .exec
+            .evaluate_batch(&child_genes, &|genes| problem.evaluate(genes));
+        child_genes
+            .into_iter()
+            .zip(evals)
+            .map(|(genes, ev)| Individual::new(genes, ev))
+            .collect()
     }
 
     fn record(&mut self, phase: u8, temperature: f64, promoted: usize) {
@@ -571,13 +609,15 @@ impl<'p, P: Problem> Engine<'p, P> {
             .filter(|m| m.rank == 0 && m.is_feasible())
             .cloned()
             .collect();
+        let stats = self.exec.into_stats();
         SacgaResult {
             population,
             front,
-            evaluations: self.evaluations,
+            evaluations: stats.evaluations as usize,
             generations: self.gen,
             gen_t,
             history: self.history,
+            stats,
         }
     }
 }
@@ -604,14 +644,19 @@ mod tests {
         assert!(SacgaConfig::builder().partitions(0).build().is_err());
         assert!(SacgaConfig::builder().n_superior(1).build().is_err());
         assert!(SacgaConfig::builder().roulette_decay(0.0).build().is_err());
-        assert!(SacgaConfig::builder().slice_range(2.0, 1.0).build().is_err());
+        assert!(SacgaConfig::builder()
+            .slice_range(2.0, 1.0)
+            .build()
+            .is_err());
         assert!(SacgaConfig::builder().build().is_ok());
     }
 
     #[test]
     fn runs_deterministically_per_seed() {
         let cfg = small_config(30, 6);
-        let a = Sacga::new(Schaffer::new(), cfg.clone()).run_seeded(5).unwrap();
+        let a = Sacga::new(Schaffer::new(), cfg.clone())
+            .run_seeded(5)
+            .unwrap();
         let b = Sacga::new(Schaffer::new(), cfg).run_seeded(5).unwrap();
         assert_eq!(a.front_objectives(), b.front_objectives());
         assert_eq!(a.evaluations, b.evaluations);
@@ -627,10 +672,7 @@ mod tests {
         use moea::dominance::{dominates, Dominance};
         for a in &r.front {
             for b in &r.front {
-                assert_ne!(
-                    dominates(a.objectives(), b.objectives()),
-                    Dominance::First
-                );
+                assert_ne!(dominates(a.objectives(), b.objectives()), Dominance::First);
             }
         }
     }
@@ -692,8 +734,7 @@ mod tests {
             .build()
             .unwrap();
         let r = Sacga::new(Zdt1::new(6), cfg).run_seeded(7).unwrap();
-        let phase2: Vec<&GenerationStats> =
-            r.history.iter().filter(|h| h.phase == 2).collect();
+        let phase2: Vec<&GenerationStats> = r.history.iter().filter(|h| h.phase == 2).collect();
         assert!(phase2.len() > 10);
         let early: usize = phase2[..5].iter().map(|h| h.promoted).sum();
         let late: usize = phase2[phase2.len() - 5..].iter().map(|h| h.promoted).sum();

@@ -1,0 +1,234 @@
+//! The execution engine: cache lookup, evaluation fan-out, stats.
+
+use crate::cache::{CacheConfig, MemoCache};
+use crate::evaluator::EvaluatorKind;
+use crate::stats::EngineStats;
+use std::time::Instant;
+
+/// Configuration of an [`ExecutionEngine`].
+///
+/// The default — serial evaluation, no cache — reproduces the behavior of
+/// the original inline run loops exactly, evaluation for evaluation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EngineConfig {
+    /// Fan-out strategy for each batch.
+    pub evaluator: EvaluatorKind,
+    /// Memoization cache settings (capacity `0` disables caching).
+    pub cache: CacheConfig,
+}
+
+impl EngineConfig {
+    /// Selects the evaluation strategy; accepts an [`EvaluatorKind`] or a
+    /// concrete strategy such as
+    /// [`ParallelEvaluator`](crate::ParallelEvaluator).
+    pub fn evaluator(mut self, evaluator: impl Into<EvaluatorKind>) -> Self {
+        self.evaluator = evaluator.into();
+        self
+    }
+
+    /// Enables memoization with room for `capacity` entries (`0`
+    /// disables it).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache.capacity = capacity;
+        self
+    }
+
+    /// Sets the cache quantization grid (must be positive and finite).
+    pub fn cache_grid(mut self, grid: f64) -> Self {
+        self.cache = self.cache.grid(grid);
+        self
+    }
+}
+
+/// Owns candidate evaluation for one optimizer run: consults the
+/// memoization cache, fans misses out through the configured evaluator,
+/// and accumulates [`EngineStats`].
+#[derive(Debug)]
+pub struct ExecutionEngine<T> {
+    config: EngineConfig,
+    cache: MemoCache<T>,
+    stats: EngineStats,
+}
+
+impl<T: Clone + Send> ExecutionEngine<T> {
+    /// Builds an engine from its configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let cache = MemoCache::new(config.cache.clone());
+        ExecutionEngine {
+            config,
+            cache,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The configuration this engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Consumes the engine, returning its accumulated statistics.
+    pub fn into_stats(self) -> EngineStats {
+        self.stats
+    }
+
+    /// Evaluates a batch of gene vectors, returning results in input
+    /// order.
+    ///
+    /// With caching enabled, previously seen candidates (and duplicates
+    /// within the batch) are answered from the cache; only genuinely new
+    /// candidates reach `eval`. Without a cache this is a pure fan-out
+    /// through the configured evaluator.
+    pub fn evaluate_batch<F>(&mut self, batch: &[Vec<f64>], eval: &F) -> Vec<T>
+    where
+        F: Fn(&[f64]) -> T + Sync,
+    {
+        self.stats.candidates += batch.len() as u64;
+        self.stats.batches += 1;
+        self.stats.max_batch = self.stats.max_batch.max(batch.len() as u64);
+
+        if self.config.cache.capacity == 0 {
+            self.stats.evaluations += batch.len() as u64;
+            let t0 = Instant::now();
+            let out = self.config.evaluator.eval_batch(eval, batch);
+            self.stats.eval_time += t0.elapsed();
+            return out;
+        }
+
+        // Resolve each candidate to a cached result or a miss slot. A
+        // candidate whose key already appeared earlier in this batch is
+        // also a hit: it aliases the earlier miss's future result.
+        let mut resolved: Vec<Option<T>> = Vec::with_capacity(batch.len());
+        resolved.resize_with(batch.len(), || None);
+        let mut miss_genes: Vec<Vec<f64>> = Vec::new();
+        let mut miss_keys: Vec<Vec<i64>> = Vec::new();
+        // position in batch -> index into miss_genes
+        let mut miss_of: Vec<Option<usize>> = vec![None; batch.len()];
+        let mut pending: std::collections::HashMap<Vec<i64>, usize> =
+            std::collections::HashMap::new();
+
+        for (i, genes) in batch.iter().enumerate() {
+            let key = self.cache.key_of(genes);
+            if let Some(value) = self.cache.get(&key) {
+                self.stats.cache_hits += 1;
+                resolved[i] = Some(value);
+            } else if let Some(&m) = pending.get(&key) {
+                self.stats.cache_hits += 1;
+                miss_of[i] = Some(m);
+            } else {
+                let m = miss_genes.len();
+                miss_genes.push(genes.clone());
+                pending.insert(key.clone(), m);
+                miss_keys.push(key);
+                miss_of[i] = Some(m);
+            }
+        }
+
+        self.stats.evaluations += miss_genes.len() as u64;
+        let t0 = Instant::now();
+        let miss_results = self.config.evaluator.eval_batch(eval, &miss_genes);
+        self.stats.eval_time += t0.elapsed();
+
+        for (key, value) in miss_keys.into_iter().zip(miss_results.iter()) {
+            self.cache.insert(key, value.clone());
+        }
+
+        resolved
+            .into_iter()
+            .zip(miss_of)
+            .map(|(hit, miss)| match (hit, miss) {
+                (Some(v), _) => v,
+                (None, Some(m)) => miss_results[m].clone(),
+                (None, None) => unreachable!("every candidate is a hit or a miss"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn counted_sum(calls: &AtomicU64) -> impl Fn(&[f64]) -> f64 + Sync + '_ {
+        move |genes: &[f64]| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            genes.iter().sum()
+        }
+    }
+
+    #[test]
+    fn uncached_engine_evaluates_everything() {
+        let calls = AtomicU64::new(0);
+        let mut engine: ExecutionEngine<f64> = ExecutionEngine::new(EngineConfig::default());
+        let batch = vec![vec![1.0], vec![1.0], vec![2.0]];
+        let out = engine.evaluate_batch(&batch, &counted_sum(&calls));
+        assert_eq!(out, vec![1.0, 1.0, 2.0]);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(engine.stats().candidates, 3);
+        assert_eq!(engine.stats().evaluations, 3);
+        assert_eq!(engine.stats().cache_hits, 0);
+        assert_eq!(engine.stats().batches, 1);
+        assert_eq!(engine.stats().max_batch, 3);
+    }
+
+    #[test]
+    fn cache_serves_repeats_across_batches() {
+        let calls = AtomicU64::new(0);
+        let mut engine: ExecutionEngine<f64> =
+            ExecutionEngine::new(EngineConfig::default().cache_capacity(16));
+        let f = counted_sum(&calls);
+        let b1 = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let b2 = vec![vec![3.0, 4.0], vec![5.0, 6.0]];
+        assert_eq!(engine.evaluate_batch(&b1, &f), vec![3.0, 7.0]);
+        assert_eq!(engine.evaluate_batch(&b2, &f), vec![7.0, 11.0]);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(engine.stats().evaluations, 3);
+        assert_eq!(engine.stats().candidates, 4);
+        assert!((engine.stats().hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_batch_duplicates_evaluate_once() {
+        let calls = AtomicU64::new(0);
+        let mut engine: ExecutionEngine<f64> =
+            ExecutionEngine::new(EngineConfig::default().cache_capacity(16));
+        let batch = vec![vec![1.0], vec![1.0], vec![1.0], vec![2.0]];
+        let out = engine.evaluate_batch(&batch, &counted_sum(&calls));
+        assert_eq!(out, vec![1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(engine.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn parallel_cached_engine_matches_serial() {
+        let serial_cfg = EngineConfig::default().cache_capacity(8);
+        let parallel_cfg = serial_cfg.clone().evaluator(EvaluatorKind::Parallel);
+        let mut serial: ExecutionEngine<f64> = ExecutionEngine::new(serial_cfg);
+        let mut parallel: ExecutionEngine<f64> = ExecutionEngine::new(parallel_cfg);
+        let f = |genes: &[f64]| genes.iter().map(|x| x * x).sum::<f64>();
+        let batch: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 10) as f64, 0.5]).collect();
+        assert_eq!(
+            serial.evaluate_batch(&batch, &f),
+            parallel.evaluate_batch(&batch, &f)
+        );
+        assert_eq!(serial.stats().evaluations, parallel.stats().evaluations);
+        assert_eq!(serial.stats().cache_hits, parallel.stats().cache_hits);
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let cfg = EngineConfig::default()
+            .evaluator(crate::ParallelEvaluator::with_threads(2))
+            .cache_capacity(64)
+            .cache_grid(1e-6);
+        assert_eq!(cfg.evaluator, EvaluatorKind::ParallelWith(2));
+        assert_eq!(cfg.cache.capacity, 64);
+        assert_eq!(cfg.cache.grid, 1e-6);
+    }
+}

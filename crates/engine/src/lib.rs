@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! Batched candidate evaluation for the genetic optimizers.
+//!
+//! Every run loop in this workspace — NSGA-II, SACGA, MESACGA, the
+//! local-competition GA and the island model — ultimately does the same
+//! thing: produce a batch of candidate gene vectors, evaluate each one
+//! against a (potentially expensive) circuit model, and feed the results
+//! back into selection. This crate owns that evaluation step end-to-end:
+//!
+//! * [`Evaluator`] — the fan-out strategy. [`SerialEvaluator`] evaluates
+//!   in a plain loop; [`ParallelEvaluator`] spreads a batch across scoped
+//!   OS threads while preserving input order, so a seeded run produces
+//!   bit-for-bit identical results under either evaluator.
+//! * [`MemoCache`] — an LRU memoization cache keyed by gene vectors
+//!   quantized to a configurable grid, so re-visited (or near-identical)
+//!   candidates skip the expensive model call.
+//! * [`EngineStats`] — per-run instrumentation: candidates seen, model
+//!   evaluations actually performed, cache hits, batch counts and sizes,
+//!   and wall-clock time spent inside evaluation.
+//! * [`ExecutionEngine`] — ties the three together behind one
+//!   [`evaluate_batch`](ExecutionEngine::evaluate_batch) call, configured
+//!   by an [`EngineConfig`].
+//!
+//! The crate is deliberately dependency-free and generic over the
+//! evaluation closure (`Fn(&[f64]) -> T`), so it sits below the `moea`
+//! crate in the dependency graph and knows nothing about `Problem` or
+//! `Evaluation` types.
+//!
+//! # Example
+//!
+//! ```
+//! use engine::{EngineConfig, EvaluatorKind, ExecutionEngine};
+//!
+//! let config = EngineConfig::default()
+//!     .evaluator(EvaluatorKind::Parallel)
+//!     .cache_capacity(1024);
+//! let mut engine: ExecutionEngine<f64> = ExecutionEngine::new(config);
+//!
+//! let batch: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![1.0, 2.0]];
+//! let out = engine.evaluate_batch(&batch, &|genes: &[f64]| genes.iter().sum::<f64>());
+//!
+//! assert_eq!(out, vec![3.0, 7.0, 3.0]);
+//! // The duplicate candidate was served from the cache:
+//! assert_eq!(engine.stats().candidates, 3);
+//! assert_eq!(engine.stats().evaluations, 2);
+//! assert_eq!(engine.stats().cache_hits, 1);
+//! ```
+
+mod cache;
+mod engine;
+mod evaluator;
+mod stats;
+
+pub use cache::{CacheConfig, MemoCache};
+pub use engine::{EngineConfig, ExecutionEngine};
+pub use evaluator::{Evaluator, EvaluatorKind, ParallelEvaluator, SerialEvaluator};
+pub use stats::EngineStats;

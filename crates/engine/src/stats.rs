@@ -1,0 +1,109 @@
+//! Run-level instrumentation of the evaluation engine.
+
+use std::time::Duration;
+
+/// Counters and timings accumulated across every batch an
+/// [`ExecutionEngine`](crate::ExecutionEngine) processes during a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineStats {
+    /// Candidate gene vectors submitted for evaluation.
+    pub candidates: u64,
+    /// Model evaluations actually performed (candidates minus cache
+    /// hits).
+    pub evaluations: u64,
+    /// Candidates answered from the memoization cache (including
+    /// duplicates within a single batch).
+    pub cache_hits: u64,
+    /// Number of batches processed.
+    pub batches: u64,
+    /// Largest single batch submitted.
+    pub max_batch: u64,
+    /// Wall-clock time spent inside the evaluation fan-out (excludes
+    /// cache bookkeeping).
+    pub eval_time: Duration,
+}
+
+impl EngineStats {
+    /// Fraction of candidates served from the cache, in `[0, 1]`;
+    /// `0` when nothing has been submitted yet.
+    pub fn hit_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.candidates as f64
+        }
+    }
+
+    /// Mean batch size; `0` before the first batch.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.candidates as f64 / self.batches as f64
+        }
+    }
+
+    /// Folds another stats block into this one (used when a run spans
+    /// several engines, e.g. one per island).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.candidates += other.candidates;
+        self.evaluations += other.evaluations;
+        self.cache_hits += other.cache_hits;
+        self.batches += other.batches;
+        self.max_batch = self.max_batch.max(other.max_batch);
+        self.eval_time += other.eval_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty() {
+        let s = EngineStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = EngineStats {
+            candidates: 10,
+            evaluations: 7,
+            cache_hits: 3,
+            batches: 2,
+            max_batch: 6,
+            eval_time: Duration::from_millis(5),
+        };
+        assert!((s.hit_rate() - 0.3).abs() < 1e-12);
+        assert!((s.mean_batch() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EngineStats {
+            candidates: 10,
+            evaluations: 8,
+            cache_hits: 2,
+            batches: 1,
+            max_batch: 10,
+            eval_time: Duration::from_millis(1),
+        };
+        let b = EngineStats {
+            candidates: 4,
+            evaluations: 4,
+            cache_hits: 0,
+            batches: 2,
+            max_batch: 12,
+            eval_time: Duration::from_millis(2),
+        };
+        a.merge(&b);
+        assert_eq!(a.candidates, 14);
+        assert_eq!(a.evaluations, 12);
+        assert_eq!(a.cache_hits, 2);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.max_batch, 12);
+        assert_eq!(a.eval_time, Duration::from_millis(3));
+    }
+}

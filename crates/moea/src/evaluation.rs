@@ -32,8 +32,16 @@ impl Evaluation {
     ///
     /// Negative violation entries are clamped to `0.0`; NaN violations are
     /// treated as maximal (`f64::INFINITY`) so that numerically broken
-    /// designs are never considered feasible.
-    pub fn new(objectives: Vec<f64>, mut constraint_violations: Vec<f64>) -> Self {
+    /// designs are never considered feasible. NaN objectives are likewise
+    /// mapped to `f64::INFINITY`: NaN compares false against everything, so
+    /// a NaN objective would otherwise make its carrier *non-dominated* and
+    /// let a numerically broken design poison the Pareto front.
+    pub fn new(mut objectives: Vec<f64>, mut constraint_violations: Vec<f64>) -> Self {
+        for o in &mut objectives {
+            if o.is_nan() {
+                *o = f64::INFINITY;
+            }
+        }
         for v in &mut constraint_violations {
             if v.is_nan() {
                 *v = f64::INFINITY;
@@ -101,7 +109,8 @@ impl ViolationBuilder {
 
     /// Requires `value >= bound`. Records a relative shortfall when violated.
     pub fn at_least(&mut self, value: f64, bound: f64) -> &mut Self {
-        self.violations.push(relative_shortfall_at_least(value, bound));
+        self.violations
+            .push(relative_shortfall_at_least(value, bound));
         self
     }
 
@@ -177,6 +186,21 @@ mod tests {
         let ev = Evaluation::new(vec![1.0], vec![f64::NAN]);
         assert!(!ev.is_feasible());
         assert!(ev.total_violation().is_infinite());
+    }
+
+    #[test]
+    fn nan_objectives_are_sanitized_to_infinity() {
+        let ev = Evaluation::new(vec![f64::NAN, 2.0], vec![]);
+        assert_eq!(ev.objectives()[0], f64::INFINITY);
+        assert_eq!(ev.objectives()[1], 2.0);
+        // An all-NaN evaluation must be dominatable, not incomparable:
+        use crate::dominance::{dominates, Dominance};
+        let broken = Evaluation::new(vec![f64::NAN, f64::NAN], vec![]);
+        let fine = Evaluation::new(vec![1.0, 1.0], vec![]);
+        assert_eq!(
+            dominates(fine.objectives(), broken.objectives()),
+            Dominance::First
+        );
     }
 
     #[test]

@@ -140,7 +140,9 @@ pub fn hypervolume_2d(points: &[[f64; 2]], ref_point: [f64; 2]) -> f64 {
     let mut pts: Vec<[f64; 2]> = points
         .iter()
         .copied()
-        .filter(|p| p[0] < ref_point[0] && p[1] < ref_point[1] && p[0].is_finite() && p[1].is_finite())
+        .filter(|p| {
+            p[0] < ref_point[0] && p[1] < ref_point[1] && p[0].is_finite() && p[1].is_finite()
+        })
         .collect();
     if pts.is_empty() {
         return 0.0;

@@ -194,7 +194,14 @@ mod tests {
     fn ind(objs: Vec<f64>, violation: f64) -> Individual {
         Individual::new(
             vec![0.0],
-            Evaluation::new(objs, if violation > 0.0 { vec![violation] } else { vec![0.0] }),
+            Evaluation::new(
+                objs,
+                if violation > 0.0 {
+                    vec![violation]
+                } else {
+                    vec![0.0]
+                },
+            ),
         )
     }
 

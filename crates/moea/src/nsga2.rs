@@ -13,6 +13,7 @@ use crate::operators::{random_vector, Variation};
 use crate::problem::Problem;
 use crate::selection::binary_tournament;
 use crate::sorting::{environmental_selection, rank_and_crowd};
+use engine::{EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,6 +23,7 @@ pub struct Nsga2Config {
     population_size: usize,
     generations: usize,
     variation: Option<Variation>,
+    engine: EngineConfig,
 }
 
 impl Nsga2Config {
@@ -39,6 +41,11 @@ impl Nsga2Config {
     pub fn generations(&self) -> usize {
         self.generations
     }
+
+    /// Evaluation-engine settings.
+    pub fn engine(&self) -> &EngineConfig {
+        &self.engine
+    }
 }
 
 /// Builder for [`Nsga2Config`].
@@ -47,6 +54,7 @@ pub struct Nsga2ConfigBuilder {
     population_size: Option<usize>,
     generations: Option<usize>,
     variation: Option<Variation>,
+    engine: EngineConfig,
 }
 
 impl Nsga2ConfigBuilder {
@@ -66,6 +74,25 @@ impl Nsga2ConfigBuilder {
     /// [`Variation::standard`] for the problem's dimension).
     pub fn variation(mut self, v: Variation) -> Self {
         self.variation = Some(v);
+        self
+    }
+
+    /// Selects the candidate-evaluation strategy (default: serial).
+    pub fn evaluator(mut self, evaluator: impl Into<EvaluatorKind>) -> Self {
+        self.engine = self.engine.evaluator(evaluator);
+        self
+    }
+
+    /// Enables evaluation memoization with room for `capacity` entries
+    /// (default: disabled).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.engine = self.engine.cache_capacity(capacity);
+        self
+    }
+
+    /// Sets the memoization quantization grid (must be positive).
+    pub fn cache_grid(mut self, grid: f64) -> Self {
+        self.engine = self.engine.cache_grid(grid);
         self
     }
 
@@ -100,6 +127,7 @@ impl Nsga2ConfigBuilder {
             population_size,
             generations,
             variation: self.variation,
+            engine: self.engine,
         })
     }
 }
@@ -116,6 +144,8 @@ pub struct RunResult {
     pub evaluations: usize,
     /// Generations actually executed.
     pub generations: usize,
+    /// Evaluation-engine instrumentation (batching, caching, timing).
+    pub stats: EngineStats,
 }
 
 impl RunResult {
@@ -170,7 +200,10 @@ impl<P: Problem> Nsga2<P> {
     /// Returns [`OptimizeError::InvalidProblem`] when the problem declares
     /// zero objectives, or an evaluation-shape error on the first
     /// evaluation.
-    pub fn run_seeded(&self, seed: u64) -> Result<RunResult, OptimizeError> {
+    pub fn run_seeded(&self, seed: u64) -> Result<RunResult, OptimizeError>
+    where
+        P: Sync,
+    {
         let mut rng = StdRng::seed_from_u64(seed);
         self.run_with_rng(&mut rng, |_, _| {})
     }
@@ -184,14 +217,20 @@ impl<P: Problem> Nsga2<P> {
     /// Same as [`run_seeded`](Nsga2::run_seeded).
     pub fn run_observed<F>(&self, seed: u64, observer: F) -> Result<RunResult, OptimizeError>
     where
+        P: Sync,
         F: FnMut(usize, &[Individual]),
     {
         let mut rng = StdRng::seed_from_u64(seed);
         self.run_with_rng(&mut rng, observer)
     }
 
-    fn run_with_rng<R: Rng, F>(&self, rng: &mut R, mut observer: F) -> Result<RunResult, OptimizeError>
+    fn run_with_rng<R: Rng, F>(
+        &self,
+        rng: &mut R,
+        mut observer: F,
+    ) -> Result<RunResult, OptimizeError>
     where
+        P: Sync,
         F: FnMut(usize, &[Individual]),
     {
         if self.problem.num_objectives() == 0 {
@@ -205,38 +244,41 @@ impl<P: Problem> Nsga2<P> {
             .variation
             .unwrap_or_else(|| Variation::standard(bounds.len()));
         let n = self.config.population_size;
-        let mut evaluations = 0usize;
+        let mut exec = ExecutionEngine::new(self.config.engine.clone());
+        let eval_fn = |genes: &[f64]| self.problem.evaluate(genes);
 
-        // Initialization.
-        let mut pop: Vec<Individual> = (0..n)
-            .map(|_| {
-                let genes = random_vector(rng, &bounds);
-                let ev = self.problem.evaluate(&genes);
-                evaluations += 1;
-                Individual::new(genes, ev)
-            })
+        // Initialization: draw all genes first (sole RNG consumer), then
+        // batch-evaluate through the engine.
+        let init_genes: Vec<Vec<f64>> = (0..n).map(|_| random_vector(rng, &bounds)).collect();
+        let init_evals = exec.evaluate_batch(&init_genes, &eval_fn);
+        let mut pop: Vec<Individual> = init_genes
+            .into_iter()
+            .zip(init_evals)
+            .map(|(genes, ev)| Individual::new(genes, ev))
             .collect();
         self.problem.check_evaluation(&pop[0].evaluation)?;
         rank_and_crowd(&mut pop);
         observer(0, &pop);
 
         for gen in 1..=self.config.generations {
-            // Offspring via crowded tournament + SBX + mutation.
-            let mut offspring: Vec<Individual> = Vec::with_capacity(n);
-            while offspring.len() < n {
+            // Offspring via crowded tournament + SBX + mutation: generate
+            // the full gene batch, then evaluate it in one engine call.
+            let mut child_genes: Vec<Vec<f64>> = Vec::with_capacity(n);
+            while child_genes.len() < n {
                 let pa = binary_tournament(rng, &pop);
                 let pb = binary_tournament(rng, &pop);
-                let (c1, c2) =
-                    variation.offspring(rng, &pop[pa].genes, &pop[pb].genes, &bounds);
-                for genes in [c1, c2] {
-                    if offspring.len() >= n {
-                        break;
-                    }
-                    let ev = self.problem.evaluate(&genes);
-                    evaluations += 1;
-                    offspring.push(Individual::new(genes, ev));
+                let (c1, c2) = variation.offspring(rng, &pop[pa].genes, &pop[pb].genes, &bounds);
+                child_genes.push(c1);
+                if child_genes.len() < n {
+                    child_genes.push(c2);
                 }
             }
+            let child_evals = exec.evaluate_batch(&child_genes, &eval_fn);
+            let offspring: Vec<Individual> = child_genes
+                .into_iter()
+                .zip(child_evals)
+                .map(|(genes, ev)| Individual::new(genes, ev))
+                .collect();
             // µ+λ environmental selection.
             let mut combined = pop;
             combined.extend(offspring);
@@ -247,11 +289,13 @@ impl<P: Problem> Nsga2<P> {
         // The reported front is the paper's semantics: one final global
         // competition on the entire (final) population.
         let front = feasible_front(&pop);
+        let stats = exec.into_stats();
         Ok(RunResult {
             population: pop,
             front,
-            evaluations,
+            evaluations: stats.evaluations as usize,
             generations: self.config.generations,
+            stats,
         })
     }
 }
@@ -276,7 +320,9 @@ mod tests {
             .generations(10)
             .build()
             .unwrap();
-        let a = Nsga2::new(Schaffer::new(), cfg.clone()).run_seeded(7).unwrap();
+        let a = Nsga2::new(Schaffer::new(), cfg.clone())
+            .run_seeded(7)
+            .unwrap();
         let b = Nsga2::new(Schaffer::new(), cfg).run_seeded(7).unwrap();
         assert_eq!(a.front_objectives(), b.front_objectives());
     }
@@ -288,7 +334,9 @@ mod tests {
             .generations(10)
             .build()
             .unwrap();
-        let a = Nsga2::new(Schaffer::new(), cfg.clone()).run_seeded(7).unwrap();
+        let a = Nsga2::new(Schaffer::new(), cfg.clone())
+            .run_seeded(7)
+            .unwrap();
         let b = Nsga2::new(Schaffer::new(), cfg).run_seeded(8).unwrap();
         assert_ne!(a.front_objectives(), b.front_objectives());
     }

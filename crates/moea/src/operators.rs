@@ -159,13 +159,15 @@ pub fn random_vector<R: Rng + ?Sized>(rng: &mut R, bounds: &Bounds) -> Vec<f64> 
         .lower()
         .iter()
         .zip(bounds.upper())
-        .map(|(&lo, &hi)| {
-            if hi > lo {
-                rng.gen_range(lo..=hi)
-            } else {
-                lo
-            }
-        })
+        .map(
+            |(&lo, &hi)| {
+                if hi > lo {
+                    rng.gen_range(lo..=hi)
+                } else {
+                    lo
+                }
+            },
+        )
         .collect()
 }
 

@@ -213,10 +213,8 @@ impl Problem for Zdt6 {
     }
     fn evaluate(&self, x: &[f64]) -> Evaluation {
         let n = x.len();
-        let f1 = 1.0
-            - (-4.0 * x[0]).exp() * (6.0 * std::f64::consts::PI * x[0]).sin().powi(6);
-        let g = 1.0
-            + 9.0 * (x[1..].iter().sum::<f64>() / (n - 1) as f64).powf(0.25);
+        let f1 = 1.0 - (-4.0 * x[0]).exp() * (6.0 * std::f64::consts::PI * x[0]).sin().powi(6);
+        let g = 1.0 + 9.0 * (x[1..].iter().sum::<f64>() / (n - 1) as f64).powf(0.25);
         let f2 = g * (1.0 - (f1 / g) * (f1 / g));
         Evaluation::unconstrained(vec![f1, f2])
     }
@@ -630,10 +628,7 @@ impl Dtlz1 {
         100.0
             * (k + tail
                 .iter()
-                .map(|&v| {
-                    (v - 0.5) * (v - 0.5)
-                        - (20.0 * std::f64::consts::PI * (v - 0.5)).cos()
-                })
+                .map(|&v| (v - 0.5) * (v - 0.5) - (20.0 * std::f64::consts::PI * (v - 0.5)).cos())
                 .sum::<f64>())
     }
 }

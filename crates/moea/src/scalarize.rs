@@ -133,7 +133,10 @@ impl SingleObjectiveGa {
             pop.truncate(self.population_size);
         }
 
-        (pop.into_iter().next().expect("non-empty population"), evaluations)
+        (
+            pop.into_iter().next().expect("non-empty population"),
+            evaluations,
+        )
     }
 }
 
@@ -212,12 +215,14 @@ mod tests {
     #[test]
     fn sweep_covers_a_convex_front() {
         let ga = SingleObjectiveGa::new(40, 60).unwrap();
-        let (front, evals) =
-            weighted_sum_front(&Zdt1::new(6), 11, &ga, [1.0, 1.0], 3).unwrap();
+        let (front, evals) = weighted_sum_front(&Zdt1::new(6), 11, &ga, [1.0, 1.0], 3).unwrap();
         assert!(evals > 0);
         assert!(front.len() >= 5, "sweep found only {} optima", front.len());
         let ext = crate::metrics::extent(
-            &front.iter().map(|m| m.objectives().to_vec()).collect::<Vec<_>>(),
+            &front
+                .iter()
+                .map(|m| m.objectives().to_vec())
+                .collect::<Vec<_>>(),
             0,
         );
         assert!(ext > 0.5, "convex front should be covered: extent {ext}");

@@ -126,7 +126,8 @@ pub fn assign_crowding(pop: &mut [Individual], front: &[usize]) {
     let mut order: Vec<usize> = front.to_vec();
     for k in 0..num_objs {
         order.sort_by(|&a, &b| {
-            pop[a].objective(k)
+            pop[a]
+                .objective(k)
                 .partial_cmp(&pop[b].objective(k))
                 .unwrap_or(std::cmp::Ordering::Equal)
         });

@@ -20,7 +20,10 @@ fn point_set(max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
 }
 
 fn positive_points(max: usize) -> impl Strategy<Value = Vec<[f64; 2]>> {
-    prop::collection::vec((0.0f64..100.0, 0.0f64..100.0).prop_map(|(a, b)| [a, b]), 0..max)
+    prop::collection::vec(
+        (0.0f64..100.0, 0.0f64..100.0).prop_map(|(a, b)| [a, b]),
+        0..max,
+    )
 }
 
 proptest! {

@@ -59,8 +59,7 @@ fn main() {
     }
 
     let spec = Spec::featured();
-    let (rob, detail) =
-        yield_est::robustness_detailed(&dv.with_cl(1e-12), &nominal, &clock, &spec);
+    let (rob, detail) = yield_est::robustness_detailed(&dv.with_cl(1e-12), &nominal, &clock, &spec);
     println!("\nrobustness against '{}' at 1 pF: {rob:.2}", spec.name);
     for (sample, ok) in detail {
         println!(

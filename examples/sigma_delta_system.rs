@@ -25,10 +25,7 @@ const OSR: usize = 128;
 const SAMPLES: usize = 16384;
 
 /// Converter-level figures for one choice of front design per stage.
-fn evaluate_assembly(
-    problem: &DrivableLoadProblem,
-    picks: &[&Individual; 4],
-) -> (f64, f64) {
+fn evaluate_assembly(problem: &DrivableLoadProblem, picks: &[&Individual; 4]) -> (f64, f64) {
     let mut stages = Vec::with_capacity(4);
     let mut total_power = 0.0;
     for ind in picks {

@@ -16,7 +16,11 @@
 //! * [`circuits`] — the evaluation vehicle: a synthetic 0.18 µm process,
 //!   eqn-(1) MOSFET model, two-stage op-amp and CDS switched-capacitor
 //!   integrator performance equations, corner-based yield, and the sizing
-//!   problems.
+//!   problems;
+//! * [`engine`] — the execution engine every optimizer evaluates
+//!   candidates through: serial or thread-pooled batch evaluation,
+//!   quantized-key memoization, and per-run instrumentation
+//!   ([`engine::EngineStats`]).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +54,7 @@
 //! ```
 
 pub use analog_circuits as circuits;
+pub use engine;
 pub use moea;
 pub use sacga;
 
@@ -64,6 +69,10 @@ mod tests {
         let b = crate::moea::Bounds::uniform(2, 0.0, 1.0).unwrap();
         assert_eq!(b.len(), 2);
         assert!(crate::sacga::SacgaConfig::builder().build().is_ok());
+        assert_eq!(
+            crate::engine::EvaluatorKind::default(),
+            crate::engine::EvaluatorKind::Serial
+        );
         assert!(!crate::VERSION.is_empty());
     }
 }

@@ -9,7 +9,7 @@ use analog_dse::moea::problems::{BinhKorn, Constr, Schaffer, Srinivas, Tanaka, Z
 use analog_dse::moea::{Individual, Problem};
 use analog_dse::sacga::sacga::{Sacga, SacgaConfig};
 
-fn nsga2<P: Problem>(problem: P, pop: usize, gens: usize, seed: u64) -> RunResult {
+fn nsga2<P: Problem + Sync>(problem: P, pop: usize, gens: usize, seed: u64) -> RunResult {
     let cfg = Nsga2Config::builder()
         .population_size(pop)
         .generations(gens)
@@ -26,10 +26,7 @@ fn points(front: &[Individual]) -> Vec<[f64; 2]> {
 }
 
 fn vec_points(front: &[Individual]) -> Vec<Vec<f64>> {
-    front
-        .iter()
-        .map(|m| m.objectives().to_vec())
-        .collect()
+    front.iter().map(|m| m.objectives().to_vec()).collect()
 }
 
 #[test]

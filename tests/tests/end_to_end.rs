@@ -95,7 +95,9 @@ fn fixed_load_and_drivable_load_formulations_agree_on_reference() {
     // under the fixed-load formulation at that same load.
     let drivable = DrivableLoadProblem::new(Spec::relaxed());
     let dv = analog_dse::circuits::DesignVector::reference();
-    let (cl, _) = drivable.drivable_load(&dv).expect("reference drives a load");
+    let (cl, _) = drivable
+        .drivable_load(&dv)
+        .expect("reference drives a load");
     let fixed = IntegratorProblem::new(Spec::relaxed());
     let ev = fixed.evaluate_design(&dv.with_cl(cl));
     assert!(

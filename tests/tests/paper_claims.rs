@@ -122,7 +122,10 @@ fn promotion_counts_grow_across_phase_two() {
         .collect();
     let early: usize = phase2.iter().take(10).sum();
     let late: usize = phase2.iter().rev().take(10).sum();
-    assert!(late > early, "promotions must rise as T_A cools: {early} -> {late}");
+    assert!(
+        late > early,
+        "promotions must rise as T_A cools: {early} -> {late}"
+    );
 }
 
 #[test]
@@ -133,8 +136,14 @@ fn shaper_targets_are_respected_in_a_live_run() {
     // average probability across i=1..5 at the end of the span
     let t_end = schedule.temperature(200);
     let avg_end: f64 = (1..=5).map(|i| policy.probability(i, t_end)).sum::<f64>() / 5.0;
-    assert!(avg_end > 0.9, "end-of-span participation too low: {avg_end}");
+    assert!(
+        avg_end > 0.9,
+        "end-of-span participation too low: {avg_end}"
+    );
     let t_start = schedule.temperature(0);
     let avg_start: f64 = (1..=5).map(|i| policy.probability(i, t_start)).sum::<f64>() / 5.0;
-    assert!(avg_start < 0.1, "start-of-span participation too high: {avg_start}");
+    assert!(
+        avg_start < 0.1,
+        "start-of-span participation too high: {avg_start}"
+    );
 }

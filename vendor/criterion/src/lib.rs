@@ -1,0 +1,369 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This workspace builds without registry access, so the subset of the
+//! criterion API its benches use is vendored here: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: after one warm-up call, each benchmark routine runs
+//! until a time budget (scaled down by [`BenchmarkGroup::sample_size`]) or
+//! an iteration cap is exhausted, and the mean wall-clock time per
+//! iteration is printed. No statistical analysis, outlier rejection, or
+//! HTML reports. When a bench binary is executed without the `--bench`
+//! flag (as `cargo test` does for `harness = false` targets), every
+//! routine runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computation whose result is
+/// otherwise unused.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; all variants behave identically in
+/// this stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter, rendered as
+    /// `name/param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Per-routine time budget.
+    budget: Duration,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Smoke-test mode (`cargo test` on a `harness = false` target): run
+    /// the routine once, measure nothing.
+    Test,
+    /// Measurement mode (`cargo bench`).
+    Bench,
+}
+
+/// Result of one measured routine.
+struct Sample {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn run<F: FnMut()>(&mut self, mut routine: F) -> Option<Sample> {
+        match self.mode {
+            Mode::Test => {
+                routine();
+                None
+            }
+            Mode::Bench => {
+                routine(); // warm-up
+                let cap: u64 = 100_000;
+                let mut iters = 0u64;
+                let start = Instant::now();
+                while iters < cap {
+                    routine();
+                    iters += 1;
+                    if start.elapsed() >= self.budget {
+                        break;
+                    }
+                }
+                Some(Sample {
+                    iters,
+                    total: start.elapsed(),
+                })
+            }
+        }
+    }
+
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let sample = self.run(|| {
+            black_box(routine());
+        });
+        self.report(sample);
+    }
+
+    /// Measures `routine` on fresh inputs produced by `setup`; setup time
+    /// is excluded by running one setup per iteration outside the clock.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine(setup()));
+            }
+            Mode::Bench => {
+                black_box(routine(setup())); // warm-up
+                let cap: u64 = 100_000;
+                let mut iters = 0u64;
+                let mut inside = Duration::ZERO;
+                let start = Instant::now();
+                while iters < cap {
+                    let input = setup();
+                    let t0 = Instant::now();
+                    black_box(routine(input));
+                    inside += t0.elapsed();
+                    iters += 1;
+                    if start.elapsed() >= self.budget {
+                        break;
+                    }
+                }
+                self.report(Some(Sample {
+                    iters,
+                    total: inside,
+                }));
+            }
+        }
+    }
+
+    fn report(&self, sample: Option<Sample>) {
+        if let Some(s) = sample {
+            let per_iter = s.total.as_secs_f64() / s.iters.max(1) as f64;
+            println!(
+                "{:>14}   time: [{}]   iters: {}",
+                "",
+                format_time(per_iter),
+                s.iters
+            );
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+    default_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` to the binary; `cargo test` does
+        // not. Mirror upstream criterion's detection so `cargo test -q`
+        // stays fast.
+        let is_bench = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if is_bench { Mode::Bench } else { Mode::Test },
+            default_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.mode == Mode::Bench {
+            println!("{id}");
+        }
+        let mut b = Bencher {
+            mode: self.mode,
+            budget: self.default_budget,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Adjusts how long each routine is measured (upstream semantics:
+    /// number of samples; here: scales the per-routine time budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Upstream default is 100 samples; scale the 300 ms budget
+        // proportionally, clamped to something sane.
+        let ms = (3 * n).clamp(30, 3000) as u64;
+        self.budget = Duration::from_millis(ms);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if self.parent.mode == Mode::Bench {
+            println!("{}/{}", self.name, id.id);
+        }
+        let mut b = Bencher {
+            mode: self.parent.mode,
+            budget: self.budget,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        if self.parent.mode == Mode::Bench {
+            println!("{}/{}", self.name, id.id);
+        }
+        let mut b = Bencher {
+            mode: self.parent.mode,
+            budget: self.budget,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            default_budget: Duration::from_millis(10),
+        };
+        let mut calls = 0;
+        c.bench_function("once", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn bench_mode_iterates() {
+        let mut c = Criterion {
+            mode: Mode::Bench,
+            default_budget: Duration::from_millis(5),
+        };
+        let mut calls = 0u64;
+        c.bench_function("many", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls > 1, "expected warm-up plus measured iterations");
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            default_budget: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3usize, |b, &n| {
+            b.iter_batched(|| vec![0u8; n], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

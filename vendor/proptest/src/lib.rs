@@ -1,0 +1,338 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! This workspace builds without registry access, so the subset of the
+//! proptest API its test suites use is vendored here:
+//!
+//! * the [`Strategy`] trait with range, tuple, [`Just`], map
+//!   ([`Strategy::prop_map`]), union ([`prop_oneof!`]) and vector
+//!   ([`prop::collection::vec`]) strategies;
+//! * the [`proptest!`] test-harness macro;
+//! * the assertion macros [`prop_assert!`], [`prop_assert_eq!`],
+//!   [`prop_assert_ne!`] and the filter macro [`prop_assume!`].
+//!
+//! Differences from upstream: failing inputs are **not shrunk** (the
+//! failing case is printed as-is by the panic message), cases are generated
+//! from a per-test deterministic seed derived from the test's module path,
+//! and the case count is fixed at [`CASES`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Number of random cases each [`proptest!`] test executes.
+pub const CASES: usize = 96;
+
+/// A generator of random values of an associated type.
+///
+/// Upstream proptest separates strategies from value trees to support
+/// shrinking; this stand-in generates values directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among several boxed strategies of a common value type;
+/// built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options` (must be non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Boxes a strategy, erasing its concrete type (helper for
+/// [`prop_oneof!`]).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+/// Namespace mirror of upstream's `proptest::prop` re-export tree.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        /// Generates `Vec`s whose length is drawn from `size` and whose
+        /// elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+/// Length specification of [`prop::collection::vec`]: a half-open range of
+/// acceptable lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec-length range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy returned by [`prop::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Builds the deterministic per-test case generator (used by the
+/// [`proptest!`] expansion; not intended for direct use).
+pub fn runner_rng(test_path: &str) -> StdRng {
+    // FNV-1a over the fully qualified test name: stable across runs and
+    // independent per test.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Common imports for property tests, mirroring upstream's prelude.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        Strategy,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each test body runs [`CASES`] times with freshly generated inputs.
+/// Failures panic immediately (no shrinking) with the generated values
+/// visible in the assertion message.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:tt in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __pt_rng =
+                    $crate::runner_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __pt_case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __pt_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, f64)> {
+        (0.0f64..1.0, 10.0f64..20.0)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in -3.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        #[test]
+        fn exact_vec_length(v in prop::collection::vec(0u64..10, 3)) {
+            prop_assert_eq!(v.len(), 3);
+        }
+
+        #[test]
+        fn tuples_and_map(p in pair().prop_map(|(a, b)| [a, b])) {
+            prop_assert!(p[0] < 1.0 && p[1] >= 10.0);
+        }
+
+        #[test]
+        fn oneof_picks_all(v in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n % 2, 1);
+        }
+    }
+
+    #[test]
+    fn runner_rng_is_deterministic_per_name() {
+        use rand::RngCore;
+        let mut a = crate::runner_rng("x::y");
+        let mut b = crate::runner_rng("x::y");
+        let mut c = crate::runner_rng("x::z");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let _ = c.next_u64();
+    }
+}

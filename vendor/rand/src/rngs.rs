@@ -1,0 +1,84 @@
+//! Concrete generators: the workspace's standard RNG.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seedable generator: xoshiro256\*\*
+/// (Blackman & Vigna 2018) — 256-bit state, period 2^256 − 1, excellent
+/// statistical quality for simulation workloads, and far faster than a
+/// cryptographic generator.
+///
+/// Upstream `rand`'s `StdRng` is ChaCha12; this workspace only needs
+/// reproducibility and statistical quality, not cryptographic strength.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn rotl(x: u64, k: u32) -> u64 {
+        x.rotate_left(k)
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = Self::rotl(self.s[1].wrapping_mul(5), 7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = Self::rotl(self.s[3], 45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // The all-zero state is a fixed point of xoshiro; nudge it.
+        if s == [0; 4] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0x6A09_E667_F3BC_C909,
+                0xBB67_AE85_84CA_A73B,
+                0x3C6E_F372_FE94_F82B,
+            ];
+        }
+        StdRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_recovered() {
+        let mut rng = StdRng::from_seed([0; 32]);
+        // Must produce varied output, not a constant stream.
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn from_seed_roundtrips_state() {
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        seed[8] = 2;
+        seed[16] = 3;
+        seed[24] = 4;
+        let mut a = StdRng::from_seed(seed);
+        let mut b = StdRng::from_seed(seed);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,70 @@
+//! Sequence-related randomness: shuffling and random element choice.
+
+use crate::distributions::SampleRange;
+use crate::Rng;
+
+/// Extension methods on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly random element, or `None` when empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_single(rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = (0..self.len()).sample_single(rng);
+            Some(&self[i])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn shuffle_single_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = [42];
+        v.shuffle(&mut rng);
+        assert_eq!(v, [42]);
+    }
+
+    #[test]
+    fn shuffle_hits_many_permutations() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let mut v = [0u8, 1, 2, 3];
+            v.shuffle(&mut rng);
+            seen.insert(v);
+        }
+        assert!(seen.len() > 10, "only {} permutations seen", seen.len());
+    }
+}
