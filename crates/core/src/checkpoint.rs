@@ -1,0 +1,669 @@
+//! Plain-text run checkpoints: everything needed to suspend a SACGA or
+//! MESACGA run at a generation boundary and later resume it
+//! *bit-identically* — population, RNG state, generation counters,
+//! annealing bookkeeping, and engine statistics.
+//!
+//! The format is line-oriented ASCII with no external dependencies.
+//! Floating-point values are written as the 16-hex-digit bit pattern of
+//! the `f64` ([`f64::to_bits`]), which round-trips every value —
+//! including infinities and signed zeros — exactly. Durations are
+//! written as integer nanoseconds. A version header guards against
+//! format drift, and a trailing `end` record catches truncated files.
+
+use crate::sacga::GenerationStats;
+use engine::EngineStats;
+use moea::individual::Individual;
+use moea::{Evaluation, OptimizeError};
+use std::time::Duration;
+
+const SACGA_HEADER: &str = "sacga-checkpoint v1";
+const MESACGA_HEADER: &str = "mesacga-checkpoint v1";
+
+/// A serialized individual: genes, evaluation, and ranking bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavedIndividual {
+    /// Decision variables.
+    pub genes: Vec<f64>,
+    /// Minimized objective values.
+    pub objectives: Vec<f64>,
+    /// Constraint-violation amounts.
+    pub violations: Vec<f64>,
+    /// Non-domination rank at suspension time.
+    pub rank: usize,
+    /// Crowding distance at suspension time.
+    pub crowding: f64,
+}
+
+impl SavedIndividual {
+    /// Captures an individual for serialization.
+    pub fn from_individual(ind: &Individual) -> Self {
+        SavedIndividual {
+            genes: ind.genes.clone(),
+            objectives: ind.objectives().to_vec(),
+            violations: ind.evaluation.constraint_violations().to_vec(),
+            rank: ind.rank,
+            crowding: ind.crowding,
+        }
+    }
+
+    /// Rebuilds the individual. [`Evaluation::new`]'s sanitization is
+    /// idempotent on the already-sanitized stored values, so the rebuilt
+    /// evaluation is bit-identical to the captured one.
+    pub fn to_individual(&self) -> Individual {
+        let mut ind = Individual::new(
+            self.genes.clone(),
+            Evaluation::new(self.objectives.clone(), self.violations.clone()),
+        );
+        ind.rank = self.rank;
+        ind.crowding = self.crowding;
+        ind
+    }
+}
+
+/// Complete state of the shared partition-GA engine at a generation
+/// boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineState {
+    /// RNG internal state (xoshiro256**).
+    pub rng: [u64; 4],
+    /// Generations executed so far.
+    pub gen: usize,
+    /// Whether the phase-I boundary processing (infeasible-partition
+    /// discard, `gen_t` capture) has already run.
+    pub phase1_done: bool,
+    /// Length of phase I (meaningful only when `phase1_done`).
+    pub gen_t: usize,
+    /// Index of the sliced objective.
+    pub grid_objective: usize,
+    /// Lower edge of the sliced range.
+    pub grid_lo: f64,
+    /// Upper edge of the sliced range.
+    pub grid_hi: f64,
+    /// Partition count of the grid.
+    pub grid_partitions: usize,
+    /// Liveness flag per partition.
+    pub alive: Vec<bool>,
+    /// Members of each partition, in storage order.
+    pub partitions: Vec<Vec<SavedIndividual>>,
+    /// Per-generation history recorded so far.
+    pub history: Vec<GenerationStats>,
+    /// Evaluation-engine counters at suspension time.
+    pub stats: EngineStats,
+}
+
+/// A suspended SACGA run, resumable via
+/// [`Sacga::resume`](crate::sacga::Sacga::resume).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SacgaCheckpoint {
+    /// The engine state at the suspension boundary.
+    pub state: EngineState,
+}
+
+impl SacgaCheckpoint {
+    /// Serializes the checkpoint to its text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(SACGA_HEADER);
+        out.push('\n');
+        write_state(&mut out, &self.state);
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a checkpoint from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidCheckpoint`] on a wrong header,
+    /// malformed records, or truncation.
+    pub fn from_text(text: &str) -> Result<Self, OptimizeError> {
+        let mut lines = Lines::new(text);
+        lines.expect_literal(SACGA_HEADER)?;
+        let state = parse_state(&mut lines)?;
+        lines.expect_literal("end")?;
+        lines.expect_exhausted()?;
+        Ok(SacgaCheckpoint { state })
+    }
+}
+
+/// A suspended MESACGA run, resumable via
+/// [`Mesacga::resume`](crate::mesacga::Mesacga::resume).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MesacgaCheckpoint {
+    /// The engine state at the suspension boundary.
+    pub state: EngineState,
+    /// Index of the phase the run was suspended in.
+    pub phase_index: usize,
+    /// Generation at which that phase's annealing schedule started.
+    pub phase_start: usize,
+    /// End-of-phase fronts captured before suspension.
+    pub phase_fronts: Vec<Vec<SavedIndividual>>,
+}
+
+impl MesacgaCheckpoint {
+    /// Serializes the checkpoint to its text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(MESACGA_HEADER);
+        out.push('\n');
+        write_state(&mut out, &self.state);
+        out.push_str(&format!("phase_index {}\n", self.phase_index));
+        out.push_str(&format!("phase_start {}\n", self.phase_start));
+        out.push_str(&format!("phase_fronts {}\n", self.phase_fronts.len()));
+        for (fi, front) in self.phase_fronts.iter().enumerate() {
+            out.push_str(&format!("f {fi} {}\n", front.len()));
+            for ind in front {
+                write_individual(&mut out, ind);
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a checkpoint from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidCheckpoint`] on a wrong header,
+    /// malformed records, or truncation.
+    pub fn from_text(text: &str) -> Result<Self, OptimizeError> {
+        let mut lines = Lines::new(text);
+        lines.expect_literal(MESACGA_HEADER)?;
+        let state = parse_state(&mut lines)?;
+        let phase_index = lines.tagged_usize("phase_index")?;
+        let phase_start = lines.tagged_usize("phase_start")?;
+        let n_fronts = lines.tagged_usize("phase_fronts")?;
+        let mut phase_fronts = Vec::with_capacity(n_fronts);
+        for fi in 0..n_fronts {
+            let (no, toks) = lines.tagged("f", 2)?;
+            if parse_usize(toks[0], no)? != fi {
+                return Err(bad(no, "front records out of order"));
+            }
+            let count = parse_usize(toks[1], no)?;
+            let mut front = Vec::with_capacity(count);
+            for _ in 0..count {
+                front.push(parse_individual(&mut lines)?);
+            }
+            phase_fronts.push(front);
+        }
+        lines.expect_literal("end")?;
+        lines.expect_exhausted()?;
+        Ok(MesacgaCheckpoint {
+            state,
+            phase_index,
+            phase_start,
+            phase_fronts,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn write_individual(out: &mut String, ind: &SavedIndividual) {
+    out.push_str(&format!(
+        "i {} {} {} {} {}",
+        ind.rank,
+        f64_hex(ind.crowding),
+        ind.genes.len(),
+        ind.objectives.len(),
+        ind.violations.len()
+    ));
+    for v in ind
+        .genes
+        .iter()
+        .chain(&ind.objectives)
+        .chain(&ind.violations)
+    {
+        out.push(' ');
+        out.push_str(&f64_hex(*v));
+    }
+    out.push('\n');
+}
+
+fn write_state(out: &mut String, s: &EngineState) {
+    out.push_str(&format!(
+        "rng {:016x} {:016x} {:016x} {:016x}\n",
+        s.rng[0], s.rng[1], s.rng[2], s.rng[3]
+    ));
+    out.push_str(&format!("gen {}\n", s.gen));
+    out.push_str(&format!("phase1_done {}\n", u8::from(s.phase1_done)));
+    out.push_str(&format!("gen_t {}\n", s.gen_t));
+    out.push_str(&format!(
+        "grid {} {} {} {}\n",
+        s.grid_objective,
+        f64_hex(s.grid_lo),
+        f64_hex(s.grid_hi),
+        s.grid_partitions
+    ));
+    out.push_str("alive");
+    for &a in &s.alive {
+        out.push(' ');
+        out.push(if a { '1' } else { '0' });
+    }
+    out.push('\n');
+    out.push_str(&format!("history {}\n", s.history.len()));
+    for h in &s.history {
+        out.push_str(&format!(
+            "h {} {} {} {} {} {}\n",
+            h.generation,
+            h.phase,
+            f64_hex(h.temperature),
+            h.promoted,
+            h.feasible,
+            h.population
+        ));
+    }
+    let st = &s.stats;
+    out.push_str(&format!(
+        "stats {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+        st.candidates,
+        st.evaluations,
+        st.cache_hits,
+        st.batches,
+        st.max_batch,
+        st.eval_time.as_nanos(),
+        st.failures,
+        st.retries,
+        st.recovered,
+        st.quarantined,
+        st.backoff_time.as_nanos(),
+        st.injected_panics,
+        st.injected_nonfinite,
+        st.injected_delays
+    ));
+    out.push_str(&format!("partitions {}\n", s.partitions.len()));
+    for (pi, part) in s.partitions.iter().enumerate() {
+        out.push_str(&format!("p {pi} {}\n", part.len()));
+        for ind in part {
+            write_individual(out, ind);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+fn bad(line: usize, why: impl std::fmt::Display) -> OptimizeError {
+    OptimizeError::invalid_checkpoint(format!("line {line}: {why}"))
+}
+
+fn parse_usize(tok: &str, line: usize) -> Result<usize, OptimizeError> {
+    tok.parse()
+        .map_err(|_| bad(line, format!("expected an integer, got `{tok}`")))
+}
+
+fn parse_u64(tok: &str, line: usize) -> Result<u64, OptimizeError> {
+    tok.parse()
+        .map_err(|_| bad(line, format!("expected an integer, got `{tok}`")))
+}
+
+fn parse_hex_u64(tok: &str, line: usize) -> Result<u64, OptimizeError> {
+    u64::from_str_radix(tok, 16)
+        .map_err(|_| bad(line, format!("expected a 64-bit hex value, got `{tok}`")))
+}
+
+fn parse_hex_f64(tok: &str, line: usize) -> Result<f64, OptimizeError> {
+    parse_hex_u64(tok, line).map(f64::from_bits)
+}
+
+fn parse_nanos(tok: &str, line: usize) -> Result<Duration, OptimizeError> {
+    let nanos: u128 = tok
+        .parse()
+        .map_err(|_| bad(line, format!("expected nanoseconds, got `{tok}`")))?;
+    let secs =
+        u64::try_from(nanos / 1_000_000_000).map_err(|_| bad(line, "duration out of range"))?;
+    Ok(Duration::new(secs, (nanos % 1_000_000_000) as u32))
+}
+
+struct Lines<'a> {
+    it: std::str::Lines<'a>,
+    no: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Lines {
+            it: text.lines(),
+            no: 0,
+        }
+    }
+
+    fn next_line(&mut self) -> Result<(usize, &'a str), OptimizeError> {
+        loop {
+            let line = self.it.next().ok_or_else(|| {
+                OptimizeError::invalid_checkpoint("unexpected end of checkpoint".to_string())
+            })?;
+            self.no += 1;
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                return Ok((self.no, trimmed));
+            }
+        }
+    }
+
+    fn expect_literal(&mut self, expected: &str) -> Result<(), OptimizeError> {
+        let (no, line) = self.next_line()?;
+        if line != expected {
+            return Err(bad(no, format!("expected `{expected}`, got `{line}`")));
+        }
+        Ok(())
+    }
+
+    fn expect_exhausted(&mut self) -> Result<(), OptimizeError> {
+        for line in self.it.by_ref() {
+            self.no += 1;
+            if !line.trim().is_empty() {
+                return Err(bad(self.no, "unexpected content after `end`"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a line `tag tok tok ...`, requiring at least `min` tokens
+    /// after the tag; returns `(line_no, tokens)`.
+    fn tagged(&mut self, tag: &str, min: usize) -> Result<(usize, Vec<&'a str>), OptimizeError> {
+        let (no, line) = self.next_line()?;
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some(t) if t == tag => {}
+            Some(t) => return Err(bad(no, format!("expected `{tag}` record, got `{t}`"))),
+            None => return Err(bad(no, format!("expected `{tag}` record"))),
+        }
+        let rest: Vec<&str> = toks.collect();
+        if rest.len() < min {
+            return Err(bad(
+                no,
+                format!(
+                    "`{tag}` record needs at least {min} fields, got {}",
+                    rest.len()
+                ),
+            ));
+        }
+        Ok((no, rest))
+    }
+
+    fn tagged_usize(&mut self, tag: &str) -> Result<usize, OptimizeError> {
+        let (no, toks) = self.tagged(tag, 1)?;
+        parse_usize(toks[0], no)
+    }
+}
+
+fn parse_individual(lines: &mut Lines<'_>) -> Result<SavedIndividual, OptimizeError> {
+    let (no, toks) = lines.tagged("i", 5)?;
+    let rank = parse_usize(toks[0], no)?;
+    let crowding = parse_hex_f64(toks[1], no)?;
+    let ng = parse_usize(toks[2], no)?;
+    let nobj = parse_usize(toks[3], no)?;
+    let nv = parse_usize(toks[4], no)?;
+    let values = &toks[5..];
+    if values.len() != ng + nobj + nv {
+        return Err(bad(
+            no,
+            format!("expected {} values, got {}", ng + nobj + nv, values.len()),
+        ));
+    }
+    let mut parsed = Vec::with_capacity(values.len());
+    for tok in values {
+        parsed.push(parse_hex_f64(tok, no)?);
+    }
+    let violations = parsed.split_off(ng + nobj);
+    let objectives = parsed.split_off(ng);
+    Ok(SavedIndividual {
+        genes: parsed,
+        objectives,
+        violations,
+        rank,
+        crowding,
+    })
+}
+
+fn parse_state(lines: &mut Lines<'_>) -> Result<EngineState, OptimizeError> {
+    let (no, toks) = lines.tagged("rng", 4)?;
+    let mut rng = [0u64; 4];
+    for (slot, tok) in rng.iter_mut().zip(&toks) {
+        *slot = parse_hex_u64(tok, no)?;
+    }
+    let gen = lines.tagged_usize("gen")?;
+    let (no, toks) = lines.tagged("phase1_done", 1)?;
+    let phase1_done = match toks[0] {
+        "0" => false,
+        "1" => true,
+        other => return Err(bad(no, format!("expected 0 or 1, got `{other}`"))),
+    };
+    let gen_t = lines.tagged_usize("gen_t")?;
+    let (no, toks) = lines.tagged("grid", 4)?;
+    let grid_objective = parse_usize(toks[0], no)?;
+    let grid_lo = parse_hex_f64(toks[1], no)?;
+    let grid_hi = parse_hex_f64(toks[2], no)?;
+    let grid_partitions = parse_usize(toks[3], no)?;
+    let (no, toks) = lines.tagged("alive", 0)?;
+    let mut alive = Vec::with_capacity(toks.len());
+    for tok in &toks {
+        alive.push(match *tok {
+            "0" => false,
+            "1" => true,
+            other => return Err(bad(no, format!("expected 0 or 1, got `{other}`"))),
+        });
+    }
+    let n_history = lines.tagged_usize("history")?;
+    let mut history = Vec::with_capacity(n_history);
+    for _ in 0..n_history {
+        let (no, toks) = lines.tagged("h", 6)?;
+        history.push(GenerationStats {
+            generation: parse_usize(toks[0], no)?,
+            phase: parse_usize(toks[1], no)?
+                .try_into()
+                .map_err(|_| bad(no, "phase out of range"))?,
+            temperature: parse_hex_f64(toks[2], no)?,
+            promoted: parse_usize(toks[3], no)?,
+            feasible: parse_usize(toks[4], no)?,
+            population: parse_usize(toks[5], no)?,
+        });
+    }
+    let (no, toks) = lines.tagged("stats", 14)?;
+    let stats = EngineStats {
+        candidates: parse_u64(toks[0], no)?,
+        evaluations: parse_u64(toks[1], no)?,
+        cache_hits: parse_u64(toks[2], no)?,
+        batches: parse_u64(toks[3], no)?,
+        max_batch: parse_u64(toks[4], no)?,
+        eval_time: parse_nanos(toks[5], no)?,
+        failures: parse_u64(toks[6], no)?,
+        retries: parse_u64(toks[7], no)?,
+        recovered: parse_u64(toks[8], no)?,
+        quarantined: parse_u64(toks[9], no)?,
+        backoff_time: parse_nanos(toks[10], no)?,
+        injected_panics: parse_u64(toks[11], no)?,
+        injected_nonfinite: parse_u64(toks[12], no)?,
+        injected_delays: parse_u64(toks[13], no)?,
+    };
+    let n_partitions = lines.tagged_usize("partitions")?;
+    if n_partitions != grid_partitions || alive.len() != grid_partitions {
+        return Err(OptimizeError::invalid_checkpoint(format!(
+            "grid declares {grid_partitions} partitions but checkpoint stores {n_partitions} \
+             member lists and {} alive flags",
+            alive.len()
+        )));
+    }
+    let mut partitions = Vec::with_capacity(n_partitions);
+    for pi in 0..n_partitions {
+        let (no, toks) = lines.tagged("p", 2)?;
+        if parse_usize(toks[0], no)? != pi {
+            return Err(bad(no, "partition records out of order"));
+        }
+        let count = parse_usize(toks[1], no)?;
+        let mut part = Vec::with_capacity(count);
+        for _ in 0..count {
+            part.push(parse_individual(lines)?);
+        }
+        partitions.push(part);
+    }
+    Ok(EngineState {
+        rng,
+        gen,
+        phase1_done,
+        gen_t,
+        grid_objective,
+        grid_lo,
+        grid_hi,
+        grid_partitions,
+        alive,
+        partitions,
+        history,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> EngineState {
+        EngineState {
+            rng: [1, 2, 3, u64::MAX],
+            gen: 7,
+            phase1_done: true,
+            gen_t: 3,
+            grid_objective: 0,
+            grid_lo: -1.25,
+            grid_hi: 4.75,
+            grid_partitions: 2,
+            alive: vec![true, false],
+            partitions: vec![
+                vec![SavedIndividual {
+                    genes: vec![0.5, -0.0],
+                    objectives: vec![1.5, f64::INFINITY],
+                    violations: vec![0.0],
+                    rank: 0,
+                    crowding: f64::INFINITY,
+                }],
+                vec![],
+            ],
+            history: vec![GenerationStats {
+                generation: 0,
+                phase: 1,
+                temperature: f64::INFINITY,
+                promoted: 0,
+                feasible: 1,
+                population: 1,
+            }],
+            stats: EngineStats {
+                candidates: 40,
+                evaluations: 38,
+                cache_hits: 2,
+                batches: 2,
+                max_batch: 20,
+                eval_time: Duration::from_nanos(123_456_789_012),
+                failures: 3,
+                retries: 3,
+                recovered: 2,
+                quarantined: 1,
+                backoff_time: Duration::from_nanos(42),
+                injected_panics: 2,
+                injected_nonfinite: 1,
+                injected_delays: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn sacga_checkpoint_round_trips() {
+        let cp = SacgaCheckpoint {
+            state: sample_state(),
+        };
+        let text = cp.to_text();
+        let back = SacgaCheckpoint::from_text(&text).unwrap();
+        assert_eq!(cp, back);
+        // second serialization is byte-identical (canonical form)
+        assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn mesacga_checkpoint_round_trips() {
+        let cp = MesacgaCheckpoint {
+            state: sample_state(),
+            phase_index: 1,
+            phase_start: 5,
+            phase_fronts: vec![vec![SavedIndividual {
+                genes: vec![1.0],
+                objectives: vec![0.25, 0.75],
+                violations: vec![],
+                rank: 0,
+                crowding: 1.5,
+            }]],
+        };
+        let text = cp.to_text();
+        let back = MesacgaCheckpoint::from_text(&text).unwrap();
+        assert_eq!(cp, back);
+        assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn bit_patterns_survive_exactly() {
+        // -0.0 and infinity must round-trip to the same bits.
+        let ind = SavedIndividual {
+            genes: vec![-0.0],
+            objectives: vec![f64::INFINITY, 1.0 / 3.0],
+            violations: vec![f64::MIN_POSITIVE],
+            rank: usize::MAX,
+            crowding: -0.0,
+        };
+        let mut out = String::new();
+        write_individual(&mut out, &ind);
+        let mut lines = Lines::new(&out);
+        let back = parse_individual(&mut lines).unwrap();
+        assert_eq!(back.genes[0].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.objectives[0], f64::INFINITY);
+        assert_eq!(back.objectives[1].to_bits(), (1.0f64 / 3.0).to_bits());
+        assert_eq!(back.violations[0], f64::MIN_POSITIVE);
+        assert_eq!(back.rank, usize::MAX);
+        assert_eq!(back.crowding.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn truncated_and_corrupt_text_is_rejected() {
+        let cp = SacgaCheckpoint {
+            state: sample_state(),
+        };
+        let text = cp.to_text();
+        // truncation: drop the trailing `end`
+        let truncated = text.rsplit_once("end").unwrap().0;
+        assert!(SacgaCheckpoint::from_text(truncated).is_err());
+        // wrong header
+        assert!(SacgaCheckpoint::from_text("nonsense v1\nend\n").is_err());
+        // mesacga header fed to sacga parser and vice versa
+        let m = MesacgaCheckpoint {
+            state: sample_state(),
+            phase_index: 0,
+            phase_start: 0,
+            phase_fronts: vec![],
+        };
+        assert!(SacgaCheckpoint::from_text(&m.to_text()).is_err());
+        assert!(MesacgaCheckpoint::from_text(&text).is_err());
+        // corrupt hex
+        let corrupt = text.replace("rng", "rng zz");
+        assert!(SacgaCheckpoint::from_text(&corrupt).is_err());
+        // trailing garbage
+        let mut trailing = text.clone();
+        trailing.push_str("junk\n");
+        assert!(SacgaCheckpoint::from_text(&trailing).is_err());
+    }
+
+    #[test]
+    fn saved_individual_round_trips_through_individual() {
+        let saved = SavedIndividual {
+            genes: vec![0.1, 0.2],
+            objectives: vec![1.0, f64::INFINITY],
+            violations: vec![0.0, 2.5],
+            rank: 3,
+            crowding: 0.75,
+        };
+        let ind = saved.to_individual();
+        assert_eq!(SavedIndividual::from_individual(&ind), saved);
+    }
+}

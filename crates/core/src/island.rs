@@ -142,6 +142,21 @@ impl IslandConfigBuilder {
         self
     }
 
+    /// Sets the fault-handling policy for candidate evaluation: retry
+    /// budget, non-finite quarantine, and exhaustion behavior.
+    pub fn fault_policy(mut self, fault: engine::FaultPolicy) -> Self {
+        self.engine = self.engine.fault_policy(fault);
+        self
+    }
+
+    /// Enables deterministic fault injection with the given plan (a
+    /// testing/chaos harness — injected faults are reproducible per
+    /// candidate).
+    pub fn inject_faults(mut self, plan: engine::FaultPlan) -> Self {
+        self.engine = self.engine.inject_faults(plan);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -256,7 +271,9 @@ impl<P: Problem> IslandGa<P> {
     ///
     /// # Errors
     ///
-    /// Propagates problem-definition errors discovered at start-up.
+    /// Propagates problem-definition errors discovered at start-up and
+    /// [`OptimizeError::EvaluationFailed`] when a candidate evaluation
+    /// exhausts the fault policy's retry budget with an aborting policy.
     pub fn run_seeded(&self, seed: u64) -> Result<IslandResult, OptimizeError>
     where
         P: Sync,
@@ -283,7 +300,7 @@ impl<P: Problem> IslandGa<P> {
         let init_genes: Vec<Vec<f64>> = (0..self.config.islands * per_island)
             .map(|_| random_vector(&mut rng, &bounds))
             .collect();
-        let init_evals = exec.evaluate_batch(&init_genes, &eval_fn);
+        let init_evals = exec.try_evaluate_batch(&init_genes, &eval_fn)?;
         let mut members = init_genes
             .into_iter()
             .zip(init_evals)
@@ -312,7 +329,7 @@ impl<P: Problem> IslandGa<P> {
                         child_genes.push(c2);
                     }
                 }
-                let evals = exec.evaluate_batch(&child_genes, &eval_fn);
+                let evals = exec.try_evaluate_batch(&child_genes, &eval_fn)?;
                 let offspring: Vec<Individual> = child_genes
                     .into_iter()
                     .zip(evals)

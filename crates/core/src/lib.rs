@@ -30,7 +30,12 @@
 //! * [`mesacga`] — the Multi-phase Expanding-partitions SACGA of Sec. 4.5:
 //!   a cascade of SACGA phases with progressively fewer, larger partitions
 //!   (e.g. 20 → 13 → 8 → 5 → 3 → 2 → 1), removing the need to guess the
-//!   optimal static partition count.
+//!   optimal static partition count;
+//! * [`checkpoint`] — plain-text run checkpoints: SACGA and MESACGA runs
+//!   can be suspended at any generation boundary
+//!   ([`Sacga::run_until`](sacga::Sacga::run_until),
+//!   [`Mesacga::run_until`](mesacga::Mesacga::run_until)) and resumed
+//!   bit-identically, including across process restarts.
 //!
 //! ## Example
 //!
@@ -51,6 +56,7 @@
 //! ```
 
 pub mod anneal;
+pub mod checkpoint;
 pub mod island;
 pub mod local;
 pub mod mesacga;
@@ -58,7 +64,8 @@ pub mod partition;
 pub mod sacga;
 
 pub use anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
+pub use checkpoint::{EngineState, MesacgaCheckpoint, SacgaCheckpoint, SavedIndividual};
 pub use island::{IslandConfig, IslandGa};
-pub use mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
+pub use mesacga::{Mesacga, MesacgaConfig, MesacgaResult, MesacgaRun, PhaseSpec};
 pub use partition::PartitionGrid;
-pub use sacga::{Sacga, SacgaConfig, SacgaResult};
+pub use sacga::{Sacga, SacgaConfig, SacgaResult, SacgaRun};

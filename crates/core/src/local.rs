@@ -9,7 +9,10 @@
 //! because many locally superior solutions are globally inferior — the
 //! motivation for SACGA's annealed promotion.
 
-use crate::sacga::{CompetitionMode, Sacga, SacgaConfig, SacgaConfigBuilder, SacgaResult};
+use crate::checkpoint::SacgaCheckpoint;
+use crate::sacga::{
+    CompetitionMode, Sacga, SacgaConfig, SacgaConfigBuilder, SacgaResult, SacgaRun,
+};
 use moea::problem::Problem;
 use moea::OptimizeError;
 
@@ -63,6 +66,30 @@ impl<P: Problem> LocalCompetitionGa<P> {
         F: FnMut(usize, &[moea::individual::Individual]),
     {
         self.inner.run_observed(seed, observer)
+    }
+
+    /// Runs, suspending once `stop_after` generations have completed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sacga::run_until`].
+    pub fn run_until(&self, seed: u64, stop_after: usize) -> Result<SacgaRun, OptimizeError>
+    where
+        P: Sync,
+    {
+        self.inner.run_until(seed, stop_after)
+    }
+
+    /// Resumes a suspended run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sacga::resume`].
+    pub fn resume(&self, checkpoint: &SacgaCheckpoint) -> Result<SacgaResult, OptimizeError>
+    where
+        P: Sync,
+    {
+        self.inner.resume(checkpoint)
     }
 }
 
@@ -131,6 +158,18 @@ impl LocalCompetitionGaBuilder {
     /// Sets the memoization quantization grid (must be positive).
     pub fn cache_grid(mut self, grid: f64) -> Self {
         self.inner = self.inner.cache_grid(grid);
+        self
+    }
+
+    /// Sets the fault-handling policy for candidate evaluation.
+    pub fn fault_policy(mut self, fault: engine::FaultPolicy) -> Self {
+        self.inner = self.inner.fault_policy(fault);
+        self
+    }
+
+    /// Enables deterministic fault injection with the given plan.
+    pub fn inject_faults(mut self, plan: engine::FaultPlan) -> Self {
+        self.inner = self.inner.inject_faults(plan);
         self
     }
 

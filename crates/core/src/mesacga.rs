@@ -13,6 +13,7 @@
 //! partitions, each running `span` iterations, after a pure-local phase.
 
 use crate::anneal::ProbabilityShaper;
+use crate::checkpoint::{EngineState, MesacgaCheckpoint, SavedIndividual};
 use crate::partition::PartitionGrid;
 use crate::sacga::{Engine, GenerationStats, SacgaConfig, SacgaResult};
 use moea::individual::Individual;
@@ -182,6 +183,21 @@ impl MesacgaConfigBuilder {
         self
     }
 
+    /// Sets the fault-handling policy for candidate evaluation: retry
+    /// budget, non-finite quarantine, and exhaustion behavior.
+    pub fn fault_policy(mut self, fault: engine::FaultPolicy) -> Self {
+        self.engine = self.engine.fault_policy(fault);
+        self
+    }
+
+    /// Enables deterministic fault injection with the given plan (a
+    /// testing/chaos harness — injected faults are reproducible per
+    /// candidate).
+    pub fn inject_faults(mut self, plan: engine::FaultPlan) -> Self {
+        self.engine = self.engine.inject_faults(plan);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -245,6 +261,23 @@ pub struct MesacgaResult {
     pub phase_fronts: Vec<Vec<Individual>>,
 }
 
+/// Outcome of a bounded MESACGA run: finished within the stop bound, or
+/// suspended at a generation boundary with a resumable checkpoint.
+#[derive(Debug, Clone)]
+pub enum MesacgaRun {
+    /// The run finished before reaching the stop bound.
+    Complete(Box<MesacgaResult>),
+    /// The run was suspended; resume with [`Mesacga::resume`] or
+    /// [`Mesacga::resume_until`].
+    Suspended(Box<MesacgaCheckpoint>),
+}
+
+/// How a drive begins: a fresh seed or a stored checkpoint.
+enum Launch<'c> {
+    Seed(u64),
+    Checkpoint(&'c MesacgaCheckpoint),
+}
+
 /// The MESACGA optimizer.
 #[derive(Debug)]
 pub struct Mesacga<P: Problem> {
@@ -262,7 +295,9 @@ impl<P: Problem> Mesacga<P> {
     ///
     /// # Errors
     ///
-    /// Propagates problem-definition errors discovered at start-up.
+    /// Propagates problem-definition errors discovered at start-up and
+    /// [`OptimizeError::EvaluationFailed`] when a candidate evaluation
+    /// exhausts the fault policy's retry budget with an aborting policy.
     pub fn run_seeded(&self, seed: u64) -> Result<MesacgaResult, OptimizeError>
     where
         P: Sync,
@@ -275,44 +310,172 @@ impl<P: Problem> Mesacga<P> {
     ///
     /// # Errors
     ///
-    /// Propagates problem-definition errors discovered at start-up.
-    pub fn run_observed<F>(
-        &self,
-        seed: u64,
-        mut observer: F,
-    ) -> Result<MesacgaResult, OptimizeError>
+    /// Same as [`Mesacga::run_seeded`].
+    pub fn run_observed<F>(&self, seed: u64, observer: F) -> Result<MesacgaResult, OptimizeError>
     where
         P: Sync,
         F: FnMut(usize, &[Individual]),
     {
-        let mut rng = StdRng::seed_from_u64(seed);
+        match self.drive(Launch::Seed(seed), None, observer)? {
+            MesacgaRun::Complete(result) => Ok(*result),
+            MesacgaRun::Suspended(_) => unreachable!("unbounded runs never suspend"),
+        }
+    }
+
+    /// Runs from `seed`, suspending once `stop_after` generations have
+    /// completed. Checkpoints are taken only at generation boundaries, so
+    /// a suspended-and-resumed run is bit-identical to an uninterrupted
+    /// one — including kills in the middle of any expanding-partition
+    /// phase.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Mesacga::run_seeded`].
+    pub fn run_until(&self, seed: u64, stop_after: usize) -> Result<MesacgaRun, OptimizeError>
+    where
+        P: Sync,
+    {
+        self.drive(Launch::Seed(seed), Some(stop_after), |_, _| {})
+    }
+
+    /// Resumes a suspended run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Mesacga::run_seeded`], plus
+    /// [`OptimizeError::InvalidCheckpoint`] when the checkpoint is
+    /// inconsistent with this configuration.
+    pub fn resume(&self, checkpoint: &MesacgaCheckpoint) -> Result<MesacgaResult, OptimizeError>
+    where
+        P: Sync,
+    {
+        match self.drive(Launch::Checkpoint(checkpoint), None, |_, _| {})? {
+            MesacgaRun::Complete(result) => Ok(*result),
+            MesacgaRun::Suspended(_) => unreachable!("unbounded runs never suspend"),
+        }
+    }
+
+    /// Resumes a suspended run, suspending again once `stop_after` total
+    /// generations have completed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Mesacga::resume`].
+    pub fn resume_until(
+        &self,
+        checkpoint: &MesacgaCheckpoint,
+        stop_after: usize,
+    ) -> Result<MesacgaRun, OptimizeError>
+    where
+        P: Sync,
+    {
+        self.drive(Launch::Checkpoint(checkpoint), Some(stop_after), |_, _| {})
+    }
+
+    /// The shared run loop: phase I, then the expanding-partition cascade.
+    /// Suspension can happen before any pending generation; the checkpoint
+    /// records which phase was active and where its annealing schedule
+    /// started, so the resumed run re-derives identical constants.
+    fn drive<F>(
+        &self,
+        launch: Launch<'_>,
+        stop_after: Option<usize>,
+        mut observer: F,
+    ) -> Result<MesacgaRun, OptimizeError>
+    where
+        P: Sync,
+        F: FnMut(usize, &[Individual]),
+    {
         let base = &self.config.base;
-        let mut engine = Engine::start(&self.problem, base, &mut rng)?;
+        let should_stop = |gen: usize| stop_after.is_some_and(|cap| gen >= cap);
+        let (mut rng, mut engine, phase1_done, mut gen_t, resume_phase, mut phase_fronts) =
+            match launch {
+                Launch::Seed(seed) => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let engine = Engine::start(&self.problem, base, &mut rng)?;
+                    let fronts = Vec::with_capacity(self.config.phases.len());
+                    (rng, engine, false, 0, None, fronts)
+                }
+                Launch::Checkpoint(cp) => {
+                    if cp.state.phase1_done && cp.phase_index >= self.config.phases.len() {
+                        return Err(OptimizeError::invalid_checkpoint(format!(
+                            "phase index {} out of range for a {}-phase schedule",
+                            cp.phase_index,
+                            self.config.phases.len()
+                        )));
+                    }
+                    let (engine, rng) = Engine::restore(&self.problem, base, &cp.state)?;
+                    let fronts: Vec<Vec<Individual>> = cp
+                        .phase_fronts
+                        .iter()
+                        .map(|f| f.iter().map(SavedIndividual::to_individual).collect())
+                        .collect();
+                    // A checkpoint is only ever taken *inside* a phase's
+                    // span, i.e. after its regrid: resuming must skip the
+                    // regrid and reuse the stored schedule origin.
+                    let resume_phase = cp
+                        .state
+                        .phase1_done
+                        .then_some((cp.phase_index, cp.phase_start));
+                    (
+                        rng,
+                        engine,
+                        cp.state.phase1_done,
+                        cp.state.gen_t,
+                        resume_phase,
+                        fronts,
+                    )
+                }
+            };
 
         // Phase I: pure local competition with the first phase's grid.
-        while engine.gen < base.phase1_max
-            && !(engine.pop.all_partitions_feasible() && engine.gen > 0)
-        {
-            engine.local_generation(&mut rng);
-            observer(engine.gen, &engine.flat_cache);
+        if !phase1_done {
+            while engine.gen < base.phase1_max
+                && !(engine.pop.all_partitions_feasible() && engine.gen > 0)
+            {
+                if should_stop(engine.gen) {
+                    return Ok(suspended(
+                        engine.snapshot(&rng, false, 0),
+                        0,
+                        0,
+                        &phase_fronts,
+                    ));
+                }
+                engine.local_generation(&mut rng)?;
+                observer(engine.gen, &engine.flat_cache);
+            }
+            if !engine.pop.all_partitions_feasible() {
+                engine.pop.discard_infeasible_partitions();
+            }
+            gen_t = engine.gen;
         }
-        if !engine.pop.all_partitions_feasible() {
-            engine.pop.discard_infeasible_partitions();
-        }
-        let gen_t = engine.gen;
 
         // Expanding-partition SACGA phases.
-        let mut phase_fronts: Vec<Vec<Individual>> = Vec::with_capacity(self.config.phases.len());
-        for (pi, phase) in self.config.phases.iter().enumerate() {
-            if pi > 0 || engine.pop.grid().partition_count() != phase.partitions {
-                let new_grid = engine.pop.grid().with_partitions(phase.partitions)?;
-                engine.pop = take_and_regrid(&mut engine.pop, new_grid);
-                engine.pop.rank_locally();
-            }
+        let first_phase = resume_phase.map_or(0, |(pi, _)| pi);
+        for (pi, phase) in self.config.phases.iter().enumerate().skip(first_phase) {
+            let phase_start = match resume_phase {
+                Some((rpi, start)) if rpi == pi => start,
+                _ => {
+                    if pi > 0 || engine.pop.grid().partition_count() != phase.partitions {
+                        let new_grid = engine.pop.grid().with_partitions(phase.partitions)?;
+                        engine.pop = take_and_regrid(&mut engine.pop, new_grid);
+                        engine.pop.rank_locally();
+                    }
+                    engine.gen
+                }
+            };
             let (policy, schedule) = base.shaper.solve(base.n_superior, phase.span)?;
-            let phase_start = engine.gen;
-            for _ in 0..phase.span {
-                engine.annealed_generation(&mut rng, &policy, &schedule, phase_start);
+            let phase_end = phase_start + phase.span;
+            while engine.gen < phase_end {
+                if should_stop(engine.gen) {
+                    return Ok(suspended(
+                        engine.snapshot(&rng, true, gen_t),
+                        pi,
+                        phase_start,
+                        &phase_fronts,
+                    ));
+                }
+                engine.annealed_generation(&mut rng, &policy, &schedule, phase_start)?;
                 observer(engine.gen, &engine.flat_cache);
             }
             // End-of-phase Global Pareto Front: one global competition on
@@ -321,11 +484,29 @@ impl<P: Problem> Mesacga<P> {
         }
 
         let result = engine.finish(gen_t);
-        Ok(MesacgaResult {
+        Ok(MesacgaRun::Complete(Box::new(MesacgaResult {
             result,
             phase_fronts,
-        })
+        })))
     }
+}
+
+/// Packages a suspension into a checkpoint.
+fn suspended(
+    state: EngineState,
+    phase_index: usize,
+    phase_start: usize,
+    fronts: &[Vec<Individual>],
+) -> MesacgaRun {
+    MesacgaRun::Suspended(Box::new(MesacgaCheckpoint {
+        state,
+        phase_index,
+        phase_start,
+        phase_fronts: fronts
+            .iter()
+            .map(|f| f.iter().map(SavedIndividual::from_individual).collect())
+            .collect(),
+    }))
 }
 
 /// Feasible globally non-dominated front of a population snapshot.
@@ -476,5 +657,144 @@ mod tests {
             .unwrap();
         // ≥ 30 phase-II generations + phase-I generations
         assert!(count >= 30);
+    }
+
+    /// Strips wall-clock timing so stats can be compared across runs.
+    fn scrub(mut stats: engine::EngineStats) -> engine::EngineStats {
+        stats.eval_time = std::time::Duration::ZERO;
+        stats.backoff_time = std::time::Duration::ZERO;
+        stats
+    }
+
+    fn objectives_of(pop: &[Individual]) -> Vec<Vec<f64>> {
+        pop.iter().map(|m| m.objectives().to_vec()).collect()
+    }
+
+    #[test]
+    fn kill_mid_phase_and_resume_matches_uninterrupted_run() {
+        let full = Mesacga::new(Schaffer::new(), quick_config())
+            .run_seeded(12)
+            .unwrap();
+        // Stop points cover: before any generation, inside each expanding
+        // phase (quick_config spans three phases of 10 generations each
+        // after phase I), and near the end of the run.
+        for stop in [0usize, 5, 11, 15, 21, 28] {
+            let ga = Mesacga::new(Schaffer::new(), quick_config());
+            let cp = match ga.run_until(12, stop).unwrap() {
+                MesacgaRun::Suspended(cp) => cp,
+                MesacgaRun::Complete(_) => panic!("run should suspend at gen {stop}"),
+            };
+            assert_eq!(cp.state.gen, stop);
+            let resumed = ga.resume(&cp).unwrap();
+            assert_eq!(
+                resumed.result.front_objectives(),
+                full.result.front_objectives()
+            );
+            assert_eq!(resumed.result.history, full.result.history);
+            assert_eq!(resumed.phase_fronts.len(), full.phase_fronts.len());
+            for (a, b) in resumed.phase_fronts.iter().zip(&full.phase_fronts) {
+                assert_eq!(objectives_of(a), objectives_of(b));
+            }
+            assert_eq!(
+                scrub(resumed.result.stats),
+                scrub(full.result.stats.clone())
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_text_round_trip_resumes_identically() {
+        let ga = Mesacga::new(Schaffer::new(), quick_config());
+        let full = Mesacga::new(Schaffer::new(), quick_config())
+            .run_seeded(14)
+            .unwrap();
+        // Suspend mid-second-phase so the checkpoint carries a phase front.
+        let cp = match ga.run_until(14, 15).unwrap() {
+            MesacgaRun::Suspended(cp) => cp,
+            MesacgaRun::Complete(_) => panic!("run should suspend"),
+        };
+        assert!(!cp.phase_fronts.is_empty());
+        let restored = MesacgaCheckpoint::from_text(&cp.to_text()).unwrap();
+        assert_eq!(*cp, restored);
+        let resumed = ga.resume(&restored).unwrap();
+        assert_eq!(
+            resumed.result.front_objectives(),
+            full.result.front_objectives()
+        );
+        assert_eq!(resumed.result.history, full.result.history);
+    }
+
+    #[test]
+    fn resume_until_chains_across_checkpoints() {
+        let full = Mesacga::new(Schaffer::new(), quick_config())
+            .run_seeded(15)
+            .unwrap();
+        let ga = Mesacga::new(Schaffer::new(), quick_config());
+        let mut run = ga.run_until(15, 6).unwrap();
+        let mut hops = 0;
+        let result = loop {
+            match run {
+                MesacgaRun::Complete(r) => break *r,
+                MesacgaRun::Suspended(cp) => {
+                    hops += 1;
+                    run = ga.resume_until(&cp, cp.state.gen + 6).unwrap();
+                }
+            }
+        };
+        assert!(hops >= 4, "expected several suspensions, got {hops}");
+        assert_eq!(
+            result.result.front_objectives(),
+            full.result.front_objectives()
+        );
+        assert_eq!(result.result.history, full.result.history);
+    }
+
+    #[test]
+    fn fault_injected_run_matches_fault_free_front() {
+        let base = MesacgaConfig::builder()
+            .population_size(40)
+            .phase1_max(5)
+            .phases(vec![PhaseSpec::new(6, 8), PhaseSpec::new(2, 8)]);
+        let clean_cfg = base.clone().build().unwrap();
+        let faulty_cfg = base
+            .fault_policy(engine::FaultPolicy::tolerant(3))
+            .inject_faults(engine::FaultPlan::seeded(21).panics(0.05).nonfinite(0.05))
+            .build()
+            .unwrap();
+        let clean = Mesacga::new(Schaffer::new(), clean_cfg)
+            .run_seeded(16)
+            .unwrap();
+        let faulty = Mesacga::new(Schaffer::new(), faulty_cfg)
+            .run_seeded(16)
+            .unwrap();
+        assert_eq!(
+            clean.result.front_objectives(),
+            faulty.result.front_objectives()
+        );
+        assert!(faulty.result.stats.failures > 0);
+        assert_eq!(
+            faulty.result.stats.failures,
+            faulty.result.stats.injected_panics + faulty.result.stats.injected_nonfinite
+        );
+        assert_eq!(faulty.result.stats.recovered, faulty.result.stats.failures);
+    }
+
+    #[test]
+    fn exhausted_checkpoint_is_rejected() {
+        let ga = Mesacga::new(Schaffer::new(), quick_config());
+        // Drive to the last generation, grab the final checkpoint, finish
+        // it, then check a claim past the schedule is rejected on resume.
+        let cp = match ga.run_until(17, 30).unwrap() {
+            MesacgaRun::Suspended(cp) => cp,
+            MesacgaRun::Complete(_) => panic!("run should suspend at gen 30"),
+        };
+        let mut doctored = (*cp).clone();
+        doctored.phase_index = quick_config().phases().len();
+        assert!(matches!(
+            ga.resume(&doctored),
+            Err(OptimizeError::InvalidCheckpoint { .. })
+        ));
+        // The genuine checkpoint still resumes fine.
+        assert!(ga.resume(&cp).is_ok());
     }
 }

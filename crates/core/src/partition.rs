@@ -167,6 +167,34 @@ impl PartitionedPopulation {
         }
     }
 
+    /// Reassembles a population from checkpointed parts, trusting the
+    /// stored partition assignment (a bit-exact resume must not re-derive
+    /// it, and promoted members may carry revised ranks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidCheckpoint`] when the member or
+    /// alive vectors disagree with the grid's partition count.
+    pub(crate) fn from_parts(
+        grid: PartitionGrid,
+        members: Vec<Vec<Individual>>,
+        alive: Vec<bool>,
+    ) -> Result<Self, OptimizeError> {
+        if members.len() != grid.partition_count() || alive.len() != grid.partition_count() {
+            return Err(OptimizeError::invalid_checkpoint(format!(
+                "expected {} partitions, got {} member lists and {} alive flags",
+                grid.partition_count(),
+                members.len(),
+                alive.len()
+            )));
+        }
+        Ok(PartitionedPopulation {
+            grid,
+            members,
+            alive,
+        })
+    }
+
     /// The grid in use.
     pub fn grid(&self) -> &PartitionGrid {
         &self.grid

@@ -20,8 +20,9 @@
 //!   Global Pareto Front.
 
 use crate::anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
+use crate::checkpoint::{EngineState, SacgaCheckpoint, SavedIndividual};
 use crate::partition::{PartitionGrid, PartitionedPopulation};
-use engine::{EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine};
+use engine::{EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine, FaultPlan, FaultPolicy};
 use moea::individual::Individual;
 use moea::operators::{random_vector, Variation};
 use moea::problem::Problem;
@@ -228,6 +229,21 @@ impl SacgaConfigBuilder {
         self
     }
 
+    /// Sets the fault-handling policy for candidate evaluation: retry
+    /// budget, non-finite quarantine, and exhaustion behavior.
+    pub fn fault_policy(mut self, fault: FaultPolicy) -> Self {
+        self.engine = self.engine.fault_policy(fault);
+        self
+    }
+
+    /// Enables deterministic fault injection with the given plan (a
+    /// testing/chaos harness — injected faults are reproducible per
+    /// candidate).
+    pub fn inject_faults(mut self, plan: FaultPlan) -> Self {
+        self.engine = self.engine.inject_faults(plan);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -320,6 +336,23 @@ impl SacgaResult {
     }
 }
 
+/// Outcome of a bounded run: finished within the stop bound, or
+/// suspended at a generation boundary with a resumable checkpoint.
+#[derive(Debug, Clone)]
+pub enum SacgaRun {
+    /// The run finished before reaching the stop bound.
+    Complete(Box<SacgaResult>),
+    /// The run was suspended; resume with [`Sacga::resume`] or
+    /// [`Sacga::resume_until`].
+    Suspended(Box<SacgaCheckpoint>),
+}
+
+/// How a drive begins: a fresh seed or a stored checkpoint.
+enum Launch<'c> {
+    Seed(u64),
+    Checkpoint(&'c SacgaCheckpoint),
+}
+
 /// The SACGA optimizer.
 #[derive(Debug)]
 pub struct Sacga<P: Problem> {
@@ -337,7 +370,9 @@ impl<P: Problem> Sacga<P> {
     ///
     /// # Errors
     ///
-    /// Propagates problem-definition errors discovered at start-up.
+    /// Propagates problem-definition errors discovered at start-up and
+    /// [`OptimizeError::EvaluationFailed`] when a candidate evaluation
+    /// exhausts the fault policy's retry budget with an aborting policy.
     pub fn run_seeded(&self, seed: u64) -> Result<SacgaResult, OptimizeError>
     where
         P: Sync,
@@ -350,42 +385,137 @@ impl<P: Problem> Sacga<P> {
     ///
     /// # Errors
     ///
-    /// Propagates problem-definition errors discovered at start-up.
-    pub fn run_observed<F>(&self, seed: u64, mut observer: F) -> Result<SacgaResult, OptimizeError>
+    /// Same as [`Sacga::run_seeded`].
+    pub fn run_observed<F>(&self, seed: u64, observer: F) -> Result<SacgaResult, OptimizeError>
     where
         P: Sync,
         F: FnMut(usize, &[Individual]),
     {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut engine = Engine::start(&self.problem, &self.config, &mut rng)?;
-        // Phase I.
-        while engine.gen < self.config.generations
-            && engine.gen < self.config.phase1_max
-            && !(engine.pop.all_partitions_feasible() && engine.gen > 0)
-        {
-            engine.local_generation(&mut rng);
-            observer(engine.gen, &engine.flat_cache);
+        match self.drive(Launch::Seed(seed), None, observer)? {
+            SacgaRun::Complete(result) => Ok(*result),
+            SacgaRun::Suspended(_) => unreachable!("unbounded runs never suspend"),
         }
-        if !engine.pop.all_partitions_feasible() {
-            engine.pop.discard_infeasible_partitions();
-        }
-        let gen_t = engine.gen;
+    }
 
-        // Phase II.
+    /// Runs from `seed`, suspending once `stop_after` generations have
+    /// completed. Checkpoints are taken only at generation boundaries, so
+    /// a suspended-and-resumed run is bit-identical to an uninterrupted
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sacga::run_seeded`].
+    pub fn run_until(&self, seed: u64, stop_after: usize) -> Result<SacgaRun, OptimizeError>
+    where
+        P: Sync,
+    {
+        self.drive(Launch::Seed(seed), Some(stop_after), |_, _| {})
+    }
+
+    /// Resumes a suspended run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sacga::run_seeded`], plus
+    /// [`OptimizeError::InvalidCheckpoint`] when the checkpoint is
+    /// inconsistent with this configuration.
+    pub fn resume(&self, checkpoint: &SacgaCheckpoint) -> Result<SacgaResult, OptimizeError>
+    where
+        P: Sync,
+    {
+        match self.drive(Launch::Checkpoint(checkpoint), None, |_, _| {})? {
+            SacgaRun::Complete(result) => Ok(*result),
+            SacgaRun::Suspended(_) => unreachable!("unbounded runs never suspend"),
+        }
+    }
+
+    /// Resumes a suspended run, suspending again once `stop_after` total
+    /// generations have completed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sacga::resume`].
+    pub fn resume_until(
+        &self,
+        checkpoint: &SacgaCheckpoint,
+        stop_after: usize,
+    ) -> Result<SacgaRun, OptimizeError>
+    where
+        P: Sync,
+    {
+        self.drive(Launch::Checkpoint(checkpoint), Some(stop_after), |_, _| {})
+    }
+
+    /// The shared run loop behind every public entry point: phase I until
+    /// feasibility (or the cap), boundary processing, then phase II with
+    /// the annealed promotion schedule. `stop_after` bounds the total
+    /// generation count; reaching it suspends the run into a checkpoint.
+    fn drive<F>(
+        &self,
+        launch: Launch<'_>,
+        stop_after: Option<usize>,
+        mut observer: F,
+    ) -> Result<SacgaRun, OptimizeError>
+    where
+        P: Sync,
+        F: FnMut(usize, &[Individual]),
+    {
+        let should_stop = |gen: usize| stop_after.is_some_and(|cap| gen >= cap);
+        let (mut rng, mut engine, phase1_done, mut gen_t) = match launch {
+            Launch::Seed(seed) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let engine = Engine::start(&self.problem, &self.config, &mut rng)?;
+                (rng, engine, false, 0)
+            }
+            Launch::Checkpoint(cp) => {
+                let (engine, rng) = Engine::restore(&self.problem, &self.config, &cp.state)?;
+                (rng, engine, cp.state.phase1_done, cp.state.gen_t)
+            }
+        };
+
+        // Phase I. A checkpoint taken mid-phase-I re-enters this loop; the
+        // termination condition and the boundary processing below are pure
+        // functions of the restored population, so they replay identically.
+        if !phase1_done {
+            while engine.gen < self.config.generations
+                && engine.gen < self.config.phase1_max
+                && !(engine.pop.all_partitions_feasible() && engine.gen > 0)
+            {
+                if should_stop(engine.gen) {
+                    return Ok(SacgaRun::Suspended(Box::new(SacgaCheckpoint {
+                        state: engine.snapshot(&rng, false, 0),
+                    })));
+                }
+                engine.local_generation(&mut rng)?;
+                observer(engine.gen, &engine.flat_cache);
+            }
+            if !engine.pop.all_partitions_feasible() {
+                engine.pop.discard_infeasible_partitions();
+            }
+            gen_t = engine.gen;
+        }
+
+        // Phase II. The schedule depends only on `gen_t` (stored in phase-II
+        // checkpoints), so a resumed run re-derives the same constants.
         let span = self.config.generations.saturating_sub(gen_t);
         let (policy, schedule) = self.config.shaper.solve(self.config.n_superior, span)?;
         while engine.gen < self.config.generations {
+            if should_stop(engine.gen) {
+                return Ok(SacgaRun::Suspended(Box::new(SacgaCheckpoint {
+                    state: engine.snapshot(&rng, true, gen_t),
+                })));
+            }
             match self.config.mode {
                 CompetitionMode::Annealed => {
-                    engine.annealed_generation(&mut rng, &policy, &schedule, gen_t);
+                    engine.annealed_generation(&mut rng, &policy, &schedule, gen_t)?;
                 }
                 CompetitionMode::LocalOnly => {
-                    engine.local_generation(&mut rng);
+                    engine.local_generation(&mut rng)?;
                 }
             }
             observer(engine.gen, &engine.flat_cache);
         }
-        Ok(engine.finish(gen_t))
+        Ok(SacgaRun::Complete(Box::new(engine.finish(gen_t))))
     }
 }
 
@@ -430,7 +560,7 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
         let init_genes: Vec<Vec<f64>> = (0..config.population_size)
             .map(|_| random_vector(rng, &bounds))
             .collect();
-        let init_evals = exec.evaluate_batch(&init_genes, &|genes| problem.evaluate(genes));
+        let init_evals = exec.try_evaluate_batch(&init_genes, &|genes| problem.evaluate(genes))?;
         let initial: Vec<Individual> = init_genes
             .into_iter()
             .zip(init_evals)
@@ -482,16 +612,17 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
     }
 
     /// One pure-local generation (phase I / LocalOnly mode).
-    pub(crate) fn local_generation(&mut self, rng: &mut StdRng) {
+    pub(crate) fn local_generation(&mut self, rng: &mut StdRng) -> Result<(), OptimizeError> {
         self.pop.rank_locally();
         let flat = self.pop.flatten();
-        let offspring = self.make_offspring(rng, &flat);
+        let offspring = self.make_offspring(rng, &flat)?;
         self.pop.absorb(offspring);
         self.pop.truncate_to(self.capacity(), rng);
         self.pop.rank_locally();
         self.gen += 1;
         self.flat_cache = self.pop.flatten();
         self.record(1, f64::INFINITY, 0);
+        Ok(())
     }
 
     /// One annealed generation (phase II): local ranking, SA-gated
@@ -503,7 +634,7 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
         policy: &PromotionPolicy,
         schedule: &AnnealingSchedule,
         gen_t: usize,
-    ) {
+    ) -> Result<(), OptimizeError> {
         self.pop.rank_locally();
         let mut flat = self.pop.flatten();
         // The generation being produced is `gen + 1`; its elapsed phase-II
@@ -542,16 +673,21 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
 
         // --- Global mating pool over the entire population with revised
         // ranks, then variation and local survivor selection.
-        let offspring = self.make_offspring(rng, &flat);
+        let offspring = self.make_offspring(rng, &flat)?;
         self.pop.absorb(offspring);
         self.pop.truncate_to(self.capacity(), rng);
         self.pop.rank_locally();
         self.gen += 1;
         self.flat_cache = self.pop.flatten();
         self.record(2, temperature, promoted.len());
+        Ok(())
     }
 
-    fn make_offspring(&mut self, rng: &mut StdRng, flat: &[Individual]) -> Vec<Individual> {
+    fn make_offspring(
+        &mut self,
+        rng: &mut StdRng,
+        flat: &[Individual],
+    ) -> Result<Vec<Individual>, OptimizeError> {
         let n = self.config.population_size;
         let problem = self.problem;
         let bounds = problem.bounds();
@@ -578,12 +714,107 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
         }
         let evals = self
             .exec
-            .evaluate_batch(&child_genes, &|genes| problem.evaluate(genes));
-        child_genes
+            .try_evaluate_batch(&child_genes, &|genes| problem.evaluate(genes))?;
+        Ok(child_genes
             .into_iter()
             .zip(evals)
             .map(|(genes, ev)| Individual::new(genes, ev))
-            .collect()
+            .collect())
+    }
+
+    /// Captures the complete engine state at a generation boundary.
+    /// `phase1_done` records whether the phase-I boundary processing has
+    /// run; `gen_t` is meaningful only when it has.
+    pub(crate) fn snapshot(&self, rng: &StdRng, phase1_done: bool, gen_t: usize) -> EngineState {
+        let grid = *self.pop.grid();
+        let (grid_lo, grid_hi) = grid.range();
+        let partitions = (0..self.pop.partition_count())
+            .map(|p| {
+                self.pop
+                    .partition(p)
+                    .iter()
+                    .map(SavedIndividual::from_individual)
+                    .collect()
+            })
+            .collect();
+        let alive = (0..self.pop.partition_count())
+            .map(|p| self.pop.is_alive(p))
+            .collect();
+        EngineState {
+            rng: rng.state(),
+            gen: self.gen,
+            phase1_done,
+            gen_t,
+            grid_objective: grid.objective(),
+            grid_lo,
+            grid_hi,
+            grid_partitions: grid.partition_count(),
+            alive,
+            partitions,
+            history: self.history.clone(),
+            stats: self.exec.stats().clone(),
+        }
+    }
+
+    /// Rebuilds an engine (and its RNG) from a checkpointed state. The
+    /// stored partition assignment is trusted verbatim; the memoization
+    /// cache restarts cold (its contents are a pure performance artifact
+    /// and never affect results).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidCheckpoint`] when the stored grid
+    /// or partition layout is inconsistent, and the same start-up errors
+    /// as [`Engine::start`].
+    pub(crate) fn restore(
+        problem: &'p P,
+        config: &'p SacgaConfig,
+        state: &EngineState,
+    ) -> Result<(Self, StdRng), OptimizeError> {
+        if problem.num_objectives() == 0 {
+            return Err(OptimizeError::invalid_problem(
+                "problem must declare at least one objective",
+            ));
+        }
+        if state.grid_objective >= problem.num_objectives() {
+            return Err(OptimizeError::invalid_checkpoint(format!(
+                "checkpoint slices objective {} but the problem declares {}",
+                state.grid_objective,
+                problem.num_objectives()
+            )));
+        }
+        let grid = PartitionGrid::new(
+            state.grid_objective,
+            state.grid_lo,
+            state.grid_hi,
+            state.grid_partitions,
+        )
+        .map_err(|e| OptimizeError::invalid_checkpoint(format!("stored grid is invalid: {e}")))?;
+        let members: Vec<Vec<Individual>> = state
+            .partitions
+            .iter()
+            .map(|part| part.iter().map(SavedIndividual::to_individual).collect())
+            .collect();
+        let pop = PartitionedPopulation::from_parts(grid, members, state.alive.clone())?;
+        let bounds = problem.bounds().clone();
+        let mut exec = ExecutionEngine::new(config.engine.clone());
+        exec.restore_stats(state.stats.clone());
+        let variation = config
+            .variation
+            .unwrap_or_else(|| Variation::standard(bounds.len()));
+        let flat_cache = pop.flatten();
+        let engine = Engine {
+            problem,
+            config,
+            pop,
+            gen: state.gen,
+            history: state.history.clone(),
+            variation,
+            roulette: RankRoulette::new(config.roulette_decay),
+            exec,
+            flat_cache,
+        };
+        Ok((engine, StdRng::from_state(state.rng)))
     }
 
     fn record(&mut self, phase: u8, temperature: f64, promoted: usize) {
@@ -884,5 +1115,146 @@ mod tests {
         assert!(!pts.is_empty());
         let ext = moea::metrics::extent(&pts, 0);
         assert!(ext > 0.5, "front should span the coverage axis, got {ext}");
+    }
+
+    /// Strips wall-clock timing so stats can be compared across runs.
+    fn scrub(mut stats: EngineStats) -> EngineStats {
+        stats.eval_time = std::time::Duration::ZERO;
+        stats.backoff_time = std::time::Duration::ZERO;
+        stats
+    }
+
+    fn genes_of(pop: &[Individual]) -> Vec<Vec<f64>> {
+        pop.iter().map(|m| m.genes.clone()).collect()
+    }
+
+    #[test]
+    fn kill_and_resume_matches_uninterrupted_run() {
+        let cfg = small_config(30, 6);
+        let full = Sacga::new(Schaffer::new(), cfg.clone())
+            .run_seeded(5)
+            .unwrap();
+        // Stop points cover: before any generation, the phase-I/II
+        // boundary, deep inside phase II, and the final generation.
+        for stop in [0usize, 1, 2, 13, 29] {
+            let ga = Sacga::new(Schaffer::new(), cfg.clone());
+            let cp = match ga.run_until(5, stop).unwrap() {
+                SacgaRun::Suspended(cp) => cp,
+                SacgaRun::Complete(_) => panic!("run should suspend at gen {stop}"),
+            };
+            assert_eq!(cp.state.gen, stop);
+            let resumed = ga.resume(&cp).unwrap();
+            assert_eq!(resumed.front_objectives(), full.front_objectives());
+            assert_eq!(genes_of(&resumed.population), genes_of(&full.population));
+            assert_eq!(resumed.history, full.history);
+            assert_eq!(resumed.gen_t, full.gen_t);
+            assert_eq!(scrub(resumed.stats), scrub(full.stats.clone()));
+        }
+    }
+
+    #[test]
+    fn resume_until_chains_across_checkpoints() {
+        let cfg = small_config(24, 5);
+        let full = Sacga::new(Schaffer::new(), cfg.clone())
+            .run_seeded(3)
+            .unwrap();
+        let ga = Sacga::new(Schaffer::new(), cfg);
+        let mut run = ga.run_until(3, 4).unwrap();
+        let mut hops = 0;
+        let result = loop {
+            match run {
+                SacgaRun::Complete(r) => break *r,
+                SacgaRun::Suspended(cp) => {
+                    hops += 1;
+                    run = ga.resume_until(&cp, cp.state.gen + 4).unwrap();
+                }
+            }
+        };
+        assert!(hops >= 4, "expected several suspensions, got {hops}");
+        assert_eq!(result.front_objectives(), full.front_objectives());
+        assert_eq!(result.history, full.history);
+    }
+
+    #[test]
+    fn checkpoint_text_round_trip_resumes_identically() {
+        let cfg = small_config(25, 5);
+        let ga = Sacga::new(Schaffer::new(), cfg);
+        let cp = match ga.run_until(7, 10).unwrap() {
+            SacgaRun::Suspended(cp) => cp,
+            SacgaRun::Complete(_) => panic!("run should suspend"),
+        };
+        let restored = SacgaCheckpoint::from_text(&cp.to_text()).unwrap();
+        assert_eq!(*cp, restored);
+        let a = ga.resume(&cp).unwrap();
+        let b = ga.resume(&restored).unwrap();
+        assert_eq!(a.front_objectives(), b.front_objectives());
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn fault_injected_run_matches_fault_free_front() {
+        let base = SacgaConfig::builder()
+            .population_size(24)
+            .generations(15)
+            .partitions(4);
+        let clean_cfg = base.clone().build().unwrap();
+        let faulty_cfg = base
+            .fault_policy(FaultPolicy::tolerant(3))
+            .inject_faults(FaultPlan::seeded(11).panics(0.05).nonfinite(0.05))
+            .build()
+            .unwrap();
+        let clean = Sacga::new(Schaffer::new(), clean_cfg)
+            .run_seeded(7)
+            .unwrap();
+        let faulty = Sacga::new(Schaffer::new(), faulty_cfg)
+            .run_seeded(7)
+            .unwrap();
+        assert_eq!(clean.front_objectives(), faulty.front_objectives());
+        assert!(faulty.stats.failures > 0);
+        assert_eq!(
+            faulty.stats.failures,
+            faulty.stats.injected_panics + faulty.stats.injected_nonfinite
+        );
+        assert_eq!(faulty.stats.recovered, faulty.stats.failures);
+        assert_eq!(clean.stats.failures, 0);
+    }
+
+    #[test]
+    fn fault_injected_checkpoint_resume_preserves_fault_accounting() {
+        let cfg = SacgaConfig::builder()
+            .population_size(24)
+            .generations(16)
+            .partitions(4)
+            .fault_policy(FaultPolicy::tolerant(3))
+            .inject_faults(FaultPlan::seeded(13).panics(0.08))
+            .build()
+            .unwrap();
+        let full = Sacga::new(Schaffer::new(), cfg.clone())
+            .run_seeded(23)
+            .unwrap();
+        let ga = Sacga::new(Schaffer::new(), cfg);
+        let cp = match ga.run_until(23, 8).unwrap() {
+            SacgaRun::Suspended(cp) => cp,
+            SacgaRun::Complete(_) => panic!("run should suspend"),
+        };
+        let resumed = ga.resume(&cp).unwrap();
+        assert_eq!(resumed.front_objectives(), full.front_objectives());
+        assert_eq!(scrub(resumed.stats), scrub(full.stats.clone()));
+        assert!(full.stats.injected_panics > 0);
+    }
+
+    #[test]
+    fn aborting_fault_policy_propagates_typed_error() {
+        let cfg = SacgaConfig::builder()
+            .population_size(8)
+            .generations(2)
+            .inject_faults(FaultPlan::seeded(1).panics(1.0))
+            .build()
+            .unwrap();
+        let err = Sacga::new(Schaffer::new(), cfg).run_seeded(1).unwrap_err();
+        match err {
+            OptimizeError::EvaluationFailed(f) => assert_eq!(f.kind, engine::FaultKind::Panic),
+            other => panic!("expected EvaluationFailed, got {other:?}"),
+        }
     }
 }

@@ -1,8 +1,12 @@
 //! Property-based tests of the SACGA machinery invariants.
 
+use engine::{EngineConfig, EvalOutcome, ExecutionEngine, ExhaustedAction, FaultPlan, FaultPolicy};
+use moea::problems::Schaffer;
 use proptest::prelude::*;
 use sacga::anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
 use sacga::partition::PartitionGrid;
+use sacga::sacga::{Sacga, SacgaConfig};
+use std::cell::Cell;
 
 proptest! {
     #[test]
@@ -104,5 +108,165 @@ proptest! {
         let p = grid.partition_of(&[t]);
         let (a, b) = grid.slice_range(p);
         prop_assert!(t >= a - 1e-12 && t < b + 1e-12, "{t} not in [{a}, {b})");
+    }
+
+    // ---- annealing edge cases ----
+
+    #[test]
+    fn span_one_schedule_cools_in_a_single_step(
+        t_init in 1.0001f64..1e6,
+        k3 in 0.1f64..3.0,
+    ) {
+        let s = AnnealingSchedule::new(t_init, k3, 1).unwrap();
+        prop_assert!((s.temperature(0) - t_init).abs() <= 1e-9 * t_init);
+        let cooled = s.temperature(1);
+        let expected = t_init.powf(1.0 - k3);
+        prop_assert!(
+            (cooled - expected).abs() <= 1e-6 * expected.max(1.0),
+            "span-1 schedule must land on t_init^(1-k3): {cooled} vs {expected}"
+        );
+        // elapsed time beyond the span clamps to the fully cooled value
+        prop_assert_eq!(s.temperature(100), cooled);
+    }
+
+    #[test]
+    fn near_degenerate_t_init_keeps_temperatures_finite_and_bounded(
+        eps_exp in 1i32..14,
+        span in 1usize..100,
+        g in 0usize..200,
+    ) {
+        // t_init barely above its lower bound of 1: ln(t_init) → 0 and the
+        // schedule must stay finite and squeezed into [1, t_init].
+        let t_init = 1.0 + 10f64.powi(-eps_exp);
+        prop_assume!(t_init > 1.0);
+        let s = AnnealingSchedule::new(t_init, 1.0, span).unwrap();
+        let t = s.temperature(g);
+        prop_assert!(t.is_finite());
+        prop_assert!(t >= 1.0 - 1e-12 && t <= t_init + 1e-12, "T = {t} outside [1, {t_init}]");
+    }
+
+    #[test]
+    fn promotion_cost_is_positive_and_monotone_in_rank(
+        k1 in 0.001f64..100.0,
+        k2 in 0.0f64..6.0,
+        n in 2usize..16,
+    ) {
+        let p = PromotionPolicy::new(k1, k2, 1.0, n).unwrap();
+        let mut prev = 0.0;
+        for i in 1..=n {
+            let c = p.cost(i);
+            prop_assert!(c.is_finite() && c > 0.0);
+            prop_assert!(c >= prev, "cost must be non-decreasing in i: c({i}) = {c} < {prev}");
+            prev = c;
+        }
+        let expected_first = k1 * (k2 / (n as f64 - 1.0)).exp();
+        prop_assert!((p.cost(1) - expected_first).abs() <= 1e-9 * expected_first.max(1.0));
+    }
+
+    // ---- fault-tolerance layer ----
+
+    #[test]
+    fn retry_never_exceeds_max_attempts(
+        max_attempts in 1u32..6,
+        faults in 0u32..8,
+    ) {
+        let policy = FaultPolicy::default()
+            .max_attempts(max_attempts)
+            .quarantine_nonfinite(true)
+            .on_exhausted(ExhaustedAction::Quarantine);
+        let calls = Cell::new(0u32);
+        let eval = |genes: &[f64]| {
+            let n = calls.get();
+            calls.set(n + 1);
+            if n < faults { f64::NAN } else { genes[0] * 2.0 }
+        };
+        let outcome = policy.execute(&eval, &[1.5]);
+        prop_assert!(calls.get() <= max_attempts.max(1), "attempts exceeded budget");
+        match outcome {
+            EvalOutcome::Ok(v) => {
+                prop_assert_eq!(faults, 0);
+                prop_assert_eq!(v, 3.0);
+            }
+            EvalOutcome::Recovered { value, failures, .. } => {
+                prop_assert!(faults >= 1 && faults < max_attempts);
+                prop_assert_eq!(failures, faults);
+                prop_assert_eq!(value, 3.0);
+            }
+            EvalOutcome::Quarantined { value, failures, .. } => {
+                prop_assert!(faults >= max_attempts);
+                prop_assert_eq!(failures, max_attempts);
+                prop_assert!(!value.is_finite(), "placeholder must be worst-case");
+            }
+            EvalOutcome::Failed(_) => prop_assert!(false, "quarantine policy must not abort"),
+        }
+    }
+
+    #[test]
+    fn fault_injected_sacga_recovers_to_the_fault_free_front(
+        seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        panic_pct in 0u32..12,
+        nan_pct in 0u32..12,
+    ) {
+        let base = SacgaConfig::builder()
+            .population_size(16)
+            .generations(6)
+            .partitions(3);
+        let clean = Sacga::new(Schaffer::new(), base.clone().build().unwrap())
+            .run_seeded(seed)
+            .unwrap();
+        let plan = FaultPlan::seeded(plan_seed)
+            .panics(f64::from(panic_pct) / 100.0)
+            .nonfinite(f64::from(nan_pct) / 100.0);
+        let faulty_cfg = base
+            .fault_policy(FaultPolicy::tolerant(4))
+            .inject_faults(plan)
+            .build()
+            .unwrap();
+        let faulty = Sacga::new(Schaffer::new(), faulty_cfg).run_seeded(seed).unwrap();
+        prop_assert_eq!(clean.front_objectives(), faulty.front_objectives());
+        prop_assert_eq!(
+            faulty.stats.failures,
+            faulty.stats.injected_panics + faulty.stats.injected_nonfinite
+        );
+        prop_assert_eq!(faulty.stats.recovered, faulty.stats.failures);
+        prop_assert_eq!(faulty.stats.quarantined, 0);
+    }
+
+    #[test]
+    fn memo_cache_never_stores_quarantined_results(
+        nan_pct in 5u32..60,
+        plan_seed in 0u64..500,
+        batch_len in 4usize..40,
+    ) {
+        // Every fault-selected candidate stays non-finite on all attempts,
+        // so it ends quarantined; the cache must keep refusing it while
+        // serving the clean candidates.
+        let config = EngineConfig::default()
+            .cache_capacity(1024)
+            .fault_policy(FaultPolicy::tolerant(2))
+            .inject_faults(
+                FaultPlan::seeded(plan_seed)
+                    .nonfinite(f64::from(nan_pct) / 100.0)
+                    .faults_per_candidate(u32::MAX),
+            );
+        let mut exec: ExecutionEngine<f64> = ExecutionEngine::new(config);
+        let batch: Vec<Vec<f64>> = (0..batch_len).map(|i| vec![i as f64 * 0.37 + 0.1]).collect();
+        let eval = |genes: &[f64]| genes[0] + 1.0;
+
+        let first = exec.try_evaluate_batch(&batch, &eval).unwrap();
+        let q1 = exec.stats().quarantined;
+        prop_assert_eq!(exec.stats().cache_hits, 0);
+
+        let second = exec.try_evaluate_batch(&batch, &eval).unwrap();
+        // Clean results were cached; quarantined ones were re-evaluated
+        // (and quarantined again), never answered from the cache.
+        prop_assert_eq!(exec.stats().quarantined, 2 * q1);
+        prop_assert_eq!(exec.stats().cache_hits, batch_len as u64 - q1);
+        for (a, b) in first.iter().zip(&second) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let tainted = first.iter().filter(|v| !v.is_finite()).count() as u64;
+        prop_assert_eq!(tainted, q1);
     }
 }

@@ -2,19 +2,27 @@
 
 use crate::cache::{CacheConfig, MemoCache};
 use crate::evaluator::EvaluatorKind;
+use crate::fault::{EvalFailure, EvalOutcome, FaultInjector, FaultPlan, FaultPolicy, Quarantine};
 use crate::stats::EngineStats;
 use std::time::Instant;
 
 /// Configuration of an [`ExecutionEngine`].
 ///
-/// The default — serial evaluation, no cache — reproduces the behavior of
-/// the original inline run loops exactly, evaluation for evaluation.
+/// The default — serial evaluation, no cache, single-attempt fault
+/// policy, no fault injection — reproduces the behavior of the original
+/// inline run loops exactly, evaluation for evaluation.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct EngineConfig {
     /// Fan-out strategy for each batch.
     pub evaluator: EvaluatorKind,
     /// Memoization cache settings (capacity `0` disables caching).
     pub cache: CacheConfig,
+    /// Fault-handling policy applied per candidate by
+    /// [`ExecutionEngine::try_evaluate_batch`].
+    pub fault: FaultPolicy,
+    /// Deterministic fault-injection schedule (test harness; `None`
+    /// injects nothing).
+    pub inject: Option<FaultPlan>,
 }
 
 impl EngineConfig {
@@ -38,6 +46,19 @@ impl EngineConfig {
         self.cache = self.cache.grid(grid);
         self
     }
+
+    /// Sets the fault-handling policy used by
+    /// [`ExecutionEngine::try_evaluate_batch`].
+    pub fn fault_policy(mut self, fault: FaultPolicy) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Enables deterministic fault injection with the given plan.
+    pub fn inject_faults(mut self, plan: FaultPlan) -> Self {
+        self.inject = Some(plan);
+        self
+    }
 }
 
 /// Owns candidate evaluation for one optimizer run: consults the
@@ -48,16 +69,24 @@ pub struct ExecutionEngine<T> {
     config: EngineConfig,
     cache: MemoCache<T>,
     stats: EngineStats,
+    injector: Option<FaultInjector>,
+    // Injection totals carried over from a checkpoint: a resumed run's
+    // injector restarts its counters at zero, so the restored totals act
+    // as a base offset.
+    injected_base: crate::fault::InjectionCounts,
 }
 
 impl<T: Clone + Send> ExecutionEngine<T> {
     /// Builds an engine from its configuration.
     pub fn new(config: EngineConfig) -> Self {
         let cache = MemoCache::new(config.cache.clone());
+        let injector = config.inject.map(FaultInjector::new);
         ExecutionEngine {
             config,
             cache,
             stats: EngineStats::default(),
+            injector,
+            injected_base: crate::fault::InjectionCounts::default(),
         }
     }
 
@@ -69,6 +98,18 @@ impl<T: Clone + Send> ExecutionEngine<T> {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Replaces the accumulated statistics wholesale — used when a run
+    /// resumes from a checkpoint, so counters continue from the values
+    /// recorded at kill time.
+    pub fn restore_stats(&mut self, stats: EngineStats) {
+        self.injected_base = crate::fault::InjectionCounts {
+            panics: stats.injected_panics,
+            nonfinite: stats.injected_nonfinite,
+            delays: stats.injected_delays,
+        };
+        self.stats = stats;
     }
 
     /// Consumes the engine, returning its accumulated statistics.
@@ -149,6 +190,178 @@ impl<T: Clone + Send> ExecutionEngine<T> {
     }
 }
 
+impl<T: Clone + Send + Quarantine> ExecutionEngine<T> {
+    /// Fault-tolerant variant of
+    /// [`evaluate_batch`](ExecutionEngine::evaluate_batch): every
+    /// candidate is evaluated under the configured [`FaultPolicy`]
+    /// (panics contained, bounded retries, optional quarantine of
+    /// non-finite results) with faults injected when the configuration
+    /// carries a [`FaultPlan`].
+    ///
+    /// Returns the results in input order, or the first [`EvalFailure`]
+    /// (by batch position) when a candidate exhausts its retry budget
+    /// and the policy aborts. Fault counters are folded into
+    /// [`EngineStats`] in input order, so they are identical under
+    /// serial and parallel evaluation. Tainted (non-finite) and
+    /// quarantined results are never stored in the memoization cache.
+    pub fn try_evaluate_batch<F>(
+        &mut self,
+        batch: &[Vec<f64>],
+        eval: &F,
+    ) -> Result<Vec<T>, EvalFailure>
+    where
+        F: Fn(&[f64]) -> T + Sync,
+    {
+        self.stats.candidates += batch.len() as u64;
+        self.stats.batches += 1;
+        self.stats.max_batch = self.stats.max_batch.max(batch.len() as u64);
+
+        if self.config.cache.capacity == 0 {
+            self.stats.evaluations += batch.len() as u64;
+            let outcomes = self.run_guarded(batch, eval);
+            return self.absorb_outcomes(outcomes, |i| i);
+        }
+
+        // Same hit/miss resolution as `evaluate_batch`.
+        let mut resolved: Vec<Option<T>> = Vec::with_capacity(batch.len());
+        resolved.resize_with(batch.len(), || None);
+        let mut miss_genes: Vec<Vec<f64>> = Vec::new();
+        let mut miss_keys: Vec<Vec<i64>> = Vec::new();
+        let mut miss_of: Vec<Option<usize>> = vec![None; batch.len()];
+        let mut pending: std::collections::HashMap<Vec<i64>, usize> =
+            std::collections::HashMap::new();
+
+        for (i, genes) in batch.iter().enumerate() {
+            let key = self.cache.key_of(genes);
+            if let Some(value) = self.cache.get(&key) {
+                self.stats.cache_hits += 1;
+                resolved[i] = Some(value);
+            } else if let Some(&m) = pending.get(&key) {
+                self.stats.cache_hits += 1;
+                miss_of[i] = Some(m);
+            } else {
+                let m = miss_genes.len();
+                miss_genes.push(genes.clone());
+                pending.insert(key.clone(), m);
+                miss_keys.push(key);
+                miss_of[i] = Some(m);
+            }
+        }
+
+        self.stats.evaluations += miss_genes.len() as u64;
+        let outcomes = self.run_guarded(&miss_genes, eval);
+        let miss_results = self.absorb_outcomes(outcomes, |m| {
+            // Map a miss slot back to the first batch position that
+            // produced it, for a meaningful failure index.
+            miss_of
+                .iter()
+                .position(|&slot| slot == Some(m))
+                .unwrap_or(m)
+        })?;
+
+        for (key, value) in miss_keys.into_iter().zip(miss_results.iter()) {
+            if !value.is_tainted() {
+                self.cache.insert(key, value.clone());
+            }
+        }
+
+        Ok(resolved
+            .into_iter()
+            .zip(miss_of)
+            .map(|(hit, miss)| match (hit, miss) {
+                (Some(v), _) => v,
+                (None, Some(m)) => miss_results[m].clone(),
+                (None, None) => unreachable!("every candidate is a hit or a miss"),
+            })
+            .collect())
+    }
+
+    /// Fans `batch` out through the evaluator with each candidate
+    /// guarded by the fault policy (and the injector, when configured).
+    fn run_guarded<F>(&mut self, batch: &[Vec<f64>], eval: &F) -> Vec<EvalOutcome<T>>
+    where
+        F: Fn(&[f64]) -> T + Sync,
+    {
+        let policy = self.config.fault;
+        let evaluator = self.config.evaluator;
+        let injector = self.injector.as_ref();
+        let guarded = move |genes: &[f64]| -> EvalOutcome<T> {
+            match injector {
+                Some(inj) => policy.execute(&|g: &[f64]| inj.invoke(eval, g), genes),
+                None => policy.execute(eval, genes),
+            }
+        };
+        let t0 = Instant::now();
+        let outcomes = evaluator.eval_batch(&guarded, batch);
+        self.stats.eval_time += t0.elapsed();
+        outcomes
+    }
+
+    /// Folds per-candidate outcomes into stats (in input order) and
+    /// unwraps them into plain values, surfacing the first failure.
+    fn absorb_outcomes(
+        &mut self,
+        outcomes: Vec<EvalOutcome<T>>,
+        index_of: impl Fn(usize) -> usize,
+    ) -> Result<Vec<T>, EvalFailure> {
+        let mut values = Vec::with_capacity(outcomes.len());
+        let mut first_failure: Option<EvalFailure> = None;
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let retries = outcome.retries() as u64;
+            match outcome {
+                EvalOutcome::Ok(value) => values.push(value),
+                EvalOutcome::Recovered {
+                    value,
+                    failures,
+                    backoff,
+                } => {
+                    self.stats.failures += failures as u64;
+                    self.stats.retries += retries;
+                    self.stats.recovered += 1;
+                    self.stats.backoff_time += backoff;
+                    values.push(value);
+                }
+                EvalOutcome::Quarantined {
+                    value,
+                    failures,
+                    backoff,
+                } => {
+                    self.stats.failures += failures as u64;
+                    self.stats.retries += retries;
+                    self.stats.quarantined += 1;
+                    self.stats.backoff_time += backoff;
+                    values.push(value);
+                }
+                EvalOutcome::Failed(mut failure) => {
+                    self.stats.failures += failure.attempts as u64;
+                    self.stats.retries += retries;
+                    self.stats.backoff_time += failure.backoff;
+                    if first_failure.is_none() {
+                        failure.index = index_of(i);
+                        first_failure = Some(failure);
+                    }
+                }
+            }
+        }
+        self.refresh_injection_stats();
+        match first_failure {
+            Some(failure) => Err(failure),
+            None => Ok(values),
+        }
+    }
+
+    /// Copies the injector's running totals into the stats block (on top
+    /// of any totals restored from a checkpoint).
+    fn refresh_injection_stats(&mut self) {
+        if let Some(injector) = &self.injector {
+            let counts = injector.counts();
+            self.stats.injected_panics = self.injected_base.panics + counts.panics;
+            self.stats.injected_nonfinite = self.injected_base.nonfinite + counts.nonfinite;
+            self.stats.injected_delays = self.injected_base.delays + counts.delays;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,9 +439,108 @@ mod tests {
         let cfg = EngineConfig::default()
             .evaluator(crate::ParallelEvaluator::with_threads(2))
             .cache_capacity(64)
-            .cache_grid(1e-6);
+            .cache_grid(1e-6)
+            .fault_policy(crate::FaultPolicy::tolerant(3))
+            .inject_faults(crate::FaultPlan::seeded(9).panics(0.1));
         assert_eq!(cfg.evaluator, EvaluatorKind::ParallelWith(2));
         assert_eq!(cfg.cache.capacity, 64);
         assert_eq!(cfg.cache.grid, 1e-6);
+        assert_eq!(cfg.fault.retry.max_attempts, 3);
+        assert_eq!(cfg.inject.unwrap().panic_rate, 0.1);
+    }
+
+    #[test]
+    fn try_path_matches_plain_path_without_faults() {
+        let mut plain: ExecutionEngine<f64> =
+            ExecutionEngine::new(EngineConfig::default().cache_capacity(8));
+        let mut tried: ExecutionEngine<f64> =
+            ExecutionEngine::new(EngineConfig::default().cache_capacity(8));
+        let f = |genes: &[f64]| genes.iter().sum::<f64>();
+        let batch = vec![vec![1.0], vec![2.0], vec![1.0]];
+        let a = plain.evaluate_batch(&batch, &f);
+        let b = tried.try_evaluate_batch(&batch, &f).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(plain.stats().evaluations, tried.stats().evaluations);
+        assert_eq!(plain.stats().cache_hits, tried.stats().cache_hits);
+        assert_eq!(tried.stats().failures, 0);
+    }
+
+    #[test]
+    fn cache_never_stores_tainted_results() {
+        let calls = AtomicU64::new(0);
+        // Candidate [1.0] always evaluates to NaN; no quarantine policy,
+        // so it flows through as a value — but must never be cached.
+        let mut engine: ExecutionEngine<f64> =
+            ExecutionEngine::new(EngineConfig::default().cache_capacity(16));
+        let f = |genes: &[f64]| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            if genes[0] == 1.0 {
+                f64::NAN
+            } else {
+                genes[0]
+            }
+        };
+        let batch = vec![vec![1.0], vec![2.0]];
+        engine.try_evaluate_batch(&batch, &f).unwrap();
+        engine.try_evaluate_batch(&batch, &f).unwrap();
+        // [2.0] cached after the first batch; [1.0] re-evaluated.
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn injected_faults_recover_and_are_counted() {
+        let plan = crate::FaultPlan::seeded(13).panics(0.2).nonfinite(0.2);
+        let cfg = EngineConfig::default()
+            .fault_policy(crate::FaultPolicy::tolerant(3))
+            .inject_faults(plan);
+        let mut engine: ExecutionEngine<f64> = ExecutionEngine::new(cfg);
+        let mut clean: ExecutionEngine<f64> = ExecutionEngine::new(EngineConfig::default());
+        let f = |genes: &[f64]| genes[0] * 2.0;
+        let batch: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let faulty = engine.try_evaluate_batch(&batch, &f).unwrap();
+        let reference = clean.try_evaluate_batch(&batch, &f).unwrap();
+        assert_eq!(faulty, reference);
+        let s = engine.stats();
+        assert!(s.failures > 0, "plan should schedule some faults");
+        assert_eq!(s.failures, s.injected_panics + s.injected_nonfinite);
+        assert_eq!(s.retries, s.failures);
+        assert_eq!(s.recovered, s.failures);
+        assert_eq!(s.quarantined, 0);
+    }
+
+    #[test]
+    fn abort_policy_surfaces_typed_failure() {
+        let plan = crate::FaultPlan::seeded(1).panics(1.0);
+        let cfg = EngineConfig::default().inject_faults(plan);
+        let mut engine: ExecutionEngine<f64> = ExecutionEngine::new(cfg);
+        let err = engine
+            .try_evaluate_batch(&[vec![0.5]], &|g: &[f64]| g[0])
+            .unwrap_err();
+        assert_eq!(err.index, 0);
+        assert_eq!(err.attempts, 1);
+        assert_eq!(err.kind, crate::FaultKind::Panic);
+    }
+
+    #[test]
+    fn try_path_serial_parallel_stats_match_under_injection() {
+        let plan = crate::FaultPlan::seeded(21).panics(0.15).nonfinite(0.15);
+        let base = EngineConfig::default()
+            .fault_policy(crate::FaultPolicy::tolerant(4))
+            .inject_faults(plan);
+        let mut serial: ExecutionEngine<f64> = ExecutionEngine::new(base.clone());
+        let mut parallel: ExecutionEngine<f64> =
+            ExecutionEngine::new(base.evaluator(EvaluatorKind::ParallelWith(4)));
+        let f = |genes: &[f64]| genes[0] + 1.0;
+        let batch: Vec<Vec<f64>> = (0..48).map(|i| vec![i as f64 * 0.7]).collect();
+        let a = serial.try_evaluate_batch(&batch, &f).unwrap();
+        let b = parallel.try_evaluate_batch(&batch, &f).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(serial.stats().failures, parallel.stats().failures);
+        assert_eq!(serial.stats().retries, parallel.stats().retries);
+        assert_eq!(serial.stats().recovered, parallel.stats().recovered);
+        assert_eq!(
+            serial.stats().injected_panics,
+            parallel.stats().injected_panics
+        );
     }
 }

@@ -20,6 +20,16 @@
 //! * [`ExecutionEngine`] — ties the three together behind one
 //!   [`evaluate_batch`](ExecutionEngine::evaluate_batch) call, configured
 //!   by an [`EngineConfig`].
+//! * The fault layer — [`FaultPolicy`]/[`RetryPolicy`] contain evaluator
+//!   panics, retry within a bounded deterministic budget, and quarantine
+//!   non-finite results ([`Quarantine`]); per-candidate verdicts
+//!   ([`EvalOutcome`]) surface through
+//!   [`try_evaluate_batch`](ExecutionEngine::try_evaluate_batch) as
+//!   values or typed [`EvalFailure`]s, with failure/retry/recovery
+//!   counters in [`EngineStats`]. [`FaultInjector`] and
+//!   [`FaultInjectingEvaluator`] inject panics, NaN results, and
+//!   artificial latency on a seeded reproducible schedule
+//!   ([`FaultPlan`]) — the test harness for the whole layer.
 //!
 //! The crate is deliberately dependency-free and generic over the
 //! evaluation closure (`Fn(&[f64]) -> T`), so it sits below the `moea`
@@ -49,9 +59,15 @@
 mod cache;
 mod engine;
 mod evaluator;
+mod fault;
 mod stats;
 
 pub use cache::{CacheConfig, MemoCache};
 pub use engine::{EngineConfig, ExecutionEngine};
 pub use evaluator::{Evaluator, EvaluatorKind, ParallelEvaluator, SerialEvaluator};
+pub use fault::{
+    silence_injected_panics, EvalFailure, EvalOutcome, ExhaustedAction, FaultInjectingEvaluator,
+    FaultInjector, FaultKind, FaultPlan, FaultPolicy, InjectedPanic, InjectionCounts, Quarantine,
+    RetryPolicy,
+};
 pub use stats::EngineStats;

@@ -21,6 +21,26 @@ pub struct EngineStats {
     /// Wall-clock time spent inside the evaluation fan-out (excludes
     /// cache bookkeeping).
     pub eval_time: Duration,
+    /// Failed evaluation attempts observed (contained panics plus
+    /// non-finite results while quarantine is enabled).
+    pub failures: u64,
+    /// Re-attempts performed after a failure (bounded per candidate by
+    /// the retry policy's `max_attempts - 1`).
+    pub retries: u64,
+    /// Candidates that succeeded after at least one failed attempt.
+    pub recovered: u64,
+    /// Candidates replaced by a worst-case quarantine placeholder after
+    /// their retry budget ran out.
+    pub quarantined: u64,
+    /// Deterministic retry backoff accounted (not slept) by the fault
+    /// policy.
+    pub backoff_time: Duration,
+    /// Panics injected by the engine's fault injector (0 without one).
+    pub injected_panics: u64,
+    /// Non-finite results injected by the engine's fault injector.
+    pub injected_nonfinite: u64,
+    /// Artificial delays injected by the engine's fault injector.
+    pub injected_delays: u64,
 }
 
 impl EngineStats {
@@ -52,6 +72,14 @@ impl EngineStats {
         self.batches += other.batches;
         self.max_batch = self.max_batch.max(other.max_batch);
         self.eval_time += other.eval_time;
+        self.failures += other.failures;
+        self.retries += other.retries;
+        self.recovered += other.recovered;
+        self.quarantined += other.quarantined;
+        self.backoff_time += other.backoff_time;
+        self.injected_panics += other.injected_panics;
+        self.injected_nonfinite += other.injected_nonfinite;
+        self.injected_delays += other.injected_delays;
     }
 }
 
@@ -75,6 +103,7 @@ mod tests {
             batches: 2,
             max_batch: 6,
             eval_time: Duration::from_millis(5),
+            ..EngineStats::default()
         };
         assert!((s.hit_rate() - 0.3).abs() < 1e-12);
         assert!((s.mean_batch() - 5.0).abs() < 1e-12);
@@ -89,6 +118,14 @@ mod tests {
             batches: 1,
             max_batch: 10,
             eval_time: Duration::from_millis(1),
+            failures: 3,
+            retries: 2,
+            recovered: 1,
+            quarantined: 1,
+            backoff_time: Duration::from_millis(4),
+            injected_panics: 2,
+            injected_nonfinite: 1,
+            injected_delays: 0,
         };
         let b = EngineStats {
             candidates: 4,
@@ -97,6 +134,14 @@ mod tests {
             batches: 2,
             max_batch: 12,
             eval_time: Duration::from_millis(2),
+            failures: 1,
+            retries: 1,
+            recovered: 1,
+            quarantined: 0,
+            backoff_time: Duration::from_millis(1),
+            injected_panics: 0,
+            injected_nonfinite: 1,
+            injected_delays: 3,
         };
         a.merge(&b);
         assert_eq!(a.candidates, 14);
@@ -105,5 +150,13 @@ mod tests {
         assert_eq!(a.batches, 3);
         assert_eq!(a.max_batch, 12);
         assert_eq!(a.eval_time, Duration::from_millis(3));
+        assert_eq!(a.failures, 4);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.recovered, 2);
+        assert_eq!(a.quarantined, 1);
+        assert_eq!(a.backoff_time, Duration::from_millis(5));
+        assert_eq!(a.injected_panics, 2);
+        assert_eq!(a.injected_nonfinite, 2);
+        assert_eq!(a.injected_delays, 3);
     }
 }

@@ -34,6 +34,20 @@ pub enum OptimizeError {
         /// Which vector mismatched ("objectives" or "constraints").
         what: &'static str,
     },
+    /// A candidate evaluation failed (panicked or stayed non-finite)
+    /// after exhausting the engine's retry budget, and the fault policy
+    /// aborts rather than quarantines.
+    EvaluationFailed(
+        /// The engine-level failure: batch position, attempts, kind,
+        /// and message.
+        engine::EvalFailure,
+    ),
+    /// A checkpoint could not be parsed or is inconsistent with the run
+    /// configuration it is being resumed under.
+    InvalidCheckpoint {
+        /// Explanation of the corruption or mismatch.
+        reason: String,
+    },
 }
 
 impl fmt::Display for OptimizeError {
@@ -53,11 +67,30 @@ impl fmt::Display for OptimizeError {
                 f,
                 "evaluation produced {actual} {what} but the problem declares {expected}"
             ),
+            OptimizeError::EvaluationFailed(failure) => {
+                write!(f, "evaluation failed: {failure}")
+            }
+            OptimizeError::InvalidCheckpoint { reason } => {
+                write!(f, "invalid checkpoint: {reason}")
+            }
         }
     }
 }
 
-impl Error for OptimizeError {}
+impl Error for OptimizeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OptimizeError::EvaluationFailed(failure) => Some(failure),
+            _ => None,
+        }
+    }
+}
+
+impl From<engine::EvalFailure> for OptimizeError {
+    fn from(failure: engine::EvalFailure) -> Self {
+        OptimizeError::EvaluationFailed(failure)
+    }
+}
 
 impl OptimizeError {
     /// Convenience constructor for [`OptimizeError::InvalidConfig`].
@@ -71,6 +104,13 @@ impl OptimizeError {
     /// Convenience constructor for [`OptimizeError::InvalidProblem`].
     pub fn invalid_problem(reason: impl Into<String>) -> Self {
         OptimizeError::InvalidProblem {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`OptimizeError::InvalidCheckpoint`].
+    pub fn invalid_checkpoint(reason: impl Into<String>) -> Self {
+        OptimizeError::InvalidCheckpoint {
             reason: reason.into(),
         }
     }
@@ -93,6 +133,28 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<OptimizeError>();
+    }
+
+    #[test]
+    fn evaluation_failed_wraps_engine_failure() {
+        let failure = engine::EvalFailure {
+            index: 3,
+            attempts: 2,
+            kind: engine::FaultKind::Panic,
+            message: "backend crashed".to_string(),
+            backoff: std::time::Duration::ZERO,
+        };
+        let err: OptimizeError = failure.clone().into();
+        let text = err.to_string();
+        assert!(text.contains("backend crashed"), "{text}");
+        assert!(err.source().is_some());
+        assert_eq!(err, OptimizeError::EvaluationFailed(failure));
+    }
+
+    #[test]
+    fn invalid_checkpoint_displays_reason() {
+        let err = OptimizeError::invalid_checkpoint("truncated at line 7");
+        assert!(err.to_string().contains("truncated at line 7"));
     }
 
     #[test]

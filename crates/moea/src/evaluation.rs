@@ -89,6 +89,35 @@ impl Evaluation {
     }
 }
 
+/// An [`Evaluation`] is *tainted* when any objective or violation is
+/// non-finite ([`Evaluation::new`] already maps NaN to `+∞`, so taint
+/// means infinite components). Its quarantine placeholder sets every
+/// objective and violation to `+∞` — dominated by (or tied with) every
+/// genuine candidate and never feasible, so it cannot poison a front.
+/// `corrupt` fabricates the all-NaN result a numerically broken backend
+/// would return (sanitized to `+∞` by construction), used only by
+/// deterministic fault injection.
+impl engine::Quarantine for Evaluation {
+    fn is_tainted(&self) -> bool {
+        self.objectives.iter().any(|o| !o.is_finite())
+            || self.constraint_violations.iter().any(|v| !v.is_finite())
+    }
+
+    fn quarantine(&self) -> Self {
+        Evaluation {
+            objectives: vec![f64::INFINITY; self.objectives.len()],
+            constraint_violations: vec![f64::INFINITY; self.constraint_violations.len()],
+        }
+    }
+
+    fn corrupt(&self) -> Self {
+        Evaluation::new(
+            vec![f64::NAN; self.objectives.len()],
+            vec![f64::NAN; self.constraint_violations.len()],
+        )
+    }
+}
+
 /// Builds violation amounts from natural specification comparisons.
 ///
 /// Analog specifications come in two flavors: "at least" (e.g. DC gain ≥ 96
@@ -236,6 +265,25 @@ mod tests {
     fn nan_values_in_helpers_are_infinite() {
         assert!(relative_shortfall_at_least(f64::NAN, 1.0).is_infinite());
         assert!(relative_excess_at_most(f64::NAN, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn quarantine_detects_and_replaces_nonfinite() {
+        use engine::Quarantine;
+        let clean = Evaluation::new(vec![1.0, 2.0], vec![0.0]);
+        assert!(!clean.is_tainted());
+        let broken = Evaluation::new(vec![1.0, f64::NAN], vec![0.0]);
+        assert!(broken.is_tainted());
+        let infinite_violation = Evaluation::new(vec![1.0], vec![f64::INFINITY]);
+        assert!(infinite_violation.is_tainted());
+        let q = broken.quarantine();
+        assert_eq!(q.objectives(), &[f64::INFINITY, f64::INFINITY]);
+        assert_eq!(q.constraint_violations(), &[f64::INFINITY]);
+        assert!(!q.is_feasible());
+        let c = clean.corrupt();
+        assert!(c.is_tainted());
+        assert_eq!(c.objectives().len(), 2);
+        assert_eq!(c.constraint_violations().len(), 1);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::operators::{random_vector, Variation};
 use crate::problem::Problem;
 use crate::selection::binary_tournament;
 use crate::sorting::{environmental_selection, rank_and_crowd};
-use engine::{EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine};
+use engine::{EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine, FaultPlan, FaultPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -93,6 +93,19 @@ impl Nsga2ConfigBuilder {
     /// Sets the memoization quantization grid (must be positive).
     pub fn cache_grid(mut self, grid: f64) -> Self {
         self.engine = self.engine.cache_grid(grid);
+        self
+    }
+
+    /// Sets the fault-handling policy (retry budget, non-finite
+    /// quarantine, exhausted action) applied to every evaluation.
+    pub fn fault_policy(mut self, fault: FaultPolicy) -> Self {
+        self.engine = self.engine.fault_policy(fault);
+        self
+    }
+
+    /// Enables deterministic fault injection (test harness).
+    pub fn inject_faults(mut self, plan: FaultPlan) -> Self {
+        self.engine = self.engine.inject_faults(plan);
         self
     }
 
@@ -198,8 +211,10 @@ impl<P: Problem> Nsga2<P> {
     /// # Errors
     ///
     /// Returns [`OptimizeError::InvalidProblem`] when the problem declares
-    /// zero objectives, or an evaluation-shape error on the first
-    /// evaluation.
+    /// zero objectives, an evaluation-shape error on the first
+    /// evaluation, or [`OptimizeError::EvaluationFailed`] when a
+    /// candidate exhausts the engine's retry budget under an aborting
+    /// fault policy.
     pub fn run_seeded(&self, seed: u64) -> Result<RunResult, OptimizeError>
     where
         P: Sync,
@@ -250,7 +265,7 @@ impl<P: Problem> Nsga2<P> {
         // Initialization: draw all genes first (sole RNG consumer), then
         // batch-evaluate through the engine.
         let init_genes: Vec<Vec<f64>> = (0..n).map(|_| random_vector(rng, &bounds)).collect();
-        let init_evals = exec.evaluate_batch(&init_genes, &eval_fn);
+        let init_evals = exec.try_evaluate_batch(&init_genes, &eval_fn)?;
         let mut pop: Vec<Individual> = init_genes
             .into_iter()
             .zip(init_evals)
@@ -273,7 +288,7 @@ impl<P: Problem> Nsga2<P> {
                     child_genes.push(c2);
                 }
             }
-            let child_evals = exec.evaluate_batch(&child_genes, &eval_fn);
+            let child_evals = exec.try_evaluate_batch(&child_genes, &eval_fn)?;
             let offspring: Vec<Individual> = child_genes
                 .into_iter()
                 .zip(child_evals)
@@ -421,6 +436,48 @@ mod tests {
             .unwrap();
         assert_eq!(seen.len(), 5); // init + 4 generations
         assert!(seen.iter().all(|&(_, n)| n == 8));
+    }
+
+    #[test]
+    fn fault_injected_run_matches_fault_free_front() {
+        let base = Nsga2Config::builder().population_size(24).generations(12);
+        let clean_cfg = base.clone().build().unwrap();
+        let faulty_cfg = base
+            .fault_policy(engine::FaultPolicy::tolerant(3))
+            .inject_faults(engine::FaultPlan::seeded(5).panics(0.05).nonfinite(0.05))
+            .build()
+            .unwrap();
+        let clean = Nsga2::new(Schaffer::new(), clean_cfg)
+            .run_seeded(9)
+            .unwrap();
+        let faulty = Nsga2::new(Schaffer::new(), faulty_cfg)
+            .run_seeded(9)
+            .unwrap();
+        assert_eq!(clean.front_objectives(), faulty.front_objectives());
+        assert!(faulty.stats.failures > 0);
+        assert_eq!(
+            faulty.stats.failures,
+            faulty.stats.injected_panics + faulty.stats.injected_nonfinite
+        );
+        assert_eq!(faulty.stats.recovered, faulty.stats.failures);
+        assert_eq!(clean.stats.failures, 0);
+    }
+
+    #[test]
+    fn aborting_fault_policy_propagates_typed_error() {
+        let cfg = Nsga2Config::builder()
+            .population_size(8)
+            .generations(2)
+            .inject_faults(engine::FaultPlan::seeded(1).panics(1.0))
+            .build()
+            .unwrap();
+        let err = Nsga2::new(Schaffer::new(), cfg).run_seeded(1).unwrap_err();
+        match err {
+            crate::OptimizeError::EvaluationFailed(f) => {
+                assert_eq!(f.kind, engine::FaultKind::Panic)
+            }
+            other => panic!("expected EvaluationFailed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Golden-master determinism tests: fixed-seed SACGA and MESACGA fronts
+//! are committed as snapshots under `tests/golden/`, rendered with exact
+//! f64 bit patterns. A run must reproduce its snapshot byte-for-byte
+//! whether it is evaluated serially, evaluated in parallel, or killed at
+//! a generation boundary and resumed — any drift in the optimizer's
+//! arithmetic, RNG consumption, or checkpoint restore shows up here.
+//!
+//! To re-record after an intentional behavior change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p integration-tests --test golden_master
+//! ```
+
+use analog_dse::engine::ParallelEvaluator;
+use analog_dse::moea::individual::Individual;
+use analog_dse::moea::problems::Schaffer;
+use analog_dse::sacga::mesacga::{Mesacga, MesacgaConfig, MesacgaRun, PhaseSpec};
+use analog_dse::sacga::sacga::{Sacga, SacgaConfig, SacgaRun};
+use std::path::PathBuf;
+
+const SEED: u64 = 42;
+
+/// Renders a front with exact bit patterns: one member per line, gene
+/// bits then objective bits, all as 16-digit hex of `f64::to_bits`.
+fn render_front(front: &[Individual]) -> String {
+    let hex = |vs: &[f64]| {
+        vs.iter()
+            .map(|v| format!("{:016x}", v.to_bits()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let mut out = String::new();
+    for m in front {
+        out.push_str(&format!("{} | {}\n", hex(&m.genes), hex(m.objectives())));
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(name)
+}
+
+/// Compares against the committed snapshot, or re-records it when the
+/// `UPDATE_GOLDEN` environment variable is set.
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {}: {e}; record it with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "front diverged from committed snapshot {}",
+        path.display()
+    );
+}
+
+fn sacga_config() -> SacgaConfig {
+    SacgaConfig::builder()
+        .population_size(32)
+        .generations(20)
+        .partitions(5)
+        .build()
+        .unwrap()
+}
+
+fn mesacga_config() -> MesacgaConfig {
+    MesacgaConfig::builder()
+        .population_size(32)
+        .phase1_max(5)
+        .phases(vec![
+            PhaseSpec::new(6, 7),
+            PhaseSpec::new(3, 7),
+            PhaseSpec::new(1, 7),
+        ])
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn sacga_serial_front_matches_snapshot() {
+    let r = Sacga::new(Schaffer::new(), sacga_config())
+        .run_seeded(SEED)
+        .unwrap();
+    check_golden("sacga_schaffer_seed42.txt", &render_front(&r.front));
+}
+
+#[test]
+fn sacga_parallel_front_matches_snapshot() {
+    let cfg = SacgaConfig::builder()
+        .population_size(32)
+        .generations(20)
+        .partitions(5)
+        .evaluator(ParallelEvaluator::with_threads(4))
+        .build()
+        .unwrap();
+    let r = Sacga::new(Schaffer::new(), cfg).run_seeded(SEED).unwrap();
+    check_golden("sacga_schaffer_seed42.txt", &render_front(&r.front));
+}
+
+#[test]
+fn sacga_kill_and_resume_front_matches_snapshot() {
+    let ga = Sacga::new(Schaffer::new(), sacga_config());
+    let cp = match ga.run_until(SEED, 9).unwrap() {
+        SacgaRun::Suspended(cp) => cp,
+        SacgaRun::Complete(_) => panic!("run should suspend at gen 9"),
+    };
+    // Simulate a process restart: the checkpoint crosses a text boundary.
+    let cp = analog_dse::sacga::SacgaCheckpoint::from_text(&cp.to_text()).unwrap();
+    let r = ga.resume(&cp).unwrap();
+    check_golden("sacga_schaffer_seed42.txt", &render_front(&r.front));
+}
+
+#[test]
+fn mesacga_serial_front_matches_snapshot() {
+    let r = Mesacga::new(Schaffer::new(), mesacga_config())
+        .run_seeded(SEED)
+        .unwrap();
+    check_golden("mesacga_schaffer_seed42.txt", &render_front(r.front()));
+}
+
+#[test]
+fn mesacga_parallel_front_matches_snapshot() {
+    let cfg = MesacgaConfig::builder()
+        .population_size(32)
+        .phase1_max(5)
+        .phases(vec![
+            PhaseSpec::new(6, 7),
+            PhaseSpec::new(3, 7),
+            PhaseSpec::new(1, 7),
+        ])
+        .evaluator(ParallelEvaluator::with_threads(4))
+        .build()
+        .unwrap();
+    let r = Mesacga::new(Schaffer::new(), cfg).run_seeded(SEED).unwrap();
+    check_golden("mesacga_schaffer_seed42.txt", &render_front(r.front()));
+}
+
+#[test]
+fn mesacga_kill_and_resume_front_matches_snapshot() {
+    let ga = Mesacga::new(Schaffer::new(), mesacga_config());
+    // Stop inside the second expanding phase (phase I ends at gen 1 on
+    // the unconstrained Schaffer problem, phases run 7 generations each).
+    let cp = match ga.run_until(SEED, 12).unwrap() {
+        MesacgaRun::Suspended(cp) => cp,
+        MesacgaRun::Complete(_) => panic!("run should suspend at gen 12"),
+    };
+    let cp = analog_dse::sacga::MesacgaCheckpoint::from_text(&cp.to_text()).unwrap();
+    let r = ga.resume(&cp).unwrap();
+    check_golden("mesacga_schaffer_seed42.txt", &render_front(r.front()));
+}

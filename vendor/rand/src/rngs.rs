@@ -19,6 +19,27 @@ impl StdRng {
     fn rotl(x: u64, k: u32) -> u64 {
         x.rotate_left(k)
     }
+
+    /// The generator's full internal state, for checkpointing.
+    ///
+    /// A generator rebuilt with [`StdRng::from_state`] continues the exact
+    /// same stream, which is what makes killed optimizer runs resumable
+    /// bit-for-bit.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured with [`StdRng::state`].
+    ///
+    /// The all-zero state (a fixed point of xoshiro, never produced by a
+    /// seeded generator) is nudged to the same constants
+    /// [`SeedableRng::from_seed`] uses.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return Self::from_seed([0; 32]);
+        }
+        StdRng { s }
+    }
 }
 
 impl RngCore for StdRng {
