@@ -77,7 +77,7 @@ fn main() {
     }
 
     let mes = run_mesacga(&problem, (gens - PHASE1_MAX) / 7, PHASE1_MAX, seed);
-    report("mesacga", &mes.result.front);
+    report("mesacga", &mes.front);
 
     write_csv(
         "ablation_competition_modes.csv",

@@ -12,13 +12,12 @@
 //!   density maintenance prevents the pathology (see `EXPERIMENTS.md`).
 
 use dse_bench::{
-    front_metrics, paper_front, paper_problem, print_front, run_only_global, run_tpg,
-    seed_from_args, write_csv, GENS_MAIN,
+    front_individuals, front_metrics, paper_front, paper_problem, print_front, replay_final_front,
+    run_logged, sacga_ga, seed_from_args, tpg_ga, write_csv, GENS_MAIN,
 };
-use moea::individual::Individual;
 
-fn clustering_report(name: &str, front: &[Individual]) {
-    let (hv, occ, spr, n) = front_metrics(front);
+fn clustering_report(name: &str, front: &[Vec<f64>]) {
+    let (hv, occ, spr, n) = front_metrics(&front_individuals(front));
     let rows = paper_front(front);
     let clustered = rows.iter().filter(|(cl, _)| *cl >= 4.0).count();
     println!("\n{name}: {n} designs | hypervolume {hv:.2} | occupancy {occ:.2} | spread {spr:.2}");
@@ -33,20 +32,26 @@ fn main() {
     let problem = paper_problem();
     println!("Fig. 2: purely global competition, pop 100 x {GENS_MAIN} iterations, seed {seed}");
 
+    // Both runs stream their events into results/*.jsonl; every table
+    // below is replayed from the captured stream rather than computed
+    // from the outcome directly.
     let t0 = std::time::Instant::now();
-    let og = run_only_global(&problem, GENS_MAIN, seed);
+    let (_, og_events) = run_logged(&sacga_ga(&problem, 1, GENS_MAIN), "fig02_only_global", seed);
     println!("Only-Global done in {:.0} s", t0.elapsed().as_secs_f64());
 
     let t0 = std::time::Instant::now();
-    let nsga2 = run_tpg(&problem, GENS_MAIN, seed);
+    let (_, nsga2_events) = run_logged(&tpg_ga(&problem, GENS_MAIN), "fig02_nsga2", seed);
     println!("NSGA-II done in {:.0} s", t0.elapsed().as_secs_f64());
 
-    print_front("Only-Global (paper's TPG)", &og.front);
-    clustering_report("Only-Global", &og.front);
-    clustering_report("NSGA-II (modern baseline)", &nsga2.front);
+    let og_front = replay_final_front(&og_events);
+    let nsga2_front = replay_final_front(&nsga2_events);
+
+    print_front("Only-Global (paper's TPG)", &og_front);
+    clustering_report("Only-Global", &og_front);
+    clustering_report("NSGA-II (modern baseline)", &nsga2_front);
 
     let mut csv = Vec::new();
-    for (label, front) in [("only_global", &og.front), ("nsga2", &nsga2.front)] {
+    for (label, front) in [("only_global", &og_front), ("nsga2", &nsga2_front)] {
         for (cl, p) in paper_front(front) {
             csv.push(format!("{label},{cl:.6},{p:.9}"));
         }

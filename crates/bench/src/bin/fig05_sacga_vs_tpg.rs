@@ -26,8 +26,8 @@ fn main() {
         sacga.gen_t
     );
 
-    print_front("TPG (only global)", &tpg.front);
-    print_front("SACGA (8 partitions)", &sacga.front);
+    print_front("TPG (only global)", &tpg.front_objectives());
+    print_front("SACGA (8 partitions)", &sacga.front_objectives());
 
     for (name, front) in [("TPG", &tpg.front), ("SACGA", &sacga.front)] {
         let (hv, occ, spr, n) = front_metrics(front);
@@ -35,8 +35,11 @@ fn main() {
     }
 
     let mut rows = Vec::new();
-    for (label, front) in [("tpg", &tpg.front), ("sacga8", &sacga.front)] {
-        for (cl, p) in paper_front(front) {
+    for (label, front) in [
+        ("tpg", tpg.front_objectives()),
+        ("sacga8", sacga.front_objectives()),
+    ] {
+        for (cl, p) in paper_front(&front) {
             rows.push(format!("{label},{cl:.6},{p:.9}"));
         }
     }

@@ -22,31 +22,31 @@ fn main() {
     let span = (GENS_MAIN - sacga.gen_t.min(PHASE1_MAX)) / 7;
     let mesacga = run_mesacga(&problem, span, PHASE1_MAX, seed);
 
-    print_front("TPG (only global)", &tpg.front);
-    print_front("SACGA (8 partitions)", &sacga.front);
-    print_front("MESACGA (20/13/8/5/3/2/1)", mesacga.front());
+    print_front("TPG (only global)", &tpg.front_objectives());
+    print_front("SACGA (8 partitions)", &sacga.front_objectives());
+    print_front("MESACGA (20/13/8/5/3/2/1)", &mesacga.front_objectives());
 
     println!();
     for (name, front) in [
         ("TPG", &tpg.front),
         ("SACGA", &sacga.front),
-        ("MESACGA", &mesacga.result.front),
+        ("MESACGA", &mesacga.front),
     ] {
         let (hv, occ, spr, n) = front_metrics(front);
         println!("{name:8}: hv {hv:6.2} | occupancy {occ:.2} | spread {spr:.2} | {n} designs");
     }
     println!(
         "\nMESACGA generations: {} (phase I {} + 7 x {span})",
-        mesacga.result.generations, mesacga.result.gen_t
+        mesacga.generations, mesacga.gen_t
     );
 
     let mut rows = Vec::new();
     for (label, front) in [
-        ("tpg", &tpg.front),
-        ("sacga8", &sacga.front),
-        ("mesacga", &mesacga.result.front),
+        ("tpg", tpg.front_objectives()),
+        ("sacga8", sacga.front_objectives()),
+        ("mesacga", mesacga.front_objectives()),
     ] {
-        for (cl, p) in paper_front(front) {
+        for (cl, p) in paper_front(&front) {
             rows.push(format!("{label},{cl:.6},{p:.9}"));
         }
     }

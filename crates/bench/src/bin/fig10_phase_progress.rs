@@ -25,8 +25,8 @@ fn main() {
             .collect();
         println!(
             "span {span:3}: phase I = {} generations, total = {} ({:.0} s)",
-            r.result.gen_t,
-            r.result.generations,
+            r.gen_t,
+            r.generations,
             t0.elapsed().as_secs_f64()
         );
         for (phase, hv) in hvs.iter().enumerate() {

@@ -25,17 +25,17 @@ fn main() {
     println!(
         "MESACGA done in {:.0} s ({} generations)",
         t0.elapsed().as_secs_f64(),
-        mesacga.result.generations
+        mesacga.generations
     );
 
-    print_front("SACGA (16 partitions, 1200 iters)", &sacga.front);
-    print_front("MESACGA (200 + 7 x 150)", mesacga.front());
+    print_front(
+        "SACGA (16 partitions, 1200 iters)",
+        &sacga.front_objectives(),
+    );
+    print_front("MESACGA (200 + 7 x 150)", &mesacga.front_objectives());
 
     println!();
-    for (name, front) in [
-        ("SACGA-16", &sacga.front),
-        ("MESACGA", &mesacga.result.front),
-    ] {
+    for (name, front) in [("SACGA-16", &sacga.front), ("MESACGA", &mesacga.front)] {
         let (hv, occ, spr, n) = front_metrics(front);
         println!("{name:9}: hv {hv:6.3} | occupancy {occ:.2} | spread {spr:.2} | {n} designs");
     }
@@ -43,10 +43,10 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, front) in [
-        ("sacga16", &sacga.front),
-        ("mesacga", &mesacga.result.front),
+        ("sacga16", sacga.front_objectives()),
+        ("mesacga", mesacga.front_objectives()),
     ] {
-        for (cl, p) in paper_front(front) {
+        for (cl, p) in paper_front(&front) {
             rows.push(format!("{label},{cl:.6},{p:.9}"));
         }
     }

@@ -12,8 +12,10 @@
 
 use analog_circuits::{DrivableLoadProblem, Spec};
 use dse_bench::{
-    front_metrics, run_mesacga, run_only_global, run_sacga, seed_from_args, write_csv, PHASE1_MAX,
+    front_individuals, front_metrics, mesacga_ga, replay_final_front, run_only_global, run_sacga,
+    seed_from_args, write_csv, PHASE1_MAX,
 };
+use sacga::telemetry::{MemorySink, Optimizer};
 
 fn main() {
     let seed = seed_from_args();
@@ -39,11 +41,17 @@ fn main() {
         let tpg = run_only_global(&problem, gens, seed);
         let sac = run_sacga(&problem, 8, gens, seed);
         let span = (gens.saturating_sub(sac.gen_t.min(PHASE1_MAX)) / 7).max(1);
-        let mes = run_mesacga(&problem, span, PHASE1_MAX, seed);
+        // The MESACGA column is replayed from its event stream: the final
+        // front is the one carried by the last GenerationEnd event.
+        let mut events = MemorySink::new();
+        mesacga_ga(&problem, span, PHASE1_MAX)
+            .run_with(seed, &mut events)
+            .expect("mesacga run");
+        let mes_front = front_individuals(&replay_final_front(events.events()));
 
         let (hv_t, _, _, _) = front_metrics(&tpg.front);
         let (hv_s, _, _, _) = front_metrics(&sac.front);
-        let (hv_m, _, _, _) = front_metrics(&mes.result.front);
+        let (hv_m, _, _, _) = front_metrics(&mes_front);
         if hv_s <= hv_t {
             sacga_beats_tpg += 1;
         }

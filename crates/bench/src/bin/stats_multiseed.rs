@@ -48,7 +48,7 @@ fn main() {
             "mesacga",
             Box::new(|s| {
                 let span = (gens.saturating_sub(PHASE1_MAX / 2) / 7).max(1);
-                run_mesacga(&problem, span, PHASE1_MAX, s).result.front
+                run_mesacga(&problem, span, PHASE1_MAX, s).front
             }),
         ),
         (

@@ -7,11 +7,14 @@
 //! studies (Figs. 6, 9, 10, 11), a pure-local phase cap of 200.
 
 use analog_circuits::{DrivableLoadProblem, Spec};
+use moea::evaluation::Evaluation;
 use moea::individual::Individual;
 use moea::metrics::{bin_occupancy, spread};
 use moea::nsga2::{Nsga2, Nsga2Config};
-use sacga::mesacga::{Mesacga, MesacgaConfig, MesacgaResult, PhaseSpec};
-use sacga::sacga::{Sacga, SacgaConfig, SacgaResult};
+use moea::RunOutcome;
+use sacga::mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
+use sacga::sacga::{Sacga, SacgaConfig};
+use sacga::telemetry::{JsonlSink, MemorySink, Optimizer, RunEvent, Sink, Tee};
 use std::io::Write as _;
 use std::path::Path;
 
@@ -41,18 +44,27 @@ pub fn paper_problem() -> DrivableLoadProblem {
     DrivableLoadProblem::new(Spec::featured())
 }
 
-/// Runs the TPG baseline (NSGA-II) and returns its result.
+/// The TPG baseline (textbook NSGA-II), configured for this harness.
 ///
 /// # Panics
 ///
 /// Panics on configuration errors (static configs in this harness).
-pub fn run_tpg(problem: &DrivableLoadProblem, gens: usize, seed: u64) -> moea::nsga2::RunResult {
+pub fn tpg_ga(problem: &DrivableLoadProblem, gens: usize) -> Nsga2<&DrivableLoadProblem> {
     let cfg = Nsga2Config::builder()
         .population_size(POP)
         .generations(gens)
         .build()
         .expect("static config");
-    Nsga2::new(problem, cfg).run_seeded(seed).expect("tpg run")
+    Nsga2::new(problem, cfg)
+}
+
+/// Runs the TPG baseline (NSGA-II) and returns its outcome.
+///
+/// # Panics
+///
+/// Panics on configuration errors (static configs in this harness).
+pub fn run_tpg(problem: &DrivableLoadProblem, gens: usize, seed: u64) -> RunOutcome {
+    tpg_ga(problem, gens).run_seeded(seed).expect("tpg run")
 }
 
 /// Runs the paper's **TPG / "Only Global"** baseline: the same rank-based
@@ -67,21 +79,20 @@ pub fn run_tpg(problem: &DrivableLoadProblem, gens: usize, seed: u64) -> moea::n
 /// # Panics
 ///
 /// Panics on configuration errors (static configs in this harness).
-pub fn run_only_global(problem: &DrivableLoadProblem, gens: usize, seed: u64) -> SacgaResult {
+pub fn run_only_global(problem: &DrivableLoadProblem, gens: usize, seed: u64) -> RunOutcome {
     run_sacga(problem, 1, gens, seed)
 }
 
-/// Runs an `m`-partition SACGA and returns its result.
+/// An `m`-partition SACGA, configured for this harness.
 ///
 /// # Panics
 ///
 /// Panics on configuration errors (static configs in this harness).
-pub fn run_sacga(
+pub fn sacga_ga(
     problem: &DrivableLoadProblem,
     partitions: usize,
     gens: usize,
-    seed: u64,
-) -> SacgaResult {
+) -> Sacga<&DrivableLoadProblem> {
     let (lo, hi) = DrivableLoadProblem::slice_range();
     let cfg = SacgaConfig::builder()
         .population_size(POP)
@@ -92,6 +103,20 @@ pub fn run_sacga(
         .build()
         .expect("static config");
     Sacga::new(problem, cfg)
+}
+
+/// Runs an `m`-partition SACGA and returns its outcome.
+///
+/// # Panics
+///
+/// Panics on configuration errors (static configs in this harness).
+pub fn run_sacga(
+    problem: &DrivableLoadProblem,
+    partitions: usize,
+    gens: usize,
+    seed: u64,
+) -> RunOutcome {
+    sacga_ga(problem, partitions, gens)
         .run_seeded(seed)
         .expect("sacga run")
 }
@@ -107,7 +132,22 @@ pub fn run_mesacga(
     span: usize,
     phase1_max: usize,
     seed: u64,
-) -> MesacgaResult {
+) -> RunOutcome {
+    mesacga_ga(problem, span, phase1_max)
+        .run_seeded(seed)
+        .expect("mesacga run")
+}
+
+/// The paper's 7-phase MESACGA, configured for this harness.
+///
+/// # Panics
+///
+/// Panics on configuration errors (static configs in this harness).
+pub fn mesacga_ga(
+    problem: &DrivableLoadProblem,
+    span: usize,
+    phase1_max: usize,
+) -> Mesacga<&DrivableLoadProblem> {
     let (lo, hi) = DrivableLoadProblem::slice_range();
     let cfg = MesacgaConfig::builder()
         .population_size(POP)
@@ -122,15 +162,76 @@ pub fn run_mesacga(
         .build()
         .expect("static config");
     Mesacga::new(problem, cfg)
-        .run_seeded(seed)
-        .expect("mesacga run")
+}
+
+/// Runs any [`Optimizer`] with the event stream teed into an in-memory
+/// sink and a JSONL log under `results/<name>_seed<seed>.jsonl`, then
+/// returns the outcome together with the captured events for replay.
+///
+/// # Panics
+///
+/// Panics when the run fails or the log cannot be written
+/// (harness-fatal).
+pub fn run_logged<O: Optimizer>(ga: &O, name: &str, seed: u64) -> (RunOutcome, Vec<RunEvent>) {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}_seed{seed}.jsonl"));
+    let jsonl = JsonlSink::create(&path).expect("create jsonl log");
+    let mut tee = Tee::new(MemorySink::new(), jsonl);
+    let outcome = ga
+        .run_with(seed, &mut tee)
+        .unwrap_or_else(|e| panic!("{name} run: {e}"));
+    tee.flush().expect("flush jsonl log");
+    let (memory, jsonl) = tee.into_inner();
+    println!(
+        "logged {} events to {}",
+        jsonl.lines_written(),
+        path.display()
+    );
+    (outcome, memory.into_events())
+}
+
+/// Replays a captured event stream: the front carried by the last
+/// [`RunEvent::GenerationEnd`] (empty when no generation ran).
+pub fn replay_final_front(events: &[RunEvent]) -> Vec<Vec<f64>> {
+    events
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            RunEvent::GenerationEnd { front, .. } => Some(front.clone()),
+            _ => None,
+        })
+        .unwrap_or_default()
+}
+
+/// Reads a JSONL event log back into events, skipping blank lines.
+///
+/// # Panics
+///
+/// Panics when the file cannot be read or a line fails to parse
+/// (harness-fatal).
+pub fn read_jsonl_events(path: &Path) -> Vec<RunEvent> {
+    let text = std::fs::read_to_string(path).expect("read jsonl log");
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| RunEvent::from_json(l).expect("parse run event"))
+        .collect()
+}
+
+/// Rehydrates replayed objective vectors into individuals so the
+/// paper-axis metric helpers accept event-stream fronts.
+pub fn front_individuals(front: &[Vec<f64>]) -> Vec<Individual> {
+    front
+        .iter()
+        .map(|obj| Individual::new(Vec::new(), Evaluation::unconstrained(obj.clone())))
+        .collect()
 }
 
 /// Front points on the paper's axes, sorted by load: `(C_L pF, P W)`.
-pub fn paper_front(front: &[Individual]) -> Vec<(f64, f64)> {
+pub fn paper_front(front: &[Vec<f64>]) -> Vec<(f64, f64)> {
     let mut rows: Vec<(f64, f64)> = front
         .iter()
-        .map(|m| DrivableLoadProblem::to_paper_axes(m.objectives()))
+        .map(|obj| DrivableLoadProblem::to_paper_axes(obj))
         .collect();
     rows.sort_by(|a, b| a.0.total_cmp(&b.0));
     rows
@@ -172,8 +273,9 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     println!("\nwrote {}", path.display());
 }
 
-/// Prints a front as a two-column table.
-pub fn print_front(name: &str, front: &[Individual]) {
+/// Prints a front of objective vectors (from [`RunOutcome::front_objectives`]
+/// or an event-stream replay) as a two-column table.
+pub fn print_front(name: &str, front: &[Vec<f64>]) {
     let rows = paper_front(front);
     println!("\n{name} front ({} designs):", rows.len());
     println!("{:>10} {:>12}", "CL (pF)", "P (mW)");
@@ -190,12 +292,7 @@ mod tests {
 
     #[test]
     fn paper_front_sorts_by_load() {
-        let ind = |cl_pf: f64, p: f64| {
-            Individual::new(
-                vec![0.0],
-                Evaluation::unconstrained(vec![-cl_pf * 1e-12, p]),
-            )
-        };
+        let ind = |cl_pf: f64, p: f64| vec![-cl_pf * 1e-12, p];
         let front = vec![ind(3.0, 0.2e-3), ind(1.0, 0.1e-3), ind(5.0, 0.3e-3)];
         let rows = paper_front(&front);
         assert_eq!(rows.len(), 3);

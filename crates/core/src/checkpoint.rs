@@ -92,7 +92,8 @@ pub struct EngineState {
 }
 
 /// A suspended SACGA run, resumable via
-/// [`Sacga::resume`](crate::sacga::Sacga::resume).
+/// [`Optimizer::resume`](crate::telemetry::Optimizer::resume) on a
+/// [`Sacga`](crate::sacga::Sacga) configured identically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SacgaCheckpoint {
     /// The engine state at the suspension boundary.
@@ -127,7 +128,8 @@ impl SacgaCheckpoint {
 }
 
 /// A suspended MESACGA run, resumable via
-/// [`Mesacga::resume`](crate::mesacga::Mesacga::resume).
+/// [`Optimizer::resume`](crate::telemetry::Optimizer::resume) on a
+/// [`Mesacga`](crate::mesacga::Mesacga) configured identically.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MesacgaCheckpoint {
     /// The engine state at the suspension boundary.

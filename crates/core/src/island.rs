@@ -15,13 +15,14 @@
 //! island's best individuals. Compare against SACGA with the
 //! `ablation_competition_modes` harness or your own experiments.
 
-use engine::{EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine};
+use crate::telemetry::{EventKind, NoCheckpoint, NullSink, Optimizer, RunEvent, Sink};
+use engine::{EngineConfig, EvaluatorKind, ExecutionEngine};
 use moea::individual::Individual;
 use moea::operators::{random_vector, Variation};
 use moea::problem::Problem;
 use moea::selection::binary_tournament;
 use moea::sorting::{environmental_selection, rank_and_crowd};
-use moea::OptimizeError;
+use moea::{GenerationStats, OptimizeError, RunOutcome, RunStatus};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -213,28 +214,8 @@ impl IslandConfigBuilder {
 }
 
 /// Outcome of an island-model run.
-#[derive(Debug, Clone)]
-pub struct IslandResult {
-    /// Final merged population (globally ranked).
-    pub population: Vec<Individual>,
-    /// Feasible globally non-dominated front of the merged population.
-    pub front: Vec<Individual>,
-    /// Objective evaluations performed.
-    pub evaluations: usize,
-    /// Generations executed.
-    pub generations: usize,
-    /// Migration events performed.
-    pub migrations: usize,
-    /// Evaluation-engine instrumentation (batching, caching, timing).
-    pub stats: EngineStats,
-}
-
-impl IslandResult {
-    /// Objective vectors of the front.
-    pub fn front_objectives(&self) -> Vec<Vec<f64>> {
-        self.front.iter().map(|m| m.objectives().to_vec()).collect()
-    }
-}
+#[deprecated(since = "0.2.0", note = "use `moea::RunOutcome` instead")]
+pub type IslandResult = RunOutcome;
 
 /// The island-model multi-objective GA.
 ///
@@ -274,7 +255,17 @@ impl<P: Problem> IslandGa<P> {
     /// Propagates problem-definition errors discovered at start-up and
     /// [`OptimizeError::EvaluationFailed`] when a candidate evaluation
     /// exhausts the fault policy's retry budget with an aborting policy.
-    pub fn run_seeded(&self, seed: u64) -> Result<IslandResult, OptimizeError>
+    pub fn run_seeded(&self, seed: u64) -> Result<RunOutcome, OptimizeError>
+    where
+        P: Sync,
+    {
+        self.drive(seed, &mut NullSink)
+    }
+
+    /// The single run loop behind both entry points. Event emission reads
+    /// state but never consumes RNG, so seeded runs are bit-identical with
+    /// or without a sink.
+    fn drive(&self, seed: u64, sink: &mut dyn Sink) -> Result<RunOutcome, OptimizeError>
     where
         P: Sync,
     {
@@ -313,6 +304,21 @@ impl<P: Problem> IslandGa<P> {
             rank_and_crowd(isl);
         }
 
+        let want_fault = sink.wants(EventKind::EvaluationFault);
+        let want_generation = sink.wants(EventKind::GenerationEnd);
+        let want_promotion = sink.wants(EventKind::Promotion);
+        if want_fault {
+            for fault in exec.take_fault_events() {
+                sink.record(&RunEvent::EvaluationFault {
+                    generation: 0,
+                    kind: fault.kind,
+                    failures: fault.failures,
+                    resolution: fault.resolution,
+                });
+            }
+        }
+
+        let mut history = Vec::with_capacity(self.config.generations);
         let mut migrations = 0usize;
         for gen in 1..=self.config.generations {
             // Independent evolution on each island (µ+λ with crowded
@@ -341,12 +347,19 @@ impl<P: Problem> IslandGa<P> {
             }
 
             // Ring migration.
+            let mut migrated = 0usize;
             if gen % self.config.migration_interval == 0 && self.config.islands > 1 {
                 migrations += 1;
                 let k = islands.len();
+                let mut candidates = 0usize;
                 let mut outgoing: Vec<Vec<Individual>> = Vec::with_capacity(k);
                 for isl in &islands {
                     let rank0: Vec<&Individual> = isl.iter().filter(|m| m.rank == 0).collect();
+                    candidates += if rank0.is_empty() {
+                        isl.len()
+                    } else {
+                        rank0.len()
+                    };
                     let mut picks = Vec::with_capacity(self.config.migrants);
                     for _ in 0..self.config.migrants {
                         let src = if rank0.is_empty() {
@@ -365,6 +378,46 @@ impl<P: Problem> IslandGa<P> {
                     combined.extend(picks);
                     *isl = environmental_selection(combined, per_island);
                 }
+                migrated = k * self.config.migrants;
+                if want_promotion {
+                    sink.record(&RunEvent::Promotion {
+                        generation: gen,
+                        promoted: migrated,
+                        candidates,
+                    });
+                }
+            }
+
+            let feasible = islands.iter().flatten().filter(|m| m.is_feasible()).count();
+            history.push(GenerationStats {
+                generation: gen,
+                phase: 2,
+                temperature: 1.0,
+                promoted: migrated,
+                feasible,
+                population: per_island * self.config.islands,
+            });
+            if want_fault {
+                for fault in exec.take_fault_events() {
+                    sink.record(&RunEvent::EvaluationFault {
+                        generation: gen,
+                        kind: fault.kind,
+                        failures: fault.failures,
+                        resolution: fault.resolution,
+                    });
+                }
+            }
+            if want_generation {
+                sink.record(&RunEvent::GenerationEnd {
+                    generation: gen,
+                    phase: 2,
+                    temperature: 1.0,
+                    promoted: migrated,
+                    feasible,
+                    population: per_island * self.config.islands,
+                    evaluations: exec.stats().evaluations,
+                    front: merged_front_objectives(&islands),
+                });
             }
         }
 
@@ -377,14 +430,72 @@ impl<P: Problem> IslandGa<P> {
             .cloned()
             .collect();
         let stats = exec.into_stats();
-        Ok(IslandResult {
+        Ok(RunOutcome {
             population,
             front,
             evaluations: stats.evaluations as usize,
             generations: self.config.generations,
+            gen_t: 0,
+            history,
+            phase_fronts: Vec::new(),
             migrations,
             stats,
         })
+    }
+}
+
+/// Feasible globally non-dominated front of the merged archipelago,
+/// computed on a clone so ranking never disturbs the islands.
+fn merged_front_objectives(islands: &[Vec<Individual>]) -> Vec<Vec<f64>> {
+    let mut pop: Vec<Individual> = islands.iter().flatten().cloned().collect();
+    rank_and_crowd(&mut pop);
+    pop.iter()
+        .filter(|m| m.rank == 0 && m.is_feasible())
+        .map(|m| m.objectives().to_vec())
+        .collect()
+}
+
+/// The unified run API. The island model cannot suspend, so
+/// [`Optimizer::Checkpoint`] is the uninhabited [`NoCheckpoint`] and
+/// bounded runs are rejected.
+impl<P: Problem + Sync> Optimizer for IslandGa<P> {
+    type Checkpoint = NoCheckpoint;
+
+    fn algorithm(&self) -> &'static str {
+        "island"
+    }
+
+    fn run_with(&self, seed: u64, sink: &mut dyn Sink) -> Result<RunOutcome, OptimizeError> {
+        self.drive(seed, sink)
+    }
+
+    fn run_until_with(
+        &self,
+        _seed: u64,
+        _stop_after: usize,
+        _sink: &mut dyn Sink,
+    ) -> Result<RunStatus<NoCheckpoint>, OptimizeError> {
+        Err(OptimizeError::invalid_config(
+            "stop_after",
+            "the island model does not support suspension; use run",
+        ))
+    }
+
+    fn resume_with(
+        &self,
+        checkpoint: &NoCheckpoint,
+        _sink: &mut dyn Sink,
+    ) -> Result<RunOutcome, OptimizeError> {
+        match *checkpoint {}
+    }
+
+    fn resume_until_with(
+        &self,
+        checkpoint: &NoCheckpoint,
+        _stop_after: usize,
+        _sink: &mut dyn Sink,
+    ) -> Result<RunStatus<NoCheckpoint>, OptimizeError> {
+        match *checkpoint {}
     }
 }
 
@@ -443,6 +554,33 @@ mod tests {
             .run_seeded(1)
             .unwrap();
         assert_eq!(r.migrations, 3); // generations 10, 20, 30
+    }
+
+    #[test]
+    fn events_match_run_structure() {
+        use crate::telemetry::MemorySink;
+        let mut sink = MemorySink::new();
+        let ga = IslandGa::new(Schaffer::new(), quick(4, 10));
+        assert_eq!(ga.algorithm(), "island");
+        let watched = ga.run_with(1, &mut sink).unwrap();
+        let bare = ga.run_seeded(1).unwrap();
+        assert_eq!(bare.front_objectives(), watched.front_objectives());
+        assert_eq!(bare.history, watched.history);
+        let ends = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, RunEvent::GenerationEnd { .. }))
+            .count();
+        assert_eq!(ends, watched.generations);
+        // One Promotion event per migration event (ring migration reuses
+        // the promotion vocabulary).
+        let promotions = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, RunEvent::Promotion { .. }))
+            .count();
+        assert_eq!(promotions, watched.migrations);
+        assert!(ga.run_until(1, 5).is_err());
     }
 
     #[test]

@@ -37,10 +37,16 @@
 //!   [`Mesacga::run_until`](mesacga::Mesacga::run_until)) and resumed
 //!   bit-identically, including across process restarts.
 //!
+//! All five loops — [`moea::nsga2::Nsga2`], [`local`], [`sacga`],
+//! [`mesacga`], [`island`] — implement the unified
+//! [`Optimizer`] run API and emit the structured
+//! [`RunEvent`] stream of the [`telemetry`] module
+//! into composable [`Sink`]s.
+//!
 //! ## Example
 //!
 //! ```
-//! use sacga::sacga::{Sacga, SacgaConfig};
+//! use sacga::prelude::*;
 //! use moea::problems::Schaffer;
 //!
 //! # fn main() -> Result<(), moea::OptimizeError> {
@@ -49,8 +55,21 @@
 //!     .generations(60)
 //!     .partitions(8)
 //!     .build()?;
-//! let result = Sacga::new(Schaffer::new(), config).run_seeded(42)?;
+//! let ga = Sacga::new(Schaffer::new(), config);
+//!
+//! // Instrumented run: a memory sink captures the event stream.
+//! let mut sink = MemorySink::new();
+//! let result = ga.run_with(42, &mut sink)?;
 //! assert!(!result.front.is_empty());
+//!
+//! // Sinks never consume RNG: the bare run is bit-identical.
+//! assert_eq!(ga.run(42)?.front_objectives(), result.front_objectives());
+//! let ends = sink
+//!     .events()
+//!     .iter()
+//!     .filter(|e| e.kind() == EventKind::GenerationEnd)
+//!     .count();
+//! assert_eq!(ends, result.generations);
 //! # Ok(())
 //! # }
 //! ```
@@ -61,11 +80,24 @@ pub mod island;
 pub mod local;
 pub mod mesacga;
 pub mod partition;
+pub mod prelude;
 pub mod sacga;
+pub mod telemetry;
 
 pub use anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
 pub use checkpoint::{EngineState, MesacgaCheckpoint, SacgaCheckpoint, SavedIndividual};
 pub use island::{IslandConfig, IslandGa};
-pub use mesacga::{Mesacga, MesacgaConfig, MesacgaResult, MesacgaRun, PhaseSpec};
+pub use mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
 pub use partition::PartitionGrid;
-pub use sacga::{Sacga, SacgaConfig, SacgaResult, SacgaRun};
+pub use sacga::{Sacga, SacgaConfig};
+pub use telemetry::{
+    EventKind, JsonlSink, MemorySink, MetricsRow, MetricsSink, NoCheckpoint, NullSink, Optimizer,
+    RunEvent, Sink, Tee, EVENT_SCHEMA_VERSION,
+};
+
+#[allow(deprecated)]
+pub use island::IslandResult;
+#[allow(deprecated)]
+pub use mesacga::{MesacgaResult, MesacgaRun};
+#[allow(deprecated)]
+pub use sacga::{SacgaResult, SacgaRun};

@@ -10,11 +10,10 @@
 //! motivation for SACGA's annealed promotion.
 
 use crate::checkpoint::SacgaCheckpoint;
-use crate::sacga::{
-    CompetitionMode, Sacga, SacgaConfig, SacgaConfigBuilder, SacgaResult, SacgaRun,
-};
+use crate::sacga::{CompetitionMode, Sacga, SacgaConfig, SacgaConfigBuilder};
+use crate::telemetry::{Optimizer, Sink};
 use moea::problem::Problem;
-use moea::OptimizeError;
+use moea::{OptimizeError, RunOutcome, RunStatus};
 
 /// The pure local-competition GA.
 ///
@@ -48,48 +47,51 @@ impl<P: Problem> LocalCompetitionGa<P> {
     /// # Errors
     ///
     /// Propagates problem-definition errors discovered at start-up.
-    pub fn run_seeded(&self, seed: u64) -> Result<SacgaResult, OptimizeError>
+    pub fn run_seeded(&self, seed: u64) -> Result<RunOutcome, OptimizeError>
     where
         P: Sync,
     {
         self.inner.run_seeded(seed)
     }
+}
 
-    /// Runs with a per-generation observer.
-    ///
-    /// # Errors
-    ///
-    /// Propagates problem-definition errors discovered at start-up.
-    pub fn run_observed<F>(&self, seed: u64, observer: F) -> Result<SacgaResult, OptimizeError>
-    where
-        P: Sync,
-        F: FnMut(usize, &[moea::individual::Individual]),
-    {
-        self.inner.run_observed(seed, observer)
+/// The unified run API, delegating to the inner [`Sacga`] engine (which
+/// never promotes in `LocalOnly` mode).
+impl<P: Problem + Sync> Optimizer for LocalCompetitionGa<P> {
+    type Checkpoint = SacgaCheckpoint;
+
+    fn algorithm(&self) -> &'static str {
+        "local"
     }
 
-    /// Runs, suspending once `stop_after` generations have completed.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Sacga::run_until`].
-    pub fn run_until(&self, seed: u64, stop_after: usize) -> Result<SacgaRun, OptimizeError>
-    where
-        P: Sync,
-    {
-        self.inner.run_until(seed, stop_after)
+    fn run_with(&self, seed: u64, sink: &mut dyn Sink) -> Result<RunOutcome, OptimizeError> {
+        self.inner.run_with(seed, sink)
     }
 
-    /// Resumes a suspended run to completion.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Sacga::resume`].
-    pub fn resume(&self, checkpoint: &SacgaCheckpoint) -> Result<SacgaResult, OptimizeError>
-    where
-        P: Sync,
-    {
-        self.inner.resume(checkpoint)
+    fn run_until_with(
+        &self,
+        seed: u64,
+        stop_after: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<RunStatus<SacgaCheckpoint>, OptimizeError> {
+        self.inner.run_until_with(seed, stop_after, sink)
+    }
+
+    fn resume_with(
+        &self,
+        checkpoint: &SacgaCheckpoint,
+        sink: &mut dyn Sink,
+    ) -> Result<RunOutcome, OptimizeError> {
+        self.inner.resume_with(checkpoint, sink)
+    }
+
+    fn resume_until_with(
+        &self,
+        checkpoint: &SacgaCheckpoint,
+        stop_after: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<RunStatus<SacgaCheckpoint>, OptimizeError> {
+        self.inner.resume_until_with(checkpoint, stop_after, sink)
     }
 }
 
@@ -220,15 +222,28 @@ mod tests {
     }
 
     #[test]
-    fn observer_is_forwarded() {
+    fn events_are_forwarded_from_the_inner_engine() {
+        use crate::telemetry::{MemorySink, RunEvent};
         let ga = LocalCompetitionGaBuilder::new()
             .population_size(20)
             .generations(10)
             .partitions(4)
             .build(Schaffer::new())
             .unwrap();
-        let mut called = 0;
-        let _ = ga.run_observed(1, |_, _| called += 1).unwrap();
-        assert_eq!(called, 10);
+        assert_eq!(ga.algorithm(), "local");
+        let mut sink = MemorySink::new();
+        let r = ga.run_with(1, &mut sink).unwrap();
+        let ends = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, RunEvent::GenerationEnd { .. }))
+            .count();
+        assert_eq!(ends, 10);
+        assert_eq!(r.generations, 10);
+        // LocalOnly mode never crosses a phase boundary or promotes.
+        assert!(!sink.events().iter().any(|e| matches!(
+            e,
+            RunEvent::PhaseTransition { .. } | RunEvent::Promotion { .. }
+        )));
     }
 }

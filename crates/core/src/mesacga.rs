@@ -15,10 +15,11 @@
 use crate::anneal::ProbabilityShaper;
 use crate::checkpoint::{EngineState, MesacgaCheckpoint, SavedIndividual};
 use crate::partition::PartitionGrid;
-use crate::sacga::{Engine, GenerationStats, SacgaConfig, SacgaResult};
+use crate::sacga::{population_front, Engine, SacgaConfig};
+use crate::telemetry::{expect_complete, EventKind, NullSink, Optimizer, RunEvent, Sink};
 use moea::individual::Individual;
 use moea::problem::Problem;
-use moea::OptimizeError;
+use moea::{OptimizeError, RunOutcome, RunStatus};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -251,26 +252,19 @@ impl MesacgaConfigBuilder {
     }
 }
 
-/// Outcome of a MESACGA run: the final result plus a front snapshot at the
-/// end of every phase (what the paper's Fig. 10 plots).
-#[derive(Debug, Clone)]
-pub struct MesacgaResult {
-    /// The overall result (front, population, counters, history).
-    pub result: SacgaResult,
-    /// Feasible global front at the end of each phase, in phase order.
-    pub phase_fronts: Vec<Vec<Individual>>,
-}
+/// Former name of the MESACGA run result, now the workspace-wide
+/// [`RunOutcome`] (phase snapshots live in
+/// [`RunOutcome::phase_fronts`]).
+#[deprecated(since = "0.2.0", note = "use `moea::RunOutcome` instead")]
+pub type MesacgaResult = RunOutcome;
 
-/// Outcome of a bounded MESACGA run: finished within the stop bound, or
-/// suspended at a generation boundary with a resumable checkpoint.
-#[derive(Debug, Clone)]
-pub enum MesacgaRun {
-    /// The run finished before reaching the stop bound.
-    Complete(Box<MesacgaResult>),
-    /// The run was suspended; resume with [`Mesacga::resume`] or
-    /// [`Mesacga::resume_until`].
-    Suspended(Box<MesacgaCheckpoint>),
-}
+/// Former name of the bounded-run outcome, now the generic
+/// [`RunStatus`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `moea::RunStatus<MesacgaCheckpoint>` instead"
+)]
+pub type MesacgaRun = RunStatus<MesacgaCheckpoint>;
 
 /// How a drive begins: a fresh seed or a stored checkpoint.
 enum Launch<'c> {
@@ -291,103 +285,40 @@ impl<P: Problem> Mesacga<P> {
         Mesacga { problem, config }
     }
 
-    /// Runs with a seeded RNG.
+    /// Runs with a seeded RNG and no instrumentation (equivalent to
+    /// [`Optimizer::run`]).
     ///
     /// # Errors
     ///
     /// Propagates problem-definition errors discovered at start-up and
     /// [`OptimizeError::EvaluationFailed`] when a candidate evaluation
     /// exhausts the fault policy's retry budget with an aborting policy.
-    pub fn run_seeded(&self, seed: u64) -> Result<MesacgaResult, OptimizeError>
+    pub fn run_seeded(&self, seed: u64) -> Result<RunOutcome, OptimizeError>
     where
         P: Sync,
     {
-        self.run_observed(seed, |_, _| {})
-    }
-
-    /// Runs, invoking `observer(generation, flattened_population)` after
-    /// every generation.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Mesacga::run_seeded`].
-    pub fn run_observed<F>(&self, seed: u64, observer: F) -> Result<MesacgaResult, OptimizeError>
-    where
-        P: Sync,
-        F: FnMut(usize, &[Individual]),
-    {
-        match self.drive(Launch::Seed(seed), None, observer)? {
-            MesacgaRun::Complete(result) => Ok(*result),
-            MesacgaRun::Suspended(_) => unreachable!("unbounded runs never suspend"),
-        }
-    }
-
-    /// Runs from `seed`, suspending once `stop_after` generations have
-    /// completed. Checkpoints are taken only at generation boundaries, so
-    /// a suspended-and-resumed run is bit-identical to an uninterrupted
-    /// one — including kills in the middle of any expanding-partition
-    /// phase.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Mesacga::run_seeded`].
-    pub fn run_until(&self, seed: u64, stop_after: usize) -> Result<MesacgaRun, OptimizeError>
-    where
-        P: Sync,
-    {
-        self.drive(Launch::Seed(seed), Some(stop_after), |_, _| {})
-    }
-
-    /// Resumes a suspended run to completion.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Mesacga::run_seeded`], plus
-    /// [`OptimizeError::InvalidCheckpoint`] when the checkpoint is
-    /// inconsistent with this configuration.
-    pub fn resume(&self, checkpoint: &MesacgaCheckpoint) -> Result<MesacgaResult, OptimizeError>
-    where
-        P: Sync,
-    {
-        match self.drive(Launch::Checkpoint(checkpoint), None, |_, _| {})? {
-            MesacgaRun::Complete(result) => Ok(*result),
-            MesacgaRun::Suspended(_) => unreachable!("unbounded runs never suspend"),
-        }
-    }
-
-    /// Resumes a suspended run, suspending again once `stop_after` total
-    /// generations have completed.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Mesacga::resume`].
-    pub fn resume_until(
-        &self,
-        checkpoint: &MesacgaCheckpoint,
-        stop_after: usize,
-    ) -> Result<MesacgaRun, OptimizeError>
-    where
-        P: Sync,
-    {
-        self.drive(Launch::Checkpoint(checkpoint), Some(stop_after), |_, _| {})
+        self.drive(Launch::Seed(seed), None, &mut NullSink)
+            .map(expect_complete)
     }
 
     /// The shared run loop: phase I, then the expanding-partition cascade.
     /// Suspension can happen before any pending generation; the checkpoint
     /// records which phase was active and where its annealing schedule
     /// started, so the resumed run re-derives identical constants.
-    fn drive<F>(
+    /// Structured events flow into `sink`; emission never consumes RNG,
+    /// so instrumented and bare runs are bit-identical.
+    fn drive(
         &self,
         launch: Launch<'_>,
         stop_after: Option<usize>,
-        mut observer: F,
-    ) -> Result<MesacgaRun, OptimizeError>
+        sink: &mut dyn Sink,
+    ) -> Result<RunStatus<MesacgaCheckpoint>, OptimizeError>
     where
         P: Sync,
-        F: FnMut(usize, &[Individual]),
     {
         let base = &self.config.base;
         let should_stop = |gen: usize| stop_after.is_some_and(|cap| gen >= cap);
+        let fresh = matches!(launch, Launch::Seed(_));
         let (mut rng, mut engine, phase1_done, mut gen_t, resume_phase, mut phase_fronts) =
             match launch {
                 Launch::Seed(seed) => {
@@ -428,13 +359,27 @@ impl<P: Problem> Mesacga<P> {
                 }
             };
 
+        // Faults from the initial-population evaluation surface as
+        // generation-0 events. A resumed segment emits nothing for the
+        // checkpoint generation — its events belong to the segment that
+        // executed it.
+        if fresh {
+            engine.emit_generation(sink);
+        } else {
+            engine.discard_restored_faults();
+        }
+
         // Phase I: pure local competition with the first phase's grid.
         if !phase1_done {
+            let mut feasibility = sink
+                .wants(EventKind::PartitionFeasible)
+                .then(|| engine.partition_feasibility());
             while engine.gen < base.phase1_max
                 && !(engine.pop.all_partitions_feasible() && engine.gen > 0)
             {
                 if should_stop(engine.gen) {
                     return Ok(suspended(
+                        sink,
                         engine.snapshot(&rng, false, 0),
                         0,
                         0,
@@ -442,7 +387,19 @@ impl<P: Problem> Mesacga<P> {
                     ));
                 }
                 engine.local_generation(&mut rng)?;
-                observer(engine.gen, &engine.flat_cache);
+                if let Some(before) = &mut feasibility {
+                    let now = engine.partition_feasibility();
+                    for (p, (was, is)) in before.iter().zip(&now).enumerate() {
+                        if !was && *is {
+                            sink.record(&RunEvent::PartitionFeasible {
+                                generation: engine.gen,
+                                partition: p,
+                            });
+                        }
+                    }
+                    *before = now;
+                }
+                engine.emit_generation(sink);
             }
             if !engine.pop.all_partitions_feasible() {
                 engine.pop.discard_infeasible_partitions();
@@ -461,6 +418,14 @@ impl<P: Problem> Mesacga<P> {
                         engine.pop = take_and_regrid(&mut engine.pop, new_grid);
                         engine.pop.rank_locally();
                     }
+                    if sink.wants(EventKind::PhaseTransition) {
+                        sink.record(&RunEvent::PhaseTransition {
+                            generation: engine.gen,
+                            phase_index: pi,
+                            partitions: phase.partitions,
+                            span: phase.span,
+                        });
+                    }
                     engine.gen
                 }
             };
@@ -469,36 +434,89 @@ impl<P: Problem> Mesacga<P> {
             while engine.gen < phase_end {
                 if should_stop(engine.gen) {
                     return Ok(suspended(
+                        sink,
                         engine.snapshot(&rng, true, gen_t),
                         pi,
                         phase_start,
                         &phase_fronts,
                     ));
                 }
-                engine.annealed_generation(&mut rng, &policy, &schedule, phase_start)?;
-                observer(engine.gen, &engine.flat_cache);
+                let (promoted, candidates) =
+                    engine.annealed_generation(&mut rng, &policy, &schedule, phase_start)?;
+                if sink.wants(EventKind::Promotion) {
+                    sink.record(&RunEvent::Promotion {
+                        generation: engine.gen,
+                        promoted,
+                        candidates,
+                    });
+                }
+                engine.emit_generation(sink);
             }
             // End-of-phase Global Pareto Front: one global competition on
             // the current population (what Fig. 10 tracks).
             phase_fronts.push(population_front(&engine.flat_cache));
         }
 
-        let result = engine.finish(gen_t);
-        Ok(MesacgaRun::Complete(Box::new(MesacgaResult {
-            result,
-            phase_fronts,
-        })))
+        let mut outcome = engine.finish(gen_t);
+        outcome.phase_fronts = phase_fronts;
+        Ok(RunStatus::Complete(Box::new(outcome)))
     }
 }
 
-/// Packages a suspension into a checkpoint.
+impl<P: Problem + Sync> Optimizer for Mesacga<P> {
+    type Checkpoint = MesacgaCheckpoint;
+
+    fn algorithm(&self) -> &'static str {
+        "mesacga"
+    }
+
+    fn run_with(&self, seed: u64, sink: &mut dyn Sink) -> Result<RunOutcome, OptimizeError> {
+        self.drive(Launch::Seed(seed), None, sink)
+            .map(expect_complete)
+    }
+
+    fn run_until_with(
+        &self,
+        seed: u64,
+        stop_after: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<RunStatus<MesacgaCheckpoint>, OptimizeError> {
+        self.drive(Launch::Seed(seed), Some(stop_after), sink)
+    }
+
+    fn resume_with(
+        &self,
+        checkpoint: &MesacgaCheckpoint,
+        sink: &mut dyn Sink,
+    ) -> Result<RunOutcome, OptimizeError> {
+        self.drive(Launch::Checkpoint(checkpoint), None, sink)
+            .map(expect_complete)
+    }
+
+    fn resume_until_with(
+        &self,
+        checkpoint: &MesacgaCheckpoint,
+        stop_after: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<RunStatus<MesacgaCheckpoint>, OptimizeError> {
+        self.drive(Launch::Checkpoint(checkpoint), Some(stop_after), sink)
+    }
+}
+
+/// Announces and packages a suspension into a checkpoint.
 fn suspended(
+    sink: &mut dyn Sink,
     state: EngineState,
     phase_index: usize,
     phase_start: usize,
     fronts: &[Vec<Individual>],
-) -> MesacgaRun {
-    MesacgaRun::Suspended(Box::new(MesacgaCheckpoint {
+) -> RunStatus<MesacgaCheckpoint> {
+    if sink.wants(EventKind::CheckpointWritten) {
+        sink.record(&RunEvent::CheckpointWritten {
+            generation: state.gen,
+        });
+    }
+    RunStatus::Suspended(Box::new(MesacgaCheckpoint {
         state,
         phase_index,
         phase_start,
@@ -507,15 +525,6 @@ fn suspended(
             .map(|f| f.iter().map(SavedIndividual::from_individual).collect())
             .collect(),
     }))
-}
-
-/// Feasible globally non-dominated front of a population snapshot.
-fn population_front(snapshot: &[Individual]) -> Vec<Individual> {
-    let mut pop = snapshot.to_vec();
-    moea::sorting::rank_and_crowd(&mut pop);
-    pop.into_iter()
-        .filter(|m| m.rank == 0 && m.is_feasible())
-        .collect()
 }
 
 /// Moves the population out of the engine, regrids it, and hands it back.
@@ -528,22 +537,10 @@ fn take_and_regrid(
     owned.regrid(grid)
 }
 
-/// Accessor used by benches: the per-generation history of a MESACGA run.
-impl MesacgaResult {
-    /// Per-generation statistics (delegates to the inner result).
-    pub fn history(&self) -> &[GenerationStats] {
-        &self.result.history
-    }
-
-    /// Final feasible global front.
-    pub fn front(&self) -> &[Individual] {
-        &self.result.front
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::MemorySink;
     use moea::problems::{NarrowingCorridor, Schaffer};
 
     fn quick_config() -> MesacgaConfig {
@@ -587,7 +584,7 @@ mod tests {
         let r = Mesacga::new(Schaffer::new(), quick_config())
             .run_seeded(5)
             .unwrap();
-        assert!(!r.front().is_empty());
+        assert!(!r.front.is_empty());
         assert_eq!(r.phase_fronts.len(), 3);
         assert!(r.phase_fronts.iter().all(|f| !f.is_empty()));
     }
@@ -600,7 +597,7 @@ mod tests {
         let b = Mesacga::new(Schaffer::new(), quick_config())
             .run_seeded(6)
             .unwrap();
-        assert_eq!(a.result.front_objectives(), b.result.front_objectives());
+        assert_eq!(a.front_objectives(), b.front_objectives());
     }
 
     #[test]
@@ -609,7 +606,7 @@ mod tests {
             .run_seeded(7)
             .unwrap();
         // phase 1 ends immediately on an unconstrained problem
-        assert_eq!(r.result.generations, r.result.gen_t + 30);
+        assert_eq!(r.generations, r.gen_t + 30);
     }
 
     #[test]
@@ -646,17 +643,68 @@ mod tests {
             .run_seeded(9)
             .unwrap();
         assert_eq!(r.phase_fronts.len(), 2);
-        assert!(!r.front().is_empty());
+        assert!(!r.front.is_empty());
     }
 
     #[test]
-    fn observer_sees_all_generations() {
-        let mut count = 0;
-        let _ = Mesacga::new(Schaffer::new(), quick_config())
-            .run_observed(1, |_, _| count += 1)
+    fn generation_end_emitted_every_generation() {
+        let mut sink = MemorySink::new();
+        let r = Mesacga::new(Schaffer::new(), quick_config())
+            .run_with(1, &mut sink)
             .unwrap();
-        // ≥ 30 phase-II generations + phase-I generations
-        assert!(count >= 30);
+        let gens: Vec<usize> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                RunEvent::GenerationEnd { generation, .. } => Some(*generation),
+                _ => None,
+            })
+            .collect();
+        // One GenerationEnd per executed generation, in order, none for
+        // the initial population.
+        assert_eq!(gens, (1..=r.generations).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn phase_transition_emitted_once_per_expanding_phase() {
+        let mut sink = MemorySink::new();
+        let r = Mesacga::new(Schaffer::new(), quick_config())
+            .run_with(2, &mut sink)
+            .unwrap();
+        let transitions: Vec<(usize, usize)> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                RunEvent::PhaseTransition {
+                    phase_index,
+                    partitions,
+                    ..
+                } => Some((*phase_index, *partitions)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(transitions, vec![(0, 8), (1, 4), (2, 1)]);
+        // Every phase-II generation reports its promotion pressure.
+        let promotions = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, RunEvent::Promotion { .. }))
+            .count();
+        assert_eq!(promotions, r.generations - r.gen_t);
+    }
+
+    #[test]
+    fn sink_attached_run_is_bit_identical_to_bare_run() {
+        let bare = Mesacga::new(Schaffer::new(), quick_config())
+            .run_seeded(3)
+            .unwrap();
+        let mut sink = MemorySink::new();
+        let watched = Mesacga::new(Schaffer::new(), quick_config())
+            .run_with(3, &mut sink)
+            .unwrap();
+        assert_eq!(bare.front_objectives(), watched.front_objectives());
+        assert_eq!(bare.history, watched.history);
+        assert!(!sink.events().is_empty());
     }
 
     /// Strips wall-clock timing so stats can be compared across runs.
@@ -681,24 +729,18 @@ mod tests {
         for stop in [0usize, 5, 11, 15, 21, 28] {
             let ga = Mesacga::new(Schaffer::new(), quick_config());
             let cp = match ga.run_until(12, stop).unwrap() {
-                MesacgaRun::Suspended(cp) => cp,
-                MesacgaRun::Complete(_) => panic!("run should suspend at gen {stop}"),
+                RunStatus::Suspended(cp) => cp,
+                RunStatus::Complete(_) => panic!("run should suspend at gen {stop}"),
             };
             assert_eq!(cp.state.gen, stop);
             let resumed = ga.resume(&cp).unwrap();
-            assert_eq!(
-                resumed.result.front_objectives(),
-                full.result.front_objectives()
-            );
-            assert_eq!(resumed.result.history, full.result.history);
+            assert_eq!(resumed.front_objectives(), full.front_objectives());
+            assert_eq!(resumed.history, full.history);
             assert_eq!(resumed.phase_fronts.len(), full.phase_fronts.len());
             for (a, b) in resumed.phase_fronts.iter().zip(&full.phase_fronts) {
                 assert_eq!(objectives_of(a), objectives_of(b));
             }
-            assert_eq!(
-                scrub(resumed.result.stats),
-                scrub(full.result.stats.clone())
-            );
+            assert_eq!(scrub(resumed.stats), scrub(full.stats.clone()));
         }
     }
 
@@ -710,18 +752,15 @@ mod tests {
             .unwrap();
         // Suspend mid-second-phase so the checkpoint carries a phase front.
         let cp = match ga.run_until(14, 15).unwrap() {
-            MesacgaRun::Suspended(cp) => cp,
-            MesacgaRun::Complete(_) => panic!("run should suspend"),
+            RunStatus::Suspended(cp) => cp,
+            RunStatus::Complete(_) => panic!("run should suspend"),
         };
         assert!(!cp.phase_fronts.is_empty());
         let restored = MesacgaCheckpoint::from_text(&cp.to_text()).unwrap();
         assert_eq!(*cp, restored);
         let resumed = ga.resume(&restored).unwrap();
-        assert_eq!(
-            resumed.result.front_objectives(),
-            full.result.front_objectives()
-        );
-        assert_eq!(resumed.result.history, full.result.history);
+        assert_eq!(resumed.front_objectives(), full.front_objectives());
+        assert_eq!(resumed.history, full.history);
     }
 
     #[test]
@@ -734,19 +773,16 @@ mod tests {
         let mut hops = 0;
         let result = loop {
             match run {
-                MesacgaRun::Complete(r) => break *r,
-                MesacgaRun::Suspended(cp) => {
+                RunStatus::Complete(r) => break *r,
+                RunStatus::Suspended(cp) => {
                     hops += 1;
                     run = ga.resume_until(&cp, cp.state.gen + 6).unwrap();
                 }
             }
         };
         assert!(hops >= 4, "expected several suspensions, got {hops}");
-        assert_eq!(
-            result.result.front_objectives(),
-            full.result.front_objectives()
-        );
-        assert_eq!(result.result.history, full.result.history);
+        assert_eq!(result.front_objectives(), full.front_objectives());
+        assert_eq!(result.history, full.history);
     }
 
     #[test]
@@ -767,16 +803,13 @@ mod tests {
         let faulty = Mesacga::new(Schaffer::new(), faulty_cfg)
             .run_seeded(16)
             .unwrap();
+        assert_eq!(clean.front_objectives(), faulty.front_objectives());
+        assert!(faulty.stats.failures > 0);
         assert_eq!(
-            clean.result.front_objectives(),
-            faulty.result.front_objectives()
+            faulty.stats.failures,
+            faulty.stats.injected_panics + faulty.stats.injected_nonfinite
         );
-        assert!(faulty.result.stats.failures > 0);
-        assert_eq!(
-            faulty.result.stats.failures,
-            faulty.result.stats.injected_panics + faulty.result.stats.injected_nonfinite
-        );
-        assert_eq!(faulty.result.stats.recovered, faulty.result.stats.failures);
+        assert_eq!(faulty.stats.recovered, faulty.stats.failures);
     }
 
     #[test]
@@ -785,8 +818,8 @@ mod tests {
         // Drive to the last generation, grab the final checkpoint, finish
         // it, then check a claim past the schedule is rejected on resume.
         let cp = match ga.run_until(17, 30).unwrap() {
-            MesacgaRun::Suspended(cp) => cp,
-            MesacgaRun::Complete(_) => panic!("run should suspend at gen 30"),
+            RunStatus::Suspended(cp) => cp,
+            RunStatus::Complete(_) => panic!("run should suspend at gen 30"),
         };
         let mut doctored = (*cp).clone();
         doctored.phase_index = quick_config().phases().len();

@@ -1,0 +1,32 @@
+//! One-stop imports for driving any of the five optimization loops
+//! through the unified [`Optimizer`] API with instrumentation attached.
+//!
+//! ```
+//! use sacga::prelude::*;
+//! use moea::problems::Schaffer;
+//!
+//! # fn main() -> Result<(), moea::OptimizeError> {
+//! let config = MesacgaConfig::builder()
+//!     .population_size(40)
+//!     .phase1_max(5)
+//!     .phases(vec![PhaseSpec::new(4, 10), PhaseSpec::new(1, 10)])
+//!     .build()?;
+//! let mut sink = MemorySink::new();
+//! let outcome = Mesacga::new(Schaffer::new(), config).run_with(11, &mut sink)?;
+//! assert!(!outcome.front.is_empty());
+//! assert!(sink.events().iter().any(|e| e.kind() == EventKind::PhaseTransition));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use crate::checkpoint::{EngineState, MesacgaCheckpoint, SacgaCheckpoint, SavedIndividual};
+pub use crate::island::{IslandConfig, IslandGa};
+pub use crate::local::{LocalCompetitionGa, LocalCompetitionGaBuilder};
+pub use crate::mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
+pub use crate::sacga::{CompetitionMode, Sacga, SacgaConfig};
+pub use crate::telemetry::{
+    EventKind, EventParseError, JsonlSink, MemorySink, MetricsRow, MetricsSink, NoCheckpoint,
+    NullSink, Optimizer, RunEvent, Sink, Tee, EVENT_SCHEMA_VERSION,
+};
+pub use moea::nsga2::Nsga2;
+pub use moea::{GenerationStats, OptimizeError, RunOutcome, RunStatus};

@@ -22,16 +22,19 @@
 use crate::anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
 use crate::checkpoint::{EngineState, SacgaCheckpoint, SavedIndividual};
 use crate::partition::{PartitionGrid, PartitionedPopulation};
-use engine::{EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine, FaultPlan, FaultPolicy};
+use crate::telemetry::{expect_complete, EventKind, NullSink, Optimizer, RunEvent, Sink};
+use engine::{EngineConfig, EvaluatorKind, ExecutionEngine, FaultPlan, FaultPolicy};
 use moea::individual::Individual;
 use moea::operators::{random_vector, Variation};
 use moea::problem::Problem;
 use moea::selection::RankRoulette;
 use moea::sorting::rank_and_crowd;
-use moea::{Evaluation, OptimizeError};
+use moea::{Evaluation, OptimizeError, RunOutcome, RunStatus};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+
+pub use moea::GenerationStats;
 
 /// How candidates enter the global competition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,23 +44,6 @@ pub enum CompetitionMode {
     /// Pure local competition forever (the Sec. 4.3 baseline); a single
     /// global competition happens only at output time.
     LocalOnly,
-}
-
-/// Per-generation statistics recorded by SACGA runs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GenerationStats {
-    /// Generation index (0 = initial population).
-    pub generation: usize,
-    /// 1 = pure local phase, 2 = annealed phase.
-    pub phase: u8,
-    /// Annealing temperature (∞ during phase I).
-    pub temperature: f64,
-    /// How many locally superior solutions were promoted this generation.
-    pub promoted: usize,
-    /// Feasible individuals in the population.
-    pub feasible: usize,
-    /// Population size after survivor selection.
-    pub population: usize,
 }
 
 /// Configuration of a SACGA run. Build with [`SacgaConfig::builder`].
@@ -310,46 +296,24 @@ impl SacgaConfigBuilder {
     }
 }
 
-/// Outcome of a SACGA (or MESACGA phase) run.
-#[derive(Debug, Clone)]
-pub struct SacgaResult {
-    /// Final population (flattened; globally ranked and crowded).
-    pub population: Vec<Individual>,
-    /// Feasible, globally non-dominated front of the final population.
-    pub front: Vec<Individual>,
-    /// Objective evaluations performed.
-    pub evaluations: usize,
-    /// Generations executed.
-    pub generations: usize,
-    /// Length of the pure-local phase I.
-    pub gen_t: usize,
-    /// Per-generation statistics.
-    pub history: Vec<GenerationStats>,
-    /// Evaluation-engine instrumentation (batching, caching, timing).
-    pub stats: EngineStats,
-}
+/// Former name of the SACGA run result, now the workspace-wide
+/// [`RunOutcome`].
+#[deprecated(since = "0.2.0", note = "use `moea::RunOutcome` instead")]
+pub type SacgaResult = RunOutcome;
 
-impl SacgaResult {
-    /// Objective vectors of the front.
-    pub fn front_objectives(&self) -> Vec<Vec<f64>> {
-        self.front.iter().map(|m| m.objectives().to_vec()).collect()
-    }
-}
-
-/// Outcome of a bounded run: finished within the stop bound, or
-/// suspended at a generation boundary with a resumable checkpoint.
-#[derive(Debug, Clone)]
-pub enum SacgaRun {
-    /// The run finished before reaching the stop bound.
-    Complete(Box<SacgaResult>),
-    /// The run was suspended; resume with [`Sacga::resume`] or
-    /// [`Sacga::resume_until`].
-    Suspended(Box<SacgaCheckpoint>),
-}
+/// Former name of the bounded-run outcome, now the generic
+/// [`RunStatus`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `moea::RunStatus<SacgaCheckpoint>` instead"
+)]
+pub type SacgaRun = RunStatus<SacgaCheckpoint>;
 
 /// How a drive begins: a fresh seed or a stored checkpoint.
-enum Launch<'c> {
+pub(crate) enum Launch<'c> {
+    /// A fresh run from a seed.
     Seed(u64),
+    /// A resumed run from a checkpoint.
     Checkpoint(&'c SacgaCheckpoint),
 }
 
@@ -366,101 +330,39 @@ impl<P: Problem> Sacga<P> {
         Sacga { problem, config }
     }
 
-    /// Runs with a seeded RNG.
+    /// Runs with a seeded RNG and no instrumentation (equivalent to
+    /// [`Optimizer::run`]).
     ///
     /// # Errors
     ///
     /// Propagates problem-definition errors discovered at start-up and
     /// [`OptimizeError::EvaluationFailed`] when a candidate evaluation
     /// exhausts the fault policy's retry budget with an aborting policy.
-    pub fn run_seeded(&self, seed: u64) -> Result<SacgaResult, OptimizeError>
+    pub fn run_seeded(&self, seed: u64) -> Result<RunOutcome, OptimizeError>
     where
         P: Sync,
     {
-        self.run_observed(seed, |_, _| {})
-    }
-
-    /// Runs, invoking `observer(generation, flattened_population)` after
-    /// every generation.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Sacga::run_seeded`].
-    pub fn run_observed<F>(&self, seed: u64, observer: F) -> Result<SacgaResult, OptimizeError>
-    where
-        P: Sync,
-        F: FnMut(usize, &[Individual]),
-    {
-        match self.drive(Launch::Seed(seed), None, observer)? {
-            SacgaRun::Complete(result) => Ok(*result),
-            SacgaRun::Suspended(_) => unreachable!("unbounded runs never suspend"),
-        }
-    }
-
-    /// Runs from `seed`, suspending once `stop_after` generations have
-    /// completed. Checkpoints are taken only at generation boundaries, so
-    /// a suspended-and-resumed run is bit-identical to an uninterrupted
-    /// one.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Sacga::run_seeded`].
-    pub fn run_until(&self, seed: u64, stop_after: usize) -> Result<SacgaRun, OptimizeError>
-    where
-        P: Sync,
-    {
-        self.drive(Launch::Seed(seed), Some(stop_after), |_, _| {})
-    }
-
-    /// Resumes a suspended run to completion.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Sacga::run_seeded`], plus
-    /// [`OptimizeError::InvalidCheckpoint`] when the checkpoint is
-    /// inconsistent with this configuration.
-    pub fn resume(&self, checkpoint: &SacgaCheckpoint) -> Result<SacgaResult, OptimizeError>
-    where
-        P: Sync,
-    {
-        match self.drive(Launch::Checkpoint(checkpoint), None, |_, _| {})? {
-            SacgaRun::Complete(result) => Ok(*result),
-            SacgaRun::Suspended(_) => unreachable!("unbounded runs never suspend"),
-        }
-    }
-
-    /// Resumes a suspended run, suspending again once `stop_after` total
-    /// generations have completed.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Sacga::resume`].
-    pub fn resume_until(
-        &self,
-        checkpoint: &SacgaCheckpoint,
-        stop_after: usize,
-    ) -> Result<SacgaRun, OptimizeError>
-    where
-        P: Sync,
-    {
-        self.drive(Launch::Checkpoint(checkpoint), Some(stop_after), |_, _| {})
+        self.drive(Launch::Seed(seed), None, &mut NullSink)
+            .map(expect_complete)
     }
 
     /// The shared run loop behind every public entry point: phase I until
     /// feasibility (or the cap), boundary processing, then phase II with
     /// the annealed promotion schedule. `stop_after` bounds the total
     /// generation count; reaching it suspends the run into a checkpoint.
-    fn drive<F>(
+    /// Structured events flow into `sink`; emission never consumes RNG,
+    /// so instrumented and bare runs are bit-identical.
+    pub(crate) fn drive(
         &self,
         launch: Launch<'_>,
         stop_after: Option<usize>,
-        mut observer: F,
-    ) -> Result<SacgaRun, OptimizeError>
+        sink: &mut dyn Sink,
+    ) -> Result<RunStatus<SacgaCheckpoint>, OptimizeError>
     where
         P: Sync,
-        F: FnMut(usize, &[Individual]),
     {
         let should_stop = |gen: usize| stop_after.is_some_and(|cap| gen >= cap);
+        let fresh = matches!(launch, Launch::Seed(_));
         let (mut rng, mut engine, phase1_done, mut gen_t) = match launch {
             Launch::Seed(seed) => {
                 let mut rng = StdRng::seed_from_u64(seed);
@@ -472,27 +374,62 @@ impl<P: Problem> Sacga<P> {
                 (rng, engine, cp.state.phase1_done, cp.state.gen_t)
             }
         };
+        // Faults from the initial-population evaluation surface as
+        // generation-0 events. A resumed segment emits nothing for the
+        // checkpoint generation — its events belong to the segment that
+        // executed it.
+        if fresh {
+            engine.emit_generation(sink);
+        } else {
+            engine.discard_restored_faults();
+        }
 
         // Phase I. A checkpoint taken mid-phase-I re-enters this loop; the
         // termination condition and the boundary processing below are pure
         // functions of the restored population, so they replay identically.
         if !phase1_done {
+            // Feasibility transitions are tracked only when someone
+            // listens; partitions feasible from the start emit nothing.
+            let mut feasibility = sink
+                .wants(EventKind::PartitionFeasible)
+                .then(|| engine.partition_feasibility());
             while engine.gen < self.config.generations
                 && engine.gen < self.config.phase1_max
                 && !(engine.pop.all_partitions_feasible() && engine.gen > 0)
             {
                 if should_stop(engine.gen) {
-                    return Ok(SacgaRun::Suspended(Box::new(SacgaCheckpoint {
-                        state: engine.snapshot(&rng, false, 0),
-                    })));
+                    return Ok(engine.suspend(sink, &rng, false, 0));
                 }
                 engine.local_generation(&mut rng)?;
-                observer(engine.gen, &engine.flat_cache);
+                if let Some(before) = &mut feasibility {
+                    let now = engine.partition_feasibility();
+                    for (p, (was, is)) in before.iter().zip(&now).enumerate() {
+                        if !was && *is {
+                            sink.record(&RunEvent::PartitionFeasible {
+                                generation: engine.gen,
+                                partition: p,
+                            });
+                        }
+                    }
+                    *before = now;
+                }
+                engine.emit_generation(sink);
             }
             if !engine.pop.all_partitions_feasible() {
                 engine.pop.discard_infeasible_partitions();
             }
             gen_t = engine.gen;
+            if self.config.mode == CompetitionMode::Annealed
+                && gen_t < self.config.generations
+                && sink.wants(EventKind::PhaseTransition)
+            {
+                sink.record(&RunEvent::PhaseTransition {
+                    generation: gen_t,
+                    phase_index: 0,
+                    partitions: self.config.partitions,
+                    span: self.config.generations - gen_t,
+                });
+            }
         }
 
         // Phase II. The schedule depends only on `gen_t` (stored in phase-II
@@ -501,22 +438,81 @@ impl<P: Problem> Sacga<P> {
         let (policy, schedule) = self.config.shaper.solve(self.config.n_superior, span)?;
         while engine.gen < self.config.generations {
             if should_stop(engine.gen) {
-                return Ok(SacgaRun::Suspended(Box::new(SacgaCheckpoint {
-                    state: engine.snapshot(&rng, true, gen_t),
-                })));
+                return Ok(engine.suspend(sink, &rng, true, gen_t));
             }
             match self.config.mode {
                 CompetitionMode::Annealed => {
-                    engine.annealed_generation(&mut rng, &policy, &schedule, gen_t)?;
+                    let (promoted, candidates) =
+                        engine.annealed_generation(&mut rng, &policy, &schedule, gen_t)?;
+                    if sink.wants(EventKind::Promotion) {
+                        sink.record(&RunEvent::Promotion {
+                            generation: engine.gen,
+                            promoted,
+                            candidates,
+                        });
+                    }
                 }
                 CompetitionMode::LocalOnly => {
                     engine.local_generation(&mut rng)?;
                 }
             }
-            observer(engine.gen, &engine.flat_cache);
+            engine.emit_generation(sink);
         }
-        Ok(SacgaRun::Complete(Box::new(engine.finish(gen_t))))
+        Ok(RunStatus::Complete(Box::new(engine.finish(gen_t))))
     }
+}
+
+impl<P: Problem + Sync> Optimizer for Sacga<P> {
+    type Checkpoint = SacgaCheckpoint;
+
+    fn algorithm(&self) -> &'static str {
+        match self.config.mode {
+            CompetitionMode::Annealed => "sacga",
+            CompetitionMode::LocalOnly => "local",
+        }
+    }
+
+    fn run_with(&self, seed: u64, sink: &mut dyn Sink) -> Result<RunOutcome, OptimizeError> {
+        self.drive(Launch::Seed(seed), None, sink)
+            .map(expect_complete)
+    }
+
+    fn run_until_with(
+        &self,
+        seed: u64,
+        stop_after: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<RunStatus<SacgaCheckpoint>, OptimizeError> {
+        self.drive(Launch::Seed(seed), Some(stop_after), sink)
+    }
+
+    fn resume_with(
+        &self,
+        checkpoint: &SacgaCheckpoint,
+        sink: &mut dyn Sink,
+    ) -> Result<RunOutcome, OptimizeError> {
+        self.drive(Launch::Checkpoint(checkpoint), None, sink)
+            .map(expect_complete)
+    }
+
+    fn resume_until_with(
+        &self,
+        checkpoint: &SacgaCheckpoint,
+        stop_after: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<RunStatus<SacgaCheckpoint>, OptimizeError> {
+        self.drive(Launch::Checkpoint(checkpoint), Some(stop_after), sink)
+    }
+}
+
+/// Feasible, globally non-dominated front of a population snapshot
+/// (clone + one global competition; used for event payloads and
+/// MESACGA phase fronts).
+pub(crate) fn population_front(snapshot: &[Individual]) -> Vec<Individual> {
+    let mut arena = snapshot.to_vec();
+    rank_and_crowd(&mut arena);
+    arena.retain(|m| m.rank == 0 && m.is_feasible());
+    arena
 }
 
 /// Shared partition-GA engine, also driven by MESACGA.
@@ -627,14 +623,16 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
 
     /// One annealed generation (phase II): local ranking, SA-gated
     /// promotion, global rank revision, global mating pool, variation,
-    /// local survivor selection.
+    /// local survivor selection. Returns `(promoted, candidates)` — how
+    /// many locally superior solutions won the SA gamble, out of how
+    /// many were considered — for the telemetry layer.
     pub(crate) fn annealed_generation(
         &mut self,
         rng: &mut StdRng,
         policy: &PromotionPolicy,
         schedule: &AnnealingSchedule,
         gen_t: usize,
-    ) -> Result<(), OptimizeError> {
+    ) -> Result<(usize, usize), OptimizeError> {
         self.pop.rank_locally();
         let mut flat = self.pop.flatten();
         // The generation being produced is `gen + 1`; its elapsed phase-II
@@ -651,6 +649,7 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
                 per_partition[grid.partition_of(ind.objectives())].push(idx);
             }
         }
+        let candidates: usize = per_partition.iter().map(Vec::len).sum();
         let mut promoted: Vec<usize> = Vec::new();
         for locally_superior in per_partition.iter_mut() {
             locally_superior.shuffle(rng);
@@ -680,7 +679,78 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
         self.gen += 1;
         self.flat_cache = self.pop.flatten();
         self.record(2, temperature, promoted.len());
-        Ok(())
+        Ok((promoted.len(), candidates))
+    }
+
+    /// Which partitions currently hold a constraint-satisfying member
+    /// (dead partitions report `false`).
+    pub(crate) fn partition_feasibility(&self) -> Vec<bool> {
+        (0..self.pop.partition_count())
+            .map(|p| self.pop.is_alive(p) && self.pop.partition(p).iter().any(|m| m.is_feasible()))
+            .collect()
+    }
+
+    /// Drains resolved fault episodes and, for executed generations,
+    /// emits the [`RunEvent::GenerationEnd`] record. Called once per
+    /// generation boundary (including generation 0, which emits only
+    /// fault events from the initial evaluation).
+    pub(crate) fn emit_generation(&mut self, sink: &mut dyn Sink) {
+        let faults = self.exec.take_fault_events();
+        if sink.wants(EventKind::EvaluationFault) {
+            for fault in &faults {
+                sink.record(&RunEvent::EvaluationFault {
+                    generation: self.gen,
+                    kind: fault.kind,
+                    failures: fault.failures,
+                    resolution: fault.resolution,
+                });
+            }
+        }
+        if self.gen > 0 && sink.wants(EventKind::GenerationEnd) {
+            let row = *self
+                .history
+                .last()
+                .expect("every generation records a history row");
+            let front = population_front(&self.flat_cache)
+                .iter()
+                .map(|m| m.objectives().to_vec())
+                .collect();
+            sink.record(&RunEvent::GenerationEnd {
+                generation: self.gen,
+                phase: row.phase,
+                temperature: row.temperature,
+                promoted: row.promoted,
+                feasible: row.feasible,
+                population: row.population,
+                evaluations: self.exec.stats().evaluations,
+                front,
+            });
+        }
+    }
+
+    /// Drops fault episodes buffered while a checkpoint restore rebuilt
+    /// the evaluation cache; the segment that originally executed those
+    /// evaluations already reported them.
+    pub(crate) fn discard_restored_faults(&mut self) {
+        let _ = self.exec.take_fault_events();
+    }
+
+    /// Captures a checkpoint, announces it, and wraps it for return.
+    pub(crate) fn suspend(
+        &self,
+        sink: &mut dyn Sink,
+        rng: &StdRng,
+        phase1_done: bool,
+        gen_t: usize,
+    ) -> RunStatus<SacgaCheckpoint> {
+        if sink.wants(EventKind::CheckpointWritten) {
+            sink.record(&RunEvent::CheckpointWritten {
+                generation: self.gen,
+            });
+        }
+        RunStatus::Suspended(Box::new(SacgaCheckpoint {
+            state: self.snapshot(rng, phase1_done, gen_t),
+        }))
     }
 
     fn make_offspring(
@@ -832,7 +902,7 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
     /// Final global competition and result assembly: per the paper, the
     /// Global Pareto Front is found by one global competition over the
     /// entire final population.
-    pub(crate) fn finish(self, gen_t: usize) -> SacgaResult {
+    pub(crate) fn finish(self, gen_t: usize) -> RunOutcome {
         let mut population = self.pop.flatten();
         rank_and_crowd(&mut population);
         let front: Vec<Individual> = population
@@ -841,13 +911,15 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
             .cloned()
             .collect();
         let stats = self.exec.into_stats();
-        SacgaResult {
+        RunOutcome {
             population,
             front,
             evaluations: stats.evaluations as usize,
             generations: self.gen,
             gen_t,
             history: self.history,
+            phase_fronts: Vec::new(),
+            migrations: 0,
             stats,
         }
     }
@@ -856,6 +928,8 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::MemorySink;
+    use engine::EngineStats;
     use moea::problems::{NarrowingCorridor, Schaffer, Zdt1};
 
     fn small_config(generations: usize, partitions: usize) -> SacgaConfig {
@@ -998,17 +1072,99 @@ mod tests {
     }
 
     #[test]
-    fn observer_called_every_generation() {
+    fn generation_end_emitted_every_generation() {
         let cfg = small_config(12, 4);
-        let mut gens = Vec::new();
-        let _ = Sacga::new(Schaffer::new(), cfg)
-            .run_observed(1, |g, pop| {
-                gens.push(g);
-                assert!(!pop.is_empty());
-            })
+        let mut sink = MemorySink::new();
+        let r = Sacga::new(Schaffer::new(), cfg)
+            .run_with(1, &mut sink)
             .unwrap();
-        assert_eq!(gens.len(), 12);
-        assert_eq!(*gens.last().unwrap(), 12);
+        let gens: Vec<usize> = sink
+            .events()
+            .iter()
+            .filter(|e| e.kind() == EventKind::GenerationEnd)
+            .map(|e| e.generation())
+            .collect();
+        assert_eq!(gens.len(), r.generations);
+        assert_eq!(gens, (1..=12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sink_attached_run_is_bit_identical_to_bare_run() {
+        let cfg = small_config(18, 5);
+        let bare = Sacga::new(Schaffer::new(), cfg.clone())
+            .run_seeded(6)
+            .unwrap();
+        let mut sink = MemorySink::new();
+        let observed = Sacga::new(Schaffer::new(), cfg)
+            .run_with(6, &mut sink)
+            .unwrap();
+        assert_eq!(bare.front_objectives(), observed.front_objectives());
+        assert_eq!(genes_of(&bare.population), genes_of(&observed.population));
+        assert_eq!(bare.history, observed.history);
+        assert!(!sink.events().is_empty());
+    }
+
+    #[test]
+    fn annealed_run_emits_phase_transition_and_promotions() {
+        let cfg = small_config(20, 4);
+        let mut sink = MemorySink::new();
+        let r = Sacga::new(Schaffer::new(), cfg)
+            .run_with(4, &mut sink)
+            .unwrap();
+        let transitions: Vec<&RunEvent> = sink
+            .events()
+            .iter()
+            .filter(|e| e.kind() == EventKind::PhaseTransition)
+            .collect();
+        assert_eq!(transitions.len(), 1);
+        match transitions[0] {
+            RunEvent::PhaseTransition {
+                generation, span, ..
+            } => {
+                assert_eq!(*generation, r.gen_t);
+                assert_eq!(*span, r.generations - r.gen_t);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // One Promotion event per annealed generation.
+        let promotions = sink
+            .events()
+            .iter()
+            .filter(|e| e.kind() == EventKind::Promotion)
+            .count();
+        assert_eq!(promotions, r.generations - r.gen_t);
+    }
+
+    #[test]
+    fn phase1_reports_partition_feasibility_transitions() {
+        // Constrained problem: partitions become feasible over time.
+        let cfg = SacgaConfig::builder()
+            .population_size(30)
+            .generations(25)
+            .partitions(8)
+            .phase1_max(6)
+            .slice_range(-1.0, 0.0)
+            .build()
+            .unwrap();
+        let mut sink = MemorySink::new();
+        let r = Sacga::new(NarrowingCorridor::new(0.05), cfg)
+            .run_with(21, &mut sink)
+            .unwrap();
+        let feasible_events: Vec<&RunEvent> = sink
+            .events()
+            .iter()
+            .filter(|e| e.kind() == EventKind::PartitionFeasible)
+            .collect();
+        for e in &feasible_events {
+            assert!(e.generation() <= r.gen_t, "feasibility is a phase-I event");
+        }
+        // No partition is reported twice.
+        let mut seen = std::collections::HashSet::new();
+        for e in &feasible_events {
+            if let RunEvent::PartitionFeasible { partition, .. } = e {
+                assert!(seen.insert(*partition), "partition {partition} repeated");
+            }
+        }
     }
 
     #[test]
@@ -1139,8 +1295,8 @@ mod tests {
         for stop in [0usize, 1, 2, 13, 29] {
             let ga = Sacga::new(Schaffer::new(), cfg.clone());
             let cp = match ga.run_until(5, stop).unwrap() {
-                SacgaRun::Suspended(cp) => cp,
-                SacgaRun::Complete(_) => panic!("run should suspend at gen {stop}"),
+                RunStatus::Suspended(cp) => cp,
+                RunStatus::Complete(_) => panic!("run should suspend at gen {stop}"),
             };
             assert_eq!(cp.state.gen, stop);
             let resumed = ga.resume(&cp).unwrap();
@@ -1163,8 +1319,8 @@ mod tests {
         let mut hops = 0;
         let result = loop {
             match run {
-                SacgaRun::Complete(r) => break *r,
-                SacgaRun::Suspended(cp) => {
+                RunStatus::Complete(r) => break *r,
+                RunStatus::Suspended(cp) => {
                     hops += 1;
                     run = ga.resume_until(&cp, cp.state.gen + 4).unwrap();
                 }
@@ -1180,8 +1336,8 @@ mod tests {
         let cfg = small_config(25, 5);
         let ga = Sacga::new(Schaffer::new(), cfg);
         let cp = match ga.run_until(7, 10).unwrap() {
-            SacgaRun::Suspended(cp) => cp,
-            SacgaRun::Complete(_) => panic!("run should suspend"),
+            RunStatus::Suspended(cp) => cp,
+            RunStatus::Complete(_) => panic!("run should suspend"),
         };
         let restored = SacgaCheckpoint::from_text(&cp.to_text()).unwrap();
         assert_eq!(*cp, restored);
@@ -1234,8 +1390,8 @@ mod tests {
             .unwrap();
         let ga = Sacga::new(Schaffer::new(), cfg);
         let cp = match ga.run_until(23, 8).unwrap() {
-            SacgaRun::Suspended(cp) => cp,
-            SacgaRun::Complete(_) => panic!("run should suspend"),
+            RunStatus::Suspended(cp) => cp,
+            RunStatus::Complete(_) => panic!("run should suspend"),
         };
         let resumed = ga.resume(&cp).unwrap();
         assert_eq!(resumed.front_objectives(), full.front_objectives());

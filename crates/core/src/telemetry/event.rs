@@ -1,0 +1,142 @@
+//! The structured run-event taxonomy emitted by every optimizer.
+
+use engine::{FaultKind, FaultResolution};
+
+/// Version of the telemetry event schema. Serialized into every JSONL
+/// line as `"v"`; bump when an event variant gains, loses, or renames a
+/// field.
+pub const EVENT_SCHEMA_VERSION: u32 = 1;
+
+/// A structured event emitted by a run loop through a [`Sink`].
+///
+/// Events are derived purely from optimizer state — constructing or
+/// recording them never consumes RNG, so a seeded run produces
+/// bit-identical results with or without sinks attached.
+///
+/// [`Sink`]: crate::telemetry::Sink
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunEvent {
+    /// A generation finished (survivor selection done). Emitted once per
+    /// *executed* generation, so for any run the number of
+    /// `GenerationEnd` events equals [`RunOutcome::generations`].
+    ///
+    /// [`RunOutcome::generations`]: moea::RunOutcome::generations
+    GenerationEnd {
+        /// Generation index (1-based; the initial population is
+        /// generation 0 and emits no event).
+        generation: usize,
+        /// 1 = pure local phase, 2 = annealed/global phase.
+        phase: u8,
+        /// Annealing temperature (∞ during phase I, 1 for purely global
+        /// loops).
+        temperature: f64,
+        /// Locally superior solutions promoted this generation.
+        promoted: usize,
+        /// Feasible individuals in the population.
+        feasible: usize,
+        /// Population size after survivor selection.
+        population: usize,
+        /// Cumulative objective evaluations performed so far.
+        evaluations: u64,
+        /// Objective vectors of the feasible, globally non-dominated
+        /// front of the current population.
+        front: Vec<Vec<f64>>,
+    },
+    /// The run crossed a phase boundary: SACGA's phase I → phase II
+    /// switch, or entry into each of MESACGA's expanding phases.
+    PhaseTransition {
+        /// Generation at which the new phase begins.
+        generation: usize,
+        /// Index of the phase being entered (0 = first annealed phase).
+        phase_index: usize,
+        /// Partition count in force during the new phase.
+        partitions: usize,
+        /// Annealed generation span of the new phase.
+        span: usize,
+    },
+    /// A partition gained its first constraint-satisfying member during
+    /// phase I.
+    PartitionFeasible {
+        /// Generation at which feasibility was reached.
+        generation: usize,
+        /// Partition index.
+        partition: usize,
+    },
+    /// An annealed promotion step ran (phase II). For the island model
+    /// this reports ring migration instead: `promoted` is the number of
+    /// individuals migrated and `candidates` the rank-0 pool they were
+    /// drawn from.
+    Promotion {
+        /// Generation the promotion fed into.
+        generation: usize,
+        /// Candidates that won the SA gamble and joined the global
+        /// competition.
+        promoted: usize,
+        /// Locally superior candidates considered.
+        candidates: usize,
+    },
+    /// A candidate evaluation faulted and was resolved by the fault
+    /// policy (retried to success, or quarantined).
+    EvaluationFault {
+        /// Generation whose evaluation batch contained the fault.
+        generation: usize,
+        /// How the last failed attempt failed.
+        kind: FaultKind,
+        /// Failed attempts before resolution.
+        failures: u32,
+        /// How the episode ended.
+        resolution: FaultResolution,
+    },
+    /// A suspension checkpoint was captured (the run returns
+    /// `RunStatus::Suspended` immediately afterwards).
+    CheckpointWritten {
+        /// Generation boundary the checkpoint captures.
+        generation: usize,
+    },
+}
+
+/// Discriminant of a [`RunEvent`], used by [`Sink::wants`] to let run
+/// loops skip constructing events nobody listens to.
+///
+/// [`Sink::wants`]: crate::telemetry::Sink::wants
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// [`RunEvent::GenerationEnd`].
+    GenerationEnd,
+    /// [`RunEvent::PhaseTransition`].
+    PhaseTransition,
+    /// [`RunEvent::PartitionFeasible`].
+    PartitionFeasible,
+    /// [`RunEvent::Promotion`].
+    Promotion,
+    /// [`RunEvent::EvaluationFault`].
+    EvaluationFault,
+    /// [`RunEvent::CheckpointWritten`].
+    CheckpointWritten,
+}
+
+impl RunEvent {
+    /// The event's discriminant.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            RunEvent::GenerationEnd { .. } => EventKind::GenerationEnd,
+            RunEvent::PhaseTransition { .. } => EventKind::PhaseTransition,
+            RunEvent::PartitionFeasible { .. } => EventKind::PartitionFeasible,
+            RunEvent::Promotion { .. } => EventKind::Promotion,
+            RunEvent::EvaluationFault { .. } => EventKind::EvaluationFault,
+            RunEvent::CheckpointWritten { .. } => EventKind::CheckpointWritten,
+        }
+    }
+
+    /// The generation the event belongs to.
+    pub fn generation(&self) -> usize {
+        match *self {
+            RunEvent::GenerationEnd { generation, .. }
+            | RunEvent::PhaseTransition { generation, .. }
+            | RunEvent::PartitionFeasible { generation, .. }
+            | RunEvent::Promotion { generation, .. }
+            | RunEvent::EvaluationFault { generation, .. }
+            | RunEvent::CheckpointWritten { generation } => generation,
+        }
+    }
+}

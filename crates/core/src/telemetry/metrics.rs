@@ -1,0 +1,167 @@
+//! A sink that turns the event stream into per-generation convergence
+//! metrics — the quantities behind the paper's trajectory figures.
+
+use std::io;
+
+use moea::hypervolume::hypervolume;
+use moea::metrics::{bin_occupancy, spread};
+
+use super::event::{EventKind, RunEvent};
+use super::sink::Sink;
+
+/// Occupancy configuration: which objective axis is binned and how.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OccupancySpec {
+    objective: usize,
+    lo: f64,
+    hi: f64,
+    bins: usize,
+}
+
+/// One row of per-generation convergence metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRow {
+    /// Generation index.
+    pub generation: usize,
+    /// Points on the feasible global front.
+    pub front_size: usize,
+    /// Hypervolume of the front against the configured reference point
+    /// (0 when the front is empty).
+    pub hypervolume: f64,
+    /// Deb's spread/diversity Δ of the front (0 for fronts of fewer
+    /// than three points).
+    pub spread: f64,
+    /// Fraction of occupied bins along the configured objective axis;
+    /// `None` unless [`MetricsSink::with_occupancy`] was used.
+    pub occupancy: Option<f64>,
+}
+
+/// Computes hypervolume / spread / bin-occupancy per generation from
+/// [`RunEvent::GenerationEnd`] fronts, via `moea::metrics` and
+/// `moea::hypervolume`.
+///
+/// Only `GenerationEnd` events are wanted; everything else is ignored,
+/// so composing this sink (through [`Tee`](super::sink::Tee)) with a
+/// byte-stream sink costs one metrics computation per generation and
+/// nothing more.
+#[derive(Debug, Clone)]
+pub struct MetricsSink {
+    ref_point: Vec<f64>,
+    occupancy: Option<OccupancySpec>,
+    rows: Vec<MetricsRow>,
+}
+
+impl MetricsSink {
+    /// Creates a sink computing hypervolume against `ref_point` (one
+    /// coordinate per objective, in minimized space).
+    pub fn new(ref_point: Vec<f64>) -> Self {
+        MetricsSink {
+            ref_point,
+            occupancy: None,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Additionally reports the fraction of occupied bins when
+    /// objective `objective`'s range `[lo, hi]` is divided into `bins`
+    /// equal slices — the paper's partition-occupancy diversity measure.
+    pub fn with_occupancy(mut self, objective: usize, lo: f64, hi: f64, bins: usize) -> Self {
+        self.occupancy = Some(OccupancySpec {
+            objective,
+            lo,
+            hi,
+            bins,
+        });
+        self
+    }
+
+    /// The metric rows computed so far, one per generation.
+    pub fn rows(&self) -> &[MetricsRow] {
+        &self.rows
+    }
+
+    /// Consumes the sink, returning the metric rows.
+    pub fn into_rows(self) -> Vec<MetricsRow> {
+        self.rows
+    }
+}
+
+impl Sink for MetricsSink {
+    fn record(&mut self, event: &RunEvent) {
+        let RunEvent::GenerationEnd {
+            generation, front, ..
+        } = event
+        else {
+            return;
+        };
+        let hv = if front.is_empty() {
+            0.0
+        } else {
+            hypervolume(front, &self.ref_point)
+        };
+        let occupancy = self
+            .occupancy
+            .filter(|o| o.bins > 0 && o.lo < o.hi)
+            .map(|o| bin_occupancy(front, o.objective, o.lo, o.hi, o.bins));
+        self.rows.push(MetricsRow {
+            generation: *generation,
+            front_size: front.len(),
+            hypervolume: hv,
+            spread: spread(front),
+            occupancy,
+        });
+    }
+
+    fn wants(&self, kind: EventKind) -> bool {
+        kind == EventKind::GenerationEnd
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_end(generation: usize, front: Vec<Vec<f64>>) -> RunEvent {
+        RunEvent::GenerationEnd {
+            generation,
+            phase: 2,
+            temperature: 1.0,
+            promoted: 0,
+            feasible: front.len(),
+            population: 40,
+            evaluations: 40,
+            front,
+        }
+    }
+
+    #[test]
+    fn computes_one_row_per_generation_end() {
+        let mut sink = MetricsSink::new(vec![5.0, 5.0]).with_occupancy(0, 0.0, 4.0, 4);
+        sink.record(&gen_end(
+            1,
+            vec![vec![1.0, 1.0], vec![2.0, 0.5], vec![3.0, 0.25]],
+        ));
+        sink.record(&RunEvent::CheckpointWritten { generation: 1 });
+        sink.record(&gen_end(2, vec![]));
+        let rows = sink.rows();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].hypervolume > 0.0);
+        assert_eq!(rows[0].front_size, 3);
+        // Front points at 1.x, 2.x, 3.x occupy 3 of 4 bins on [0, 4].
+        assert_eq!(rows[0].occupancy, Some(0.75));
+        assert_eq!(rows[1].hypervolume, 0.0);
+        assert_eq!(rows[1].front_size, 0);
+    }
+
+    #[test]
+    fn wants_only_generation_end() {
+        let sink = MetricsSink::new(vec![1.0, 1.0]);
+        assert!(sink.wants(EventKind::GenerationEnd));
+        assert!(!sink.wants(EventKind::Promotion));
+        assert!(!sink.wants(EventKind::EvaluationFault));
+    }
+}

@@ -1,0 +1,218 @@
+//! The unified run API implemented by every optimizer in the workspace.
+
+use moea::nsga2::Nsga2;
+use moea::problem::Problem;
+use moea::{OptimizeError, RunOutcome, RunStatus};
+
+use super::event::{EventKind, RunEvent};
+use super::sink::{NullSink, Sink};
+
+/// The checkpoint type of algorithms that cannot suspend (NSGA-II, the
+/// island model). Uninhabited: a `RunStatus<NoCheckpoint>` is provably
+/// always `Complete`, and `resume` on such algorithms is statically
+/// uncallable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoCheckpoint {}
+
+/// One run API for all five optimization loops (NSGA-II/TPG, local
+/// competition, SACGA, MESACGA, island model).
+///
+/// Every entry point exists in two forms: a `*_with` method taking a
+/// `&mut dyn Sink` that receives the structured [`RunEvent`] stream,
+/// and a sink-free convenience wrapper. Event emission never consumes
+/// RNG, so for a given seed the returned [`RunOutcome`] is bit-identical
+/// whichever form is used.
+///
+/// Bounded runs (`run_until*` / `resume*`) are supported only by the
+/// checkpointable algorithms (SACGA, MESACGA, local competition); the
+/// others set [`Checkpoint`](Optimizer::Checkpoint) to [`NoCheckpoint`]
+/// and reject `run_until` with
+/// [`OptimizeError::InvalidConfig`].
+pub trait Optimizer {
+    /// Suspension checkpoint produced by bounded runs ([`NoCheckpoint`]
+    /// for algorithms that cannot suspend).
+    type Checkpoint;
+
+    /// Stable lower-case identifier of the algorithm (e.g. `"sacga"`),
+    /// for labeling streams and tables.
+    fn algorithm(&self) -> &'static str;
+
+    /// Runs to completion, emitting events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-definition errors discovered at start-up and
+    /// [`OptimizeError::EvaluationFailed`] when a candidate evaluation
+    /// exhausts an aborting fault policy's retry budget.
+    fn run_with(&self, seed: u64, sink: &mut dyn Sink) -> Result<RunOutcome, OptimizeError>;
+
+    /// Runs from `seed`, suspending once `stop_after` generations have
+    /// completed, emitting events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_with`](Optimizer::run_with), plus
+    /// [`OptimizeError::InvalidConfig`] on algorithms that do not
+    /// support suspension.
+    fn run_until_with(
+        &self,
+        seed: u64,
+        stop_after: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<RunStatus<Self::Checkpoint>, OptimizeError>;
+
+    /// Resumes a suspended run to completion, emitting events into
+    /// `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_with`](Optimizer::run_with), plus
+    /// [`OptimizeError::InvalidCheckpoint`] when the checkpoint is
+    /// inconsistent with this configuration.
+    fn resume_with(
+        &self,
+        checkpoint: &Self::Checkpoint,
+        sink: &mut dyn Sink,
+    ) -> Result<RunOutcome, OptimizeError>;
+
+    /// Resumes a suspended run, suspending again once `stop_after`
+    /// total generations have completed, emitting events into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`resume_with`](Optimizer::resume_with).
+    fn resume_until_with(
+        &self,
+        checkpoint: &Self::Checkpoint,
+        stop_after: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<RunStatus<Self::Checkpoint>, OptimizeError>;
+
+    /// Runs to completion without instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_with`](Optimizer::run_with).
+    fn run(&self, seed: u64) -> Result<RunOutcome, OptimizeError> {
+        self.run_with(seed, &mut NullSink)
+    }
+
+    /// Runs from `seed`, suspending once `stop_after` generations have
+    /// completed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_until_with`](Optimizer::run_until_with).
+    fn run_until(
+        &self,
+        seed: u64,
+        stop_after: usize,
+    ) -> Result<RunStatus<Self::Checkpoint>, OptimizeError> {
+        self.run_until_with(seed, stop_after, &mut NullSink)
+    }
+
+    /// Resumes a suspended run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`resume_with`](Optimizer::resume_with).
+    fn resume(&self, checkpoint: &Self::Checkpoint) -> Result<RunOutcome, OptimizeError> {
+        self.resume_with(checkpoint, &mut NullSink)
+    }
+
+    /// Resumes a suspended run, suspending again at `stop_after`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`resume_until_with`](Optimizer::resume_until_with).
+    fn resume_until(
+        &self,
+        checkpoint: &Self::Checkpoint,
+        stop_after: usize,
+    ) -> Result<RunStatus<Self::Checkpoint>, OptimizeError> {
+        self.resume_until_with(checkpoint, stop_after, &mut NullSink)
+    }
+}
+
+/// Unwraps an unbounded drive, which by construction never suspends.
+pub(crate) fn expect_complete<C>(status: RunStatus<C>) -> RunOutcome {
+    match status {
+        RunStatus::Complete(outcome) => *outcome,
+        RunStatus::Suspended(_) => unreachable!("unbounded runs never suspend"),
+    }
+}
+
+/// NSGA-II (the paper's TPG baseline) through the unified API, adapting
+/// the `moea` crate's [`Nsga2::run_traced`] hook into the event stream.
+impl<P: Problem + Sync> Optimizer for Nsga2<P> {
+    type Checkpoint = NoCheckpoint;
+
+    fn algorithm(&self) -> &'static str {
+        "nsga2"
+    }
+
+    fn run_with(&self, seed: u64, sink: &mut dyn Sink) -> Result<RunOutcome, OptimizeError> {
+        let want_generation = sink.wants(EventKind::GenerationEnd);
+        let want_fault = sink.wants(EventKind::EvaluationFault);
+        self.run_traced(seed, |trace| {
+            if want_fault {
+                for fault in &trace.faults {
+                    sink.record(&RunEvent::EvaluationFault {
+                        generation: trace.generation,
+                        kind: fault.kind,
+                        failures: fault.failures,
+                        resolution: fault.resolution,
+                    });
+                }
+            }
+            if want_generation && trace.generation > 0 {
+                let front: Vec<Vec<f64>> = trace
+                    .population
+                    .iter()
+                    .filter(|m| m.rank == 0 && m.is_feasible())
+                    .map(|m| m.objectives().to_vec())
+                    .collect();
+                let feasible = trace.population.iter().filter(|m| m.is_feasible()).count();
+                sink.record(&RunEvent::GenerationEnd {
+                    generation: trace.generation,
+                    phase: 2,
+                    temperature: 1.0,
+                    promoted: 0,
+                    feasible,
+                    population: trace.population.len(),
+                    evaluations: trace.evaluations,
+                    front,
+                });
+            }
+        })
+    }
+
+    fn run_until_with(
+        &self,
+        _seed: u64,
+        _stop_after: usize,
+        _sink: &mut dyn Sink,
+    ) -> Result<RunStatus<NoCheckpoint>, OptimizeError> {
+        Err(OptimizeError::invalid_config(
+            "stop_after",
+            "NSGA-II does not support suspension; use run",
+        ))
+    }
+
+    fn resume_with(
+        &self,
+        checkpoint: &NoCheckpoint,
+        _sink: &mut dyn Sink,
+    ) -> Result<RunOutcome, OptimizeError> {
+        match *checkpoint {}
+    }
+
+    fn resume_until_with(
+        &self,
+        checkpoint: &NoCheckpoint,
+        _stop_after: usize,
+        _sink: &mut dyn Sink,
+    ) -> Result<RunStatus<NoCheckpoint>, OptimizeError> {
+        match *checkpoint {}
+    }
+}

@@ -2,7 +2,10 @@
 
 use crate::cache::{CacheConfig, MemoCache};
 use crate::evaluator::EvaluatorKind;
-use crate::fault::{EvalFailure, EvalOutcome, FaultInjector, FaultPlan, FaultPolicy, Quarantine};
+use crate::fault::{
+    EvalFailure, EvalOutcome, FaultEvent, FaultInjector, FaultPlan, FaultPolicy, FaultResolution,
+    Quarantine,
+};
 use crate::stats::EngineStats;
 use std::time::Instant;
 
@@ -74,7 +77,15 @@ pub struct ExecutionEngine<T> {
     // injector restarts its counters at zero, so the restored totals act
     // as a base offset.
     injected_base: crate::fault::InjectionCounts,
+    // Resolved fault episodes not yet drained by `take_fault_events`,
+    // in batch order. Bounded: see `MAX_PENDING_FAULT_EVENTS`.
+    fault_events: Vec<FaultEvent>,
 }
+
+/// Cap on buffered [`FaultEvent`]s between drains, so a caller that never
+/// drains cannot grow the buffer without bound (counters in
+/// [`EngineStats`] remain exact regardless).
+const MAX_PENDING_FAULT_EVENTS: usize = 65_536;
 
 impl<T: Clone + Send> ExecutionEngine<T> {
     /// Builds an engine from its configuration.
@@ -87,7 +98,17 @@ impl<T: Clone + Send> ExecutionEngine<T> {
             stats: EngineStats::default(),
             injector,
             injected_base: crate::fault::InjectionCounts::default(),
+            fault_events: Vec::new(),
         }
+    }
+
+    /// Drains the fault episodes resolved since the previous drain
+    /// (recovered or quarantined candidates, in batch order). Run loops
+    /// call this once per generation to forward the episodes into their
+    /// telemetry streams; fatal failures are not buffered here — they
+    /// surface as [`EvalFailure`] errors instead.
+    pub fn take_fault_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.fault_events)
     }
 
     /// The configuration this engine was built with.
@@ -314,22 +335,36 @@ impl<T: Clone + Send + Quarantine> ExecutionEngine<T> {
                     value,
                     failures,
                     backoff,
+                    kind,
                 } => {
                     self.stats.failures += failures as u64;
                     self.stats.retries += retries;
                     self.stats.recovered += 1;
                     self.stats.backoff_time += backoff;
+                    self.push_fault_event(FaultEvent {
+                        index: index_of(i),
+                        kind,
+                        failures,
+                        resolution: FaultResolution::Recovered,
+                    });
                     values.push(value);
                 }
                 EvalOutcome::Quarantined {
                     value,
                     failures,
                     backoff,
+                    kind,
                 } => {
                     self.stats.failures += failures as u64;
                     self.stats.retries += retries;
                     self.stats.quarantined += 1;
                     self.stats.backoff_time += backoff;
+                    self.push_fault_event(FaultEvent {
+                        index: index_of(i),
+                        kind,
+                        failures,
+                        resolution: FaultResolution::Quarantined,
+                    });
                     values.push(value);
                 }
                 EvalOutcome::Failed(mut failure) => {
@@ -347,6 +382,15 @@ impl<T: Clone + Send + Quarantine> ExecutionEngine<T> {
         match first_failure {
             Some(failure) => Err(failure),
             None => Ok(values),
+        }
+    }
+
+    /// Buffers a resolved fault episode for the next
+    /// [`take_fault_events`](ExecutionEngine::take_fault_events) drain,
+    /// dropping events beyond the pending cap.
+    fn push_fault_event(&mut self, event: FaultEvent) {
+        if self.fault_events.len() < MAX_PENDING_FAULT_EVENTS {
+            self.fault_events.push(event);
         }
     }
 
@@ -506,6 +550,30 @@ mod tests {
         assert_eq!(s.retries, s.failures);
         assert_eq!(s.recovered, s.failures);
         assert_eq!(s.quarantined, 0);
+    }
+
+    #[test]
+    fn fault_events_record_resolved_episodes_in_batch_order() {
+        let plan = crate::FaultPlan::seeded(13).panics(0.2).nonfinite(0.2);
+        let cfg = EngineConfig::default()
+            .fault_policy(crate::FaultPolicy::tolerant(3))
+            .inject_faults(plan);
+        let mut engine: ExecutionEngine<f64> = ExecutionEngine::new(cfg);
+        let f = |genes: &[f64]| genes[0] * 2.0;
+        let batch: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        engine.try_evaluate_batch(&batch, &f).unwrap();
+        let events = engine.take_fault_events();
+        assert_eq!(events.len() as u64, engine.stats().recovered);
+        assert!(!events.is_empty(), "plan should schedule some faults");
+        for w in events.windows(2) {
+            assert!(w[0].index <= w[1].index, "events must be in batch order");
+        }
+        for e in &events {
+            assert_eq!(e.resolution, crate::FaultResolution::Recovered);
+            assert!(e.failures > 0);
+        }
+        // Drained: a second take returns nothing.
+        assert!(engine.take_fault_events().is_empty());
     }
 
     #[test]

@@ -211,6 +211,7 @@ impl FaultPolicy {
                             value,
                             failures,
                             backoff,
+                            kind: last_kind,
                         };
                     }
                 }
@@ -231,6 +232,7 @@ impl FaultPolicy {
                     value: tainted.quarantine(),
                     failures,
                     backoff,
+                    kind: last_kind,
                 };
             }
         }
@@ -270,6 +272,8 @@ pub enum EvalOutcome<T> {
         failures: u32,
         /// Deterministic backoff accounted across the retries.
         backoff: Duration,
+        /// How the last failed attempt failed.
+        kind: FaultKind,
     },
     /// The retry budget ran out with only tainted values; the result is
     /// a worst-case placeholder that cannot dominate genuine candidates.
@@ -280,6 +284,8 @@ pub enum EvalOutcome<T> {
         failures: u32,
         /// Deterministic backoff accounted across the retries.
         backoff: Duration,
+        /// How the last failed attempt failed.
+        kind: FaultKind,
     },
     /// The retry budget ran out and the policy aborts.
     Failed(
@@ -298,6 +304,45 @@ impl<T> EvalOutcome<T> {
             EvalOutcome::Failed(f) => f.attempts.saturating_sub(1),
         }
     }
+}
+
+/// How a non-fatal fault was resolved by the [`FaultPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultResolution {
+    /// A later attempt succeeded within the retry budget.
+    Recovered,
+    /// The retry budget ran out and the candidate was replaced by its
+    /// worst-case [`Quarantine`] placeholder.
+    Quarantined,
+}
+
+impl fmt::Display for FaultResolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultResolution::Recovered => write!(f, "recovered"),
+            FaultResolution::Quarantined => write!(f, "quarantined"),
+        }
+    }
+}
+
+/// One fault-handling episode observed by the
+/// [`ExecutionEngine`](crate::ExecutionEngine): a candidate whose
+/// evaluation failed at least once but was ultimately resolved (fatal
+/// failures surface as [`EvalFailure`] errors instead).
+///
+/// Events are buffered in batch order and drained with
+/// [`ExecutionEngine::take_fault_events`](crate::ExecutionEngine::take_fault_events),
+/// which run loops forward into their telemetry streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Position of the candidate in the submitted batch.
+    pub index: usize,
+    /// How the evaluation attempts failed.
+    pub kind: FaultKind,
+    /// Failed attempts before resolution.
+    pub failures: u32,
+    /// How the episode ended.
+    pub resolution: FaultResolution,
 }
 
 /// A candidate evaluation that failed after exhausting its retry budget.
@@ -735,9 +780,11 @@ mod tests {
                 value,
                 failures,
                 backoff,
+                kind,
             } => {
                 assert_eq!(value, 42.0);
                 assert_eq!(failures, 2);
+                assert_eq!(kind, FaultKind::Panic);
                 // 1ms after failure 1, 2ms after failure 2.
                 assert_eq!(backoff, Duration::from_millis(3));
             }
@@ -797,12 +844,14 @@ mod tests {
             value: 1.0,
             failures: 2,
             backoff: Duration::ZERO,
+            kind: FaultKind::Panic,
         };
         assert_eq!(rec.retries(), 2);
         let q = EvalOutcome::Quarantined {
             value: 1.0,
             failures: 3,
             backoff: Duration::ZERO,
+            kind: FaultKind::NonFinite,
         };
         assert_eq!(q.retries(), 2);
     }

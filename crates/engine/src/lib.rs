@@ -66,8 +66,8 @@ pub use cache::{CacheConfig, MemoCache};
 pub use engine::{EngineConfig, ExecutionEngine};
 pub use evaluator::{Evaluator, EvaluatorKind, ParallelEvaluator, SerialEvaluator};
 pub use fault::{
-    silence_injected_panics, EvalFailure, EvalOutcome, ExhaustedAction, FaultInjectingEvaluator,
-    FaultInjector, FaultKind, FaultPlan, FaultPolicy, InjectedPanic, InjectionCounts, Quarantine,
-    RetryPolicy,
+    silence_injected_panics, EvalFailure, EvalOutcome, ExhaustedAction, FaultEvent,
+    FaultInjectingEvaluator, FaultInjector, FaultKind, FaultPlan, FaultPolicy, FaultResolution,
+    InjectedPanic, InjectionCounts, Quarantine, RetryPolicy,
 };
 pub use stats::EngineStats;

@@ -58,6 +58,7 @@ pub mod individual;
 pub mod metrics;
 pub mod nsga2;
 pub mod operators;
+pub mod outcome;
 pub mod problem;
 pub mod problems;
 pub mod scalarize;
@@ -69,4 +70,5 @@ pub use dominance::{constrained_dominates, dominates, Dominance};
 pub use error::OptimizeError;
 pub use evaluation::Evaluation;
 pub use individual::{Individual, Population};
+pub use outcome::{GenerationStats, RunOutcome, RunStatus};
 pub use problem::{Bounds, Problem};

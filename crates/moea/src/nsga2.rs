@@ -10,10 +10,11 @@
 use crate::error::OptimizeError;
 use crate::individual::Individual;
 use crate::operators::{random_vector, Variation};
+use crate::outcome::{GenerationStats, RunOutcome};
 use crate::problem::Problem;
 use crate::selection::binary_tournament;
 use crate::sorting::{environmental_selection, rank_and_crowd};
-use engine::{EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine, FaultPlan, FaultPolicy};
+use engine::{EngineConfig, EvaluatorKind, ExecutionEngine, FaultEvent, FaultPlan, FaultPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -145,27 +146,26 @@ impl Nsga2ConfigBuilder {
     }
 }
 
-/// Outcome of a GA run: final population and its feasible non-dominated
-/// front, plus counters.
-#[derive(Debug, Clone)]
-pub struct RunResult {
-    /// Final population (ranked and crowded).
-    pub population: Vec<Individual>,
-    /// Feasible rank-0 members of the final population.
-    pub front: Vec<Individual>,
-    /// Total objective-function evaluations performed.
-    pub evaluations: usize,
-    /// Generations actually executed.
-    pub generations: usize,
-    /// Evaluation-engine instrumentation (batching, caching, timing).
-    pub stats: EngineStats,
-}
+/// Former name of the NSGA-II run result, now the workspace-wide
+/// [`RunOutcome`].
+#[deprecated(since = "0.2.0", note = "use `moea::RunOutcome` instead")]
+pub type RunResult = RunOutcome;
 
-impl RunResult {
-    /// Objective vectors of the front.
-    pub fn front_objectives(&self) -> Vec<Vec<f64>> {
-        self.front.iter().map(|m| m.objectives().to_vec()).collect()
-    }
+/// Per-generation trace record passed to [`Nsga2::run_traced`]
+/// observers. Borrowed from the run loop between generations; consumers
+/// copy out what they need.
+#[derive(Debug)]
+pub struct GenerationTrace<'a> {
+    /// Generation index (0 = initial population).
+    pub generation: usize,
+    /// Population after environmental selection, globally ranked and
+    /// crowded.
+    pub population: &'a [Individual],
+    /// Fault episodes (retries, quarantines) resolved while evaluating
+    /// this generation, in batch order.
+    pub faults: Vec<FaultEvent>,
+    /// Cumulative objective evaluations performed so far.
+    pub evaluations: u64,
 }
 
 /// Extracts the feasible rank-0 subset of a ranked population.
@@ -215,38 +215,39 @@ impl<P: Problem> Nsga2<P> {
     /// evaluation, or [`OptimizeError::EvaluationFailed`] when a
     /// candidate exhausts the engine's retry budget under an aborting
     /// fault policy.
-    pub fn run_seeded(&self, seed: u64) -> Result<RunResult, OptimizeError>
+    pub fn run_seeded(&self, seed: u64) -> Result<RunOutcome, OptimizeError>
     where
         P: Sync,
     {
-        let mut rng = StdRng::seed_from_u64(seed);
-        self.run_with_rng(&mut rng, |_, _| {})
+        self.run_traced(seed, |_| {})
     }
 
-    /// Runs the optimizer, invoking `observer(generation, population)` after
-    /// every environmental selection — used by the experiment harness to
-    /// record convergence traces.
+    /// Runs the optimizer, invoking `trace` with a [`GenerationTrace`]
+    /// after every environmental selection (including the initial
+    /// population) — the hook the `sacga` telemetry layer adapts into
+    /// its event stream. Tracing never consumes RNG, so traced and
+    /// untraced runs of the same seed are bit-identical.
     ///
     /// # Errors
     ///
     /// Same as [`run_seeded`](Nsga2::run_seeded).
-    pub fn run_observed<F>(&self, seed: u64, observer: F) -> Result<RunResult, OptimizeError>
+    pub fn run_traced<F>(&self, seed: u64, trace: F) -> Result<RunOutcome, OptimizeError>
     where
         P: Sync,
-        F: FnMut(usize, &[Individual]),
+        F: FnMut(GenerationTrace<'_>),
     {
         let mut rng = StdRng::seed_from_u64(seed);
-        self.run_with_rng(&mut rng, observer)
+        self.run_with_rng(&mut rng, trace)
     }
 
     fn run_with_rng<R: Rng, F>(
         &self,
         rng: &mut R,
-        mut observer: F,
-    ) -> Result<RunResult, OptimizeError>
+        mut trace: F,
+    ) -> Result<RunOutcome, OptimizeError>
     where
         P: Sync,
-        F: FnMut(usize, &[Individual]),
+        F: FnMut(GenerationTrace<'_>),
     {
         if self.problem.num_objectives() == 0 {
             return Err(OptimizeError::invalid_problem(
@@ -273,7 +274,14 @@ impl<P: Problem> Nsga2<P> {
             .collect();
         self.problem.check_evaluation(&pop[0].evaluation)?;
         rank_and_crowd(&mut pop);
-        observer(0, &pop);
+        let mut history = Vec::with_capacity(self.config.generations + 1);
+        history.push(generation_row(0, &pop));
+        trace(GenerationTrace {
+            generation: 0,
+            population: &pop,
+            faults: exec.take_fault_events(),
+            evaluations: exec.stats().evaluations,
+        });
 
         for gen in 1..=self.config.generations {
             // Offspring via crowded tournament + SBX + mutation: generate
@@ -298,20 +306,42 @@ impl<P: Problem> Nsga2<P> {
             let mut combined = pop;
             combined.extend(offspring);
             pop = environmental_selection(combined, n);
-            observer(gen, &pop);
+            history.push(generation_row(gen, &pop));
+            trace(GenerationTrace {
+                generation: gen,
+                population: &pop,
+                faults: exec.take_fault_events(),
+                evaluations: exec.stats().evaluations,
+            });
         }
 
         // The reported front is the paper's semantics: one final global
         // competition on the entire (final) population.
         let front = feasible_front(&pop);
         let stats = exec.into_stats();
-        Ok(RunResult {
+        Ok(RunOutcome {
             population: pop,
             front,
             evaluations: stats.evaluations as usize,
             generations: self.config.generations,
+            gen_t: 0,
+            history,
+            phase_fronts: Vec::new(),
+            migrations: 0,
             stats,
         })
+    }
+}
+
+/// History row for a purely global (phase-2) generation.
+fn generation_row(generation: usize, pop: &[Individual]) -> GenerationStats {
+    GenerationStats {
+        generation,
+        phase: 2,
+        temperature: 1.0,
+        promoted: 0,
+        feasible: pop.iter().filter(|m| m.is_feasible()).count(),
+        population: pop.len(),
     }
 }
 
@@ -405,7 +435,7 @@ mod tests {
             .generations(80)
             .build()
             .unwrap();
-        let to_pts = |r: &RunResult| -> Vec<[f64; 2]> {
+        let to_pts = |r: &RunOutcome| -> Vec<[f64; 2]> {
             r.front
                 .iter()
                 .map(|m| [m.objective(0), m.objective(1)])
@@ -422,20 +452,60 @@ mod tests {
     }
 
     #[test]
-    fn observer_sees_every_generation() {
+    fn trace_sees_every_generation() {
         let cfg = Nsga2Config::builder()
             .population_size(8)
             .generations(4)
             .build()
             .unwrap();
         let mut seen = Vec::new();
-        let _ = Nsga2::new(Schaffer::new(), cfg)
-            .run_observed(1, |gen, pop| {
-                seen.push((gen, pop.len()));
+        let r = Nsga2::new(Schaffer::new(), cfg)
+            .run_traced(1, |t| {
+                seen.push((t.generation, t.population.len(), t.evaluations));
             })
             .unwrap();
         assert_eq!(seen.len(), 5); // init + 4 generations
-        assert!(seen.iter().all(|&(_, n)| n == 8));
+        assert!(seen.iter().all(|&(_, n, _)| n == 8));
+        // Cumulative evaluation counters are non-decreasing and end at
+        // the run total.
+        assert!(seen.windows(2).all(|w| w[0].2 <= w[1].2));
+        assert_eq!(seen.last().unwrap().2 as usize, r.evaluations);
+        // History mirrors the trace, one row per callback.
+        assert_eq!(r.history.len(), 5);
+        assert!(r.history.iter().all(|h| h.phase == 2 && h.promoted == 0));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let cfg = Nsga2Config::builder()
+            .population_size(16)
+            .generations(6)
+            .build()
+            .unwrap();
+        let plain = Nsga2::new(Schaffer::new(), cfg.clone())
+            .run_seeded(11)
+            .unwrap();
+        let traced = Nsga2::new(Schaffer::new(), cfg)
+            .run_traced(11, |_| {})
+            .unwrap();
+        assert_eq!(plain.front_objectives(), traced.front_objectives());
+    }
+
+    #[test]
+    fn trace_surfaces_fault_events() {
+        let cfg = Nsga2Config::builder()
+            .population_size(16)
+            .generations(6)
+            .fault_policy(engine::FaultPolicy::tolerant(3))
+            .inject_faults(engine::FaultPlan::seeded(5).panics(0.1))
+            .build()
+            .unwrap();
+        let mut fault_total = 0;
+        let r = Nsga2::new(Schaffer::new(), cfg)
+            .run_traced(9, |t| fault_total += t.faults.len())
+            .unwrap();
+        assert_eq!(fault_total as u64, r.stats.recovered + r.stats.quarantined);
+        assert!(fault_total > 0);
     }
 
     #[test]

@@ -102,7 +102,7 @@ fn main() -> Result<(), OptimizeError> {
             .build()?,
     )
     .run_seeded(SEED)?;
-    describe("MESACGA", mesacga.front());
+    describe("MESACGA", &mesacga.front);
 
     println!(
         "\n(lower hypervolume and higher occupancy are better; the paper's\n\

@@ -45,7 +45,7 @@
 //!     .slice_range(lo, hi)
 //!     .build()?;
 //! let result = Mesacga::new(&problem, config).run_seeded(42)?;
-//! for design in result.front() {
+//! for design in &result.front {
 //!     let (cl_pf, power_w) = DrivableLoadProblem::to_paper_axes(design.objectives());
 //!     println!("drives {cl_pf:.2} pF at {:.3} mW", power_w * 1e3);
 //! }

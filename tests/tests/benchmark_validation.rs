@@ -4,12 +4,13 @@
 
 use analog_dse::moea::hypervolume::hypervolume_2d;
 use analog_dse::moea::metrics::{coverage, extent, generational_distance};
-use analog_dse::moea::nsga2::{Nsga2, Nsga2Config, RunResult};
+use analog_dse::moea::nsga2::{Nsga2, Nsga2Config};
 use analog_dse::moea::problems::{BinhKorn, Constr, Schaffer, Srinivas, Tanaka, Zdt1, Zdt2, Zdt3};
+use analog_dse::moea::RunOutcome;
 use analog_dse::moea::{Individual, Problem};
 use analog_dse::sacga::sacga::{Sacga, SacgaConfig};
 
-fn nsga2<P: Problem + Sync>(problem: P, pop: usize, gens: usize, seed: u64) -> RunResult {
+fn nsga2<P: Problem + Sync>(problem: P, pop: usize, gens: usize, seed: u64) -> RunOutcome {
     let cfg = Nsga2Config::builder()
         .population_size(pop)
         .generations(gens)

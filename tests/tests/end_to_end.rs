@@ -75,7 +75,7 @@ fn mesacga_runs_all_phases_on_the_circuit_problem() {
         .unwrap();
     let r = Mesacga::new(&problem, cfg).run_seeded(SEED).unwrap();
     assert_eq!(r.phase_fronts.len(), 3);
-    assert!(!r.front().is_empty());
+    assert!(!r.front.is_empty());
     // Phase fronts are population snapshots; quality should not collapse
     // across phases (small regressions from diversity churn are normal).
     let hvs: Vec<f64> = r

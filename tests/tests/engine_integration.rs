@@ -82,7 +82,7 @@ fn sacga_front_identical_under_serial_and_parallel_evaluators() {
     assert_eq!(serial.evaluations, parallel.evaluations);
     assert_eq!(serial.gen_t, parallel.gen_t);
     // Bit-for-bit: the full final populations match, genes included.
-    let genes = |r: &analog_dse::sacga::sacga::SacgaResult| -> Vec<Vec<f64>> {
+    let genes = |r: &analog_dse::moea::RunOutcome| -> Vec<Vec<f64>> {
         r.population.iter().map(|m| m.genes.clone()).collect()
     };
     assert_eq!(genes(&serial), genes(&parallel));
@@ -121,7 +121,7 @@ fn mesacga_multi_phase_run_reports_cache_hits() {
         .build()
         .unwrap();
     let r = Mesacga::new(Schaffer::new(), cfg).run_seeded(5).unwrap();
-    let stats = &r.result.stats;
+    let stats = &r.stats;
     assert!(stats.candidates > 0);
     assert!(
         stats.cache_hits > 0,
@@ -134,8 +134,8 @@ fn mesacga_multi_phase_run_reports_cache_hits() {
         "every candidate is either evaluated or served from cache"
     );
     // The result counter reports true evaluations, not candidates.
-    assert_eq!(r.result.evaluations as u64, stats.evaluations);
-    assert!(!r.front().is_empty());
+    assert_eq!(r.evaluations as u64, stats.evaluations);
+    assert!(!r.front.is_empty());
 }
 
 #[test]

@@ -16,8 +16,10 @@ use analog_dse::circuits::{DrivableLoadProblem, Spec};
 use analog_dse::engine::{EngineStats, FaultKind, FaultPlan, FaultPolicy};
 use analog_dse::moea::problems::Schaffer;
 use analog_dse::moea::OptimizeError;
-use analog_dse::sacga::mesacga::{Mesacga, MesacgaConfig, MesacgaRun, PhaseSpec};
-use analog_dse::sacga::sacga::{Sacga, SacgaConfig, SacgaRun};
+use analog_dse::moea::RunStatus;
+use analog_dse::sacga::mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
+use analog_dse::sacga::sacga::{Sacga, SacgaConfig};
+use analog_dse::sacga::telemetry::Optimizer;
 use analog_dse::sacga::{MesacgaCheckpoint, SacgaCheckpoint};
 use std::time::Duration;
 
@@ -49,8 +51,8 @@ fn mesacga_killed_mid_phase2_resumes_to_identical_front() {
     let ga = Mesacga::new(Schaffer::new(), mesacga_config());
     // Gen 17 is deep inside Phase II (the annealed expanding phases).
     let cp = match ga.run_until(42, 17).unwrap() {
-        MesacgaRun::Suspended(cp) => cp,
-        MesacgaRun::Complete(_) => panic!("run should suspend at gen 17"),
+        RunStatus::Suspended(cp) => cp,
+        RunStatus::Complete(_) => panic!("run should suspend at gen 17"),
     };
     assert_eq!(cp.state.gen, 17);
     assert!(cp.state.phase1_done);
@@ -61,13 +63,10 @@ fn mesacga_killed_mid_phase2_resumes_to_identical_front() {
     assert_eq!(*cp, restored);
 
     let resumed = ga.resume(&restored).unwrap();
-    assert_eq!(
-        resumed.result.front_objectives(),
-        full.result.front_objectives()
-    );
-    assert_eq!(resumed.result.history, full.result.history);
-    assert_eq!(resumed.result.gen_t, full.result.gen_t);
-    assert_eq!(scrub(resumed.result.stats), scrub(full.result.stats));
+    assert_eq!(resumed.front_objectives(), full.front_objectives());
+    assert_eq!(resumed.history, full.history);
+    assert_eq!(resumed.gen_t, full.gen_t);
+    assert_eq!(scrub(resumed.stats), scrub(full.stats));
 }
 
 #[test]
@@ -89,8 +88,8 @@ fn sacga_killed_on_circuit_problem_resumes_to_identical_front() {
 
     let ga = Sacga::new(&problem, config);
     let cp = match ga.run_until(7, 6).unwrap() {
-        SacgaRun::Suspended(cp) => cp,
-        SacgaRun::Complete(_) => panic!("run should suspend at gen 6"),
+        RunStatus::Suspended(cp) => cp,
+        RunStatus::Complete(_) => panic!("run should suspend at gen 6"),
     };
     let restored = SacgaCheckpoint::from_text(&cp.to_text()).unwrap();
     let resumed = ga.resume(&restored).unwrap();
@@ -121,11 +120,8 @@ fn recovered_faults_leave_the_front_untouched_with_exact_accounting() {
         .run_seeded(42)
         .unwrap();
 
-    assert_eq!(
-        clean.result.front_objectives(),
-        faulty.result.front_objectives()
-    );
-    let stats = &faulty.result.stats;
+    assert_eq!(clean.front_objectives(), faulty.front_objectives());
+    let stats = &faulty.stats;
     assert!(stats.failures > 0, "injection should have fired");
     // Every failure is one of ours, each was retried exactly once, and
     // every candidate recovered — no quarantines.
@@ -136,7 +132,7 @@ fn recovered_faults_leave_the_front_untouched_with_exact_accounting() {
     assert_eq!(stats.retries, stats.failures);
     assert_eq!(stats.recovered, stats.failures);
     assert_eq!(stats.quarantined, 0);
-    assert_eq!(clean.result.stats.failures, 0);
+    assert_eq!(clean.stats.failures, 0);
 }
 
 #[test]
@@ -182,8 +178,8 @@ fn exhausted_retry_budget_aborts_with_typed_error() {
 fn resume_under_mismatched_config_is_rejected() {
     let ga = Sacga::new(Schaffer::new(), SacgaConfig::builder().build().unwrap());
     let cp = match ga.run_until(5, 3).unwrap() {
-        SacgaRun::Suspended(cp) => cp,
-        SacgaRun::Complete(_) => panic!("run should suspend"),
+        RunStatus::Suspended(cp) => cp,
+        RunStatus::Complete(_) => panic!("run should suspend"),
     };
     // Corrupt the checkpoint: point the partition grid at an objective
     // the problem does not have.

@@ -14,8 +14,10 @@
 use analog_dse::engine::ParallelEvaluator;
 use analog_dse::moea::individual::Individual;
 use analog_dse::moea::problems::Schaffer;
-use analog_dse::sacga::mesacga::{Mesacga, MesacgaConfig, MesacgaRun, PhaseSpec};
-use analog_dse::sacga::sacga::{Sacga, SacgaConfig, SacgaRun};
+use analog_dse::moea::RunStatus;
+use analog_dse::sacga::mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
+use analog_dse::sacga::sacga::{Sacga, SacgaConfig};
+use analog_dse::sacga::telemetry::Optimizer;
 use std::path::PathBuf;
 
 const SEED: u64 = 42;
@@ -112,8 +114,8 @@ fn sacga_parallel_front_matches_snapshot() {
 fn sacga_kill_and_resume_front_matches_snapshot() {
     let ga = Sacga::new(Schaffer::new(), sacga_config());
     let cp = match ga.run_until(SEED, 9).unwrap() {
-        SacgaRun::Suspended(cp) => cp,
-        SacgaRun::Complete(_) => panic!("run should suspend at gen 9"),
+        RunStatus::Suspended(cp) => cp,
+        RunStatus::Complete(_) => panic!("run should suspend at gen 9"),
     };
     // Simulate a process restart: the checkpoint crosses a text boundary.
     let cp = analog_dse::sacga::SacgaCheckpoint::from_text(&cp.to_text()).unwrap();
@@ -126,7 +128,7 @@ fn mesacga_serial_front_matches_snapshot() {
     let r = Mesacga::new(Schaffer::new(), mesacga_config())
         .run_seeded(SEED)
         .unwrap();
-    check_golden("mesacga_schaffer_seed42.txt", &render_front(r.front()));
+    check_golden("mesacga_schaffer_seed42.txt", &render_front(&r.front));
 }
 
 #[test]
@@ -143,7 +145,7 @@ fn mesacga_parallel_front_matches_snapshot() {
         .build()
         .unwrap();
     let r = Mesacga::new(Schaffer::new(), cfg).run_seeded(SEED).unwrap();
-    check_golden("mesacga_schaffer_seed42.txt", &render_front(r.front()));
+    check_golden("mesacga_schaffer_seed42.txt", &render_front(&r.front));
 }
 
 #[test]
@@ -152,10 +154,49 @@ fn mesacga_kill_and_resume_front_matches_snapshot() {
     // Stop inside the second expanding phase (phase I ends at gen 1 on
     // the unconstrained Schaffer problem, phases run 7 generations each).
     let cp = match ga.run_until(SEED, 12).unwrap() {
-        MesacgaRun::Suspended(cp) => cp,
-        MesacgaRun::Complete(_) => panic!("run should suspend at gen 12"),
+        RunStatus::Suspended(cp) => cp,
+        RunStatus::Complete(_) => panic!("run should suspend at gen 12"),
     };
     let cp = analog_dse::sacga::MesacgaCheckpoint::from_text(&cp.to_text()).unwrap();
     let r = ga.resume(&cp).unwrap();
-    check_golden("mesacga_schaffer_seed42.txt", &render_front(r.front()));
+    check_golden("mesacga_schaffer_seed42.txt", &render_front(&r.front));
+}
+
+#[test]
+fn sacga_front_with_jsonl_sink_attached_matches_snapshot() {
+    // ISSUE acceptance: instrumentation must not perturb the run — the
+    // golden front is reproduced bit for bit with a JSONL sink attached,
+    // and every logged line parses back into a RunEvent.
+    use analog_dse::sacga::telemetry::{JsonlSink, RunEvent, Sink};
+
+    let mut sink = JsonlSink::new(Vec::new());
+    let r = Sacga::new(Schaffer::new(), sacga_config())
+        .run_with(SEED, &mut sink)
+        .unwrap();
+    check_golden("sacga_schaffer_seed42.txt", &render_front(&r.front));
+
+    sink.flush().unwrap();
+    let log = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+    let events: Vec<RunEvent> = log
+        .lines()
+        .map(|l| RunEvent::from_json(l).expect("log line parses"))
+        .collect();
+    assert_eq!(events.len() as u64, log.lines().count() as u64);
+    let ends = events
+        .iter()
+        .filter(|e| matches!(e, RunEvent::GenerationEnd { .. }))
+        .count();
+    assert_eq!(ends, r.generations);
+}
+
+#[test]
+fn mesacga_front_with_memory_sink_attached_matches_snapshot() {
+    use analog_dse::sacga::telemetry::MemorySink;
+
+    let mut sink = MemorySink::new();
+    let r = Mesacga::new(Schaffer::new(), mesacga_config())
+        .run_with(SEED, &mut sink)
+        .unwrap();
+    check_golden("mesacga_schaffer_seed42.txt", &render_front(&r.front));
+    assert!(!sink.events().is_empty());
 }

@@ -93,7 +93,7 @@ fn mesacga_needs_no_partition_tuning() {
     let pts = |f: &[Individual]| -> Vec<[f64; 2]> {
         f.iter().map(|m| [m.objective(0), m.objective(1)]).collect()
     };
-    let hv_mes = hypervolume_2d(&pts(mes.front()), [0.0, 3.0]);
+    let hv_mes = hypervolume_2d(&pts(&mes.front), [0.0, 3.0]);
     let hv_static = hypervolume_2d(&pts(&static8), [0.0, 3.0]);
     assert!(
         hv_mes >= hv_static * 0.9,

@@ -1,0 +1,233 @@
+//! Telemetry acceptance tests for the unified `Optimizer` API: all five
+//! optimization loops emit the structured `RunEvent` stream with the same
+//! invariants, instrumentation never perturbs a seeded run, and the JSONL
+//! codec round-trips every event bit-exactly.
+
+use analog_dse::moea::nsga2::{Nsga2, Nsga2Config};
+use analog_dse::moea::problems::Schaffer;
+use analog_dse::moea::{RunOutcome, RunStatus};
+use analog_dse::sacga::island::{IslandConfig, IslandGa};
+use analog_dse::sacga::local::LocalCompetitionGaBuilder;
+use analog_dse::sacga::mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
+use analog_dse::sacga::sacga::{Sacga, SacgaConfig};
+use analog_dse::sacga::telemetry::{
+    EventKind, JsonlSink, MemorySink, MetricsSink, Optimizer, RunEvent, Sink, Tee,
+};
+
+const SEED: u64 = 23;
+
+fn generation_ends(events: &[RunEvent]) -> Vec<usize> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::GenerationEnd { generation, .. } => Some(*generation),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Runs `ga` twice — bare and instrumented — and checks the core stream
+/// invariants: bit-identical outcomes, and exactly one `GenerationEnd`
+/// per executed generation, in order, none for the initial population.
+fn check_stream_invariants<O: Optimizer>(ga: &O) -> (RunOutcome, Vec<RunEvent>) {
+    let bare = ga.run(SEED).unwrap();
+    let mut sink = MemorySink::new();
+    let watched = ga.run_with(SEED, &mut sink).unwrap();
+    assert_eq!(
+        bare.front_objectives(),
+        watched.front_objectives(),
+        "{}: sink attached must not perturb the run",
+        ga.algorithm()
+    );
+    assert_eq!(bare.history, watched.history, "{}", ga.algorithm());
+    assert_eq!(bare.evaluations, watched.evaluations, "{}", ga.algorithm());
+    let ends = generation_ends(sink.events());
+    assert_eq!(
+        ends,
+        (1..=watched.generations).collect::<Vec<_>>(),
+        "{}: one GenerationEnd per executed generation",
+        ga.algorithm()
+    );
+    (watched, sink.into_events())
+}
+
+#[test]
+fn all_five_algorithms_emit_one_generation_end_per_generation() {
+    let (_, nsga2_events) = check_stream_invariants(&Nsga2::new(
+        Schaffer::new(),
+        Nsga2Config::builder()
+            .population_size(20)
+            .generations(12)
+            .build()
+            .unwrap(),
+    ));
+    assert!(nsga2_events
+        .iter()
+        .all(|e| !matches!(e, RunEvent::PhaseTransition { .. })));
+
+    check_stream_invariants(
+        &LocalCompetitionGaBuilder::new()
+            .population_size(20)
+            .generations(12)
+            .partitions(4)
+            .build(Schaffer::new())
+            .unwrap(),
+    );
+
+    let (sacga_out, sacga_events) = check_stream_invariants(&Sacga::new(
+        Schaffer::new(),
+        SacgaConfig::builder()
+            .population_size(24)
+            .generations(15)
+            .partitions(4)
+            .build()
+            .unwrap(),
+    ));
+    let transitions: Vec<&RunEvent> = sacga_events
+        .iter()
+        .filter(|e| matches!(e, RunEvent::PhaseTransition { .. }))
+        .collect();
+    assert_eq!(transitions.len(), 1, "SACGA crosses one phase boundary");
+    assert!(matches!(
+        transitions[0],
+        RunEvent::PhaseTransition { generation, .. } if *generation == sacga_out.gen_t
+    ));
+
+    let (mes_out, mes_events) = check_stream_invariants(&Mesacga::new(
+        Schaffer::new(),
+        MesacgaConfig::builder()
+            .population_size(24)
+            .phase1_max(5)
+            .phases(vec![PhaseSpec::new(4, 6), PhaseSpec::new(1, 6)])
+            .build()
+            .unwrap(),
+    ));
+    let phases = mes_events
+        .iter()
+        .filter(|e| matches!(e, RunEvent::PhaseTransition { .. }))
+        .count();
+    assert_eq!(phases, 2, "one PhaseTransition per expanding phase");
+    assert_eq!(mes_out.phase_fronts.len(), 2);
+
+    let (island_out, island_events) = check_stream_invariants(&IslandGa::new(
+        Schaffer::new(),
+        IslandConfig::builder()
+            .population_size(32)
+            .generations(20)
+            .islands(4)
+            .migration_interval(5)
+            .migrants(2)
+            .build()
+            .unwrap(),
+    ));
+    let migrations = island_events
+        .iter()
+        .filter(|e| matches!(e, RunEvent::Promotion { .. }))
+        .count();
+    assert_eq!(migrations, island_out.migrations);
+}
+
+#[test]
+fn jsonl_log_round_trips_into_the_memory_stream() {
+    // Tee a run into a memory sink and a JSONL byte buffer; parsing the
+    // log back must reproduce the in-memory event sequence exactly,
+    // floats included.
+    let ga = Sacga::new(
+        Schaffer::new(),
+        SacgaConfig::builder()
+            .population_size(24)
+            .generations(12)
+            .partitions(4)
+            .build()
+            .unwrap(),
+    );
+    let mut tee = Tee::new(MemorySink::new(), JsonlSink::new(Vec::new()));
+    ga.run_with(SEED, &mut tee).unwrap();
+    tee.flush().unwrap();
+    let (memory, jsonl) = tee.into_inner();
+    let lines_written = jsonl.lines_written();
+    let log = String::from_utf8(jsonl.into_inner().unwrap()).unwrap();
+    let replayed: Vec<RunEvent> = log
+        .lines()
+        .map(|l| RunEvent::from_json(l).expect("line parses"))
+        .collect();
+    assert_eq!(replayed.len() as u64, lines_written);
+    assert_eq!(replayed, memory.into_events());
+}
+
+#[test]
+fn resumed_runs_emit_events_only_for_generations_they_execute() {
+    let ga = Sacga::new(
+        Schaffer::new(),
+        SacgaConfig::builder()
+            .population_size(24)
+            .generations(14)
+            .partitions(4)
+            .build()
+            .unwrap(),
+    );
+    let mut first = MemorySink::new();
+    let cp = match ga.run_until_with(SEED, 6, &mut first).unwrap() {
+        RunStatus::Suspended(cp) => cp,
+        RunStatus::Complete(_) => panic!("run should suspend at gen 6"),
+    };
+    assert_eq!(generation_ends(first.events()), (1..=6).collect::<Vec<_>>());
+    assert!(first
+        .events()
+        .iter()
+        .any(|e| matches!(e, RunEvent::CheckpointWritten { generation: 6 })));
+
+    let mut second = MemorySink::new();
+    let resumed = ga.resume_with(&cp, &mut second).unwrap();
+    assert_eq!(resumed.generations, 14);
+    // Pre-checkpoint history is restored but not replayed as events.
+    assert_eq!(
+        generation_ends(second.events()),
+        (7..=14).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn metrics_sink_computes_one_row_per_generation() {
+    let ga = Mesacga::new(
+        Schaffer::new(),
+        MesacgaConfig::builder()
+            .population_size(24)
+            .phase1_max(5)
+            .phases(vec![PhaseSpec::new(4, 6), PhaseSpec::new(1, 6)])
+            .build()
+            .unwrap(),
+    );
+    let mut metrics = MetricsSink::new(vec![16.0, 16.0]).with_occupancy(0, 0.0, 4.0, 8);
+    let outcome = ga.run_with(SEED, &mut metrics).unwrap();
+    let rows = metrics.rows();
+    assert_eq!(rows.len(), outcome.generations);
+    let last = rows.last().unwrap();
+    assert!(last.hypervolume > 0.0);
+    assert!(last.front_size > 0);
+    assert!(last.occupancy.unwrap() > 0.0);
+    assert!(!metrics.wants(EventKind::Promotion));
+}
+
+#[test]
+fn suspension_is_rejected_by_algorithms_that_cannot_checkpoint() {
+    let nsga2 = Nsga2::new(
+        Schaffer::new(),
+        Nsga2Config::builder()
+            .population_size(16)
+            .generations(5)
+            .build()
+            .unwrap(),
+    );
+    assert!(nsga2.run_until(SEED, 3).is_err());
+    let island = IslandGa::new(
+        Schaffer::new(),
+        IslandConfig::builder()
+            .population_size(32)
+            .generations(5)
+            .islands(2)
+            .build()
+            .unwrap(),
+    );
+    assert!(island.run_until(SEED, 3).is_err());
+}
