@@ -3,23 +3,34 @@
 //!
 //! The paper shows SACGA reaching lower power and wider load coverage at
 //! the same iteration budget.
+//!
+//! Usage: `fig05_sacga_vs_tpg [seed] [gens]` — the iteration budget
+//! defaults to the paper's 800; CI passes a small budget for its trace
+//! smoke run.
 
 use dse_bench::{
-    front_metrics, paper_front, paper_problem, print_front, run_only_global, run_sacga,
-    seed_from_args, write_csv, GENS_MAIN,
+    front_metrics, paper_front, paper_problem, print_front, run_logged, sacga_ga, seed_from_args,
+    write_csv, GENS_MAIN,
 };
 
 fn main() {
     let seed = seed_from_args();
+    let gens: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(GENS_MAIN);
     let problem = paper_problem();
-    println!("Fig. 5: TPG (Only-Global) vs 8-partition SACGA, pop 100 x {GENS_MAIN}, seed {seed}");
+    println!("Fig. 5: TPG (Only-Global) vs 8-partition SACGA, pop 100 x {gens}, seed {seed}");
 
+    // Both runs stream their events into results/*.jsonl logs (replay
+    // them with `trace_report`); event emission never consumes RNG, so
+    // the fronts match the un-instrumented runs bit for bit.
     let t0 = std::time::Instant::now();
-    let tpg = run_only_global(&problem, GENS_MAIN, seed);
+    let (tpg, _) = run_logged(&sacga_ga(&problem, 1, gens), "fig05_tpg", seed);
     println!("TPG done in {:.0} s", t0.elapsed().as_secs_f64());
 
     let t0 = std::time::Instant::now();
-    let sacga = run_sacga(&problem, 8, GENS_MAIN, seed);
+    let (sacga, _) = run_logged(&sacga_ga(&problem, 8, gens), "fig05_sacga8", seed);
     println!(
         "SACGA done in {:.0} s (phase I took {} generations)",
         t0.elapsed().as_secs_f64(),

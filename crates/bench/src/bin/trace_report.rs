@@ -1,0 +1,301 @@
+//! **trace_report** — replay analysis of `results/*.jsonl` run-event
+//! logs.
+//!
+//! ```text
+//! trace_report <log.jsonl>... [--json [PATH]]   per-run summaries
+//! trace_report --diff <a.jsonl> <b.jsonl>       compare two runs
+//! trace_report --clean [DIR]                    remove *.partial/*.bak
+//! ```
+//!
+//! Summary mode prints, per log: generation/evaluation/fault counts,
+//! promotion acceptance bucketed by annealing temperature, the
+//! hypervolume trajectory, and the per-stage wall-clock breakdown
+//! recorded by the `stage_timing` events. `--json` additionally writes
+//! the machine-readable runtime aggregate `BENCH_runtime.json`
+//! (default `results/BENCH_runtime.json`) that CI publishes.
+//!
+//! Exit status: `0` on success, `1` on usage errors, `2` when a log
+//! cannot be read or replays to an empty summary (no generations) —
+//! so CI can use a summary pass as a smoke check.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dse_bench::trace::{
+    merge_reference, reference_point, runtime_json_entry, RunSummary, TrajectoryPoint,
+};
+use dse_bench::{clean_stale_artifacts, read_jsonl_events_lossy};
+use engine::Stage;
+use sacga::telemetry::RunEvent;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("--help" | "-h") => {
+            eprintln!(
+                "usage: trace_report <log.jsonl>... [--json [PATH]]\n\
+                 \x20      trace_report --diff <a.jsonl> <b.jsonl>\n\
+                 \x20      trace_report --clean [DIR]"
+            );
+            ExitCode::from(u8::from(args.is_empty()))
+        }
+        Some("--diff") => match &args[1..] {
+            [a, b] => diff(Path::new(a), Path::new(b)),
+            _ => {
+                eprintln!("usage: trace_report --diff <a.jsonl> <b.jsonl>");
+                ExitCode::from(1)
+            }
+        },
+        Some("--clean") => {
+            let dir = args.get(1).map_or("results", String::as_str);
+            let removed = clean_stale_artifacts(Path::new(dir));
+            for path in &removed {
+                println!("removed {}", path.display());
+            }
+            println!("{} stale file(s) removed from {dir}", removed.len());
+            ExitCode::SUCCESS
+        }
+        Some(_) => summaries(&args),
+    }
+}
+
+/// Loads a log leniently, reporting skipped lines on stderr. `None`
+/// when the file cannot be read or holds no events at all.
+fn load(path: &Path) -> Option<(Vec<RunEvent>, usize)> {
+    if !path.is_file() {
+        eprintln!("trace_report: cannot read {}", path.display());
+        return None;
+    }
+    let (events, skipped) = read_jsonl_events_lossy(path);
+    if skipped > 0 {
+        eprintln!(
+            "trace_report: skipped {skipped} corrupt line(s) in {}",
+            path.display()
+        );
+    }
+    if events.is_empty() {
+        eprintln!("trace_report: {} replays to no events", path.display());
+        return None;
+    }
+    Some((events, skipped))
+}
+
+fn summaries(args: &[String]) -> ExitCode {
+    let mut logs: Vec<PathBuf> = Vec::new();
+    let mut json_path: Option<PathBuf> = None;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if arg == "--json" {
+            let next = iter.peek().filter(|a| !a.starts_with("--"));
+            json_path = Some(match next {
+                Some(_) => PathBuf::from(iter.next().unwrap()),
+                None => PathBuf::from("results/BENCH_runtime.json"),
+            });
+        } else if arg.starts_with("--") {
+            eprintln!("trace_report: unknown flag {arg}");
+            return ExitCode::from(1);
+        } else {
+            logs.push(PathBuf::from(arg));
+        }
+    }
+    if logs.is_empty() {
+        eprintln!("trace_report: no logs given");
+        return ExitCode::from(1);
+    }
+
+    let mut entries = Vec::new();
+    for path in &logs {
+        let Some((events, skipped)) = load(path) else {
+            return ExitCode::from(2);
+        };
+        let summary = RunSummary::from_events(&events, None);
+        if summary.generations == 0 {
+            eprintln!(
+                "trace_report: {} holds no completed generations",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+        print_summary(path, &summary, skipped);
+        let label = path.file_stem().map_or_else(
+            || path.display().to_string(),
+            |s| s.to_string_lossy().into(),
+        );
+        entries.push(runtime_json_entry(&label, &summary, skipped));
+    }
+
+    if let Some(path) = json_path {
+        let doc = format!("{{\"schema\":1,\"runs\":[{}]}}\n", entries.join(","));
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("trace_report: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("\nwrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_summary(path: &Path, s: &RunSummary, skipped: usize) {
+    println!("== {} ==", path.display());
+    println!(
+        "generations     {:>10}  (phase I: {})",
+        s.generations, s.phase1_generations
+    );
+    println!("evaluations     {:>10}", s.evaluations);
+    println!(
+        "fault episodes  {:>10}  ({} quarantined)",
+        s.fault_episodes, s.fault_quarantined
+    );
+    if s.checkpoints > 0 {
+        println!("checkpoints     {:>10}", s.checkpoints);
+    }
+    if skipped > 0 {
+        println!("corrupt lines   {:>10}  (skipped)", skipped);
+    }
+
+    let acceptance = s.acceptance_by_temperature(5);
+    if acceptance.is_empty() {
+        println!("promotion acceptance: no annealed promotions recorded");
+    } else {
+        println!("promotion acceptance by temperature (cold -> hot):");
+        for (upper, promoted, candidates) in acceptance {
+            #[allow(clippy::cast_precision_loss)]
+            let pct = 100.0 * promoted as f64 / candidates as f64;
+            println!("  T <= {upper:<8.4} {pct:5.1}%  ({promoted}/{candidates})");
+        }
+    }
+
+    let ref_point: Vec<String> = s.ref_point.iter().map(|x| format!("{x:.3e}")).collect();
+    println!("hypervolume trajectory (ref [{}]):", ref_point.join(", "));
+    for point in sample_trajectory(&s.trajectory, 10) {
+        println!(
+            "  gen {:>5}  front {:>4}  feasible {:>4}  hv {:.4e}",
+            point.generation, point.front_size, point.feasible, point.hypervolume
+        );
+    }
+
+    if s.timed_generations == 0 {
+        println!("stage breakdown: no stage timings recorded (v1 log or timing-free sink)");
+    } else {
+        let total = s.wall_seconds();
+        println!(
+            "stage breakdown over {} timed generations ({total:.3} s):",
+            s.timed_generations
+        );
+        for stage in Stage::ALL {
+            #[allow(clippy::cast_precision_loss)]
+            let secs = s.stages.get(stage) as f64 / 1e9;
+            let pct = if total > 0.0 {
+                100.0 * secs / total
+            } else {
+                0.0
+            };
+            println!("  {:<10} {secs:>10.3} s  {pct:5.1}%", stage.name());
+        }
+        if let Some(eps) = s.evals_per_sec() {
+            println!("  evals/sec  {eps:>10.1}");
+        }
+        if let Some(rate) = s.cache_hit_rate() {
+            println!(
+                "  cache hits {:>9.1}%  ({}/{})",
+                100.0 * rate,
+                s.cache_hits,
+                s.candidates
+            );
+        }
+    }
+    println!();
+}
+
+/// At most `max` evenly spaced trajectory points, always keeping the
+/// first and last.
+fn sample_trajectory(trajectory: &[TrajectoryPoint], max: usize) -> Vec<&TrajectoryPoint> {
+    if trajectory.len() <= max {
+        return trajectory.iter().collect();
+    }
+    let last = trajectory.len() - 1;
+    let mut picks: Vec<usize> = (0..max).map(|i| i * last / (max - 1)).collect();
+    picks.dedup();
+    picks.iter().map(|&i| &trajectory[i]).collect()
+}
+
+fn diff(path_a: &Path, path_b: &Path) -> ExitCode {
+    let (Some((events_a, skipped_a)), Some((events_b, skipped_b))) = (load(path_a), load(path_b))
+    else {
+        return ExitCode::from(2);
+    };
+    // One shared reference point so the hypervolumes are comparable.
+    let shared = merge_reference(reference_point(&events_a), reference_point(&events_b));
+    let a = RunSummary::from_events(&events_a, shared.clone());
+    let b = RunSummary::from_events(&events_b, shared);
+    if a.generations == 0 || b.generations == 0 {
+        eprintln!("trace_report: a diffed log holds no completed generations");
+        return ExitCode::from(2);
+    }
+    if skipped_a + skipped_b > 0 {
+        println!(
+            "(skipped corrupt lines: {} in A, {} in B)",
+            skipped_a, skipped_b
+        );
+    }
+
+    println!("A = {}", path_a.display());
+    println!("B = {}", path_b.display());
+    println!("{:<18} {:>14} {:>14} {:>14}", "metric", "A", "B", "B - A");
+    let rows: Vec<(&str, f64, f64)> = vec![
+        ("generations", to_f64(a.generations), to_f64(b.generations)),
+        ("evaluations", to_f64(a.evaluations), to_f64(b.evaluations)),
+        (
+            "fault episodes",
+            to_f64(a.fault_episodes),
+            to_f64(b.fault_episodes),
+        ),
+        (
+            "final front size",
+            a.last().map_or(0.0, |p| to_f64(p.front_size)),
+            b.last().map_or(0.0, |p| to_f64(p.front_size)),
+        ),
+        ("wall s", a.wall_seconds(), b.wall_seconds()),
+        (
+            "evals/sec",
+            a.evals_per_sec().unwrap_or(0.0),
+            b.evals_per_sec().unwrap_or(0.0),
+        ),
+    ];
+    for (name, va, vb) in rows {
+        println!("{name:<18} {va:>14.3} {vb:>14.3} {:>+14.3}", vb - va);
+    }
+    // Hypervolumes live on the problem's objective scale (tiny for the
+    // paper problem), so print them in scientific notation.
+    let hv_a = a.last().map_or(0.0, |p| p.hypervolume);
+    let hv_b = b.last().map_or(0.0, |p| p.hypervolume);
+    println!(
+        "{:<18} {hv_a:>14.4e} {hv_b:>14.4e} {:>+14.4e}",
+        "final hv (shared)",
+        hv_b - hv_a
+    );
+    if a.timed_generations > 0 || b.timed_generations > 0 {
+        println!("per-stage seconds:");
+        for stage in Stage::ALL {
+            #[allow(clippy::cast_precision_loss)]
+            let sa = a.stages.get(stage) as f64 / 1e9;
+            #[allow(clippy::cast_precision_loss)]
+            let sb = b.stages.get(stage) as f64 / 1e9;
+            println!(
+                "  {:<16} {sa:>14.3} {sb:>14.3} {:>+14.3}",
+                stage.name(),
+                sb - sa
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Lossy-but-fine numeric conversion for table printing.
+#[allow(clippy::cast_precision_loss)]
+fn to_f64(x: impl TryInto<u64>) -> f64 {
+    x.try_into().map_or(f64::NAN, |v: u64| v as f64)
+}

@@ -18,6 +18,8 @@ use sacga::telemetry::{JsonlSink, MemorySink, Optimizer, RunEvent, Sink, Tee};
 use std::io::Write as _;
 use std::path::Path;
 
+pub mod trace;
+
 /// Population size used by every paper experiment.
 pub const POP: usize = 100;
 
@@ -204,18 +206,34 @@ pub fn replay_final_front(events: &[RunEvent]) -> Vec<Vec<f64>> {
         .unwrap_or_default()
 }
 
-/// Reads a JSONL event log back into events, skipping blank lines.
+/// Reads a JSONL event log back into events, skipping blank lines and
+/// — with a warning on stderr — corrupt lines (e.g. a crash-truncated
+/// trailing line).
 ///
 /// # Panics
 ///
-/// Panics when the file cannot be read or a line fails to parse
-/// (harness-fatal).
+/// Panics when the file cannot be read (harness-fatal).
 pub fn read_jsonl_events(path: &Path) -> Vec<RunEvent> {
+    let (events, skipped) = read_jsonl_events_lossy(path);
+    if skipped > 0 {
+        eprintln!(
+            "warning: skipped {skipped} corrupt line(s) replaying {}",
+            path.display()
+        );
+    }
+    events
+}
+
+/// Like [`read_jsonl_events`], but returns the skipped-line count to
+/// the caller instead of warning.
+///
+/// # Panics
+///
+/// Panics when the file cannot be read (harness-fatal).
+pub fn read_jsonl_events_lossy(path: &Path) -> (Vec<RunEvent>, usize) {
     let text = std::fs::read_to_string(path).expect("read jsonl log");
-    text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| RunEvent::from_json(l).expect("parse run event"))
-        .collect()
+    let replay = RunEvent::parse_jsonl_lossy(&text);
+    (replay.events, replay.skipped)
 }
 
 /// Rehydrates replayed objective vectors into individuals so the
@@ -271,6 +289,36 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) {
         writeln!(f, "{row}").expect("write row");
     }
     println!("\nwrote {}", path.display());
+}
+
+/// Removes stale working files (`*.partial`, `*.bak`) that interrupted
+/// harness runs can leave under `dir` and its subdirectories, returning
+/// the paths removed. Files that fail to delete are skipped — cleanup
+/// is best-effort.
+pub fn clean_stale_artifacts(dir: &Path) -> Vec<std::path::PathBuf> {
+    fn walk(dir: &Path, removed: &mut Vec<std::path::PathBuf>) {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, removed);
+                continue;
+            }
+            let stale = path
+                .extension()
+                .and_then(|e| e.to_str())
+                .is_some_and(|e| e == "partial" || e == "bak");
+            if stale && std::fs::remove_file(&path).is_ok() {
+                removed.push(path);
+            }
+        }
+    }
+    let mut removed = Vec::new();
+    walk(dir, &mut removed);
+    removed.sort();
+    removed
 }
 
 /// Prints a front of objective vectors (from [`RunOutcome::front_objectives`]

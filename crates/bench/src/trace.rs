@@ -1,0 +1,441 @@
+//! Replay analysis of run-event logs: the per-run summaries, reference
+//! points and runtime aggregates behind the `trace_report` binary.
+//!
+//! Everything here works on replayed [`RunEvent`] streams — no live
+//! optimizer state — so any `results/*.jsonl` log, including one
+//! recovered from a crash, can be summarized after the fact.
+
+use engine::{Stage, StageNanos};
+use moea::hypervolume::hypervolume;
+use sacga::telemetry::RunEvent;
+
+/// One promotion step joined with the temperature its generation ran
+/// at (from the matching [`RunEvent::GenerationEnd`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PromotionPoint {
+    /// Generation the promotion fed into.
+    pub generation: usize,
+    /// Annealing temperature of that generation (∞ during phase I).
+    pub temperature: f64,
+    /// Candidates that won the SA gamble.
+    pub promoted: usize,
+    /// Locally superior candidates considered.
+    pub candidates: usize,
+}
+
+/// One generation of the convergence trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Generation index.
+    pub generation: usize,
+    /// Points on the feasible global front.
+    pub front_size: usize,
+    /// Feasible individuals in the population.
+    pub feasible: usize,
+    /// Front hypervolume against the summary's reference point.
+    pub hypervolume: f64,
+}
+
+/// Everything `trace_report` prints about one run, computed from a
+/// replayed event stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunSummary {
+    /// Executed generations (`GenerationEnd` count).
+    pub generations: usize,
+    /// Generations spent in phase I (pure local competition).
+    pub phase1_generations: usize,
+    /// Cumulative objective evaluations (from the last `GenerationEnd`).
+    pub evaluations: u64,
+    /// Fault episodes (retries-to-success plus quarantines).
+    pub fault_episodes: u64,
+    /// Fault episodes that ended in quarantine.
+    pub fault_quarantined: u64,
+    /// Suspension checkpoints written.
+    pub checkpoints: usize,
+    /// Promotion steps joined with their generation's temperature.
+    pub promotions: Vec<PromotionPoint>,
+    /// Per-generation front trajectory.
+    pub trajectory: Vec<TrajectoryPoint>,
+    /// Reference point the trajectory hypervolumes were measured
+    /// against (empty when the log carries no front points).
+    pub ref_point: Vec<f64>,
+    /// Summed per-stage wall-clock across all timed generations.
+    pub stages: StageNanos,
+    /// Generations that carried a `StageTiming` event.
+    pub timed_generations: usize,
+    /// Candidates submitted to the engine across timed generations.
+    pub candidates: u64,
+    /// Evaluations actually performed across timed generations.
+    pub timed_evaluations: u64,
+    /// Candidates answered from the memoization cache.
+    pub cache_hits: u64,
+}
+
+impl RunSummary {
+    /// Summarizes a replayed event stream. `ref_point` overrides the
+    /// hypervolume reference (pass the union reference when comparing
+    /// runs); `None` derives it from this stream via
+    /// [`reference_point`].
+    pub fn from_events(events: &[RunEvent], ref_point: Option<Vec<f64>>) -> RunSummary {
+        let mut s = RunSummary {
+            ref_point: ref_point
+                .or_else(|| reference_point(events))
+                .unwrap_or_default(),
+            ..RunSummary::default()
+        };
+        let mut pending: Vec<(usize, usize, usize)> = Vec::new();
+        for event in events {
+            match event {
+                RunEvent::GenerationEnd {
+                    generation,
+                    phase,
+                    temperature,
+                    feasible,
+                    evaluations,
+                    front,
+                    ..
+                } => {
+                    s.generations += 1;
+                    if *phase == 1 {
+                        s.phase1_generations += 1;
+                    }
+                    s.evaluations = s.evaluations.max(*evaluations);
+                    let hv = if front.is_empty() || s.ref_point.is_empty() {
+                        0.0
+                    } else {
+                        hypervolume(front, &s.ref_point)
+                    };
+                    s.trajectory.push(TrajectoryPoint {
+                        generation: *generation,
+                        front_size: front.len(),
+                        feasible: *feasible,
+                        hypervolume: hv,
+                    });
+                    pending.retain(|&(gen, promoted, candidates)| {
+                        if gen == *generation {
+                            s.promotions.push(PromotionPoint {
+                                generation: gen,
+                                temperature: *temperature,
+                                promoted,
+                                candidates,
+                            });
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+                RunEvent::Promotion {
+                    generation,
+                    promoted,
+                    candidates,
+                } => pending.push((*generation, *promoted, *candidates)),
+                RunEvent::EvaluationFault { resolution, .. } => {
+                    s.fault_episodes += 1;
+                    if matches!(resolution, engine::FaultResolution::Quarantined) {
+                        s.fault_quarantined += 1;
+                    }
+                }
+                RunEvent::CheckpointWritten { .. } => s.checkpoints += 1,
+                RunEvent::StageTiming {
+                    stages,
+                    candidates,
+                    evaluations,
+                    cache_hits,
+                    ..
+                } => {
+                    s.timed_generations += 1;
+                    s.stages.merge(stages);
+                    s.candidates += candidates;
+                    s.timed_evaluations += evaluations;
+                    s.cache_hits += cache_hits;
+                }
+                RunEvent::PhaseTransition { .. } | RunEvent::PartitionFeasible { .. } => {}
+            }
+        }
+        s
+    }
+
+    /// Total timed wall-clock in seconds (0 when the log carries no
+    /// stage timings).
+    pub fn wall_seconds(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let ns = self.stages.total() as f64;
+        ns / 1e9
+    }
+
+    /// Evaluations per timed second; `None` without stage timings.
+    pub fn evals_per_sec(&self) -> Option<f64> {
+        let wall = self.wall_seconds();
+        #[allow(clippy::cast_precision_loss)]
+        (wall > 0.0).then(|| self.timed_evaluations as f64 / wall)
+    }
+
+    /// Fraction of candidates answered from the memoization cache;
+    /// `None` without stage timings.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        (self.candidates > 0).then(|| self.cache_hits as f64 / self.candidates as f64)
+    }
+
+    /// Final trajectory point, if any generation ran.
+    pub fn last(&self) -> Option<&TrajectoryPoint> {
+        self.trajectory.last()
+    }
+
+    /// Aggregates promotion acceptance into `bins` equal-width
+    /// temperature bins over the observed finite-temperature range:
+    /// `(temperature-bin upper edge, promoted, candidates)` rows,
+    /// coldest bin first. Empty when no finite-temperature promotions
+    /// were recorded.
+    pub fn acceptance_by_temperature(&self, bins: usize) -> Vec<(f64, usize, usize)> {
+        let finite: Vec<&PromotionPoint> = self
+            .promotions
+            .iter()
+            .filter(|p| p.temperature.is_finite() && p.candidates > 0)
+            .collect();
+        if finite.is_empty() || bins == 0 {
+            return Vec::new();
+        }
+        let lo = finite
+            .iter()
+            .map(|p| p.temperature)
+            .fold(f64::MAX, f64::min);
+        let hi = finite
+            .iter()
+            .map(|p| p.temperature)
+            .fold(f64::MIN, f64::max);
+        let width = ((hi - lo) / bins as f64).max(f64::MIN_POSITIVE);
+        let mut rows = vec![(0.0, 0usize, 0usize); bins];
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.0 = lo + width * (i + 1) as f64;
+        }
+        for p in finite {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let bin = (((p.temperature - lo) / width) as usize).min(bins - 1);
+            rows[bin].1 += p.promoted;
+            rows[bin].2 += p.candidates;
+        }
+        rows.retain(|&(_, _, candidates)| candidates > 0);
+        rows
+    }
+}
+
+/// Derives a hypervolume reference point from every front point in an
+/// event stream: the per-objective maximum, padded by 5% of the range
+/// so extreme points still contribute volume. `None` when the stream
+/// carries no front points.
+pub fn reference_point(events: &[RunEvent]) -> Option<Vec<f64>> {
+    let mut lo: Vec<f64> = Vec::new();
+    let mut hi: Vec<f64> = Vec::new();
+    for event in events {
+        let RunEvent::GenerationEnd { front, .. } = event else {
+            continue;
+        };
+        for point in front {
+            if lo.is_empty() {
+                lo = point.clone();
+                hi = point.clone();
+                continue;
+            }
+            for (i, &x) in point.iter().enumerate().take(lo.len()) {
+                lo[i] = lo[i].min(x);
+                hi[i] = hi[i].max(x);
+            }
+        }
+    }
+    if hi.is_empty() {
+        return None;
+    }
+    Some(
+        hi.iter()
+            .zip(&lo)
+            .map(|(&h, &l)| h + 0.05 * (h - l).max(1e-12))
+            .collect(),
+    )
+}
+
+/// Merges reference points by taking the per-objective maximum, so two
+/// runs can be diffed against one shared reference.
+pub fn merge_reference(a: Option<Vec<f64>>, b: Option<Vec<f64>>) -> Option<Vec<f64>> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(
+            a.iter()
+                .zip(&b)
+                .map(|(&x, &y)| x.max(y))
+                .collect::<Vec<f64>>(),
+        ),
+        (Some(a), None) => Some(a),
+        (None, b) => b,
+    }
+}
+
+/// Renders one run's row of `BENCH_runtime.json` (an object literal;
+/// the binary assembles the surrounding document).
+pub fn runtime_json_entry(label: &str, summary: &RunSummary, skipped_lines: usize) -> String {
+    let mut stage_fields = String::new();
+    for stage in Stage::ALL {
+        if !stage_fields.is_empty() {
+            stage_fields.push(',');
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let secs = summary.stages.get(stage) as f64 / 1e9;
+        stage_fields.push_str(&format!("\"{}\":{}", stage.name(), json_f64(secs)));
+    }
+    let evals_per_sec = summary
+        .evals_per_sec()
+        .map_or_else(|| "null".to_string(), json_f64);
+    let cache_hit_rate = summary
+        .cache_hit_rate()
+        .map_or_else(|| "null".to_string(), json_f64);
+    format!(
+        "{{\"label\":{label:?},\"generations\":{},\"evaluations\":{},\
+         \"fault_episodes\":{},\"quarantined\":{},\"skipped_lines\":{skipped_lines},\
+         \"timed_generations\":{},\"wall_s\":{},\"evals_per_sec\":{evals_per_sec},\
+         \"cache_hit_rate\":{cache_hit_rate},\"stage_s\":{{{stage_fields}}}}}",
+        summary.generations,
+        summary.evaluations,
+        summary.fault_episodes,
+        summary.fault_quarantined,
+        summary.timed_generations,
+        json_f64(summary.wall_seconds()),
+    )
+}
+
+/// Formats a finite float as a JSON number (shortest round-trip form).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_end(
+        generation: usize,
+        phase: u8,
+        temperature: f64,
+        evaluations: u64,
+        front: Vec<Vec<f64>>,
+    ) -> RunEvent {
+        RunEvent::GenerationEnd {
+            generation,
+            phase,
+            temperature,
+            promoted: 0,
+            feasible: front.len(),
+            population: 40,
+            evaluations,
+            front,
+        }
+    }
+
+    fn timing(generation: usize, evaluation_ns: u64, candidates: u64, hits: u64) -> RunEvent {
+        RunEvent::StageTiming {
+            generation,
+            stages: StageNanos {
+                variation: 1_000,
+                evaluation: evaluation_ns,
+                ranking: 500,
+                promotion: 0,
+                selection: 250,
+            },
+            candidates,
+            evaluations: candidates - hits,
+            cache_hits: hits,
+        }
+    }
+
+    fn sample_stream() -> Vec<RunEvent> {
+        vec![
+            gen_end(1, 1, f64::INFINITY, 40, vec![]),
+            timing(1, 1_000_000_000, 40, 0),
+            RunEvent::Promotion {
+                generation: 2,
+                promoted: 3,
+                candidates: 10,
+            },
+            gen_end(2, 2, 0.8, 80, vec![vec![1.0, 2.0], vec![2.0, 1.0]]),
+            timing(2, 1_000_000_000, 40, 10),
+            RunEvent::Promotion {
+                generation: 3,
+                promoted: 1,
+                candidates: 10,
+            },
+            gen_end(3, 2, 0.2, 120, vec![vec![0.5, 2.0], vec![2.0, 0.5]]),
+            timing(3, 1_000_000_000, 40, 20),
+        ]
+    }
+
+    #[test]
+    fn summary_counts_and_trajectory() {
+        let s = RunSummary::from_events(&sample_stream(), None);
+        assert_eq!(s.generations, 3);
+        assert_eq!(s.phase1_generations, 1);
+        assert_eq!(s.evaluations, 120);
+        assert_eq!(s.timed_generations, 3);
+        assert_eq!(s.candidates, 120);
+        assert_eq!(s.cache_hits, 30);
+        assert_eq!(s.trajectory.len(), 3);
+        assert_eq!(s.trajectory[0].hypervolume, 0.0);
+        assert!(s.trajectory[2].hypervolume > s.trajectory[1].hypervolume);
+    }
+
+    #[test]
+    fn promotions_join_their_generations_temperature() {
+        let s = RunSummary::from_events(&sample_stream(), None);
+        assert_eq!(s.promotions.len(), 2);
+        assert_eq!(s.promotions[0].temperature, 0.8);
+        assert_eq!(s.promotions[1].temperature, 0.2);
+        let rows = s.acceptance_by_temperature(2);
+        assert_eq!(rows.len(), 2);
+        // Cold bin holds the gen-3 promotion (1/10), hot the gen-2 (3/10).
+        assert_eq!((rows[0].1, rows[0].2), (1, 10));
+        assert_eq!((rows[1].1, rows[1].2), (3, 10));
+    }
+
+    #[test]
+    fn runtime_rates_derive_from_stage_timings() {
+        let s = RunSummary::from_events(&sample_stream(), None);
+        // Three timed generations, ~1s evaluation each plus small spans.
+        assert!(s.wall_seconds() > 3.0 && s.wall_seconds() < 3.1);
+        let eps = s.evals_per_sec().unwrap();
+        assert!(eps > 28.0 && eps < 31.0, "evals/sec {eps}");
+        let hit = s.cache_hit_rate().unwrap();
+        assert!((hit - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_without_timings_has_no_rates() {
+        let events = vec![gen_end(1, 2, 1.0, 40, vec![vec![1.0, 1.0]])];
+        let s = RunSummary::from_events(&events, None);
+        assert_eq!(s.timed_generations, 0);
+        assert_eq!(s.evals_per_sec(), None);
+        assert_eq!(s.cache_hit_rate(), None);
+    }
+
+    #[test]
+    fn reference_point_pads_the_observed_maximum() {
+        let r = reference_point(&sample_stream()).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r[0] > 2.0 && r[1] > 2.0);
+        let merged = merge_reference(Some(vec![5.0, 1.0]), Some(r.clone())).unwrap();
+        assert_eq!(merged[0], 5.0);
+        assert_eq!(merged[1], r[1]);
+    }
+
+    #[test]
+    fn runtime_json_entry_is_parseable_shape() {
+        let s = RunSummary::from_events(&sample_stream(), None);
+        let json = runtime_json_entry("demo", &s, 1);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"label\":\"demo\""));
+        assert!(json.contains("\"skipped_lines\":1"));
+        assert!(json.contains("\"evaluation\":"));
+        assert!(!json.contains("inf"));
+    }
+}

@@ -16,7 +16,7 @@
 //! `ablation_competition_modes` harness or your own experiments.
 
 use crate::telemetry::{EventKind, NoCheckpoint, NullSink, Optimizer, RunEvent, Sink};
-use engine::{EngineConfig, EvaluatorKind, ExecutionEngine};
+use engine::{EngineConfig, EvaluatorKind, ExecutionEngine, Stage, StageTimer};
 use moea::individual::Individual;
 use moea::operators::{random_vector, Variation};
 use moea::problem::Problem;
@@ -307,6 +307,8 @@ impl<P: Problem> IslandGa<P> {
         let want_fault = sink.wants(EventKind::EvaluationFault);
         let want_generation = sink.wants(EventKind::GenerationEnd);
         let want_promotion = sink.wants(EventKind::Promotion);
+        let mut timer = StageTimer::new(sink.wants(EventKind::StageTiming));
+        let mut stats_mark = exec.stats().clone();
         if want_fault {
             for fault in exec.take_fault_events() {
                 sink.record(&RunEvent::EvaluationFault {
@@ -324,6 +326,7 @@ impl<P: Problem> IslandGa<P> {
             // Independent evolution on each island (µ+λ with crowded
             // tournament parents).
             for isl in islands.iter_mut() {
+                timer.start(Stage::Variation);
                 let mut child_genes: Vec<Vec<f64>> = Vec::with_capacity(per_island);
                 while child_genes.len() < per_island {
                     let pa = binary_tournament(&mut rng, isl);
@@ -335,7 +338,9 @@ impl<P: Problem> IslandGa<P> {
                         child_genes.push(c2);
                     }
                 }
+                timer.start(Stage::Evaluation);
                 let evals = exec.try_evaluate_batch(&child_genes, &eval_fn)?;
+                timer.start(Stage::Selection);
                 let offspring: Vec<Individual> = child_genes
                     .into_iter()
                     .zip(evals)
@@ -344,9 +349,11 @@ impl<P: Problem> IslandGa<P> {
                 let mut combined = std::mem::take(isl);
                 combined.extend(offspring);
                 *isl = environmental_selection(combined, per_island);
+                timer.stop();
             }
 
             // Ring migration.
+            timer.start(Stage::Promotion);
             let mut migrated = 0usize;
             if gen % self.config.migration_interval == 0 && self.config.islands > 1 {
                 migrations += 1;
@@ -387,6 +394,7 @@ impl<P: Problem> IslandGa<P> {
                     });
                 }
             }
+            timer.stop();
 
             let feasible = islands.iter().flatten().filter(|m| m.is_feasible()).count();
             history.push(GenerationStats {
@@ -417,6 +425,18 @@ impl<P: Problem> IslandGa<P> {
                     population: per_island * self.config.islands,
                     evaluations: exec.stats().evaluations,
                     front: merged_front_objectives(&islands),
+                });
+            }
+            if timer.is_enabled() {
+                let stages = timer.take();
+                let delta = exec.stats().since(&stats_mark);
+                stats_mark = exec.stats().clone();
+                sink.record(&RunEvent::StageTiming {
+                    generation: gen,
+                    stages,
+                    candidates: delta.candidates,
+                    evaluations: delta.evaluations,
+                    cache_hits: delta.cache_hits,
                 });
             }
         }

@@ -91,8 +91,9 @@ pub use mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
 pub use partition::PartitionGrid;
 pub use sacga::{Sacga, SacgaConfig};
 pub use telemetry::{
-    EventKind, JsonlSink, MemorySink, MetricsRow, MetricsSink, NoCheckpoint, NullSink, Optimizer,
-    RunEvent, Sink, Tee, EVENT_SCHEMA_VERSION,
+    EventKind, FaultRateAlarm, HealthWarning, InfeasibilityAlarm, JsonlSink, MemorySink,
+    MetricsRow, MetricsSink, NoCheckpoint, NullSink, Optimizer, RunEvent, Sink, StallDetector, Tee,
+    EVENT_SCHEMA_VERSION,
 };
 
 #[allow(deprecated)]

@@ -359,6 +359,9 @@ impl<P: Problem> Mesacga<P> {
                 }
             };
 
+        if sink.wants(EventKind::StageTiming) {
+            engine.enable_timing();
+        }
         // Faults from the initial-population evaluation surface as
         // generation-0 events. A resumed segment emits nothing for the
         // checkpoint generation — its events belong to the segment that

@@ -23,7 +23,10 @@ use crate::anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
 use crate::checkpoint::{EngineState, SacgaCheckpoint, SavedIndividual};
 use crate::partition::{PartitionGrid, PartitionedPopulation};
 use crate::telemetry::{expect_complete, EventKind, NullSink, Optimizer, RunEvent, Sink};
-use engine::{EngineConfig, EvaluatorKind, ExecutionEngine, FaultPlan, FaultPolicy};
+use engine::{
+    EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine, FaultPlan, FaultPolicy, Stage,
+    StageTimer,
+};
 use moea::individual::Individual;
 use moea::operators::{random_vector, Variation};
 use moea::problem::Problem;
@@ -374,6 +377,9 @@ impl<P: Problem> Sacga<P> {
                 (rng, engine, cp.state.phase1_done, cp.state.gen_t)
             }
         };
+        if sink.wants(EventKind::StageTiming) {
+            engine.enable_timing();
+        }
         // Faults from the initial-population evaluation surface as
         // generation-0 events. A resumed segment emits nothing for the
         // checkpoint generation — its events belong to the segment that
@@ -527,6 +533,12 @@ pub(crate) struct Engine<'p, P: Problem> {
     exec: ExecutionEngine<Evaluation>,
     /// Flattened population after the last generation (for observers).
     pub(crate) flat_cache: Vec<Individual>,
+    /// Per-stage wall-clock for the current generation; disabled (and
+    /// free) unless the sink wants [`EventKind::StageTiming`].
+    timer: StageTimer,
+    /// Engine-stats snapshot at the previous generation boundary, used
+    /// to derive per-generation deltas for timing events.
+    stats_mark: EngineStats,
 }
 
 impl<'p, P: Problem + Sync> Engine<'p, P> {
@@ -596,7 +608,18 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
             roulette: RankRoulette::new(config.roulette_decay),
             exec,
             flat_cache,
+            timer: StageTimer::disabled(),
+            stats_mark: EngineStats::default(),
         })
+    }
+
+    /// Switches on per-stage timing (called when the sink wants
+    /// [`EventKind::StageTiming`]). Baselines the stats snapshot so the
+    /// first timed generation's delta excludes earlier work (the
+    /// initial-population batch, or everything before a resume).
+    pub(crate) fn enable_timing(&mut self) {
+        self.timer.set_enabled(true);
+        self.stats_mark = self.exec.stats().clone();
     }
 
     fn capacity(&self) -> usize {
@@ -609,12 +632,17 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
 
     /// One pure-local generation (phase I / LocalOnly mode).
     pub(crate) fn local_generation(&mut self, rng: &mut StdRng) -> Result<(), OptimizeError> {
+        self.timer.start(Stage::Ranking);
         self.pop.rank_locally();
         let flat = self.pop.flatten();
+        self.timer.stop();
         let offspring = self.make_offspring(rng, &flat)?;
+        self.timer.start(Stage::Selection);
         self.pop.absorb(offspring);
         self.pop.truncate_to(self.capacity(), rng);
+        self.timer.start(Stage::Ranking);
         self.pop.rank_locally();
+        self.timer.stop();
         self.gen += 1;
         self.flat_cache = self.pop.flatten();
         self.record(1, f64::INFINITY, 0);
@@ -633,8 +661,10 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
         schedule: &AnnealingSchedule,
         gen_t: usize,
     ) -> Result<(usize, usize), OptimizeError> {
+        self.timer.start(Stage::Ranking);
         self.pop.rank_locally();
         let mut flat = self.pop.flatten();
+        self.timer.stop();
         // The generation being produced is `gen + 1`; its elapsed phase-II
         // age runs 1..=span so the final generation anneals at exactly
         // T_A = 1 (pure global competition), per eqn (4).
@@ -642,6 +672,7 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
 
         // --- Promotion: locally superior members, per partition, in random
         // order; the i-th (1-based) joins with prob(i, T_A).
+        self.timer.start(Stage::Promotion);
         let grid = *self.pop.grid();
         let mut per_partition: Vec<Vec<usize>> = vec![Vec::new(); grid.partition_count()];
         for (idx, ind) in flat.iter().enumerate() {
@@ -669,13 +700,17 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
                 flat[i].rank = arena[slot].rank;
             }
         }
+        self.timer.stop();
 
         // --- Global mating pool over the entire population with revised
         // ranks, then variation and local survivor selection.
         let offspring = self.make_offspring(rng, &flat)?;
+        self.timer.start(Stage::Selection);
         self.pop.absorb(offspring);
         self.pop.truncate_to(self.capacity(), rng);
+        self.timer.start(Stage::Ranking);
         self.pop.rank_locally();
+        self.timer.stop();
         self.gen += 1;
         self.flat_cache = self.pop.flatten();
         self.record(2, temperature, promoted.len());
@@ -726,6 +761,18 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
                 front,
             });
         }
+        if self.gen > 0 && self.timer.is_enabled() {
+            let stages = self.timer.take();
+            let delta = self.exec.stats().since(&self.stats_mark);
+            self.stats_mark = self.exec.stats().clone();
+            sink.record(&RunEvent::StageTiming {
+                generation: self.gen,
+                stages,
+                candidates: delta.candidates,
+                evaluations: delta.evaluations,
+                cache_hits: delta.cache_hits,
+            });
+        }
     }
 
     /// Drops fault episodes buffered while a checkpoint restore rebuilt
@@ -763,6 +810,7 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
         let bounds = problem.bounds();
         // Draw the full gene batch first (the only RNG consumer), then
         // evaluate it in one engine call.
+        self.timer.start(Stage::Variation);
         let mut child_genes: Vec<Vec<f64>> = Vec::with_capacity(n);
         if flat.is_empty() {
             // Degenerate: reseed randomly.
@@ -782,9 +830,11 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
                 }
             }
         }
+        self.timer.start(Stage::Evaluation);
         let evals = self
             .exec
             .try_evaluate_batch(&child_genes, &|genes| problem.evaluate(genes))?;
+        self.timer.stop();
         Ok(child_genes
             .into_iter()
             .zip(evals)
@@ -883,6 +933,8 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
             roulette: RankRoulette::new(config.roulette_decay),
             exec,
             flat_cache,
+            timer: StageTimer::disabled(),
+            stats_mark: EngineStats::default(),
         };
         Ok((engine, StdRng::from_state(state.rng)))
     }

@@ -1,11 +1,18 @@
 //! The structured run-event taxonomy emitted by every optimizer.
 
-use engine::{FaultKind, FaultResolution};
+use engine::{FaultKind, FaultResolution, StageNanos};
 
 /// Version of the telemetry event schema. Serialized into every JSONL
 /// line as `"v"`; bump when an event variant gains, loses, or renames a
 /// field.
-pub const EVENT_SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+/// * **1** — initial taxonomy (`generation_end`, `phase_transition`,
+///   `partition_feasible`, `promotion`, `evaluation_fault`,
+///   `checkpoint_written`).
+/// * **2** — adds the `stage_timing` event. Purely additive: every v1
+///   line parses unchanged, and the parser accepts both versions.
+pub const EVENT_SCHEMA_VERSION: u32 = 2;
 
 /// A structured event emitted by a run loop through a [`Sink`].
 ///
@@ -93,6 +100,29 @@ pub enum RunEvent {
         /// Generation boundary the checkpoint captures.
         generation: usize,
     },
+    /// Per-stage wall-clock and evaluation-effort breakdown of one
+    /// generation, emitted right after that generation's
+    /// [`GenerationEnd`](RunEvent::GenerationEnd).
+    ///
+    /// Unlike every other variant this payload is **not** deterministic
+    /// — wall-clock varies run to run — so golden-master comparisons
+    /// and stream-equality tests must exclude it (filter on
+    /// [`EventKind::StageTiming`]). Producing it still consumes no RNG,
+    /// so attaching a timing sink leaves the run itself bit-identical.
+    StageTiming {
+        /// Generation the breakdown describes.
+        generation: usize,
+        /// Nanoseconds spent per pipeline stage.
+        stages: StageNanos,
+        /// Candidates submitted to the engine this generation.
+        candidates: u64,
+        /// Model evaluations actually performed this generation
+        /// (candidates minus cache hits).
+        evaluations: u64,
+        /// Candidates answered from the memoization cache this
+        /// generation.
+        cache_hits: u64,
+    },
 }
 
 /// Discriminant of a [`RunEvent`], used by [`Sink::wants`] to let run
@@ -113,6 +143,8 @@ pub enum EventKind {
     EvaluationFault,
     /// [`RunEvent::CheckpointWritten`].
     CheckpointWritten,
+    /// [`RunEvent::StageTiming`].
+    StageTiming,
 }
 
 impl RunEvent {
@@ -125,6 +157,7 @@ impl RunEvent {
             RunEvent::Promotion { .. } => EventKind::Promotion,
             RunEvent::EvaluationFault { .. } => EventKind::EvaluationFault,
             RunEvent::CheckpointWritten { .. } => EventKind::CheckpointWritten,
+            RunEvent::StageTiming { .. } => EventKind::StageTiming,
         }
     }
 
@@ -136,7 +169,8 @@ impl RunEvent {
             | RunEvent::PartitionFeasible { generation, .. }
             | RunEvent::Promotion { generation, .. }
             | RunEvent::EvaluationFault { generation, .. }
-            | RunEvent::CheckpointWritten { generation } => generation,
+            | RunEvent::CheckpointWritten { generation }
+            | RunEvent::StageTiming { generation, .. } => generation,
         }
     }
 }

@@ -157,6 +157,27 @@ impl RunEvent {
             RunEvent::CheckpointWritten { generation } => {
                 let _ = write!(s, "\"checkpoint_written\",\"generation\":{generation}");
             }
+            RunEvent::StageTiming {
+                generation,
+                stages,
+                candidates,
+                evaluations,
+                cache_hits,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"stage_timing\",\"generation\":{generation},\
+                     \"variation_ns\":{},\"evaluation_ns\":{},\"ranking_ns\":{},\
+                     \"promotion_ns\":{},\"selection_ns\":{},\
+                     \"candidates\":{candidates},\"evaluations\":{evaluations},\
+                     \"cache_hits\":{cache_hits}",
+                    stages.variation,
+                    stages.evaluation,
+                    stages.ranking,
+                    stages.promotion,
+                    stages.selection,
+                );
+            }
         }
         s.push('}');
         s
@@ -176,7 +197,9 @@ impl RunEvent {
             _ => return Err(err("expected a JSON object")),
         };
         let version = get_u64(obj, "v")?;
-        if version != u64::from(EVENT_SCHEMA_VERSION) {
+        // Version 2 only added the `stage_timing` event, so every v1
+        // line is also a valid v2 line; accept both.
+        if version == 0 || version > u64::from(EVENT_SCHEMA_VERSION) {
             return Err(err(format!("unsupported schema version {version}")));
         }
         let tag = get_str(obj, "event")?;
@@ -222,9 +245,68 @@ impl RunEvent {
                 },
             }),
             "checkpoint_written" => Ok(RunEvent::CheckpointWritten { generation }),
+            "stage_timing" => Ok(RunEvent::StageTiming {
+                generation,
+                stages: engine::StageNanos {
+                    variation: get_u64(obj, "variation_ns")?,
+                    evaluation: get_u64(obj, "evaluation_ns")?,
+                    ranking: get_u64(obj, "ranking_ns")?,
+                    promotion: get_u64(obj, "promotion_ns")?,
+                    selection: get_u64(obj, "selection_ns")?,
+                },
+                candidates: get_u64(obj, "candidates")?,
+                evaluations: get_u64(obj, "evaluations")?,
+                cache_hits: get_u64(obj, "cache_hits")?,
+            }),
             other => Err(err(format!("unknown event tag {other:?}"))),
         }
     }
+
+    /// Replays a JSONL stream leniently: well-formed lines parse into
+    /// events, blank lines are ignored, and corrupt lines — e.g. a
+    /// trailing line a crash truncated mid-write — are skipped and
+    /// counted instead of aborting the replay.
+    ///
+    /// Use this to analyze logs that may have survived a crash;
+    /// [`from_json`](RunEvent::from_json) remains the strict per-line
+    /// parser.
+    pub fn parse_jsonl_lossy(text: &str) -> LossyReplay {
+        let mut events = Vec::new();
+        let mut skipped = 0;
+        let mut first_error = None;
+        for (index, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match RunEvent::from_json(line) {
+                Ok(event) => events.push(event),
+                Err(error) => {
+                    skipped += 1;
+                    if first_error.is_none() {
+                        first_error = Some((index + 1, error));
+                    }
+                }
+            }
+        }
+        LossyReplay {
+            events,
+            skipped,
+            first_error,
+        }
+    }
+}
+
+/// Result of [`RunEvent::parse_jsonl_lossy`]: the events that parsed,
+/// plus how many corrupt lines were skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossyReplay {
+    /// Events from well-formed lines, in stream order.
+    pub events: Vec<RunEvent>,
+    /// Non-blank lines that failed to parse and were skipped.
+    pub skipped: usize,
+    /// 1-based line number and error of the first skipped line, for
+    /// diagnostics.
+    pub first_error: Option<(usize, EventParseError)>,
 }
 
 // ---------------------------------------------------------------------
@@ -508,6 +590,44 @@ mod tests {
             resolution: FaultResolution::Quarantined,
         });
         round_trip(RunEvent::CheckpointWritten { generation: 15 });
+        round_trip(RunEvent::StageTiming {
+            generation: 9,
+            stages: engine::StageNanos {
+                variation: 1_200,
+                evaluation: 880_000,
+                ranking: 43_000,
+                promotion: 0,
+                selection: 9_001,
+            },
+            candidates: 40,
+            evaluations: 37,
+            cache_hits: 3,
+        });
+    }
+
+    #[test]
+    fn v1_lines_still_parse() {
+        // A line written by the schema-1 codec (before `stage_timing`
+        // existed) must keep parsing under the v2 parser.
+        let line = "{\"v\":1,\"event\":\"promotion\",\"generation\":20,\
+                    \"promoted\":4,\"candidates\":11}";
+        assert_eq!(
+            RunEvent::from_json(line).unwrap(),
+            RunEvent::Promotion {
+                generation: 20,
+                promoted: 4,
+                candidates: 11,
+            }
+        );
+        let line = "{\"v\":1,\"event\":\"generation_end\",\"generation\":7,\"phase\":1,\
+                    \"temperature\":\"inf\",\"promoted\":0,\"feasible\":3,\"population\":8,\
+                    \"evaluations\":64,\"front\":[[1.0,2.0]]}";
+        assert!(RunEvent::from_json(line).is_ok());
+        // Versions beyond the current schema (and zero) are rejected.
+        assert!(
+            RunEvent::from_json("{\"v\":0,\"event\":\"checkpoint_written\",\"generation\":0}")
+                .is_err()
+        );
     }
 
     #[test]

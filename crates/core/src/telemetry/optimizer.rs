@@ -154,7 +154,8 @@ impl<P: Problem + Sync> Optimizer for Nsga2<P> {
     fn run_with(&self, seed: u64, sink: &mut dyn Sink) -> Result<RunOutcome, OptimizeError> {
         let want_generation = sink.wants(EventKind::GenerationEnd);
         let want_fault = sink.wants(EventKind::EvaluationFault);
-        self.run_traced(seed, |trace| {
+        let want_timing = sink.wants(EventKind::StageTiming);
+        let emit = |trace: moea::nsga2::GenerationTrace<'_>| {
             if want_fault {
                 for fault in &trace.faults {
                     sink.record(&RunEvent::EvaluationFault {
@@ -184,7 +185,21 @@ impl<P: Problem + Sync> Optimizer for Nsga2<P> {
                     front,
                 });
             }
-        })
+            if let Some(timing) = &trace.timing {
+                sink.record(&RunEvent::StageTiming {
+                    generation: trace.generation,
+                    stages: timing.stages,
+                    candidates: timing.candidates,
+                    evaluations: timing.evaluations,
+                    cache_hits: timing.cache_hits,
+                });
+            }
+        };
+        if want_timing {
+            self.run_traced_timed(seed, emit)
+        } else {
+            self.run_traced(seed, emit)
+        }
     }
 
     fn run_until_with(

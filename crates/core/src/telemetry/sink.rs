@@ -125,11 +125,33 @@ impl JsonlSink<BufWriter<File>> {
     /// Opens `path` for appending (creating it if absent), so repeated
     /// bounded runs of one experiment can share a stream.
     ///
+    /// If the existing file ends mid-line — a previous writer crashed
+    /// between `write` and the trailing newline — a newline is appended
+    /// first, terminating the truncated line so every event this sink
+    /// writes starts on its own line. The truncated line itself is left
+    /// in place for a lossy replay
+    /// ([`RunEvent::parse_jsonl_lossy`](RunEvent::parse_jsonl_lossy))
+    /// to skip and count.
+    ///
     /// # Errors
     ///
-    /// Propagates the file-open error.
+    /// Propagates file-open, seek and repair-write errors.
     pub fn append(path: impl AsRef<Path>) -> io::Result<Self> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        use std::io::{Read as _, Seek, SeekFrom};
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        if len > 0 {
+            file.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last)?;
+            if last != [b'\n'] {
+                file.write_all(b"\n")?;
+            }
+        }
         Ok(JsonlSink::new(BufWriter::new(file)))
     }
 }
@@ -287,6 +309,61 @@ mod tests {
         assert!(Sink::flush(&mut sink).is_err());
         // The error is surfaced once, then the sink is clean again.
         assert!(Sink::flush(&mut sink).is_ok());
+    }
+
+    #[test]
+    fn append_after_mid_line_truncation_recovers_cleanly() {
+        let path = std::env::temp_dir().join(format!(
+            "analog_dse_jsonl_recovery_{}.jsonl",
+            std::process::id()
+        ));
+        // A writer records three events, then the process "crashes":
+        // the file is cut mid-way through the last line.
+        let mut sink = JsonlSink::create(&path).unwrap();
+        for g in 0..3 {
+            sink.record(&sample(g));
+        }
+        drop(sink.into_inner().unwrap());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() - 7; // mid-way through the third line
+        std::fs::write(&path, &text.as_bytes()[..cut]).unwrap();
+
+        // Reopening for append repairs the missing newline, so new
+        // events land on their own lines.
+        let mut sink = JsonlSink::append(&path).unwrap();
+        sink.record(&sample(3));
+        sink.record(&sample(4));
+        drop(sink.into_inner().unwrap());
+
+        // Lossy replay: the truncated line is skipped (and counted),
+        // everything else round-trips.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let replay = RunEvent::parse_jsonl_lossy(&text);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(replay.skipped, 1);
+        assert_eq!(replay.first_error.as_ref().unwrap().0, 3);
+        let gens: Vec<usize> = replay.events.iter().map(RunEvent::generation).collect();
+        assert_eq!(gens, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn append_to_well_formed_log_adds_no_blank_line() {
+        let path = std::env::temp_dir().join(format!(
+            "analog_dse_jsonl_append_{}.jsonl",
+            std::process::id()
+        ));
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.record(&sample(0));
+        drop(sink.into_inner().unwrap());
+        let mut sink = JsonlSink::append(&path).unwrap();
+        sink.record(&sample(1));
+        drop(sink.into_inner().unwrap());
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(text.lines().count(), 2);
+        let replay = RunEvent::parse_jsonl_lossy(&text);
+        assert_eq!(replay.skipped, 0);
+        assert_eq!(replay.events.len(), 2);
     }
 
     #[test]

@@ -61,6 +61,7 @@ mod engine;
 mod evaluator;
 mod fault;
 mod stats;
+mod timing;
 
 pub use cache::{CacheConfig, MemoCache};
 pub use engine::{EngineConfig, ExecutionEngine};
@@ -71,3 +72,4 @@ pub use fault::{
     InjectedPanic, InjectionCounts, Quarantine, RetryPolicy,
 };
 pub use stats::EngineStats;
+pub use timing::{Stage, StageNanos, StageTimer};

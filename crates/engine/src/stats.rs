@@ -63,6 +63,33 @@ impl EngineStats {
         }
     }
 
+    /// The increment accumulated since `earlier` (a snapshot of this
+    /// stats block taken at a previous generation boundary): counters
+    /// and timings subtract pairwise (saturating, so a restored or
+    /// unrelated baseline cannot underflow), while `max_batch` keeps the
+    /// current maximum since a per-window maximum is not recoverable
+    /// from two cumulative snapshots.
+    pub fn since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            candidates: self.candidates.saturating_sub(earlier.candidates),
+            evaluations: self.evaluations.saturating_sub(earlier.evaluations),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            batches: self.batches.saturating_sub(earlier.batches),
+            max_batch: self.max_batch,
+            eval_time: self.eval_time.saturating_sub(earlier.eval_time),
+            failures: self.failures.saturating_sub(earlier.failures),
+            retries: self.retries.saturating_sub(earlier.retries),
+            recovered: self.recovered.saturating_sub(earlier.recovered),
+            quarantined: self.quarantined.saturating_sub(earlier.quarantined),
+            backoff_time: self.backoff_time.saturating_sub(earlier.backoff_time),
+            injected_panics: self.injected_panics.saturating_sub(earlier.injected_panics),
+            injected_nonfinite: self
+                .injected_nonfinite
+                .saturating_sub(earlier.injected_nonfinite),
+            injected_delays: self.injected_delays.saturating_sub(earlier.injected_delays),
+        }
+    }
+
     /// Folds another stats block into this one (used when a run spans
     /// several engines, e.g. one per island).
     pub fn merge(&mut self, other: &EngineStats) {
@@ -107,6 +134,43 @@ mod tests {
         };
         assert!((s.hit_rate() - 0.3).abs() < 1e-12);
         assert!((s.mean_batch() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts_counters_saturating() {
+        let earlier = EngineStats {
+            candidates: 100,
+            evaluations: 80,
+            cache_hits: 20,
+            batches: 2,
+            max_batch: 60,
+            eval_time: Duration::from_millis(10),
+            failures: 3,
+            ..EngineStats::default()
+        };
+        let now = EngineStats {
+            candidates: 160,
+            evaluations: 120,
+            cache_hits: 40,
+            batches: 3,
+            max_batch: 60,
+            eval_time: Duration::from_millis(16),
+            failures: 4,
+            ..EngineStats::default()
+        };
+        let delta = now.since(&earlier);
+        assert_eq!(delta.candidates, 60);
+        assert_eq!(delta.evaluations, 40);
+        assert_eq!(delta.cache_hits, 20);
+        assert_eq!(delta.batches, 1);
+        assert_eq!(delta.max_batch, 60);
+        assert_eq!(delta.eval_time, Duration::from_millis(6));
+        assert_eq!(delta.failures, 1);
+        // A baseline ahead of the snapshot saturates to zero rather
+        // than underflowing.
+        let none = earlier.since(&now);
+        assert_eq!(none.candidates, 0);
+        assert_eq!(none.eval_time, Duration::ZERO);
     }
 
     #[test]

@@ -14,7 +14,10 @@ use crate::outcome::{GenerationStats, RunOutcome};
 use crate::problem::Problem;
 use crate::selection::binary_tournament;
 use crate::sorting::{environmental_selection, rank_and_crowd};
-use engine::{EngineConfig, EvaluatorKind, ExecutionEngine, FaultEvent, FaultPlan, FaultPolicy};
+use engine::{
+    EngineConfig, EvaluatorKind, ExecutionEngine, FaultEvent, FaultPlan, FaultPolicy, Stage,
+    StageNanos, StageTimer,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -166,6 +169,25 @@ pub struct GenerationTrace<'a> {
     pub faults: Vec<FaultEvent>,
     /// Cumulative objective evaluations performed so far.
     pub evaluations: u64,
+    /// Stage timing for this generation; `Some` only under
+    /// [`Nsga2::run_traced_timed`] and never for generation 0 (the
+    /// initial batch has no variation/selection stages). Wall-clock data
+    /// — not deterministic across runs.
+    pub timing: Option<TraceTiming>,
+}
+
+/// Per-generation profiling attached to a [`GenerationTrace`]: where the
+/// generation's wall-clock went and how much evaluation effort it spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceTiming {
+    /// Nanoseconds per pipeline stage.
+    pub stages: StageNanos,
+    /// Candidates submitted to the engine this generation.
+    pub candidates: u64,
+    /// Model evaluations actually performed this generation.
+    pub evaluations: u64,
+    /// Candidates answered from the memoization cache this generation.
+    pub cache_hits: u64,
 }
 
 /// Extracts the feasible rank-0 subset of a ranked population.
@@ -237,13 +259,32 @@ impl<P: Problem> Nsga2<P> {
         F: FnMut(GenerationTrace<'_>),
     {
         let mut rng = StdRng::seed_from_u64(seed);
-        self.run_with_rng(&mut rng, trace)
+        self.run_with_rng(&mut rng, trace, false)
+    }
+
+    /// Like [`run_traced`](Nsga2::run_traced), but additionally measures
+    /// per-stage wall-clock each generation and attaches it as
+    /// [`GenerationTrace::timing`]. The timer only reads the clock —
+    /// never the RNG — so a timed run remains bit-identical to an
+    /// untimed one.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_seeded`](Nsga2::run_seeded).
+    pub fn run_traced_timed<F>(&self, seed: u64, trace: F) -> Result<RunOutcome, OptimizeError>
+    where
+        P: Sync,
+        F: FnMut(GenerationTrace<'_>),
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.run_with_rng(&mut rng, trace, true)
     }
 
     fn run_with_rng<R: Rng, F>(
         &self,
         rng: &mut R,
         mut trace: F,
+        timed: bool,
     ) -> Result<RunOutcome, OptimizeError>
     where
         P: Sync,
@@ -281,11 +322,15 @@ impl<P: Problem> Nsga2<P> {
             population: &pop,
             faults: exec.take_fault_events(),
             evaluations: exec.stats().evaluations,
+            timing: None,
         });
 
+        let mut timer = StageTimer::new(timed);
+        let mut stats_mark = exec.stats().clone();
         for gen in 1..=self.config.generations {
             // Offspring via crowded tournament + SBX + mutation: generate
             // the full gene batch, then evaluate it in one engine call.
+            timer.start(Stage::Variation);
             let mut child_genes: Vec<Vec<f64>> = Vec::with_capacity(n);
             while child_genes.len() < n {
                 let pa = binary_tournament(rng, &pop);
@@ -296,22 +341,38 @@ impl<P: Problem> Nsga2<P> {
                     child_genes.push(c2);
                 }
             }
+            timer.start(Stage::Evaluation);
             let child_evals = exec.try_evaluate_batch(&child_genes, &eval_fn)?;
+            timer.stop();
             let offspring: Vec<Individual> = child_genes
                 .into_iter()
                 .zip(child_evals)
                 .map(|(genes, ev)| Individual::new(genes, ev))
                 .collect();
-            // µ+λ environmental selection.
+            // µ+λ environmental selection (the non-dominated sort and the
+            // crowded truncation are fused, so both count as selection).
+            timer.start(Stage::Selection);
             let mut combined = pop;
             combined.extend(offspring);
             pop = environmental_selection(combined, n);
+            timer.stop();
             history.push(generation_row(gen, &pop));
+            let timing = timed.then(|| {
+                let delta = exec.stats().since(&stats_mark);
+                stats_mark = exec.stats().clone();
+                TraceTiming {
+                    stages: timer.take(),
+                    candidates: delta.candidates,
+                    evaluations: delta.evaluations,
+                    cache_hits: delta.cache_hits,
+                }
+            });
             trace(GenerationTrace {
                 generation: gen,
                 population: &pop,
                 faults: exec.take_fault_events(),
                 evaluations: exec.stats().evaluations,
+                timing,
             });
         }
 

@@ -200,3 +200,50 @@ fn mesacga_front_with_memory_sink_attached_matches_snapshot() {
     check_golden("mesacga_schaffer_seed42.txt", &render_front(&r.front));
     assert!(!sink.events().is_empty());
 }
+
+#[test]
+fn sacga_front_with_stage_timing_enabled_matches_snapshot() {
+    // Stage timers read the monotonic clock but never the RNG, so a
+    // run with timing collection forced on (a sink wanting only
+    // `StageTiming`) reproduces the committed snapshot bit for bit.
+    // The timing payloads themselves are wall-clock and are *not* part
+    // of any golden comparison — only their count is checked.
+    use analog_dse::sacga::telemetry::{EventKind, RunEvent, Sink};
+
+    struct TimingOnly(usize);
+    impl Sink for TimingOnly {
+        fn record(&mut self, event: &RunEvent) {
+            assert!(matches!(event, RunEvent::StageTiming { .. }));
+            self.0 += 1;
+        }
+        fn wants(&self, kind: EventKind) -> bool {
+            kind == EventKind::StageTiming
+        }
+    }
+
+    let mut sink = TimingOnly(0);
+    let r = Sacga::new(Schaffer::new(), sacga_config())
+        .run_with(SEED, &mut sink)
+        .unwrap();
+    check_golden("sacga_schaffer_seed42.txt", &render_front(&r.front));
+    assert_eq!(sink.0, r.generations);
+}
+
+#[test]
+fn mesacga_front_with_watchdogs_attached_matches_snapshot() {
+    use analog_dse::sacga::telemetry::{FaultRateAlarm, InfeasibilityAlarm, StallDetector, Tee};
+
+    let stall = StallDetector::new(vec![16.0, 16.0], 100);
+    let infeasible = InfeasibilityAlarm::new(5);
+    let faults = FaultRateAlarm::new(0.01);
+    let mut tee = Tee::new(stall, Tee::new(infeasible, faults));
+    let r = Mesacga::new(Schaffer::new(), mesacga_config())
+        .run_with(SEED, &mut tee)
+        .unwrap();
+    check_golden("mesacga_schaffer_seed42.txt", &render_front(&r.front));
+    let (stall, rest) = tee.into_inner();
+    let (infeasible, faults) = rest.into_inner();
+    assert!(stall.warnings().is_empty());
+    assert!(infeasible.warnings().is_empty());
+    assert!(faults.warnings().is_empty());
+}

@@ -11,10 +11,54 @@ use analog_dse::sacga::local::LocalCompetitionGaBuilder;
 use analog_dse::sacga::mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
 use analog_dse::sacga::sacga::{Sacga, SacgaConfig};
 use analog_dse::sacga::telemetry::{
-    EventKind, JsonlSink, MemorySink, MetricsSink, Optimizer, RunEvent, Sink, Tee,
+    EventKind, FaultRateAlarm, InfeasibilityAlarm, JsonlSink, MemorySink, MetricsSink, Optimizer,
+    RunEvent, Sink, StallDetector, Tee,
 };
 
 const SEED: u64 = 23;
+
+/// A sink that wants only `wanted` kinds and panics if a run loop hands
+/// it anything else — proving the loops short-circuit on
+/// [`Sink::wants`] instead of constructing and emitting unwatched
+/// events.
+struct CountingSink {
+    wanted: &'static [EventKind],
+    counts: Vec<(EventKind, usize)>,
+}
+
+impl CountingSink {
+    fn new(wanted: &'static [EventKind]) -> Self {
+        CountingSink {
+            wanted,
+            counts: Vec::new(),
+        }
+    }
+
+    fn count(&self, kind: EventKind) -> usize {
+        self.counts
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |(_, n)| *n)
+    }
+}
+
+impl Sink for CountingSink {
+    fn record(&mut self, event: &RunEvent) {
+        let kind = event.kind();
+        assert!(
+            self.wanted.contains(&kind),
+            "loop recorded unwatched event kind {kind:?}"
+        );
+        match self.counts.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => self.counts.push((kind, 1)),
+        }
+    }
+
+    fn wants(&self, kind: EventKind) -> bool {
+        self.wanted.contains(&kind)
+    }
+}
 
 fn generation_ends(events: &[RunEvent]) -> Vec<usize> {
     events
@@ -207,6 +251,167 @@ fn metrics_sink_computes_one_row_per_generation() {
     assert!(last.front_size > 0);
     assert!(last.occupancy.unwrap() > 0.0);
     assert!(!metrics.wants(EventKind::Promotion));
+}
+
+/// Runs `ga` with a sink wanting only `StageTiming` (record panics on
+/// any other kind) and with a sink wanting nothing (record panics on
+/// everything), checking the short-circuit contract and the
+/// one-StageTiming-per-generation invariant.
+fn check_wants_short_circuit<O: Optimizer>(ga: &O) {
+    let mut timing_only = CountingSink::new(&[EventKind::StageTiming]);
+    let watched = ga.run_with(SEED, &mut timing_only).unwrap();
+    assert_eq!(
+        timing_only.count(EventKind::StageTiming),
+        watched.generations,
+        "{}: one StageTiming per executed generation",
+        ga.algorithm()
+    );
+    let bare = ga.run(SEED).unwrap();
+    assert_eq!(
+        bare.front_objectives(),
+        watched.front_objectives(),
+        "{}: timing collection must not perturb the run",
+        ga.algorithm()
+    );
+
+    let mut nothing = CountingSink::new(&[]);
+    ga.run_with(SEED, &mut nothing).unwrap();
+    assert!(
+        nothing.counts.is_empty(),
+        "{}: a sink wanting nothing must never see record()",
+        ga.algorithm()
+    );
+}
+
+#[test]
+fn wants_short_circuits_across_all_five_loops() {
+    check_wants_short_circuit(&Nsga2::new(
+        Schaffer::new(),
+        Nsga2Config::builder()
+            .population_size(20)
+            .generations(10)
+            .build()
+            .unwrap(),
+    ));
+    check_wants_short_circuit(
+        &LocalCompetitionGaBuilder::new()
+            .population_size(20)
+            .generations(10)
+            .partitions(4)
+            .build(Schaffer::new())
+            .unwrap(),
+    );
+    check_wants_short_circuit(&Sacga::new(
+        Schaffer::new(),
+        SacgaConfig::builder()
+            .population_size(24)
+            .generations(12)
+            .partitions(4)
+            .build()
+            .unwrap(),
+    ));
+    check_wants_short_circuit(&Mesacga::new(
+        Schaffer::new(),
+        MesacgaConfig::builder()
+            .population_size(24)
+            .phase1_max(5)
+            .phases(vec![PhaseSpec::new(4, 5), PhaseSpec::new(1, 5)])
+            .build()
+            .unwrap(),
+    ));
+    check_wants_short_circuit(&IslandGa::new(
+        Schaffer::new(),
+        IslandConfig::builder()
+            .population_size(32)
+            .generations(12)
+            .islands(4)
+            .migration_interval(4)
+            .migrants(2)
+            .build()
+            .unwrap(),
+    ));
+}
+
+#[test]
+fn stage_timing_follows_its_generation_end_and_balances_engine_counters() {
+    let ga = Sacga::new(
+        Schaffer::new(),
+        SacgaConfig::builder()
+            .population_size(24)
+            .generations(12)
+            .partitions(4)
+            .build()
+            .unwrap(),
+    );
+    let mut sink = MemorySink::new();
+    let outcome = ga.run_with(SEED, &mut sink).unwrap();
+    let events = sink.events();
+    let mut timed = 0;
+    let mut replayed_evals = 0;
+    for (i, event) in events.iter().enumerate() {
+        let RunEvent::StageTiming {
+            generation,
+            stages,
+            candidates,
+            evaluations,
+            cache_hits,
+        } = event
+        else {
+            continue;
+        };
+        timed += 1;
+        replayed_evals += evaluations;
+        // The breakdown belongs to the generation that just ended.
+        let last_end = events[..i]
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                RunEvent::GenerationEnd { generation, .. } => Some(*generation),
+                _ => None,
+            })
+            .expect("StageTiming follows a GenerationEnd");
+        assert_eq!(last_end, *generation);
+        assert!(
+            stages.total() > 0,
+            "gen {generation}: timed spans are empty"
+        );
+        assert_eq!(
+            *candidates,
+            evaluations + cache_hits,
+            "gen {generation}: engine counters must balance"
+        );
+    }
+    assert_eq!(timed, outcome.generations);
+    // Timing deltas cover everything after the initial population.
+    assert!(replayed_evals > 0 && replayed_evals <= outcome.evaluations as u64);
+}
+
+#[test]
+fn watchdogs_stay_silent_on_a_healthy_run() {
+    let ga = Sacga::new(
+        Schaffer::new(),
+        SacgaConfig::builder()
+            .population_size(24)
+            .generations(15)
+            .partitions(4)
+            .phase1_max(8)
+            .build()
+            .unwrap(),
+    );
+    let stall = StallDetector::new(vec![16.0, 16.0], 50);
+    let infeasible = InfeasibilityAlarm::new(8);
+    let faults = FaultRateAlarm::new(0.01);
+    let mut tee = Tee::new(stall, Tee::new(infeasible, faults));
+    ga.run_with(SEED, &mut tee).unwrap();
+    let (stall, rest) = tee.into_inner();
+    let (infeasible, faults) = rest.into_inner();
+    assert!(stall.warnings().is_empty(), "{:?}", stall.warnings());
+    assert!(
+        infeasible.warnings().is_empty(),
+        "{:?}",
+        infeasible.warnings()
+    );
+    assert!(faults.warnings().is_empty(), "{:?}", faults.warnings());
 }
 
 #[test]
