@@ -1,0 +1,205 @@
+//! The durable result of one campaign cell, with a crash-safe
+//! plain-text serialization.
+//!
+//! A cell file records only **scheduling-independent** data: the final
+//! feasible front (genes and objectives, as exact `f64` bit patterns),
+//! generation counters and the candidate count. Evaluation and
+//! cache-hit counters are deliberately excluded — under a shared cache
+//! they depend on which runs happened to populate the store first, and
+//! a resumed campaign must aggregate to bytes identical to an
+//! uninterrupted one.
+
+use crate::error::CampaignError;
+use moea::RunOutcome;
+
+const CELL_HEADER: &str = "campaign-cell v1";
+
+/// The outcome of one (arm, seed) cell, reduced to the
+/// deterministic facts a campaign report is built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Label of the arm that produced this cell.
+    pub arm: String,
+    /// The RNG seed of the run.
+    pub seed: u64,
+    /// The run's feasible non-dominated front: `(genes, objectives)`
+    /// per member, in the optimizer's output order.
+    pub front: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Generations executed.
+    pub generations: usize,
+    /// Length of the pure-local phase I (0 for algorithms without one).
+    pub gen_t: usize,
+    /// Candidates submitted to the evaluation engine. Unlike the
+    /// evaluation count this is a pure function of the seed: it ignores
+    /// how many candidates the (possibly shared) cache absorbed.
+    pub candidates: u64,
+}
+
+impl CellResult {
+    /// Captures the deterministic facts of a finished run.
+    pub fn from_outcome(arm: impl Into<String>, seed: u64, outcome: &RunOutcome) -> Self {
+        CellResult {
+            arm: arm.into(),
+            seed,
+            front: outcome
+                .front
+                .iter()
+                .map(|m| (m.genes.clone(), m.objectives().to_vec()))
+                .collect(),
+            generations: outcome.generations,
+            gen_t: outcome.gen_t,
+            candidates: outcome.stats.candidates,
+        }
+    }
+
+    /// Objective vectors of the stored front.
+    pub fn front_objectives(&self) -> Vec<Vec<f64>> {
+        self.front.iter().map(|(_, obj)| obj.clone()).collect()
+    }
+
+    /// Serializes to the line-oriented cell format. `f64` values are
+    /// written as 16-hex-digit bit patterns so every value round-trips
+    /// exactly; a trailing `end` record catches truncated files.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CELL_HEADER);
+        out.push('\n');
+        out.push_str(&format!("arm {}\n", self.arm));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("generations {}\n", self.generations));
+        out.push_str(&format!("gen_t {}\n", self.gen_t));
+        out.push_str(&format!("candidates {}\n", self.candidates));
+        out.push_str(&format!("front {}\n", self.front.len()));
+        for (genes, objectives) in &self.front {
+            out.push_str("member");
+            for g in genes {
+                out.push_str(&format!(" {:016x}", g.to_bits()));
+            }
+            out.push_str(" |");
+            for o in objectives {
+                out.push_str(&format!(" {:016x}", o.to_bits()));
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the cell format written by [`to_text`](CellResult::to_text).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::CorruptCell`] on any malformed, truncated
+    /// or version-mismatched input — including a file torn by a crash
+    /// mid-write, which a resuming runner treats as "cell not done".
+    pub fn from_text(text: &str) -> Result<Self, CampaignError> {
+        let corrupt = |detail: &str| CampaignError::corrupt_cell(detail);
+        let mut lines = text.lines();
+        if lines.next() != Some(CELL_HEADER) {
+            return Err(corrupt("missing or unsupported header"));
+        }
+        let arm = field(lines.next(), "arm")?.to_string();
+        let seed: u64 = parse_int(field(lines.next(), "seed")?)?;
+        let generations: usize = parse_int(field(lines.next(), "generations")?)?;
+        let gen_t: usize = parse_int(field(lines.next(), "gen_t")?)?;
+        let candidates: u64 = parse_int(field(lines.next(), "candidates")?)?;
+        let count: usize = parse_int(field(lines.next(), "front")?)?;
+        let mut front = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines.next().ok_or_else(|| corrupt("truncated front"))?;
+            let rest = line
+                .strip_prefix("member")
+                .ok_or_else(|| corrupt("expected member record"))?;
+            let (genes_part, obj_part) = rest
+                .split_once(" |")
+                .ok_or_else(|| corrupt("member record missing separator"))?;
+            front.push((parse_hex_vec(genes_part)?, parse_hex_vec(obj_part)?));
+        }
+        if lines.next() != Some("end") {
+            return Err(corrupt("missing end marker"));
+        }
+        Ok(CellResult {
+            arm,
+            seed,
+            front,
+            generations,
+            gen_t,
+            candidates,
+        })
+    }
+}
+
+fn field<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, CampaignError> {
+    let line = line.ok_or_else(|| CampaignError::corrupt_cell(format!("missing `{key}` line")))?;
+    line.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .ok_or_else(|| CampaignError::corrupt_cell(format!("expected `{key}` line, got `{line}`")))
+}
+
+fn parse_int<T: std::str::FromStr>(tok: &str) -> Result<T, CampaignError> {
+    tok.parse()
+        .map_err(|_| CampaignError::corrupt_cell(format!("bad integer `{tok}`")))
+}
+
+fn parse_hex_vec(part: &str) -> Result<Vec<f64>, CampaignError> {
+    part.split_whitespace()
+        .map(|tok| {
+            u64::from_str_radix(tok, 16)
+                .map(f64::from_bits)
+                .map_err(|_| CampaignError::corrupt_cell(format!("bad f64 bit pattern `{tok}`")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CellResult {
+        CellResult {
+            arm: "sacga8".into(),
+            seed: 42,
+            front: vec![
+                (vec![0.25, -0.0], vec![f64::INFINITY, 1.0 / 3.0]),
+                (vec![1.5e-300], vec![-2.0, 0.0]),
+            ],
+            generations: 30,
+            gen_t: 7,
+            candidates: 930,
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let cell = sample();
+        let back = CellResult::from_text(&cell.to_text()).unwrap();
+        assert_eq!(back, cell);
+        // Bit-exactness of the tricky values.
+        assert_eq!(back.front[0].0[1].to_bits(), (-0.0f64).to_bits());
+        assert!(back.front[0].1[0].is_infinite());
+    }
+
+    #[test]
+    fn truncated_text_is_rejected() {
+        let text = sample().to_text();
+        for cut in [10, text.len() / 2, text.len() - 2] {
+            assert!(
+                CellResult::from_text(&text[..cut]).is_err(),
+                "cut at {cut} should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_header_is_rejected() {
+        let text = sample().to_text().replace("v1", "v9");
+        assert!(CellResult::from_text(&text).is_err());
+    }
+
+    #[test]
+    fn empty_front_round_trips() {
+        let mut cell = sample();
+        cell.front.clear();
+        assert_eq!(CellResult::from_text(&cell.to_text()).unwrap(), cell);
+    }
+}

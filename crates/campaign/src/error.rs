@@ -1,0 +1,71 @@
+//! Campaign-level errors.
+
+use moea::OptimizeError;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong while orchestrating a campaign.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Filesystem trouble with state or telemetry artifacts.
+    Io(io::Error),
+    /// An optimizer run failed; carries the cell's arm label and seed.
+    Run {
+        /// Label of the failing arm.
+        arm: String,
+        /// Seed of the failing cell.
+        seed: u64,
+        /// The underlying optimizer error.
+        source: OptimizeError,
+    },
+    /// A completed-cell file did not parse (and was not simply absent).
+    CorruptCell {
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The campaign specification itself is unusable.
+    InvalidSpec(String),
+}
+
+impl CampaignError {
+    pub(crate) fn corrupt_cell(detail: impl Into<String>) -> Self {
+        CampaignError::CorruptCell {
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn invalid_spec(detail: impl Into<String>) -> Self {
+        CampaignError::InvalidSpec(detail.into())
+    }
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "campaign I/O error: {e}"),
+            CampaignError::Run { arm, seed, source } => {
+                write!(f, "cell {arm}/seed {seed} failed: {source}")
+            }
+            CampaignError::CorruptCell { detail } => {
+                write!(f, "corrupt cell file: {detail}")
+            }
+            CampaignError::InvalidSpec(detail) => write!(f, "invalid campaign: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Io(e) => Some(e),
+            CampaignError::Run { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CampaignError {
+    fn from(e: io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}

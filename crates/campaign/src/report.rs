@@ -1,0 +1,465 @@
+//! Per-cell front metrics and the aggregate campaign report.
+//!
+//! The report is a **pure function** of the cell results (in canonical
+//! arm-major order), the metric specification, and the statistics
+//! parameters — never of thread scheduling, wall-clock time, or cache
+//! sharing. Its JSON rendering is hand-rolled with shortest-roundtrip
+//! float formatting, so byte-for-byte identity across repeated runs is
+//! an invariant the test suite pins.
+
+use crate::cell::CellResult;
+use crate::stats::{bootstrap_mean_diff, rank_sum};
+use moea::hypervolume::hypervolume_2d;
+use moea::metrics::{bin_occupancy, spread};
+
+/// How per-cell front metrics are computed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSpec {
+    /// Reference point for the 2-D hypervolume (objectives are
+    /// minimized; fronts are clipped to the dominated box).
+    pub reference: [f64; 2],
+    /// Objective whose range is binned for the occupancy metric.
+    pub occupancy_objective: usize,
+    /// The `[lo, hi]` range binned for occupancy.
+    pub occupancy_range: (f64, f64),
+    /// Number of occupancy bins.
+    pub occupancy_bins: usize,
+    /// Resamples for each bootstrap confidence interval.
+    pub bootstrap_resamples: usize,
+    /// Seed of the bootstrap RNG.
+    pub bootstrap_seed: u64,
+}
+
+impl MetricSpec {
+    /// A spec with the given hypervolume reference and occupancy
+    /// binning, defaulting to 1000 bootstrap resamples at seed 0.
+    pub fn new(reference: [f64; 2], occupancy_range: (f64, f64), occupancy_bins: usize) -> Self {
+        MetricSpec {
+            reference,
+            occupancy_objective: 0,
+            occupancy_range,
+            occupancy_bins,
+            bootstrap_resamples: 1000,
+            bootstrap_seed: 0,
+        }
+    }
+}
+
+/// The three front metrics of one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontMetrics {
+    /// 2-D hypervolume against [`MetricSpec::reference`] (first two
+    /// objectives).
+    pub hypervolume: f64,
+    /// Deb's Δ spread (lower = more uniform; 0 for fronts under 3
+    /// points).
+    pub spread: f64,
+    /// Fraction of occupancy bins holding at least one front point —
+    /// the paper's "well distributed over the entire range" notion.
+    pub occupancy: f64,
+}
+
+/// Computes the three metrics of one front.
+pub fn front_metrics(front: &[Vec<f64>], spec: &MetricSpec) -> FrontMetrics {
+    let pts: Vec<[f64; 2]> = front
+        .iter()
+        .filter(|p| p.len() >= 2)
+        .map(|p| [p[0], p[1]])
+        .collect();
+    FrontMetrics {
+        hypervolume: hypervolume_2d(&pts, spec.reference),
+        spread: spread(front),
+        occupancy: bin_occupancy(
+            front,
+            spec.occupancy_objective,
+            spec.occupancy_range.0,
+            spec.occupancy_range.1,
+            spec.occupancy_bins,
+        ),
+    }
+}
+
+/// One cell's row in the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Seed of the run.
+    pub seed: u64,
+    /// Front size.
+    pub front_size: usize,
+    /// Generations executed.
+    pub generations: usize,
+    /// Phase-I length.
+    pub gen_t: usize,
+    /// Candidates submitted to the engine (scheduling-independent).
+    pub candidates: u64,
+    /// The cell's front metrics.
+    pub metrics: FrontMetrics,
+}
+
+/// All cells of one arm, in seed order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmReport {
+    /// The arm's label.
+    pub label: String,
+    /// One row per seed, in the campaign's seed order.
+    pub cells: Vec<CellReport>,
+}
+
+impl ArmReport {
+    /// The named metric across this arm's cells, in seed order.
+    pub fn metric_values(&self, metric: Metric) -> Vec<f64> {
+        self.cells
+            .iter()
+            .map(|c| match metric {
+                Metric::Hypervolume => c.metrics.hypervolume,
+                Metric::Spread => c.metrics.spread,
+                Metric::Occupancy => c.metrics.occupancy,
+            })
+            .collect()
+    }
+}
+
+/// The metrics compared across arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// 2-D hypervolume (higher = better converged).
+    Hypervolume,
+    /// Deb's Δ spread (lower = more uniform).
+    Spread,
+    /// Occupancy fraction (higher = more diverse).
+    Occupancy,
+}
+
+impl Metric {
+    /// All compared metrics, in report order.
+    pub const ALL: [Metric; 3] = [Metric::Hypervolume, Metric::Spread, Metric::Occupancy];
+
+    /// Stable lower-case name used in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Hypervolume => "hypervolume",
+            Metric::Spread => "spread",
+            Metric::Occupancy => "occupancy",
+        }
+    }
+}
+
+/// An exact rank-sum test plus bootstrap CI between two arms on one
+/// metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// The compared metric's stable name.
+    pub metric: String,
+    /// Label of arm "a".
+    pub arm_a: String,
+    /// Label of arm "b".
+    pub arm_b: String,
+    /// Mann-Whitney U of arm "a".
+    pub u_a: f64,
+    /// One-sided p-value that "a" tends larger.
+    pub p_a_greater: f64,
+    /// One-sided p-value that "b" tends larger.
+    pub p_b_greater: f64,
+    /// Observed `mean(a) − mean(b)`.
+    pub mean_diff: f64,
+    /// Bootstrap CI lower edge for the mean difference.
+    pub ci_lo: f64,
+    /// Bootstrap CI upper edge for the mean difference.
+    pub ci_hi: f64,
+}
+
+/// The aggregate campaign report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Per-arm per-cell rows, in arm declaration order.
+    pub arms: Vec<ArmReport>,
+    /// Pairwise arm comparisons over every [`Metric`], ordered by arm
+    /// pair then metric.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl CampaignReport {
+    /// Builds the report from cell results in canonical arm-major
+    /// order. `arm_labels` names the arms in declaration order; each
+    /// result's `arm` field must match the label of the block it sits
+    /// in.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `results.len()` is not a multiple of
+    /// `arm_labels.len()` or a result sits in the wrong arm block —
+    /// both are orchestration bugs, not recoverable conditions.
+    pub fn build(
+        name: impl Into<String>,
+        arm_labels: &[String],
+        results: &[CellResult],
+        spec: &MetricSpec,
+    ) -> Self {
+        assert!(
+            !arm_labels.is_empty() && results.len().is_multiple_of(arm_labels.len()),
+            "results must form an arms × seeds matrix"
+        );
+        let per_arm = results.len() / arm_labels.len();
+        let arms: Vec<ArmReport> = arm_labels
+            .iter()
+            .enumerate()
+            .map(|(i, label)| {
+                let cells = results[i * per_arm..(i + 1) * per_arm]
+                    .iter()
+                    .map(|cell| {
+                        assert_eq!(&cell.arm, label, "cell result in the wrong arm block");
+                        CellReport {
+                            seed: cell.seed,
+                            front_size: cell.front.len(),
+                            generations: cell.generations,
+                            gen_t: cell.gen_t,
+                            candidates: cell.candidates,
+                            metrics: front_metrics(&cell.front_objectives(), spec),
+                        }
+                    })
+                    .collect();
+                ArmReport {
+                    label: label.clone(),
+                    cells,
+                }
+            })
+            .collect();
+
+        let mut comparisons = Vec::new();
+        for i in 0..arms.len() {
+            for j in (i + 1)..arms.len() {
+                for metric in Metric::ALL {
+                    let a = arms[i].metric_values(metric);
+                    let b = arms[j].metric_values(metric);
+                    let rs = rank_sum(&a, &b);
+                    let ci = bootstrap_mean_diff(
+                        &a,
+                        &b,
+                        spec.bootstrap_resamples,
+                        0.95,
+                        spec.bootstrap_seed,
+                    );
+                    comparisons.push(Comparison {
+                        metric: metric.name().to_string(),
+                        arm_a: arms[i].label.clone(),
+                        arm_b: arms[j].label.clone(),
+                        u_a: rs.u_a,
+                        p_a_greater: rs.p_a_greater,
+                        p_b_greater: rs.p_b_greater,
+                        mean_diff: ci.point,
+                        ci_lo: ci.lo,
+                        ci_hi: ci.hi,
+                    });
+                }
+            }
+        }
+        CampaignReport {
+            name: name.into(),
+            arms,
+            comparisons,
+        }
+    }
+
+    /// The comparison row for `(arm_a, arm_b, metric)`, in either arm
+    /// order (swapping the roles of the one-sided p-values as needed).
+    pub fn comparison(&self, arm_a: &str, arm_b: &str, metric: Metric) -> Option<Comparison> {
+        for c in &self.comparisons {
+            if c.metric != metric.name() {
+                continue;
+            }
+            if c.arm_a == arm_a && c.arm_b == arm_b {
+                return Some(c.clone());
+            }
+            if c.arm_a == arm_b && c.arm_b == arm_a {
+                let mut sw = c.clone();
+                std::mem::swap(&mut sw.arm_a, &mut sw.arm_b);
+                std::mem::swap(&mut sw.p_a_greater, &mut sw.p_b_greater);
+                sw.u_a =
+                    (self.arm(arm_a)?.cells.len() * self.arm(arm_b)?.cells.len()) as f64 - c.u_a;
+                sw.mean_diff = -c.mean_diff;
+                sw.ci_lo = -c.ci_hi;
+                sw.ci_hi = -c.ci_lo;
+                return Some(sw);
+            }
+        }
+        None
+    }
+
+    /// The report block of the named arm.
+    pub fn arm(&self, label: &str) -> Option<&ArmReport> {
+        self.arms.iter().find(|a| a.label == label)
+    }
+
+    /// Renders the report as deterministic, human-readable JSON.
+    ///
+    /// Floats use Rust's shortest-roundtrip formatting (a pure-Rust
+    /// algorithm, identical on every platform); non-finite values
+    /// become `null`. Key order and whitespace are fixed, so two
+    /// reports built from identical cell results are byte-identical.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"campaign\": {},\n", json_str(&self.name)));
+        out.push_str("  \"arms\": [\n");
+        for (ai, arm) in self.arms.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"label\": {},\n", json_str(&arm.label)));
+            out.push_str("      \"cells\": [\n");
+            for (ci, cell) in arm.cells.iter().enumerate() {
+                out.push_str(&format!(
+                    "        {{\"seed\": {}, \"front_size\": {}, \"generations\": {}, \
+                     \"gen_t\": {}, \"candidates\": {}, \"hypervolume\": {}, \
+                     \"spread\": {}, \"occupancy\": {}}}{}\n",
+                    cell.seed,
+                    cell.front_size,
+                    cell.generations,
+                    cell.gen_t,
+                    cell.candidates,
+                    json_num(cell.metrics.hypervolume),
+                    json_num(cell.metrics.spread),
+                    json_num(cell.metrics.occupancy),
+                    comma(ci, arm.cells.len()),
+                ));
+            }
+            out.push_str("      ]\n");
+            out.push_str(&format!("    }}{}\n", comma(ai, self.arms.len())));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"comparisons\": [\n");
+        for (ci, c) in self.comparisons.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"metric\": {}, \"arm_a\": {}, \"arm_b\": {}, \"u_a\": {}, \
+                 \"p_a_greater\": {}, \"p_b_greater\": {}, \"mean_diff\": {}, \
+                 \"ci_lo\": {}, \"ci_hi\": {}}}{}\n",
+                json_str(&c.metric),
+                json_str(&c.arm_a),
+                json_str(&c.arm_b),
+                json_num(c.u_a),
+                json_num(c.p_a_greater),
+                json_num(c.p_b_greater),
+                json_num(c.mean_diff),
+                json_num(c.ci_lo),
+                json_num(c.ci_hi),
+                comma(ci, self.comparisons.len()),
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn comma(index: usize, len: usize) -> &'static str {
+    if index + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(arm: &str, seed: u64, shift: f64) -> CellResult {
+        // A 4-point front along objective 0 in [0, 1], shifted.
+        let front = (0..4)
+            .map(|i| {
+                let x = (i as f64 + shift) / 4.0;
+                (vec![x], vec![x, 1.0 - x])
+            })
+            .collect();
+        CellResult {
+            arm: arm.into(),
+            seed,
+            front,
+            generations: 10,
+            gen_t: 2,
+            candidates: 100 + seed,
+        }
+    }
+
+    fn sample_results() -> (Vec<String>, Vec<CellResult>) {
+        let labels = vec!["alpha".to_string(), "beta".to_string()];
+        let results = vec![
+            cell("alpha", 1, 0.0),
+            cell("alpha", 2, 0.1),
+            cell("beta", 1, 0.5),
+            cell("beta", 2, 0.6),
+        ];
+        (labels, results)
+    }
+
+    fn spec() -> MetricSpec {
+        MetricSpec::new([2.0, 2.0], (0.0, 1.0), 8)
+    }
+
+    #[test]
+    fn report_is_deterministic_json() {
+        let (labels, results) = sample_results();
+        let r1 = CampaignReport::build("unit", &labels, &results, &spec());
+        let r2 = CampaignReport::build("unit", &labels, &results, &spec());
+        assert_eq!(r1.to_json(), r2.to_json());
+        assert!(r1.to_json().contains("\"campaign\": \"unit\""));
+        // 1 arm pair × 3 metrics.
+        assert_eq!(r1.comparisons.len(), 3);
+    }
+
+    #[test]
+    fn comparison_lookup_swaps_sides() {
+        let (labels, results) = sample_results();
+        let report = CampaignReport::build("unit", &labels, &results, &spec());
+        let fwd = report
+            .comparison("alpha", "beta", Metric::Hypervolume)
+            .unwrap();
+        let rev = report
+            .comparison("beta", "alpha", Metric::Hypervolume)
+            .unwrap();
+        assert_eq!(fwd.p_a_greater, rev.p_b_greater);
+        assert_eq!(fwd.mean_diff, -rev.mean_diff);
+        assert_eq!(fwd.ci_lo, -rev.ci_hi);
+    }
+
+    #[test]
+    fn json_escapes_and_non_finite() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert_eq!(json_num(0.25), "0.25");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arm block")]
+    fn mismatched_arm_label_is_detected() {
+        let (labels, mut results) = sample_results();
+        results.swap(0, 2);
+        CampaignReport::build("unit", &labels, &results, &spec());
+    }
+}

@@ -1,0 +1,264 @@
+//! The multi-threaded campaign executor.
+//!
+//! Workers claim cells from a shared atomic counter (work stealing:
+//! whichever thread goes idle first picks up the next cell), execute
+//! them through the object-safe [`DynOptimizer`] API, and park each
+//! finished cell as a crash-safe state file. Three properties hold by
+//! construction:
+//!
+//! * **Bit-identical cells.** A cell's result depends only on its arm
+//!   and seed — never on the thread that ran it, the cells that ran
+//!   before it, or the shared cache's contents (cached evaluations are
+//!   pure functions of the genes).
+//! * **Deterministic aggregation.** Results are returned in canonical
+//!   arm-major order whatever the completion order, so downstream
+//!   reports are byte-stable.
+//! * **Resumability.** With a state directory configured, finished
+//!   cells persist; a rerun of the same campaign loads them instead of
+//!   re-running, and a torn file (killed mid-write) is re-run. The
+//!   aggregate of kill + resume is byte-identical to an uninterrupted
+//!   run.
+
+use crate::cell::CellResult;
+use crate::error::CampaignError;
+use crate::spec::{Campaign, CellId};
+use engine::{CacheConfig, SharedCache};
+use moea::Evaluation;
+use sacga::checkpoint::cell_artifact_name;
+use sacga::telemetry::{JsonlSink, NullSink, Sink};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Configuration of a [`CampaignRunner`].
+#[derive(Debug, Clone, Default)]
+pub struct RunnerConfig {
+    /// Worker threads (0 and 1 both mean serial execution).
+    pub threads: usize,
+    /// When set, all cells share one evaluation memo-store of this
+    /// configuration (per-run hit attribution stays exact; see
+    /// [`SharedCache`]).
+    pub shared_cache: Option<CacheConfig>,
+    /// When set, each finished cell persists here as
+    /// `cell_<arm>_seed<seed>.cell`, and reruns resume from these
+    /// files.
+    pub state_dir: Option<PathBuf>,
+    /// When set, each cell's run-event stream fans out here as
+    /// `cell_<arm>_seed<seed>.jsonl`.
+    pub telemetry_dir: Option<PathBuf>,
+}
+
+impl RunnerConfig {
+    /// Sets the worker-thread count (builder style).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Pools evaluation memoization across all cells (builder style).
+    pub fn shared_cache(mut self, cache: CacheConfig) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Enables checkpoint-based campaign resume (builder style).
+    pub fn state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables per-cell JSONL telemetry fan-out (builder style).
+    pub fn telemetry_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.telemetry_dir = Some(dir.into());
+        self
+    }
+}
+
+/// Executes [`Campaign`]s according to a [`RunnerConfig`].
+#[derive(Debug, Default)]
+pub struct CampaignRunner {
+    config: RunnerConfig,
+}
+
+impl CampaignRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: RunnerConfig) -> Self {
+        CampaignRunner { config }
+    }
+
+    /// The runner's configuration.
+    pub fn config(&self) -> &RunnerConfig {
+        &self.config
+    }
+
+    /// Runs every cell of `campaign`, returning results in canonical
+    /// arm-major order. Cells already persisted in the state directory
+    /// are loaded, not re-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CampaignError`] any worker hits (remaining
+    /// workers stop claiming new cells).
+    pub fn run<'p>(&self, campaign: &Campaign<'p>) -> Result<Vec<CellResult>, CampaignError> {
+        Ok(self
+            .run_at_most(campaign, usize::MAX)?
+            .expect("an unbounded run finishes every cell"))
+    }
+
+    /// Runs at most `budget` not-yet-persisted cells, then stops — the
+    /// campaign-level analogue of killing the process mid-campaign,
+    /// used to exercise resume deterministically.
+    ///
+    /// Returns `Some(results)` when every cell is now complete (run or
+    /// loaded), `None` when the budget ran out first. With more than
+    /// one worker thread, *which* cells consume the budget depends on
+    /// scheduling; resume semantics hold regardless.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](CampaignRunner::run).
+    pub fn run_at_most<'p>(
+        &self,
+        campaign: &Campaign<'p>,
+        budget: usize,
+    ) -> Result<Option<Vec<CellResult>>, CampaignError> {
+        if campaign.arms().is_empty() {
+            return Err(CampaignError::invalid_spec("campaign has no arms"));
+        }
+        if campaign.seed_list().is_empty() {
+            return Err(CampaignError::invalid_spec("campaign has no seeds"));
+        }
+        {
+            let mut labels: Vec<&str> = campaign.arms().iter().map(|a| a.label()).collect();
+            labels.sort_unstable();
+            if labels.windows(2).any(|w| w[0] == w[1]) {
+                return Err(CampaignError::invalid_spec("duplicate arm labels"));
+            }
+        }
+        if let Some(dir) = &self.config.state_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        if let Some(dir) = &self.config.telemetry_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+
+        let cells = campaign.cells();
+        let shared = self
+            .config
+            .shared_cache
+            .clone()
+            .map(SharedCache::<Evaluation>::new);
+        let slots: Vec<Mutex<Option<CellResult>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let spent = AtomicUsize::new(0);
+        let failure: Mutex<Option<CampaignError>> = Mutex::new(None);
+        let workers = self.config.threads.clamp(1, cells.len().max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if failure.lock().expect("failure slot poisoned").is_some() {
+                        return;
+                    }
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= cells.len() {
+                        return;
+                    }
+                    match self.run_cell(campaign, cells[i], shared.as_ref(), &spent, budget) {
+                        Ok(done) => {
+                            *slots[i].lock().expect("result slot poisoned") = done;
+                        }
+                        Err(e) => {
+                            let mut slot = failure.lock().expect("failure slot poisoned");
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some(e) = failure.into_inner().expect("failure slot poisoned") {
+            return Err(e);
+        }
+        let mut results = Vec::with_capacity(cells.len());
+        for slot in slots {
+            match slot.into_inner().expect("result slot poisoned") {
+                Some(result) => results.push(result),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(results))
+    }
+
+    /// Executes (or loads) one cell. `Ok(None)` means the cell was
+    /// skipped because the budget of fresh runs is exhausted.
+    fn run_cell<'p>(
+        &self,
+        campaign: &Campaign<'p>,
+        cell: CellId,
+        shared: Option<&SharedCache<Evaluation>>,
+        spent: &AtomicUsize,
+        budget: usize,
+    ) -> Result<Option<CellResult>, CampaignError> {
+        let arm = &campaign.arms()[cell.arm];
+        let seed = campaign.seed_list()[cell.seed_index];
+
+        let state_path = self
+            .config
+            .state_dir
+            .as_ref()
+            .map(|dir| dir.join(cell_artifact_name(arm.label(), seed, "cell")));
+        if let Some(path) = &state_path {
+            match std::fs::read_to_string(path) {
+                // A parse failure means the previous writer died
+                // mid-write; fall through and re-run the cell.
+                Ok(text) => {
+                    if let Ok(loaded) = CellResult::from_text(&text) {
+                        if loaded.arm == arm.label() && loaded.seed == seed {
+                            return Ok(Some(loaded));
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        if spent.fetch_add(1, Ordering::SeqCst) >= budget {
+            return Ok(None);
+        }
+
+        let optimizer = arm.build(shared);
+        let run_err = |source| CampaignError::Run {
+            arm: arm.label().to_string(),
+            seed,
+            source,
+        };
+        let outcome = match &self.config.telemetry_dir {
+            Some(dir) => {
+                let log = dir.join(cell_artifact_name(arm.label(), seed, "jsonl"));
+                let mut sink = JsonlSink::create(log)?;
+                let outcome = optimizer.run_dyn_with(seed, &mut sink).map_err(run_err)?;
+                Sink::flush(&mut sink)?;
+                outcome
+            }
+            None => optimizer
+                .run_dyn_with(seed, &mut NullSink)
+                .map_err(run_err)?,
+        };
+        let result = CellResult::from_outcome(arm.label(), seed, &outcome);
+
+        if let Some(path) = &state_path {
+            // Write-then-rename so a kill can only ever leave a torn
+            // `.partial`, never a torn cell file.
+            let tmp = path.with_extension("cell.partial");
+            std::fs::write(&tmp, result.to_text())?;
+            std::fs::rename(&tmp, path)?;
+        }
+        Ok(Some(result))
+    }
+}

@@ -1,0 +1,276 @@
+//! Bit-stable statistics for cross-algorithm comparisons.
+//!
+//! Stochastic-optimizer claims are distributional, so the campaign
+//! layer compares arms with an **exact Mann-Whitney rank-sum test** and
+//! **bootstrap confidence intervals**. Both are implemented so repeated
+//! runs — on any platform — produce bit-identical numbers:
+//!
+//! * the Mann-Whitney null distribution is counted exactly with an
+//!   integer dynamic program (`u128` arrangement counts); the only
+//!   floating-point operation is one final division;
+//! * pairwise comparisons and percentiles use `f64::total_cmp`, and
+//!   sums run in fixed order, so no result depends on iteration order
+//!   or a platform `libm` (`exp`/`ln` are never called);
+//! * the bootstrap draws its resamples from the workspace's own seeded
+//!   [`rand::rngs::StdRng`], never from ambient entropy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of an exact Mann-Whitney rank-sum test between samples `a`
+/// and `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankSum {
+    /// The U statistic of sample `a`: the number of pairs `(x, y)` with
+    /// `x > y`, counting ties as one half (so `U` may be half-integer).
+    pub u_a: f64,
+    /// One-sided p-value for the alternative "`a` tends larger":
+    /// `P(U ≥ u_a)` under the exact null distribution.
+    pub p_a_greater: f64,
+    /// One-sided p-value for the alternative "`b` tends larger":
+    /// `P(U ≤ u_a)` under the exact null distribution.
+    pub p_b_greater: f64,
+}
+
+/// Exact Mann-Whitney rank-sum test.
+///
+/// The U statistic is computed by direct pairwise comparison with
+/// mid-rank tie handling. P-values come from the exact no-ties null
+/// distribution of U, counted by the standard recurrence
+/// `N(u | m, n) = N(u − n | m − 1, n) + N(u | m, n − 1)` in `u128`
+/// arithmetic; with ties present this is the usual (slightly
+/// conservative) exact treatment. Both one-sided p-values are reported;
+/// each includes the observed value (`≥` / `≤`), so the test is valid
+/// at level α when the reported side is below α.
+///
+/// # Panics
+///
+/// Panics when either sample is empty or any value is NaN.
+pub fn rank_sum(a: &[f64], b: &[f64]) -> RankSum {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    assert!(
+        a.iter().chain(b).all(|v| !v.is_nan()),
+        "samples must be NaN-free"
+    );
+    let m = a.len();
+    let n = b.len();
+    // Doubled U keeps ties (half-counts) in integers.
+    let mut twice_u: u64 = 0;
+    for x in a {
+        for y in b {
+            match x.total_cmp(y) {
+                std::cmp::Ordering::Greater => twice_u += 2,
+                std::cmp::Ordering::Equal => twice_u += 1,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+    }
+
+    let counts = u_distribution(m, n);
+    let total: u128 = counts.iter().sum();
+    // P(U >= u_a): integer u qualifies iff 2u >= twice_u.
+    let ge: u128 = counts
+        .iter()
+        .enumerate()
+        .filter(|(u, _)| 2 * *u as u64 >= twice_u)
+        .map(|(_, c)| *c)
+        .sum();
+    // P(U <= u_a): integer u qualifies iff 2u <= twice_u.
+    let le: u128 = counts
+        .iter()
+        .enumerate()
+        .filter(|(u, _)| 2 * *u as u64 <= twice_u)
+        .map(|(_, c)| *c)
+        .sum();
+    RankSum {
+        u_a: twice_u as f64 / 2.0,
+        p_a_greater: ge as f64 / total as f64,
+        p_b_greater: le as f64 / total as f64,
+    }
+}
+
+/// Number of arrangements of `m` + `n` distinct values giving each
+/// possible U ∈ `0..=m*n`, by the Mann-Whitney counting recurrence.
+fn u_distribution(m: usize, n: usize) -> Vec<u128> {
+    let max_u = m * n;
+    // table[i][j] = distribution of U over u for sample sizes (i, j).
+    let mut prev_row: Vec<Vec<u128>> = (0..=n)
+        .map(|_| {
+            let mut v = vec![0u128; max_u + 1];
+            v[0] = 1; // f(0, j, 0) = 1
+            v
+        })
+        .collect();
+    for _i in 1..=m {
+        let mut row: Vec<Vec<u128>> = Vec::with_capacity(n + 1);
+        // j = 0: f(i, 0, 0) = 1.
+        let mut first = vec![0u128; max_u + 1];
+        first[0] = 1;
+        row.push(first);
+        for j in 1..=n {
+            let mut dist = vec![0u128; max_u + 1];
+            for (u, slot) in dist.iter_mut().enumerate() {
+                // f(i, j, u) = f(i-1, j, u-j) + f(i, j-1, u)
+                let a = if u >= j { prev_row[j][u - j] } else { 0 };
+                let b = row[j - 1][u];
+                *slot = a + b;
+            }
+            row.push(dist);
+        }
+        prev_row = row;
+    }
+    prev_row.pop().expect("n+1 rows were built")
+}
+
+/// A bootstrap confidence interval for the difference of means
+/// `mean(a) − mean(b)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Observed `mean(a) − mean(b)`.
+    pub point: f64,
+    /// Lower edge of the interval.
+    pub lo: f64,
+    /// Upper edge of the interval.
+    pub hi: f64,
+    /// Number of bootstrap resamples drawn.
+    pub resamples: usize,
+}
+
+/// Percentile bootstrap CI for `mean(a) − mean(b)` at the given
+/// confidence level, fully deterministic for a given `seed`.
+///
+/// Resample indices come from a seeded [`StdRng`]; means are summed in
+/// index order; percentile edges are picked by integer index after a
+/// `total_cmp` sort — no operation depends on platform math libraries
+/// or iteration nondeterminism.
+///
+/// # Panics
+///
+/// Panics when either sample is empty, `resamples == 0`, or `level` is
+/// outside `(0, 1)`.
+pub fn bootstrap_mean_diff(
+    a: &[f64],
+    b: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> BootstrapCi {
+    assert!(!a.is_empty() && !b.is_empty(), "samples must be non-empty");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must lie in (0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut diffs = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let ra = resample_mean(a, &mut rng);
+        let rb = resample_mean(b, &mut rng);
+        diffs.push(ra - rb);
+    }
+    diffs.sort_by(|x, y| x.total_cmp(y));
+    // Indices of the (1−level)/2 and 1−(1−level)/2 percentiles, clamped
+    // into range; computed from integers so the pick is exact.
+    let tail = (1.0 - level) / 2.0;
+    let lo_idx = ((resamples as f64 * tail) as usize).min(resamples - 1);
+    let hi_idx = ((resamples as f64 * (1.0 - tail)) as usize).min(resamples - 1);
+    BootstrapCi {
+        point: mean(a) - mean(b),
+        lo: diffs[lo_idx],
+        hi: diffs[hi_idx],
+        resamples,
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for x in xs {
+        sum += x;
+    }
+    sum / xs.len() as f64
+}
+
+fn resample_mean(xs: &[f64], rng: &mut StdRng) -> f64 {
+    let mut sum = 0.0;
+    for _ in 0..xs.len() {
+        sum += xs[rng.gen_range(0..xs.len())];
+    }
+    sum / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_distribution_is_symmetric_and_complete() {
+        let d = u_distribution(4, 5);
+        let total: u128 = d.iter().sum();
+        // C(9, 4) = 126 arrangements.
+        assert_eq!(total, 126);
+        for u in 0..d.len() {
+            assert_eq!(d[u], d[d.len() - 1 - u], "symmetry at u={u}");
+        }
+    }
+
+    #[test]
+    fn clearly_separated_samples_reject_the_null() {
+        let a: Vec<f64> = (0..10).map(|i| 100.0 + i as f64).collect();
+        let b: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let r = rank_sum(&a, &b);
+        assert_eq!(r.u_a, 100.0); // every pair favors a
+        assert!(r.p_a_greater < 0.001, "p = {}", r.p_a_greater);
+        assert!(r.p_b_greater > 0.999);
+    }
+
+    #[test]
+    fn identical_samples_are_insignificant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let r = rank_sum(&a, &a);
+        // All-ties: U = mn/2, both one-sided p-values include the bulk.
+        assert_eq!(r.u_a, 8.0);
+        assert!(r.p_a_greater > 0.4);
+        assert!(r.p_b_greater > 0.4);
+    }
+
+    #[test]
+    fn rank_sum_matches_known_table_value() {
+        // m = n = 3, a entirely above b: U = 9,
+        // P(U >= 9) = 1 / C(6,3) = 0.05.
+        let r = rank_sum(&[4.0, 5.0, 6.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(r.u_a, 9.0);
+        assert!((r.p_a_greater - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_sum_is_bit_stable() {
+        let a = [0.3, 0.7, 0.1, 0.9, 0.5];
+        let b = [0.2, 0.6, 0.4, 0.8, 0.35];
+        let r1 = rank_sum(&a, &b);
+        let r2 = rank_sum(&a, &b);
+        assert_eq!(r1.p_a_greater.to_bits(), r2.p_a_greater.to_bits());
+        assert_eq!(r1.p_b_greater.to_bits(), r2.p_b_greater.to_bits());
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [0.5, 1.5, 2.5, 3.5, 4.5];
+        let c1 = bootstrap_mean_diff(&a, &b, 500, 0.95, 7);
+        let c2 = bootstrap_mean_diff(&a, &b, 500, 0.95, 7);
+        assert_eq!(c1.lo.to_bits(), c2.lo.to_bits());
+        assert_eq!(c1.hi.to_bits(), c2.hi.to_bits());
+        let c3 = bootstrap_mean_diff(&a, &b, 500, 0.95, 8);
+        assert!(c3 != c1, "different seeds should differ");
+    }
+
+    #[test]
+    fn bootstrap_interval_brackets_a_large_difference() {
+        let a = [10.0, 11.0, 12.0, 13.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let ci = bootstrap_mean_diff(&a, &b, 1000, 0.95, 3);
+        assert!((ci.point - 9.0).abs() < 1e-12);
+        assert!(ci.lo > 5.0 && ci.hi < 13.0);
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+    }
+}

@@ -521,6 +521,36 @@ fn parse_state(lines: &mut Lines<'_>) -> Result<EngineState, OptimizeError> {
     })
 }
 
+/// Deterministic file name for a per-run artifact of a campaign cell —
+/// checkpoint, completed-cell state, or telemetry stream — built from
+/// the arm label, the seed, and an extension.
+///
+/// The label is sanitized so the name is a portable single path
+/// component: ASCII alphanumerics, `-`, `_` and `.` pass through,
+/// everything else (including path separators) becomes `-`. Identical
+/// inputs always produce the identical name, so a resumed campaign finds
+/// exactly the artifacts the killed one wrote.
+///
+/// ```
+/// use sacga::checkpoint::cell_artifact_name;
+///
+/// assert_eq!(cell_artifact_name("sacga8", 42, "state"), "cell_sacga8_seed42.state");
+/// assert_eq!(cell_artifact_name("tpg/1 part", 7, "jsonl"), "cell_tpg-1-part_seed7.jsonl");
+/// ```
+pub fn cell_artifact_name(arm: &str, seed: u64, extension: &str) -> String {
+    let clean: String = arm
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    format!("cell_{clean}_seed{seed}.{extension}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

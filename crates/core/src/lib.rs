@@ -85,15 +85,17 @@ pub mod sacga;
 pub mod telemetry;
 
 pub use anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
-pub use checkpoint::{EngineState, MesacgaCheckpoint, SacgaCheckpoint, SavedIndividual};
+pub use checkpoint::{
+    cell_artifact_name, EngineState, MesacgaCheckpoint, SacgaCheckpoint, SavedIndividual,
+};
 pub use island::{IslandConfig, IslandGa};
 pub use mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
 pub use partition::PartitionGrid;
 pub use sacga::{Sacga, SacgaConfig};
 pub use telemetry::{
-    EventKind, FaultRateAlarm, HealthWarning, InfeasibilityAlarm, JsonlSink, MemorySink,
-    MetricsRow, MetricsSink, NoCheckpoint, NullSink, Optimizer, RunEvent, Sink, StallDetector, Tee,
-    EVENT_SCHEMA_VERSION,
+    DynOptimizer, EventKind, FaultRateAlarm, HealthWarning, InfeasibilityAlarm, JsonlSink,
+    MemorySink, MetricsRow, MetricsSink, NoCheckpoint, NullSink, Optimizer, RunEvent, Sink,
+    StallDetector, Tee, EVENT_SCHEMA_VERSION,
 };
 
 #[allow(deprecated)]

@@ -76,6 +76,7 @@ pub struct MesacgaConfigBuilder {
     slice_range: Option<(f64, f64)>,
     variation: Option<moea::operators::Variation>,
     engine: engine::EngineConfig,
+    shared_cache: Option<engine::SharedCache<moea::Evaluation>>,
 }
 
 impl Default for MesacgaConfigBuilder {
@@ -91,6 +92,7 @@ impl Default for MesacgaConfigBuilder {
             slice_range: None,
             variation: None,
             engine: engine::EngineConfig::default(),
+            shared_cache: None,
         }
     }
 }
@@ -199,6 +201,13 @@ impl MesacgaConfigBuilder {
         self
     }
 
+    /// Routes memoization through a cache pooled across concurrent runs
+    /// (see [`SacgaConfigBuilder::shared_cache`](crate::sacga::SacgaConfigBuilder::shared_cache)).
+    pub fn shared_cache(mut self, cache: engine::SharedCache<moea::Evaluation>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -245,6 +254,7 @@ impl MesacgaConfigBuilder {
         }
         let mut base = base_builder.build()?;
         base.engine = self.engine;
+        base.shared_cache = self.shared_cache;
         Ok(MesacgaConfig {
             base,
             phases: self.phases,

@@ -25,9 +25,9 @@ pub use crate::local::{LocalCompetitionGa, LocalCompetitionGaBuilder};
 pub use crate::mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
 pub use crate::sacga::{CompetitionMode, Sacga, SacgaConfig};
 pub use crate::telemetry::{
-    EventKind, EventParseError, FaultRateAlarm, HealthWarning, InfeasibilityAlarm, JsonlSink,
-    MemorySink, MetricsRow, MetricsSink, NoCheckpoint, NullSink, Optimizer, RunEvent, Sink,
-    StallDetector, Tee, EVENT_SCHEMA_VERSION,
+    DynOptimizer, EventKind, EventParseError, FaultRateAlarm, HealthWarning, InfeasibilityAlarm,
+    JsonlSink, MemorySink, MetricsRow, MetricsSink, NoCheckpoint, NullSink, Optimizer, RunEvent,
+    Sink, StallDetector, Tee, EVENT_SCHEMA_VERSION,
 };
 pub use moea::nsga2::Nsga2;
 pub use moea::{GenerationStats, OptimizeError, RunOutcome, RunStatus};

@@ -24,8 +24,8 @@ use crate::checkpoint::{EngineState, SacgaCheckpoint, SavedIndividual};
 use crate::partition::{PartitionGrid, PartitionedPopulation};
 use crate::telemetry::{expect_complete, EventKind, NullSink, Optimizer, RunEvent, Sink};
 use engine::{
-    EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine, FaultPlan, FaultPolicy, Stage,
-    StageTimer,
+    EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine, FaultPlan, FaultPolicy, SharedCache,
+    Stage, StageTimer,
 };
 use moea::individual::Individual;
 use moea::operators::{random_vector, Variation};
@@ -64,6 +64,7 @@ pub struct SacgaConfig {
     pub(crate) slice_range: Option<(f64, f64)>,
     pub(crate) mode: CompetitionMode,
     pub(crate) engine: EngineConfig,
+    pub(crate) shared_cache: Option<SharedCache<Evaluation>>,
 }
 
 impl SacgaConfig {
@@ -108,6 +109,7 @@ pub struct SacgaConfigBuilder {
     slice_range: Option<(f64, f64)>,
     mode: CompetitionMode,
     engine: EngineConfig,
+    shared_cache: Option<SharedCache<Evaluation>>,
 }
 
 impl Default for SacgaConfigBuilder {
@@ -125,6 +127,7 @@ impl Default for SacgaConfigBuilder {
             slice_range: None,
             mode: CompetitionMode::Annealed,
             engine: EngineConfig::default(),
+            shared_cache: None,
         }
     }
 }
@@ -233,6 +236,16 @@ impl SacgaConfigBuilder {
         self
     }
 
+    /// Routes memoization through a [`SharedCache`] pooled across
+    /// concurrent runs (a campaign) instead of a private per-run cache.
+    /// Cached evaluations are pure functions of the genes, so sharing
+    /// never changes a run's results — only how many model evaluations
+    /// it performs.
+    pub fn shared_cache(mut self, cache: SharedCache<Evaluation>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -295,6 +308,7 @@ impl SacgaConfigBuilder {
             slice_range: self.slice_range,
             mode: self.mode,
             engine: self.engine,
+            shared_cache: self.shared_cache,
         })
     }
 }
@@ -565,6 +579,9 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
         }
         let bounds = problem.bounds().clone();
         let mut exec = ExecutionEngine::new(config.engine.clone());
+        if let Some(shared) = &config.shared_cache {
+            exec.attach_shared_cache(shared.clone());
+        }
         let init_genes: Vec<Vec<f64>> = (0..config.population_size)
             .map(|_| random_vector(rng, &bounds))
             .collect();
@@ -918,6 +935,9 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
         let pop = PartitionedPopulation::from_parts(grid, members, state.alive.clone())?;
         let bounds = problem.bounds().clone();
         let mut exec = ExecutionEngine::new(config.engine.clone());
+        if let Some(shared) = &config.shared_cache {
+            exec.attach_shared_cache(shared.clone());
+        }
         exec.restore_stats(state.stats.clone());
         let variation = config
             .variation

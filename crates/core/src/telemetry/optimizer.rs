@@ -134,6 +134,75 @@ pub trait Optimizer {
     }
 }
 
+/// The object-safe subset of [`Optimizer`]: unbounded runs only.
+///
+/// [`Optimizer`] itself is not object-safe (its
+/// [`Checkpoint`](Optimizer::Checkpoint) associated type differs per
+/// algorithm), so heterogeneous collections of optimizers — a campaign's
+/// algorithm arms, say — cannot be `Vec<Box<dyn Optimizer>>`. This trait
+/// drops the checkpoint-typed entry points and keeps the parts every
+/// algorithm shares; the blanket impl makes every `Optimizer + Sync`
+/// usable as a `dyn DynOptimizer` with no further ceremony:
+///
+/// ```
+/// use sacga::prelude::*;
+/// use sacga::telemetry::DynOptimizer;
+/// use moea::nsga2::{Nsga2, Nsga2Config};
+/// use moea::problems::Schaffer;
+///
+/// # fn main() -> Result<(), moea::OptimizeError> {
+/// let sacga_cfg = SacgaConfig::builder()
+///     .population_size(16)
+///     .generations(8)
+///     .partitions(4)
+///     .build()?;
+/// let tpg_cfg = Nsga2Config::builder()
+///     .population_size(16)
+///     .generations(8)
+///     .build()?;
+/// let arms: Vec<Box<dyn DynOptimizer>> = vec![
+///     Box::new(Sacga::new(Schaffer::new(), sacga_cfg)),
+///     Box::new(Nsga2::new(Schaffer::new(), tpg_cfg)),
+/// ];
+/// for arm in &arms {
+///     assert!(!arm.run_dyn(7)?.front.is_empty());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub trait DynOptimizer: Sync {
+    /// Stable lower-case identifier of the algorithm (see
+    /// [`Optimizer::algorithm`]).
+    fn algorithm_dyn(&self) -> &'static str;
+
+    /// Runs to completion, emitting events into `sink` (see
+    /// [`Optimizer::run_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Optimizer::run_with`].
+    fn run_dyn_with(&self, seed: u64, sink: &mut dyn Sink) -> Result<RunOutcome, OptimizeError>;
+
+    /// Runs to completion without instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Optimizer::run`].
+    fn run_dyn(&self, seed: u64) -> Result<RunOutcome, OptimizeError> {
+        self.run_dyn_with(seed, &mut NullSink)
+    }
+}
+
+impl<O: Optimizer + Sync> DynOptimizer for O {
+    fn algorithm_dyn(&self) -> &'static str {
+        self.algorithm()
+    }
+
+    fn run_dyn_with(&self, seed: u64, sink: &mut dyn Sink) -> Result<RunOutcome, OptimizeError> {
+        self.run_with(seed, sink)
+    }
+}
+
 /// Unwraps an unbounded drive, which by construction never suspends.
 pub(crate) fn expect_complete<C>(status: RunStatus<C>) -> RunOutcome {
     match status {

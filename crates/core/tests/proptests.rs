@@ -1,10 +1,12 @@
 //! Property-based tests of the SACGA machinery invariants.
 
 use engine::{EngineConfig, EvalOutcome, ExecutionEngine, ExhaustedAction, FaultPlan, FaultPolicy};
+use moea::evaluation::Evaluation;
+use moea::individual::Individual;
 use moea::problems::Schaffer;
 use proptest::prelude::*;
 use sacga::anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
-use sacga::partition::PartitionGrid;
+use sacga::partition::{PartitionGrid, PartitionedPopulation};
 use sacga::sacga::{Sacga, SacgaConfig};
 use std::cell::Cell;
 
@@ -108,6 +110,72 @@ proptest! {
         let p = grid.partition_of(&[t]);
         let (a, b) = grid.slice_range(p);
         prop_assert!(t >= a - 1e-12 && t < b + 1e-12, "{t} not in [{a}, {b})");
+    }
+
+    #[test]
+    fn boundary_values_belong_to_exactly_one_partition(
+        lo in -50.0f64..50.0,
+        width in 0.5f64..60.0,
+        m in 2usize..32,
+        p in 0usize..31,
+    ) {
+        // A solution sitting exactly on a slice boundary must be assigned
+        // to exactly one partition — one of the two slices meeting there,
+        // never a third, and deterministically.
+        prop_assume!(p + 1 < m);
+        let grid = PartitionGrid::new(0, lo, lo + width, m).unwrap();
+        let (_, edge) = grid.slice_range(p);
+        let q = grid.partition_of(&[edge]);
+        prop_assert!(q < m);
+        prop_assert!(q == p || q == p + 1, "boundary {edge} routed to distant slice {q}");
+        prop_assert_eq!(grid.partition_of(&[edge]), q, "assignment must be a function");
+        // Distributing duplicates of the boundary value puts every copy in
+        // that one partition and loses / double-counts nobody.
+        let pop: Vec<Individual> = (0..3)
+            .map(|_| Individual::new(vec![0.0], Evaluation::unconstrained(vec![edge])))
+            .collect();
+        let pp = PartitionedPopulation::distribute(grid, pop);
+        let total: usize = (0..m).map(|i| pp.partition(i).len()).sum();
+        prop_assert_eq!(total, 3);
+        prop_assert_eq!(pp.partition(q).len(), 3);
+    }
+
+    #[test]
+    fn expanding_partition_schemes_tile_for_arbitrary_m(
+        lo in -20.0f64..20.0,
+        width in 0.5f64..40.0,
+        ms in prop::collection::vec(1usize..40, 1..6),
+        values in prop::collection::vec(0.0f64..1.0, 1..20),
+    ) {
+        // MESACGA regrids the same objective range through an arbitrary
+        // partition-count schedule; every grid in the schedule must cover
+        // the range with adjacent, gap-free, overlap-free slices, and
+        // regridding must conserve the population exactly.
+        let hi = lo + width;
+        let pop: Vec<Individual> = values
+            .iter()
+            .map(|t| Individual::new(vec![0.0], Evaluation::unconstrained(vec![lo + t * width])))
+            .collect();
+        let mut pp = PartitionedPopulation::distribute(
+            PartitionGrid::new(0, lo, hi, 1).unwrap(),
+            pop,
+        );
+        for &m in &ms {
+            let grid = pp.grid().with_partitions(m).unwrap();
+            let mut edge = lo;
+            for p in 0..m {
+                let (a, b) = grid.slice_range(p);
+                prop_assert!((a - edge).abs() <= 1e-9 * width.max(1.0), "gap/overlap at slice {p}");
+                prop_assert!(b > a, "slice {p} must have positive width");
+                edge = b;
+            }
+            prop_assert!((edge - hi).abs() <= 1e-9 * width.max(1.0), "last slice must end at hi");
+            prop_assert_eq!(grid.partition_of(&[lo]), 0);
+            prop_assert_eq!(grid.partition_of(&[hi]), m - 1);
+            pp = pp.regrid(grid);
+            let total: usize = (0..m).map(|i| pp.partition(i).len()).sum();
+            prop_assert_eq!(total, values.len(), "regrid to m = {} lost or duplicated members", m);
+        }
     }
 
     // ---- annealing edge cases ----

@@ -6,6 +6,7 @@ use crate::fault::{
     EvalFailure, EvalOutcome, FaultEvent, FaultInjector, FaultPlan, FaultPolicy, FaultResolution,
     Quarantine,
 };
+use crate::shared::SharedCache;
 use crate::stats::EngineStats;
 use std::time::Instant;
 
@@ -71,6 +72,10 @@ impl EngineConfig {
 pub struct ExecutionEngine<T> {
     config: EngineConfig,
     cache: MemoCache<T>,
+    /// When attached, supersedes the private `cache`: all lookups and
+    /// insertions go to the shared store (see
+    /// [`attach_shared_cache`](ExecutionEngine::attach_shared_cache)).
+    shared: Option<SharedCache<T>>,
     stats: EngineStats,
     injector: Option<FaultInjector>,
     // Injection totals carried over from a checkpoint: a resumed run's
@@ -95,10 +100,59 @@ impl<T: Clone + Send> ExecutionEngine<T> {
         ExecutionEngine {
             config,
             cache,
+            shared: None,
             stats: EngineStats::default(),
             injector,
             injected_base: crate::fault::InjectionCounts::default(),
             fault_events: Vec::new(),
+        }
+    }
+
+    /// Routes all memoization through `shared` instead of the private
+    /// per-run cache (which is bypassed entirely while a shared cache is
+    /// attached, regardless of the configured private capacity).
+    ///
+    /// The shared store may answer candidates with values computed by
+    /// *other* runs; because cached values are pure functions of the
+    /// gene vector this never changes a run's results, only how many
+    /// model evaluations it performs. Hits observed through this
+    /// engine's lookups are counted in this engine's
+    /// [`EngineStats::cache_hits`], so per-run attribution stays exact.
+    pub fn attach_shared_cache(&mut self, shared: SharedCache<T>) {
+        self.shared = Some(shared);
+    }
+
+    /// The shared cache currently attached, if any.
+    pub fn shared_cache(&self) -> Option<&SharedCache<T>> {
+        self.shared.as_ref()
+    }
+
+    /// Whether any memoization layer (private or shared) is active.
+    fn caching_enabled(&self) -> bool {
+        self.shared.is_some() || self.config.cache.capacity > 0
+    }
+
+    /// Quantized key of `genes` under the active cache layer's grid.
+    fn cache_key(&self, genes: &[f64]) -> Vec<i64> {
+        match &self.shared {
+            Some(shared) => shared.key_of(genes),
+            None => self.cache.key_of(genes),
+        }
+    }
+
+    /// Looks `key` up in the active cache layer.
+    fn cache_get(&mut self, key: &[i64]) -> Option<T> {
+        match &self.shared {
+            Some(shared) => shared.get(key),
+            None => self.cache.get(key),
+        }
+    }
+
+    /// Stores `value` in the active cache layer.
+    fn cache_put(&mut self, key: Vec<i64>, value: T) {
+        match &self.shared {
+            Some(shared) => shared.insert(key, value),
+            None => self.cache.insert(key, value),
         }
     }
 
@@ -153,7 +207,7 @@ impl<T: Clone + Send> ExecutionEngine<T> {
         self.stats.batches += 1;
         self.stats.max_batch = self.stats.max_batch.max(batch.len() as u64);
 
-        if self.config.cache.capacity == 0 {
+        if !self.caching_enabled() {
             self.stats.evaluations += batch.len() as u64;
             let t0 = Instant::now();
             let out = self.config.evaluator.eval_batch(eval, batch);
@@ -174,8 +228,8 @@ impl<T: Clone + Send> ExecutionEngine<T> {
             std::collections::HashMap::new();
 
         for (i, genes) in batch.iter().enumerate() {
-            let key = self.cache.key_of(genes);
-            if let Some(value) = self.cache.get(&key) {
+            let key = self.cache_key(genes);
+            if let Some(value) = self.cache_get(&key) {
                 self.stats.cache_hits += 1;
                 resolved[i] = Some(value);
             } else if let Some(&m) = pending.get(&key) {
@@ -196,7 +250,7 @@ impl<T: Clone + Send> ExecutionEngine<T> {
         self.stats.eval_time += t0.elapsed();
 
         for (key, value) in miss_keys.into_iter().zip(miss_results.iter()) {
-            self.cache.insert(key, value.clone());
+            self.cache_put(key, value.clone());
         }
 
         resolved
@@ -237,7 +291,7 @@ impl<T: Clone + Send + Quarantine> ExecutionEngine<T> {
         self.stats.batches += 1;
         self.stats.max_batch = self.stats.max_batch.max(batch.len() as u64);
 
-        if self.config.cache.capacity == 0 {
+        if !self.caching_enabled() {
             self.stats.evaluations += batch.len() as u64;
             let outcomes = self.run_guarded(batch, eval);
             return self.absorb_outcomes(outcomes, |i| i);
@@ -253,8 +307,8 @@ impl<T: Clone + Send + Quarantine> ExecutionEngine<T> {
             std::collections::HashMap::new();
 
         for (i, genes) in batch.iter().enumerate() {
-            let key = self.cache.key_of(genes);
-            if let Some(value) = self.cache.get(&key) {
+            let key = self.cache_key(genes);
+            if let Some(value) = self.cache_get(&key) {
                 self.stats.cache_hits += 1;
                 resolved[i] = Some(value);
             } else if let Some(&m) = pending.get(&key) {
@@ -282,7 +336,7 @@ impl<T: Clone + Send + Quarantine> ExecutionEngine<T> {
 
         for (key, value) in miss_keys.into_iter().zip(miss_results.iter()) {
             if !value.is_tainted() {
-                self.cache.insert(key, value.clone());
+                self.cache_put(key, value.clone());
             }
         }
 
@@ -476,6 +530,52 @@ mod tests {
         );
         assert_eq!(serial.stats().evaluations, parallel.stats().evaluations);
         assert_eq!(serial.stats().cache_hits, parallel.stats().cache_hits);
+    }
+
+    #[test]
+    fn shared_cache_engine_matches_private_cache_engine() {
+        let mut private: ExecutionEngine<f64> =
+            ExecutionEngine::new(EngineConfig::default().cache_capacity(16));
+        let mut shared_a: ExecutionEngine<f64> = ExecutionEngine::new(EngineConfig::default());
+        let mut shared_b: ExecutionEngine<f64> = ExecutionEngine::new(EngineConfig::default());
+        let store = crate::SharedCache::with_capacity(16);
+        shared_a.attach_shared_cache(store.clone());
+        shared_b.attach_shared_cache(store.clone());
+
+        let f = |genes: &[f64]| genes.iter().map(|x| x * 3.0).sum::<f64>();
+        let batch: Vec<Vec<f64>> = (0..12).map(|i| vec![(i % 4) as f64]).collect();
+
+        // Results are identical whether the cache is private or shared.
+        let expect = private.evaluate_batch(&batch, &f);
+        assert_eq!(shared_a.evaluate_batch(&batch, &f), expect);
+        // A second engine on the same store is answered entirely from it.
+        assert_eq!(shared_b.evaluate_batch(&batch, &f), expect);
+        assert_eq!(shared_b.stats().evaluations, 0);
+        assert_eq!(shared_b.stats().cache_hits, batch.len() as u64);
+        // Per-run attribution: each engine counted only its own hits.
+        assert_eq!(shared_a.stats().cache_hits, private.stats().cache_hits);
+        // Global counters: shared_a ran against an empty store, so every
+        // one of its lookups missed (its within-batch aliases were
+        // answered by the pending map after the store miss); shared_b's
+        // lookups all hit.
+        assert_eq!(store.stats().inserts, 4);
+        assert_eq!(store.stats().misses, batch.len() as u64);
+        assert_eq!(store.stats().hits, shared_b.stats().cache_hits);
+    }
+
+    #[test]
+    fn shared_cache_supersedes_private_capacity_zero() {
+        // A shared cache activates memoization even when the private
+        // cache is disabled (capacity 0 — the default).
+        let mut engine: ExecutionEngine<f64> = ExecutionEngine::new(EngineConfig::default());
+        engine.attach_shared_cache(crate::SharedCache::with_capacity(8));
+        let calls = AtomicU64::new(0);
+        let batch = vec![vec![1.0], vec![1.0], vec![1.0]];
+        let out = engine.evaluate_batch(&batch, &counted_sum(&calls));
+        assert_eq!(out, vec![1.0, 1.0, 1.0]);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(engine.stats().cache_hits, 2);
+        assert_eq!(engine.shared_cache().unwrap().len(), 1);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   bit-for-bit identical results under either evaluator.
 //! * [`MemoCache`] — an LRU memoization cache keyed by gene vectors
 //!   quantized to a configurable grid, so re-visited (or near-identical)
-//!   candidates skip the expensive model call.
+//!   candidates skip the expensive model call. [`SharedCache`] promotes
+//!   the same store behind a thread-safe, cloneable handle so many
+//!   concurrent runs (a campaign) can pool their evaluations; per-run
+//!   hit counts stay in each engine's own [`EngineStats`].
 //! * [`EngineStats`] — per-run instrumentation: candidates seen, model
 //!   evaluations actually performed, cache hits, batch counts and sizes,
 //!   and wall-clock time spent inside evaluation.
@@ -60,6 +63,7 @@ mod cache;
 mod engine;
 mod evaluator;
 mod fault;
+mod shared;
 mod stats;
 mod timing;
 
@@ -71,5 +75,6 @@ pub use fault::{
     FaultInjectingEvaluator, FaultInjector, FaultKind, FaultPlan, FaultPolicy, FaultResolution,
     InjectedPanic, InjectionCounts, Quarantine, RetryPolicy,
 };
+pub use shared::{SharedCache, SharedCacheStats};
 pub use stats::EngineStats;
 pub use timing::{Stage, StageNanos, StageTimer};

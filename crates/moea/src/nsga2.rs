@@ -15,8 +15,8 @@ use crate::problem::Problem;
 use crate::selection::binary_tournament;
 use crate::sorting::{environmental_selection, rank_and_crowd};
 use engine::{
-    EngineConfig, EvaluatorKind, ExecutionEngine, FaultEvent, FaultPlan, FaultPolicy, Stage,
-    StageNanos, StageTimer,
+    EngineConfig, EvaluatorKind, ExecutionEngine, FaultEvent, FaultPlan, FaultPolicy, SharedCache,
+    Stage, StageNanos, StageTimer,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,6 +28,7 @@ pub struct Nsga2Config {
     generations: usize,
     variation: Option<Variation>,
     engine: EngineConfig,
+    shared_cache: Option<SharedCache<crate::Evaluation>>,
 }
 
 impl Nsga2Config {
@@ -59,6 +60,7 @@ pub struct Nsga2ConfigBuilder {
     generations: Option<usize>,
     variation: Option<Variation>,
     engine: EngineConfig,
+    shared_cache: Option<SharedCache<crate::Evaluation>>,
 }
 
 impl Nsga2ConfigBuilder {
@@ -113,6 +115,16 @@ impl Nsga2ConfigBuilder {
         self
     }
 
+    /// Routes memoization through a [`SharedCache`] pooled across
+    /// concurrent runs (a campaign) instead of a private per-run cache.
+    /// Cached evaluations are pure functions of the genes, so sharing
+    /// never changes a run's results — only how many model evaluations
+    /// it performs.
+    pub fn shared_cache(mut self, cache: SharedCache<crate::Evaluation>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -145,6 +157,7 @@ impl Nsga2ConfigBuilder {
             generations,
             variation: self.variation,
             engine: self.engine,
+            shared_cache: self.shared_cache,
         })
     }
 }
@@ -302,6 +315,9 @@ impl<P: Problem> Nsga2<P> {
             .unwrap_or_else(|| Variation::standard(bounds.len()));
         let n = self.config.population_size;
         let mut exec = ExecutionEngine::new(self.config.engine.clone());
+        if let Some(shared) = &self.config.shared_cache {
+            exec.attach_shared_cache(shared.clone());
+        }
         let eval_fn = |genes: &[f64]| self.problem.evaluate(genes);
 
         // Initialization: draw all genes first (sole RNG consumer), then

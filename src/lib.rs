@@ -20,7 +20,12 @@
 //! * [`engine`] — the execution engine every optimizer evaluates
 //!   candidates through: serial or thread-pooled batch evaluation,
 //!   quantized-key memoization, and per-run instrumentation
-//!   ([`engine::EngineStats`]).
+//!   ([`engine::EngineStats`]);
+//! * [`campaign`] — algorithm × seed matrices as the unit of work: a
+//!   work-stealing multi-threaded runner with a campaign-wide shared
+//!   evaluation cache and checkpoint-based resume, plus bit-stable
+//!   statistics (exact Mann-Whitney rank-sum, seeded bootstrap CIs) for
+//!   the paper's distributional claims.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +59,7 @@
 //! ```
 
 pub use analog_circuits as circuits;
+pub use campaign;
 pub use engine;
 pub use moea;
 pub use sacga;
@@ -69,6 +75,7 @@ mod tests {
         let b = crate::moea::Bounds::uniform(2, 0.0, 1.0).unwrap();
         assert_eq!(b.len(), 2);
         assert!(crate::sacga::SacgaConfig::builder().build().is_ok());
+        assert_eq!(crate::campaign::Campaign::new("x").cell_count(), 0);
         assert_eq!(
             crate::engine::EvaluatorKind::default(),
             crate::engine::EvaluatorKind::Serial

@@ -3,12 +3,15 @@
 //! `EXPERIMENTS.md`).
 
 use analog_dse::moea::hypervolume::hypervolume_2d;
-use analog_dse::moea::metrics::bin_occupancy;
 use analog_dse::moea::problems::NarrowingCorridor;
 use analog_dse::moea::Individual;
 use analog_dse::sacga::anneal::ProbabilityShaper;
 use analog_dse::sacga::mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
 use analog_dse::sacga::sacga::{CompetitionMode, Sacga, SacgaConfig};
+use campaign::{Campaign, CampaignReport, CampaignRunner, Metric, MetricSpec, RunnerConfig};
+use engine::{CacheConfig, SharedCache};
+use moea::Evaluation;
+use sacga::telemetry::DynOptimizer;
 
 fn corridor() -> NarrowingCorridor {
     NarrowingCorridor::new(0.04)
@@ -27,26 +30,68 @@ fn run_engine(partitions: usize, gens: usize, mode: CompetitionMode, seed: u64) 
     Sacga::new(corridor(), cfg).run_seeded(seed).unwrap().front
 }
 
-fn front_points(front: &[Individual]) -> Vec<Vec<f64>> {
-    front.iter().map(|m| m.objectives().to_vec()).collect()
-}
-
+/// The paper's headline diversity claim, tested as a distribution
+/// rather than as a single lucky seed: across a pinned 16-seed
+/// campaign, the 8-partition SACGA's fronts occupy significantly more
+/// coverage-axis bins than the 1-partition "Only Global" engine (exact
+/// one-sided rank-sum, p < 0.05) while its hypervolume is not
+/// significantly worse at the same level.
 #[test]
-fn partitioned_run_is_at_least_as_diverse_as_only_global() {
-    // Averaged over seeds: the 8-partition SACGA should cover the
-    // coverage axis at least as well as the single-partition engine.
-    let mut occ_partitioned = 0.0;
-    let mut occ_global = 0.0;
-    let seeds = [1u64, 2, 3, 4, 5];
-    for &s in &seeds {
-        let part = run_engine(8, 120, CompetitionMode::Annealed, s);
-        let glob = run_engine(1, 120, CompetitionMode::Annealed, s);
-        occ_partitioned += bin_occupancy(&front_points(&part), 0, -1.0, 0.0, 10);
-        occ_global += bin_occupancy(&front_points(&glob), 0, -1.0, 0.0, 10);
-    }
+fn sacga_diversity_beats_only_global_across_seed_campaign() {
+    let seeds: Vec<u64> = (0..16).map(|i| 100 + i).collect();
+    let arm = |partitions: usize| {
+        move |shared: Option<&SharedCache<Evaluation>>| {
+            let mut b = SacgaConfig::builder()
+                .population_size(60)
+                .generations(120)
+                .partitions(partitions)
+                .phase1_max(15)
+                .slice_range(-1.0, 0.0)
+                .mode(CompetitionMode::Annealed);
+            if let Some(cache) = shared {
+                b = b.shared_cache(cache.clone());
+            }
+            let cfg = b.build().unwrap();
+            Box::new(Sacga::new(corridor(), cfg)) as Box<dyn DynOptimizer>
+        }
+    };
+    let campaign = Campaign::new("corridor-diversity")
+        .arm("sacga8", arm(8))
+        .arm("tpg", arm(1))
+        .seeds(seeds);
+    let runner = CampaignRunner::new(
+        RunnerConfig::default()
+            .threads(4)
+            .shared_cache(CacheConfig::with_capacity(1 << 14)),
+    );
+    let results = runner.run(&campaign).unwrap();
+    let labels: Vec<String> = campaign
+        .arms()
+        .iter()
+        .map(|a| a.label().to_string())
+        .collect();
+    let spec = MetricSpec::new([0.0, 3.0], (-1.0, 0.0), 10);
+    let report = CampaignReport::build(campaign.name(), &labels, &results, &spec);
+
+    let occ = report
+        .comparison("sacga8", "tpg", Metric::Occupancy)
+        .unwrap();
     assert!(
-        occ_partitioned >= occ_global - 0.11 * seeds.len() as f64,
-        "partitioning should not reduce coverage: {occ_partitioned} vs {occ_global}"
+        occ.p_a_greater < 0.05,
+        "partitioned fronts must be significantly more diverse: \
+         U = {}, p = {}",
+        occ.u_a,
+        occ.p_a_greater
+    );
+    let hv = report
+        .comparison("sacga8", "tpg", Metric::Hypervolume)
+        .unwrap();
+    assert!(
+        hv.p_b_greater >= 0.05,
+        "partitioning must not significantly hurt convergence: \
+         U = {}, p(tpg better) = {}",
+        hv.u_a,
+        hv.p_b_greater
     );
 }
 
