@@ -1,0 +1,61 @@
+//! `dse_client` — one-shot client for the `dse_serve` text protocol.
+//!
+//! ```text
+//! dse_client <addr> <command> [args...]
+//!
+//!   dse_client 127.0.0.1:4242 ping
+//!   dse_client 127.0.0.1:4242 submit job v1 name=demo problem=schaffer \
+//!       algo=sacga:pop=16,gens=10,parts=4 seed=42
+//!   dse_client 127.0.0.1:4242 status <id>
+//!   dse_client 127.0.0.1:4242 stream <id>
+//!   dse_client 127.0.0.1:4242 list
+//!   dse_client 127.0.0.1:4242 shutdown
+//! ```
+//!
+//! Prints the server's response lines verbatim; exits 1 on an `err`
+//! response, 64 on usage errors.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+fn run() -> Result<ExitCode, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.len() < 2 {
+        return Err("usage: dse_client <addr> <command> [args...]".into());
+    }
+    let addr = &argv[0];
+    let command = argv[1..].join(" ");
+    let multi_line = matches!(argv[1].as_str(), "list" | "stream");
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    writeln!(stream, "{command}").map_err(|e| format!("send failed: {e}"))?;
+    let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut failed = false;
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read failed: {e}"))?;
+        println!("{line}");
+        if line.starts_with("err ") {
+            failed = true;
+            break;
+        }
+        if !multi_line || line.starts_with("end") {
+            break;
+        }
+    }
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("dse_client: {msg}");
+            ExitCode::from(64)
+        }
+    }
+}

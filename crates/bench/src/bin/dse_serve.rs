@@ -1,0 +1,154 @@
+//! `dse_serve` — the optimization-as-a-service daemon.
+//!
+//! ```text
+//! dse_serve <store-dir> [options]
+//!
+//!   --port <n>        TCP port (default 0 = ephemeral; prints the bound addr)
+//!   --workers <n>     worker threads (default 2)
+//!   --queue <n>       queue capacity (default 64)
+//!   --cache <n>       per-tenant shared-cache capacity (default 65536)
+//!   --job "<spec>"    submit a canonical job line at startup (repeatable)
+//!   --drain           no TCP: run submitted + rescanned jobs to idle, exit
+//!   --max-slices <n>  with --drain: stop abruptly after n generation
+//!                     slices (deterministic crash simulation)
+//! ```
+//!
+//! In drain mode the exit line per job is `job <id> <status> <health>`;
+//! the process exits 0 when every job is terminal, 2 after a simulated
+//! kill (restart with the same store to resume).
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use dse_server::{JobSpec, Server, ServerConfig, ServerError};
+use engine::CacheConfig;
+
+struct Args {
+    store: String,
+    port: u16,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    jobs: Vec<String>,
+    drain: bool,
+    max_slices: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let store = argv
+        .next()
+        .ok_or("usage: dse_serve <store-dir> [options]")?;
+    let mut args = Args {
+        store,
+        port: 0,
+        workers: 2,
+        queue: 64,
+        cache: 1 << 16,
+        jobs: Vec::new(),
+        drain: false,
+        max_slices: None,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |what: &str| -> Result<String, String> {
+            argv.next().ok_or(format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--port" => {
+                args.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?
+            }
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue" => {
+                args.queue = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--cache" => {
+                args.cache = value("--cache")?
+                    .parse()
+                    .map_err(|e| format!("--cache: {e}"))?;
+            }
+            "--job" => args.jobs.push(value("--job")?),
+            "--drain" => args.drain = true,
+            "--max-slices" => {
+                args.max_slices = Some(
+                    value("--max-slices")?
+                        .parse()
+                        .map_err(|e| format!("--max-slices: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.max_slices.is_some() && !args.drain {
+        return Err("--max-slices requires --drain".into());
+    }
+    Ok(args)
+}
+
+fn run(args: Args) -> Result<ExitCode, ServerError> {
+    let config = ServerConfig {
+        workers: args.workers.max(1),
+        queue_capacity: args.queue,
+        cache: CacheConfig::with_capacity(args.cache.max(1)),
+    };
+    let server = Server::open(&args.store, config)?;
+    for line in &args.jobs {
+        let spec = JobSpec::parse(line)?;
+        match server.submit(spec) {
+            Ok(id) => println!("submitted {id}"),
+            Err(ServerError::DuplicateJob(id)) => println!("already-known {id}"),
+            Err(e) => return Err(e),
+        }
+    }
+    if args.drain {
+        let drained = match args.max_slices {
+            Some(budget) => server.run_slices_at_most(budget)?,
+            None => {
+                server.run_until_idle()?;
+                true
+            }
+        };
+        for view in server.list() {
+            println!(
+                "job {} {} {}",
+                view.id,
+                view.status.token(),
+                view.health.token()
+            );
+        }
+        return Ok(if drained {
+            ExitCode::SUCCESS
+        } else {
+            println!("killed after {} slices", args.max_slices.unwrap_or(0));
+            ExitCode::from(2)
+        });
+    }
+    let listener = TcpListener::bind(("127.0.0.1", args.port))?;
+    println!("listening {}", listener.local_addr()?);
+    server.serve(listener)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("dse_serve: {msg}");
+            return ExitCode::from(64);
+        }
+    };
+    match run(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("dse_serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

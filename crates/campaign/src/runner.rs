@@ -1,10 +1,10 @@
 //! The multi-threaded campaign executor.
 //!
-//! Workers claim cells from a shared atomic counter (work stealing:
-//! whichever thread goes idle first picks up the next cell), execute
-//! them through the object-safe [`DynOptimizer`] API, and park each
-//! finished cell as a crash-safe state file. Three properties hold by
-//! construction:
+//! Workers claim cells through the shared [`engine::pool`] helper (work
+//! stealing: whichever thread goes idle first picks up the next cell),
+//! execute them through the object-safe [`DynOptimizer`] API, and park
+//! each finished cell as a crash-safe state file. Three properties hold
+//! by construction:
 //!
 //! * **Bit-identical cells.** A cell's result depends only on its arm
 //!   and seed — never on the thread that ran it, the cells that ran
@@ -28,7 +28,6 @@ use sacga::checkpoint::cell_artifact_name;
 use sacga::telemetry::{JsonlSink, NullSink, Sink};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Configuration of a [`CampaignRunner`].
 #[derive(Debug, Clone, Default)]
@@ -148,45 +147,14 @@ impl CampaignRunner {
             .shared_cache
             .clone()
             .map(SharedCache::<Evaluation>::new);
-        let slots: Vec<Mutex<Option<CellResult>>> =
-            cells.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
         let spent = AtomicUsize::new(0);
-        let failure: Mutex<Option<CampaignError>> = Mutex::new(None);
-        let workers = self.config.threads.clamp(1, cells.len().max(1));
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    if failure.lock().expect("failure slot poisoned").is_some() {
-                        return;
-                    }
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= cells.len() {
-                        return;
-                    }
-                    match self.run_cell(campaign, cells[i], shared.as_ref(), &spent, budget) {
-                        Ok(done) => {
-                            *slots[i].lock().expect("result slot poisoned") = done;
-                        }
-                        Err(e) => {
-                            let mut slot = failure.lock().expect("failure slot poisoned");
-                            if slot.is_none() {
-                                *slot = Some(e);
-                            }
-                            return;
-                        }
-                    }
-                });
-            }
-        });
-
-        if let Some(e) = failure.into_inner().expect("failure slot poisoned") {
-            return Err(e);
-        }
+        let slots = engine::pool::try_map_indexed(self.config.threads, cells.len(), |i| {
+            self.run_cell(campaign, cells[i], shared.as_ref(), &spent, budget)
+        })?;
         let mut results = Vec::with_capacity(cells.len());
         for slot in slots {
-            match slot.into_inner().expect("result slot poisoned") {
+            match slot {
                 Some(result) => results.push(result),
                 None => return Ok(None),
             }

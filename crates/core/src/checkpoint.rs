@@ -521,6 +521,38 @@ fn parse_state(lines: &mut Lines<'_>) -> Result<EngineState, OptimizeError> {
     })
 }
 
+impl crate::telemetry::CheckpointText for SacgaCheckpoint {
+    const SUSPENDABLE: bool = true;
+
+    fn to_checkpoint_text(&self) -> String {
+        self.to_text()
+    }
+
+    fn from_checkpoint_text(text: &str) -> Result<Self, OptimizeError> {
+        SacgaCheckpoint::from_text(text)
+    }
+
+    fn generation(&self) -> usize {
+        self.state.gen
+    }
+}
+
+impl crate::telemetry::CheckpointText for MesacgaCheckpoint {
+    const SUSPENDABLE: bool = true;
+
+    fn to_checkpoint_text(&self) -> String {
+        self.to_text()
+    }
+
+    fn from_checkpoint_text(text: &str) -> Result<Self, OptimizeError> {
+        MesacgaCheckpoint::from_text(text)
+    }
+
+    fn generation(&self) -> usize {
+        self.state.gen
+    }
+}
+
 /// Deterministic file name for a per-run artifact of a campaign cell —
 /// checkpoint, completed-cell state, or telemetry stream — built from
 /// the arm label, the seed, and an extension.

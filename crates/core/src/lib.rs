@@ -93,9 +93,9 @@ pub use mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
 pub use partition::PartitionGrid;
 pub use sacga::{Sacga, SacgaConfig};
 pub use telemetry::{
-    DynOptimizer, EventKind, FaultRateAlarm, HealthWarning, InfeasibilityAlarm, JsonlSink,
-    MemorySink, MetricsRow, MetricsSink, NoCheckpoint, NullSink, Optimizer, RunEvent, Sink,
-    StallDetector, Tee, EVENT_SCHEMA_VERSION,
+    CheckpointText, DynOptimizer, DynRunStatus, EventKind, FaultRateAlarm, HealthWarning,
+    InfeasibilityAlarm, JsonlSink, MemorySink, MetricsRow, MetricsSink, NoCheckpoint, NullSink,
+    Optimizer, RunEvent, Sink, StallDetector, Tee, EVENT_SCHEMA_VERSION,
 };
 
 #[allow(deprecated)]

@@ -53,6 +53,6 @@ pub use event::{EventKind, RunEvent, EVENT_SCHEMA_VERSION};
 pub use json::{EventParseError, LossyReplay};
 pub use metrics::{MetricsRow, MetricsSink};
 pub(crate) use optimizer::expect_complete;
-pub use optimizer::{DynOptimizer, NoCheckpoint, Optimizer};
+pub use optimizer::{CheckpointText, DynOptimizer, DynRunStatus, NoCheckpoint, Optimizer};
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink, Tee};
 pub use watchdog::{FaultRateAlarm, HealthWarning, InfeasibilityAlarm, StallDetector};

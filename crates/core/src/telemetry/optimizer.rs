@@ -134,6 +134,73 @@ pub trait Optimizer {
     }
 }
 
+/// A checkpoint type with a plain-text serialization, bridging typed
+/// checkpoints into the object-safe [`DynOptimizer`] API.
+///
+/// Implemented by every checkpoint type in the workspace:
+/// [`SacgaCheckpoint`](crate::checkpoint::SacgaCheckpoint) and
+/// [`MesacgaCheckpoint`](crate::checkpoint::MesacgaCheckpoint) wrap
+/// their exact line-oriented serializations, and [`NoCheckpoint`]
+/// declares itself non-suspendable (its encode path is statically
+/// unreachable and its decode path always errors).
+pub trait CheckpointText: Sized {
+    /// Whether values of this type can actually exist — i.e. whether
+    /// the algorithm supports suspension at all.
+    const SUSPENDABLE: bool;
+
+    /// Serializes the checkpoint to its text form.
+    fn to_checkpoint_text(&self) -> String;
+
+    /// Parses a checkpoint from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidCheckpoint`] on malformed,
+    /// truncated, or wrong-algorithm text.
+    fn from_checkpoint_text(text: &str) -> Result<Self, OptimizeError>;
+
+    /// The generation boundary this checkpoint captures.
+    fn generation(&self) -> usize;
+}
+
+impl CheckpointText for NoCheckpoint {
+    const SUSPENDABLE: bool = false;
+
+    fn to_checkpoint_text(&self) -> String {
+        match *self {}
+    }
+
+    fn from_checkpoint_text(_text: &str) -> Result<Self, OptimizeError> {
+        Err(OptimizeError::invalid_checkpoint(
+            "this algorithm does not support suspension",
+        ))
+    }
+
+    fn generation(&self) -> usize {
+        match *self {}
+    }
+}
+
+/// Outcome of a bounded drive through the object-safe API: either the
+/// run finished, or it suspended and the checkpoint travels as opaque
+/// text (re-feed it to
+/// [`resume_until_dyn_with`](DynOptimizer::resume_until_dyn_with) or
+/// [`resume_dyn_with`](DynOptimizer::resume_dyn_with) on an identically
+/// configured optimizer).
+#[derive(Debug)]
+pub enum DynRunStatus {
+    /// The run finished; no checkpoint exists.
+    Complete(Box<RunOutcome>),
+    /// The run suspended at a generation boundary.
+    Suspended {
+        /// Serialized checkpoint, exactly as the typed
+        /// [`CheckpointText`] encoding produced it.
+        checkpoint: String,
+        /// Total generations executed so far.
+        generations: usize,
+    },
+}
+
 /// The object-safe subset of [`Optimizer`]: unbounded runs only.
 ///
 /// [`Optimizer`] itself is not object-safe (its
@@ -191,15 +258,113 @@ pub trait DynOptimizer: Sync {
     fn run_dyn(&self, seed: u64) -> Result<RunOutcome, OptimizeError> {
         self.run_dyn_with(seed, &mut NullSink)
     }
+
+    /// Whether this algorithm can actually suspend at generation
+    /// boundaries. When `false`, the bounded entry points below run to
+    /// completion instead of suspending (cooperative preemption is
+    /// best-effort by design), and the resume entry points reject every
+    /// checkpoint.
+    fn supports_suspension(&self) -> bool;
+
+    /// Runs from `seed`, suspending once `stop_after` generations have
+    /// completed *if the algorithm supports suspension* — otherwise
+    /// runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Optimizer::run_with`].
+    fn run_until_dyn_with(
+        &self,
+        seed: u64,
+        stop_after: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<DynRunStatus, OptimizeError>;
+
+    /// Resumes a run from serialized checkpoint text, suspending again
+    /// once `stop_after` total generations have completed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Optimizer::resume_until_with`], plus
+    /// [`OptimizeError::InvalidCheckpoint`] when the text does not
+    /// parse as this algorithm's checkpoint.
+    fn resume_until_dyn_with(
+        &self,
+        checkpoint: &str,
+        stop_after: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<DynRunStatus, OptimizeError>;
+
+    /// Resumes a run from serialized checkpoint text to completion.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`resume_until_dyn_with`](DynOptimizer::resume_until_dyn_with).
+    fn resume_dyn_with(
+        &self,
+        checkpoint: &str,
+        sink: &mut dyn Sink,
+    ) -> Result<RunOutcome, OptimizeError>;
 }
 
-impl<O: Optimizer + Sync> DynOptimizer for O {
+impl<O> DynOptimizer for O
+where
+    O: Optimizer + Sync,
+    O::Checkpoint: CheckpointText,
+{
     fn algorithm_dyn(&self) -> &'static str {
         self.algorithm()
     }
 
     fn run_dyn_with(&self, seed: u64, sink: &mut dyn Sink) -> Result<RunOutcome, OptimizeError> {
         self.run_with(seed, sink)
+    }
+
+    fn supports_suspension(&self) -> bool {
+        O::Checkpoint::SUSPENDABLE
+    }
+
+    fn run_until_dyn_with(
+        &self,
+        seed: u64,
+        stop_after: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<DynRunStatus, OptimizeError> {
+        if !O::Checkpoint::SUSPENDABLE {
+            return Ok(DynRunStatus::Complete(Box::new(self.run_with(seed, sink)?)));
+        }
+        Ok(match self.run_until_with(seed, stop_after, sink)? {
+            RunStatus::Complete(outcome) => DynRunStatus::Complete(outcome),
+            RunStatus::Suspended(cp) => DynRunStatus::Suspended {
+                checkpoint: cp.to_checkpoint_text(),
+                generations: cp.generation(),
+            },
+        })
+    }
+
+    fn resume_until_dyn_with(
+        &self,
+        checkpoint: &str,
+        stop_after: usize,
+        sink: &mut dyn Sink,
+    ) -> Result<DynRunStatus, OptimizeError> {
+        let cp = O::Checkpoint::from_checkpoint_text(checkpoint)?;
+        Ok(match self.resume_until_with(&cp, stop_after, sink)? {
+            RunStatus::Complete(outcome) => DynRunStatus::Complete(outcome),
+            RunStatus::Suspended(cp) => DynRunStatus::Suspended {
+                checkpoint: cp.to_checkpoint_text(),
+                generations: cp.generation(),
+            },
+        })
+    }
+
+    fn resume_dyn_with(
+        &self,
+        checkpoint: &str,
+        sink: &mut dyn Sink,
+    ) -> Result<RunOutcome, OptimizeError> {
+        let cp = O::Checkpoint::from_checkpoint_text(checkpoint)?;
+        self.resume_with(&cp, sink)
     }
 }
 

@@ -1,5 +1,7 @@
 //! Evaluation fan-out strategies: serial loop or scoped-thread pool.
 
+use crate::pool;
+
 /// A strategy for evaluating a batch of candidate gene vectors.
 ///
 /// Implementations must preserve input order: `eval_batch(f, batch)[i]`
@@ -42,10 +44,10 @@ impl Evaluator for SerialEvaluator {
 
 /// Evaluates candidates across scoped OS threads.
 ///
-/// The batch is split into contiguous chunks, one per worker; each worker
-/// writes its results into a disjoint region of the output buffer, so the
-/// result order is identical to [`SerialEvaluator`]'s no matter how the
-/// threads are scheduled.
+/// Work is distributed through the shared [`pool`] helper: workers
+/// claim candidates off a shared counter and write each result into
+/// that candidate's output slot, so the result order is identical to
+/// [`SerialEvaluator`]'s no matter how the threads are scheduled.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ParallelEvaluator {
     /// Worker-thread cap; `0` means "use available parallelism".
@@ -85,24 +87,7 @@ impl Evaluator for ParallelEvaluator {
         if workers <= 1 || batch.len() <= 1 {
             return SerialEvaluator.eval_batch(eval, batch);
         }
-
-        let chunk = batch.len().div_ceil(workers);
-        let mut out: Vec<Option<T>> = Vec::with_capacity(batch.len());
-        out.resize_with(batch.len(), || None);
-
-        std::thread::scope(|scope| {
-            for (in_chunk, out_chunk) in batch.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (genes, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *slot = Some(eval(genes));
-                    }
-                });
-            }
-        });
-
-        out.into_iter()
-            .map(|slot| slot.expect("worker filled every slot in its chunk"))
-            .collect()
+        pool::map_indexed(workers, batch.len(), |i| eval(&batch[i]))
     }
 }
 

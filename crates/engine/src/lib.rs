@@ -63,6 +63,7 @@ mod cache;
 mod engine;
 mod evaluator;
 mod fault;
+pub mod pool;
 mod shared;
 mod stats;
 mod timing;

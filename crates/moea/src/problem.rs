@@ -199,6 +199,27 @@ pub trait Problem {
     }
 }
 
+// Allow boxed (possibly type-erased) problems everywhere a `Problem` is
+// expected, so a registry can hand out `Box<dyn Problem + Send + Sync>`
+// and still instantiate any optimizer with it.
+impl<P: Problem + ?Sized> Problem for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn bounds(&self) -> &Bounds {
+        (**self).bounds()
+    }
+    fn num_objectives(&self) -> usize {
+        (**self).num_objectives()
+    }
+    fn num_constraints(&self) -> usize {
+        (**self).num_constraints()
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        (**self).evaluate(x)
+    }
+}
+
 // Allow passing shared references to problems everywhere a `Problem` is
 // expected, so an optimizer can borrow a problem owned by a harness.
 impl<P: Problem + ?Sized> Problem for &P {

@@ -1,0 +1,81 @@
+//! The error type shared by every layer of the service.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use crate::spec::JobId;
+use moea::OptimizeError;
+
+/// Anything that can go wrong inside the optimization service.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// Filesystem or socket I/O failed.
+    Io(io::Error),
+    /// A job specification line did not parse or failed validation.
+    InvalidSpec(String),
+    /// The bounded job queue is at capacity; resubmit later.
+    QueueFull {
+        /// The configured queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// No job with this identifier exists in the store.
+    UnknownJob(String),
+    /// A job with the identical canonical spec was already submitted.
+    /// Vary `name=` to rerun the same configuration.
+    DuplicateJob(JobId),
+    /// A persisted artifact did not parse (and was not recoverable).
+    Corrupt {
+        /// Path of the offending file.
+        path: PathBuf,
+        /// What failed to parse.
+        detail: String,
+    },
+    /// The optimizer itself failed while executing a job.
+    Run {
+        /// The job that failed.
+        job: JobId,
+        /// The underlying optimizer error.
+        source: OptimizeError,
+    },
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "i/o error: {e}"),
+            ServerError::InvalidSpec(msg) => write!(f, "invalid job spec: {msg}"),
+            ServerError::QueueFull { capacity } => {
+                write!(f, "job queue full (capacity {capacity})")
+            }
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::UnknownJob(id) => write!(f, "unknown job: {id}"),
+            ServerError::DuplicateJob(id) => {
+                write!(f, "duplicate job {id}: vary name= to resubmit")
+            }
+            ServerError::Corrupt { path, detail } => {
+                write!(f, "corrupt artifact {}: {detail}", path.display())
+            }
+            ServerError::Run { job, source } => write!(f, "job {job} failed: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            ServerError::Run { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-job progress fan-out: a bounded in-memory ring of serialized
+//! [`RunEvent`](sacga::RunEvent) JSONL lines that late subscribers can
+//! replay from the start and live subscribers can follow with blocking
+//! polls.
+//!
+//! The ring holds the most recent [`HUB_CAPACITY`] lines; a subscriber
+//! that falls further behind observes a `skipped` count instead of the
+//! dropped lines (the full stream is always on disk in the job's
+//! `events.jsonl`).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Maximum lines retained per job before the ring drops its oldest.
+pub const HUB_CAPACITY: usize = 65_536;
+
+#[derive(Debug)]
+struct Inner {
+    /// Stream offset of `lines[0]`.
+    base: u64,
+    lines: VecDeque<String>,
+    done: bool,
+}
+
+/// One job's progress stream (see module docs).
+#[derive(Debug)]
+pub struct ProgressHub {
+    inner: Mutex<Inner>,
+    grew: Condvar,
+}
+
+/// One poll's worth of progress lines.
+#[derive(Debug, PartialEq, Eq)]
+pub struct HubPoll {
+    /// Lines since the polled cursor, oldest first.
+    pub lines: Vec<String>,
+    /// Cursor to pass to the next poll.
+    pub next: u64,
+    /// Lines the subscriber missed because the ring dropped them.
+    pub skipped: u64,
+    /// Whether the job reached a terminal state; no further lines will
+    /// be published after the ones returned here.
+    pub done: bool,
+}
+
+impl ProgressHub {
+    /// An empty stream.
+    pub fn new() -> Self {
+        ProgressHub {
+            inner: Mutex::new(Inner {
+                base: 0,
+                lines: VecDeque::new(),
+                done: false,
+            }),
+            grew: Condvar::new(),
+        }
+    }
+
+    /// Appends one line and wakes blocked subscribers.
+    pub fn publish(&self, line: String) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.lines.len() == HUB_CAPACITY {
+            inner.lines.pop_front();
+            inner.base += 1;
+        }
+        inner.lines.push_back(line);
+        drop(inner);
+        self.grew.notify_all();
+    }
+
+    /// Marks the stream terminal and wakes blocked subscribers.
+    pub fn finish(&self) {
+        self.inner.lock().unwrap().done = true;
+        self.grew.notify_all();
+    }
+
+    /// Returns all lines at offsets `>= cursor`, blocking up to
+    /// `timeout` when none are available yet and the stream is not
+    /// terminal. A `cursor` of 0 replays the retained history.
+    pub fn poll(&self, cursor: u64, timeout: Duration) -> HubPoll {
+        let mut inner = self.inner.lock().unwrap();
+        let end = |inner: &Inner| inner.base + inner.lines.len() as u64;
+        if cursor >= end(&inner) && !inner.done {
+            let (guard, _) = self.grew.wait_timeout(inner, timeout).unwrap();
+            inner = guard;
+        }
+        let start = cursor.max(inner.base);
+        let skipped = start - cursor;
+        let lines: Vec<String> = inner
+            .lines
+            .iter()
+            .skip((start - inner.base) as usize)
+            .cloned()
+            .collect();
+        HubPoll {
+            next: start + lines.len() as u64,
+            lines,
+            skipped,
+            done: inner.done,
+        }
+    }
+}
+
+impl Default for ProgressHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_history_then_follows() {
+        let hub = ProgressHub::new();
+        hub.publish("a".into());
+        hub.publish("b".into());
+        let p = hub.poll(0, Duration::ZERO);
+        assert_eq!(p.lines, vec!["a", "b"]);
+        assert_eq!(p.next, 2);
+        assert!(!p.done);
+        hub.publish("c".into());
+        hub.finish();
+        let p = hub.poll(p.next, Duration::ZERO);
+        assert_eq!(p.lines, vec!["c"]);
+        assert!(p.done);
+    }
+
+    #[test]
+    fn poll_after_done_returns_immediately() {
+        let hub = ProgressHub::new();
+        hub.finish();
+        let p = hub.poll(0, Duration::from_secs(5));
+        assert!(p.lines.is_empty());
+        assert!(p.done);
+    }
+
+    #[test]
+    fn overflow_reports_skipped_lines() {
+        let hub = ProgressHub::new();
+        for i in 0..(HUB_CAPACITY + 10) {
+            hub.publish(format!("{i}"));
+        }
+        let p = hub.poll(0, Duration::ZERO);
+        assert_eq!(p.skipped, 10);
+        assert_eq!(p.lines.len(), HUB_CAPACITY);
+        assert_eq!(p.lines[0], "10");
+    }
+}

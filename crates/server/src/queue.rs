@@ -1,0 +1,249 @@
+//! The bounded, priority-aware job queue feeding the worker pool.
+//!
+//! Ordering is strict priority (9 highest) with FIFO tie-breaking via a
+//! monotone sequence number, so equal-priority jobs — including a job
+//! that re-enters the queue after a preemption — run round-robin.
+//!
+//! The queue also carries the pool's idle accounting: [`JobQueue::pop`]
+//! in *drain* mode returns `None` only once the heap is empty **and** no
+//! popped job is still in flight, because an in-flight job may requeue
+//! itself at a generation boundary.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::error::ServerError;
+use crate::spec::JobId;
+
+#[derive(Debug, PartialEq, Eq)]
+struct Entry {
+    priority: u8,
+    seq: u64,
+    id: JobId,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier sequence first.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+    in_flight: usize,
+    closed: bool,
+}
+
+/// How [`JobQueue::pop`] behaves when the queue is momentarily empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopMode {
+    /// Return `None` once the queue is empty and nothing is in flight
+    /// (batch processing: run until idle, then stop).
+    Drain,
+    /// Block until work arrives or the queue is closed (daemon mode).
+    Wait,
+}
+
+/// Bounded priority queue of runnable job ids (see module docs).
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// An empty queue holding at most `capacity` queued entries.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                seq: 0,
+                in_flight: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a job.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::QueueFull`] at capacity, or
+    /// [`ServerError::ShuttingDown`] after [`JobQueue::close`].
+    pub fn push(&self, id: JobId, priority: u8) -> Result<(), ServerError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(ServerError::ShuttingDown);
+        }
+        if inner.heap.len() >= self.capacity {
+            return Err(ServerError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.heap.push(Entry { priority, seq, id });
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Re-enqueues a preempted or rescanned job. Exempt from the
+    /// capacity bound (which limits *external* submissions) and from
+    /// the closed check during rescan; a push after close is dropped —
+    /// the job stays suspended on disk and resumes on the next boot.
+    pub fn requeue(&self, id: JobId, priority: u8) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return;
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.heap.push(Entry { priority, seq, id });
+        drop(inner);
+        self.available.notify_one();
+    }
+
+    /// Pops the highest-priority job, blocking per `mode`. Returns
+    /// `None` when the worker should exit. The caller owes one
+    /// [`JobQueue::task_done`] per `Some` returned. `stop` aborts the
+    /// wait early (used for slice-budget kill simulation).
+    pub fn pop(&self, mode: PopMode, stop: &AtomicBool) -> Option<JobId> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if stop.load(Ordering::SeqCst) || inner.closed && inner.heap.is_empty() {
+                return None;
+            }
+            if let Some(entry) = inner.heap.pop() {
+                inner.in_flight += 1;
+                return Some(entry.id);
+            }
+            if mode == PopMode::Drain && inner.in_flight == 0 {
+                return None;
+            }
+            let (guard, _) = self
+                .available
+                .wait_timeout(inner, std::time::Duration::from_millis(50))
+                .unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Marks one popped job as finished (done, failed, requeued or
+    /// abandoned). Wakes idle workers so drain mode can conclude.
+    pub fn task_done(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.in_flight = inner.in_flight.saturating_sub(1);
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Whether other jobs are waiting — the preemption signal: a running
+    /// job yields at its next generation-slice boundary when `true`.
+    pub fn contended(&self) -> bool {
+        !self.inner.lock().unwrap().heap.is_empty()
+    }
+
+    /// Number of queued (not in-flight) jobs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().heap.len()
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rejects further pushes and wakes every blocked worker.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Wakes every blocked worker without closing (used when an
+    /// external stop flag was raised).
+    pub fn interrupt(&self) {
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u64) -> JobId {
+        JobId::parse(&format!("{n:016x}")).unwrap()
+    }
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = JobQueue::new(16);
+        let stop = AtomicBool::new(false);
+        q.push(id(1), 0).unwrap();
+        q.push(id(2), 5).unwrap();
+        q.push(id(3), 5).unwrap();
+        q.push(id(4), 9).unwrap();
+        let order: Vec<JobId> = (0..4)
+            .map(|_| q.pop(PopMode::Drain, &stop).unwrap())
+            .collect();
+        assert_eq!(order, vec![id(4), id(2), id(3), id(1)]);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let q = JobQueue::new(2);
+        q.push(id(1), 0).unwrap();
+        q.push(id(2), 0).unwrap();
+        assert!(matches!(
+            q.push(id(3), 0),
+            Err(ServerError::QueueFull { capacity: 2 })
+        ));
+    }
+
+    #[test]
+    fn drain_waits_for_in_flight_requeues() {
+        let q = JobQueue::new(4);
+        let stop = AtomicBool::new(false);
+        q.push(id(1), 0).unwrap();
+        let popped = q.pop(PopMode::Drain, &stop).unwrap();
+        assert_eq!(popped, id(1));
+        // Simulate the in-flight job requeueing itself before finishing.
+        q.push(id(1), 0).unwrap();
+        q.task_done();
+        assert_eq!(q.pop(PopMode::Drain, &stop), Some(id(1)));
+        q.task_done();
+        assert_eq!(q.pop(PopMode::Drain, &stop), None);
+    }
+
+    #[test]
+    fn close_rejects_pushes_and_releases_waiters() {
+        let q = JobQueue::new(4);
+        let stop = AtomicBool::new(false);
+        q.close();
+        assert!(matches!(q.push(id(1), 0), Err(ServerError::ShuttingDown)));
+        assert_eq!(q.pop(PopMode::Wait, &stop), None);
+    }
+
+    #[test]
+    fn stop_flag_aborts_pop() {
+        let q = JobQueue::new(4);
+        let stop = AtomicBool::new(true);
+        q.push(id(1), 0).unwrap();
+        assert_eq!(q.pop(PopMode::Wait, &stop), None);
+    }
+}

@@ -1,0 +1,799 @@
+//! The in-process optimization service: a bounded priority queue of
+//! [`JobSpec`]s executed by a worker pool (built on [`engine::pool`])
+//! through the object-safe [`DynOptimizer`](sacga::telemetry::DynOptimizer) API, with per-tenant shared
+//! evaluation caches, crash-safe persistence ([`JobStore`]), streaming
+//! progress ([`ProgressHub`]) and per-job watchdog health.
+//!
+//! # Execution model
+//!
+//! A worker pops the highest-priority job and runs it in *slices* of
+//! `spec.slice` generations. At each slice boundary the job's
+//! checkpoint and state are persisted atomically; if other jobs are
+//! waiting the job re-enters the queue (cooperative preemption),
+//! otherwise it continues inline. Algorithms that cannot checkpoint
+//! (NSGA-II, island) always run to completion in one slice.
+//!
+//! # Crash safety
+//!
+//! [`Server::open`] rescans the store: terminal jobs are left alone;
+//! anything else — including a job whose `state.job` is torn because
+//! the previous daemon died mid-write — is re-enqueued. The event
+//! stream is trimmed back to the persisted checkpoint's generation so
+//! a resumed run appends exactly the events the killed run would have
+//! produced, and the final front is bit-identical to an uninterrupted
+//! run of the same spec.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::BufWriter;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::error::ServerError;
+use crate::hub::ProgressHub;
+use crate::queue::{JobQueue, PopMode};
+use crate::spec::{JobId, JobSpec};
+use crate::store::{JobHealth, JobState, JobStatus, JobStore};
+use campaign::CellResult;
+use engine::{CacheConfig, SharedCache};
+use moea::{Evaluation, RunOutcome};
+use sacga::telemetry::{DynRunStatus, EventKind, FaultRateAlarm, JsonlSink, Sink, StallDetector};
+use sacga::RunEvent;
+
+/// Reference point used for the stall detector's hypervolume when a job
+/// enables `stall=`; generous enough to dominate every benchmark front
+/// in this workspace.
+const STALL_REF: f64 = 1e3;
+
+/// Tuning of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs accepted from clients.
+    pub queue_capacity: usize,
+    /// Template for per-tenant shared evaluation caches.
+    pub cache: CacheConfig,
+}
+
+impl ServerConfig {
+    /// Defaults: 2 workers, 64 queued jobs, 64Ki-entry tenant caches.
+    pub fn new() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache: CacheConfig::with_capacity(1 << 16),
+        }
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time snapshot of one job, as reported by status/list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobView {
+    /// Job identifier.
+    pub id: JobId,
+    /// Human-chosen name from the spec.
+    pub name: String,
+    /// Lifecycle state.
+    pub status: JobStatus,
+    /// Endpoint health (terminal statuses mask watchdog health).
+    pub health: JobHealth,
+    /// Generations completed.
+    pub generations: usize,
+    /// Candidates submitted by this job (exact per-job attribution,
+    /// also under a shared tenant cache).
+    pub candidates: u64,
+    /// Evaluations this job paid for.
+    pub evaluations: u64,
+    /// Candidates answered from the cache for this job.
+    pub cache_hits: u64,
+    /// Error message for failed jobs.
+    pub error: Option<String>,
+}
+
+/// The live watchdogs of one job; they survive suspension and requeues
+/// so windowed detectors keep their history across slices.
+struct WatchdogSet {
+    stall: Option<StallDetector>,
+    faults: Option<FaultRateAlarm>,
+}
+
+impl WatchdogSet {
+    fn build(spec: &JobSpec) -> Self {
+        let nobj = spec.problem.build().num_objectives();
+        WatchdogSet {
+            stall: (spec.stall_window > 0)
+                .then(|| StallDetector::new(vec![STALL_REF; nobj], spec.stall_window)),
+            faults: spec.fault_alarm.map(FaultRateAlarm::new),
+        }
+    }
+
+    fn replay(&mut self, events: &[RunEvent]) {
+        for event in events {
+            self.record(event);
+        }
+    }
+
+    fn record(&mut self, event: &RunEvent) {
+        if let Some(stall) = self.stall.as_mut() {
+            stall.record(event);
+        }
+        if let Some(faults) = self.faults.as_mut() {
+            faults.record(event);
+        }
+    }
+
+    /// Fault warnings outrank stall warnings; warnings only accumulate,
+    /// so a job that ever stalled stays marked until it terminates.
+    fn health(&self) -> JobHealth {
+        let faulty = self
+            .faults
+            .as_ref()
+            .is_some_and(|w| !w.warnings().is_empty());
+        let stalled = self
+            .stall
+            .as_ref()
+            .is_some_and(|w| !w.warnings().is_empty());
+        if faulty {
+            JobHealth::Faulty
+        } else if stalled {
+            JobHealth::Stalled
+        } else {
+            JobHealth::Healthy
+        }
+    }
+}
+
+/// Per-slice composite sink: disk JSONL + progress hub + watchdogs.
+struct SegmentSink<'a> {
+    jsonl: &'a mut JsonlSink<BufWriter<fs::File>>,
+    hub: &'a ProgressHub,
+    watch: &'a mut WatchdogSet,
+}
+
+impl Sink for SegmentSink<'_> {
+    fn record(&mut self, event: &RunEvent) {
+        self.jsonl.record(event);
+        self.hub.publish(event.to_json());
+        self.watch.record(event);
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.jsonl.flush()
+    }
+}
+
+/// In-memory companion of one job.
+struct JobRuntime {
+    spec: JobSpec,
+    hub: ProgressHub,
+    cancel: AtomicBool,
+    state: Mutex<JobState>,
+    watch: Mutex<Option<WatchdogSet>>,
+}
+
+impl JobRuntime {
+    fn new(spec: JobSpec, state: JobState) -> Self {
+        JobRuntime {
+            spec,
+            hub: ProgressHub::new(),
+            cancel: AtomicBool::new(false),
+            state: Mutex::new(state),
+            watch: Mutex::new(None),
+        }
+    }
+}
+
+/// Scrapes the completed-generation count out of checkpoint text (both
+/// SACGA and MESACGA checkpoints embed an engine-state `gen <n>` line).
+fn checkpoint_generation(text: &str) -> Option<usize> {
+    text.lines()
+        .find_map(|line| line.strip_prefix("gen "))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The optimization service (see module docs).
+pub struct Server {
+    config: ServerConfig,
+    store: JobStore,
+    queue: JobQueue,
+    jobs: Mutex<HashMap<JobId, Arc<JobRuntime>>>,
+    tenants: Mutex<HashMap<String, SharedCache<Evaluation>>>,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// Opens a server over `store_root`, rescanning any persisted jobs:
+    /// terminal jobs are registered as-is, everything else is
+    /// re-enqueued to resume from its last checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store I/O failures.
+    pub fn open(
+        store_root: impl Into<std::path::PathBuf>,
+        config: ServerConfig,
+    ) -> Result<Server, ServerError> {
+        let store = JobStore::open(store_root)?;
+        let server = Server {
+            queue: JobQueue::new(config.queue_capacity),
+            config,
+            store,
+            jobs: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        };
+        for id in server.store.scan()? {
+            server.rescan_job(id)?;
+        }
+        Ok(server)
+    }
+
+    fn rescan_job(&self, id: JobId) -> Result<(), ServerError> {
+        let spec = match self.store.read_spec(id) {
+            Ok(spec) => spec,
+            // A directory without a readable spec was never fully
+            // submitted; leave it for manual inspection.
+            Err(_) => return Ok(()),
+        };
+        let state = self.store.read_state(id);
+        match state {
+            Some(state) if state.status.is_terminal() => {
+                let rt = Arc::new(JobRuntime::new(spec, state));
+                // Make the historical stream replayable for subscribers.
+                if let Ok(text) = fs::read_to_string(self.store.events_path(id)) {
+                    for event in RunEvent::parse_jsonl_lossy(&text).events {
+                        rt.hub.publish(event.to_json());
+                    }
+                }
+                rt.hub.finish();
+                self.jobs.lock().unwrap().insert(id, rt);
+            }
+            other => {
+                // Queued, running, suspended, or a torn/missing state
+                // file: the job is in flight and must be resumed. Trim
+                // the event stream back to the checkpoint so the resumed
+                // run appends without duplicating generations.
+                let generations = self
+                    .store
+                    .read_checkpoint(id)
+                    .as_deref()
+                    .and_then(checkpoint_generation)
+                    .unwrap_or(0);
+                let rt = Arc::new(JobRuntime::new(
+                    spec.clone(),
+                    JobState {
+                        status: JobStatus::Queued,
+                        generations,
+                        ..other.unwrap_or_else(JobState::queued)
+                    },
+                ));
+                self.trim_events(id, generations, &rt.hub)?;
+                self.store.write_state(id, &rt.state.lock().unwrap())?;
+                self.jobs.lock().unwrap().insert(id, rt);
+                self.queue.requeue(id, spec.priority);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewrites `events.jsonl` keeping only the prefix up to (and
+    /// including) the `generations`-th `GenerationEnd`, dropping events
+    /// a killed daemon emitted past its last persisted checkpoint, and
+    /// replays the kept events into the hub.
+    fn trim_events(
+        &self,
+        id: JobId,
+        generations: usize,
+        hub: &ProgressHub,
+    ) -> Result<(), ServerError> {
+        let path = self.store.events_path(id);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => return Ok(()), // no stream yet
+        };
+        if generations == 0 {
+            fs::remove_file(&path)?;
+            return Ok(());
+        }
+        let replay = RunEvent::parse_jsonl_lossy(&text);
+        let mut kept = Vec::new();
+        let mut ends = 0usize;
+        for event in replay.events {
+            let is_end = event.kind() == EventKind::GenerationEnd;
+            kept.push(event);
+            if is_end {
+                ends += 1;
+                if ends == generations {
+                    break;
+                }
+            }
+        }
+        let mut sink = JsonlSink::create(&path)?;
+        for event in &kept {
+            sink.record(event);
+            hub.publish(event.to_json());
+        }
+        sink.flush()?;
+        Ok(())
+    }
+
+    /// The store this server persists into.
+    pub fn store(&self) -> &JobStore {
+        &self.store
+    }
+
+    /// Submits a job; returns its deterministic id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::InvalidSpec`] on validation failure,
+    /// [`ServerError::DuplicateJob`] when the identical canonical spec
+    /// was already submitted, [`ServerError::QueueFull`] /
+    /// [`ServerError::ShuttingDown`] from the queue, and I/O errors
+    /// from persistence.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, ServerError> {
+        spec.validate()?;
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err(ServerError::ShuttingDown);
+        }
+        let id = spec.id();
+        {
+            let mut jobs = self.jobs.lock().unwrap();
+            if jobs.contains_key(&id) {
+                return Err(ServerError::DuplicateJob(id));
+            }
+            self.store.create_job(id, &spec)?;
+            self.store.write_state(id, &JobState::queued())?;
+            jobs.insert(
+                id,
+                Arc::new(JobRuntime::new(spec.clone(), JobState::queued())),
+            );
+        }
+        if let Err(e) = self.queue.push(id, spec.priority) {
+            self.fail_job(id, &format!("not enqueued: {e}"));
+            return Err(e);
+        }
+        Ok(id)
+    }
+
+    fn runtime(&self, id: JobId) -> Result<Arc<JobRuntime>, ServerError> {
+        self.jobs
+            .lock()
+            .unwrap()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| ServerError::UnknownJob(id.to_string()))
+    }
+
+    fn view_of(&self, id: JobId, rt: &JobRuntime) -> JobView {
+        let state = rt.state.lock().unwrap().clone();
+        JobView {
+            id,
+            name: rt.spec.name.clone(),
+            status: state.status,
+            health: state.endpoint_health(),
+            generations: state.generations,
+            candidates: state.candidates,
+            evaluations: state.evaluations,
+            cache_hits: state.cache_hits,
+            error: state.error,
+        }
+    }
+
+    /// Snapshot of one job.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownJob`] for ids never submitted here.
+    pub fn status(&self, id: JobId) -> Result<JobView, ServerError> {
+        let rt = self.runtime(id)?;
+        Ok(self.view_of(id, &rt))
+    }
+
+    /// The per-job health endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownJob`] for ids never submitted here.
+    pub fn health(&self, id: JobId) -> Result<JobHealth, ServerError> {
+        Ok(self.status(id)?.health)
+    }
+
+    /// Snapshots of every known job, sorted by id.
+    pub fn list(&self) -> Vec<JobView> {
+        let jobs = self.jobs.lock().unwrap();
+        let mut views: Vec<JobView> = jobs.iter().map(|(id, rt)| self.view_of(*id, rt)).collect();
+        views.sort_by_key(|v| v.id);
+        views
+    }
+
+    /// Requests cancellation; takes effect at the job's next slice
+    /// boundary (or dequeue).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownJob`] for ids never submitted here.
+    pub fn cancel(&self, id: JobId) -> Result<(), ServerError> {
+        let rt = self.runtime(id)?;
+        rt.cancel.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Polls a job's progress stream (see [`ProgressHub::poll`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownJob`] for ids never submitted here.
+    pub fn poll_progress(
+        &self,
+        id: JobId,
+        cursor: u64,
+        timeout: Duration,
+    ) -> Result<crate::hub::HubPoll, ServerError> {
+        Ok(self.runtime(id)?.hub.poll(cursor, timeout))
+    }
+
+    /// Whether a shutdown was requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown: stops accepting work, wakes blocked workers,
+    /// and makes running jobs suspend at their next slice boundary.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Runs the worker pool until every queued job is terminal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker-pool failures.
+    pub fn run_until_idle(&self) -> Result<(), ServerError> {
+        self.run_workers(PopMode::Drain, None).map(|_| ())
+    }
+
+    /// Runs the worker pool, stopping abruptly (like a `kill -9`) after
+    /// `budget` generation slices have been *started* across all jobs.
+    /// Returns `true` when the queue drained within the budget.
+    ///
+    /// In-flight jobs are left exactly as their last slice persisted
+    /// them; reopening the store resumes them bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates worker-pool failures.
+    pub fn run_slices_at_most(&self, budget: usize) -> Result<bool, ServerError> {
+        self.run_workers(PopMode::Drain, Some(budget))
+    }
+
+    fn run_workers(&self, mode: PopMode, budget: Option<usize>) -> Result<bool, ServerError> {
+        let spent = AtomicUsize::new(0);
+        let halt = AtomicBool::new(false);
+        engine::pool::try_map_indexed(self.config.workers, self.config.workers, |_w| {
+            while let Some(id) = self.queue.pop(mode, &halt) {
+                self.run_one(id, budget, &spent, &halt);
+            }
+            Ok::<(), ServerError>(())
+        })?;
+        Ok(!halt.load(Ordering::SeqCst))
+    }
+
+    /// Serves the line protocol on `listener` until a client sends
+    /// `shutdown` (or [`Server::request_shutdown`] is called).
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures.
+    pub fn serve(&self, listener: TcpListener) -> Result<(), ServerError> {
+        listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| -> Result<(), ServerError> {
+            let workers = scope.spawn(|| self.run_workers(PopMode::Wait, None));
+            loop {
+                if self.is_shutting_down() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        scope.spawn(move || crate::protocol::handle_connection(self, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(e) => return Err(ServerError::Io(e)),
+                }
+            }
+            self.queue.close();
+            workers.join().expect("worker pool panicked")?;
+            Ok(())
+        })
+    }
+
+    fn tenant_cache(&self, tenant: &str) -> SharedCache<Evaluation> {
+        self.tenants
+            .lock()
+            .unwrap()
+            .entry(tenant.to_string())
+            .or_insert_with(|| SharedCache::new(self.config.cache.clone()))
+            .clone()
+    }
+
+    fn update_state(&self, id: JobId, rt: &JobRuntime, f: impl FnOnce(&mut JobState)) {
+        let mut state = rt.state.lock().unwrap();
+        f(&mut state);
+        // Persistence is best-effort here: a full disk must not take the
+        // whole pool down, and the next successful write supersedes.
+        let _ = self.store.write_state(id, &state);
+    }
+
+    fn fail_job(&self, id: JobId, message: &str) {
+        if let Ok(rt) = self.runtime(id) {
+            self.update_state(id, &rt, |s| {
+                s.status = JobStatus::Failed;
+                s.error = Some(message.to_string());
+            });
+            rt.hub.finish();
+        }
+    }
+
+    /// Executes one popped job until it completes, fails, is cancelled,
+    /// yields to a contended queue, or the slice budget kills the pool.
+    /// Always balances the pop with [`JobQueue::task_done`].
+    fn run_one(&self, id: JobId, budget: Option<usize>, spent: &AtomicUsize, halt: &AtomicBool) {
+        let rt = match self.runtime(id) {
+            Ok(rt) => rt,
+            Err(_) => {
+                self.queue.task_done();
+                return;
+            }
+        };
+        if rt.cancel.load(Ordering::SeqCst) {
+            self.update_state(id, &rt, |s| s.status = JobStatus::Cancelled);
+            rt.hub.finish();
+            self.queue.task_done();
+            return;
+        }
+        let spec = rt.spec.clone();
+        let cache = spec.tenant.as_deref().map(|t| self.tenant_cache(t));
+        let opt = match spec.build_optimizer(cache) {
+            Ok(opt) => opt,
+            Err(e) => {
+                self.fail_job(id, &e.to_string());
+                self.queue.task_done();
+                return;
+            }
+        };
+        // Watchdogs persist across requeues in memory; after a daemon
+        // restart they are rebuilt by replaying the (trimmed) stream.
+        let mut watch = rt.watch.lock().unwrap().take().unwrap_or_else(|| {
+            let mut fresh = WatchdogSet::build(&spec);
+            if let Ok(text) = fs::read_to_string(self.store.events_path(id)) {
+                fresh.replay(&RunEvent::parse_jsonl_lossy(&text).events);
+            }
+            fresh
+        });
+        let mut jsonl = match JsonlSink::append(self.store.events_path(id)) {
+            Ok(sink) => sink,
+            Err(e) => {
+                self.fail_job(id, &format!("cannot open event stream: {e}"));
+                self.queue.task_done();
+                return;
+            }
+        };
+        self.update_state(id, &rt, |s| s.status = JobStatus::Running);
+        let quantum = if spec.slice == 0 {
+            usize::MAX
+        } else {
+            spec.slice
+        };
+        let mut checkpoint_text = self.store.read_checkpoint(id);
+        let mut done_gens = rt.state.lock().unwrap().generations;
+        loop {
+            if let Some(limit) = budget {
+                if spent.fetch_add(1, Ordering::SeqCst) >= limit {
+                    // Simulated kill: stop the pool without persisting
+                    // anything beyond the last slice boundary.
+                    halt.store(true, Ordering::SeqCst);
+                    self.queue.interrupt();
+                    *rt.watch.lock().unwrap() = Some(watch);
+                    self.queue.task_done();
+                    return;
+                }
+            }
+            let target = done_gens.saturating_add(quantum);
+            let mut sink = SegmentSink {
+                jsonl: &mut jsonl,
+                hub: &rt.hub,
+                watch: &mut watch,
+            };
+            let status = match &checkpoint_text {
+                Some(text) => opt.resume_until_dyn_with(text, target, &mut sink),
+                None => opt.run_until_dyn_with(spec.seed, target, &mut sink),
+            };
+            match status {
+                Err(e) => {
+                    let _ = jsonl.flush();
+                    let health = watch.health();
+                    *rt.watch.lock().unwrap() = Some(watch);
+                    self.update_state(id, &rt, |s| {
+                        s.status = JobStatus::Failed;
+                        s.health = health;
+                        s.error = Some(e.to_string());
+                    });
+                    rt.hub.finish();
+                    self.queue.task_done();
+                    return;
+                }
+                Ok(DynRunStatus::Complete(outcome)) => {
+                    let _ = jsonl.flush();
+                    self.complete_job(id, &rt, &spec, &outcome, &watch);
+                    *rt.watch.lock().unwrap() = Some(watch);
+                    self.queue.task_done();
+                    return;
+                }
+                Ok(DynRunStatus::Suspended {
+                    checkpoint,
+                    generations,
+                }) => {
+                    let _ = jsonl.flush();
+                    if let Err(e) = self.store.write_checkpoint(id, &checkpoint) {
+                        self.fail_job(id, &format!("cannot persist checkpoint: {e}"));
+                        *rt.watch.lock().unwrap() = Some(watch);
+                        self.queue.task_done();
+                        return;
+                    }
+                    done_gens = generations;
+                    let health = watch.health();
+                    self.update_state(id, &rt, |s| {
+                        s.status = JobStatus::Suspended;
+                        s.generations = generations;
+                        s.health = health;
+                    });
+                    if rt.cancel.load(Ordering::SeqCst) {
+                        self.update_state(id, &rt, |s| s.status = JobStatus::Cancelled);
+                        rt.hub.finish();
+                        *rt.watch.lock().unwrap() = Some(watch);
+                        self.queue.task_done();
+                        return;
+                    }
+                    if self.is_shutting_down() {
+                        // Graceful: leave suspended; resumes next boot.
+                        *rt.watch.lock().unwrap() = Some(watch);
+                        self.queue.task_done();
+                        return;
+                    }
+                    if self.queue.contended() {
+                        // Cooperative preemption: yield the worker.
+                        self.update_state(id, &rt, |s| s.status = JobStatus::Queued);
+                        *rt.watch.lock().unwrap() = Some(watch);
+                        self.queue.requeue(id, spec.priority);
+                        self.queue.task_done();
+                        return;
+                    }
+                    checkpoint_text = Some(checkpoint);
+                }
+            }
+        }
+    }
+
+    fn complete_job(
+        &self,
+        id: JobId,
+        rt: &JobRuntime,
+        spec: &JobSpec,
+        outcome: &RunOutcome,
+        watch: &WatchdogSet,
+    ) {
+        let result = CellResult::from_outcome(spec.algo.token(), spec.seed, outcome);
+        if let Err(e) = self.store.write_outcome(id, &result) {
+            self.fail_job(id, &format!("cannot persist outcome: {e}"));
+            return;
+        }
+        let health = watch.health();
+        self.update_state(id, rt, |s| {
+            s.status = JobStatus::Done;
+            s.generations = outcome.generations;
+            s.candidates = outcome.stats.candidates;
+            s.evaluations = outcome.stats.evaluations;
+            s.cache_hits = outcome.stats.cache_hits;
+            s.health = health;
+        });
+        rt.hub.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AlgoSpec, ProblemSpec};
+
+    fn tmp_root(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dse-server-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_spec(name: &str) -> JobSpec {
+        JobSpec::new(
+            name,
+            ProblemSpec::Schaffer,
+            AlgoSpec::Sacga {
+                pop: 16,
+                gens: 6,
+                parts: 4,
+            },
+            42,
+        )
+    }
+
+    #[test]
+    fn submit_run_and_report() {
+        let root = tmp_root("basic");
+        let server = Server::open(&root, ServerConfig::new()).unwrap();
+        let id = server.submit(quick_spec("basic")).unwrap();
+        assert!(matches!(
+            server.submit(quick_spec("basic")),
+            Err(ServerError::DuplicateJob(_))
+        ));
+        server.run_until_idle().unwrap();
+        let view = server.status(id).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        assert_eq!(view.health, JobHealth::Done);
+        assert_eq!(view.generations, 6);
+        assert!(view.candidates > 0);
+        assert_eq!(view.candidates, view.evaluations + view.cache_hits);
+        assert!(server.store().read_outcome(id).is_some());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cancelled_before_running_never_executes() {
+        let root = tmp_root("cancel");
+        let server = Server::open(&root, ServerConfig::new()).unwrap();
+        let id = server.submit(quick_spec("cancel")).unwrap();
+        server.cancel(id).unwrap();
+        server.run_until_idle().unwrap();
+        let view = server.status(id).unwrap();
+        assert_eq!(view.status, JobStatus::Cancelled);
+        assert_eq!(view.health, JobHealth::Failed);
+        assert!(server.store().read_outcome(id).is_none());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn streaming_sees_generation_events() {
+        let root = tmp_root("stream");
+        let server = Server::open(&root, ServerConfig::new()).unwrap();
+        let id = server.submit(quick_spec("stream")).unwrap();
+        server.run_until_idle().unwrap();
+        let poll = server.poll_progress(id, 0, Duration::ZERO).unwrap();
+        assert!(poll.done);
+        let replay = RunEvent::parse_jsonl_lossy(&poll.lines.join("\n"));
+        let ends = replay
+            .events
+            .iter()
+            .filter(|e| e.kind() == EventKind::GenerationEnd)
+            .count();
+        assert_eq!(ends, 6);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unknown_job_is_an_error() {
+        let root = tmp_root("unknown");
+        let server = Server::open(&root, ServerConfig::new()).unwrap();
+        let id = JobId::parse("00000000deadbeef").unwrap();
+        assert!(matches!(server.status(id), Err(ServerError::UnknownJob(_))));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,732 @@
+//! Job specifications: what to optimize, with which algorithm arm, under
+//! which seed, budget and service policy — plus the deterministic
+//! [`JobId`] derived from the canonical spec text.
+//!
+//! A spec round-trips through one canonical line:
+//!
+//! ```text
+//! job v1 name=demo tenant=none problem=schaffer algo=sacga:pop=16,gens=10,parts=4 \
+//!     seed=42 priority=0 slice=0 stall=0 fault=none inject=0
+//! ```
+//!
+//! (shown wrapped; the wire format is a single line). The [`JobId`] is
+//! the FNV-1a 64-bit hash of that canonical line, so resubmitting the
+//! identical spec is detected as a duplicate — vary `name=` to rerun.
+
+use std::fmt;
+
+use crate::error::ServerError;
+use analog_circuits::{DrivableLoadProblem, Spec};
+use engine::{FaultPlan, FaultPolicy, SharedCache};
+use moea::nsga2::{Nsga2, Nsga2Config};
+use moea::problems::{BinhKorn, Constr, Schaffer, Srinivas, Tanaka, Zdt1, Zdt2, Zdt3};
+use moea::{Evaluation, Problem};
+use sacga::local::LocalCompetitionGaBuilder;
+use sacga::{DynOptimizer, IslandConfig, IslandGa, Mesacga, MesacgaConfig, Sacga, SacgaConfig};
+
+/// Deterministic job identifier: FNV-1a 64 of the canonical spec line,
+/// printed as 16 lower-case hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(u64);
+
+impl JobId {
+    /// Parses the 16-hex-digit form produced by `Display`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::InvalidSpec`] when `s` is not exactly 16
+    /// hex digits.
+    pub fn parse(s: &str) -> Result<JobId, ServerError> {
+        if s.len() != 16 {
+            return Err(ServerError::InvalidSpec(format!(
+                "job id must be 16 hex digits, got {s:?}"
+            )));
+        }
+        u64::from_str_radix(s, 16)
+            .map(JobId)
+            .map_err(|_| ServerError::InvalidSpec(format!("job id must be hex, got {s:?}")))
+    }
+
+    /// The raw 64-bit value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The benchmark problem a job optimizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProblemSpec {
+    /// Schaffer's two-objective toy problem.
+    Schaffer,
+    /// The constrained Binh–Korn problem.
+    BinhKorn,
+    /// The constrained Srinivas problem.
+    Srinivas,
+    /// The disconnected-front Tanaka problem.
+    Tanaka,
+    /// The CONSTR problem.
+    Constr,
+    /// ZDT1 with `n` decision variables.
+    Zdt1(usize),
+    /// ZDT2 with `n` decision variables.
+    Zdt2(usize),
+    /// ZDT3 with `n` decision variables.
+    Zdt3(usize),
+    /// The featured switched-capacitor integrator sizing problem.
+    Drivable,
+}
+
+impl ProblemSpec {
+    /// Parses a problem token (`schaffer`, `zdt1:8`, `drivable`, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::InvalidSpec`] for unknown tokens.
+    pub fn parse(token: &str) -> Result<Self, ServerError> {
+        let (head, arg) = match token.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (token, None),
+        };
+        let n = |arg: Option<&str>| -> Result<usize, ServerError> {
+            let a = arg.ok_or_else(|| {
+                ServerError::InvalidSpec(format!("problem {head} needs a dimension, e.g. {head}:8"))
+            })?;
+            a.parse::<usize>().map_err(|_| {
+                ServerError::InvalidSpec(format!("bad dimension {a:?} for problem {head}"))
+            })
+        };
+        match head {
+            "schaffer" => Ok(ProblemSpec::Schaffer),
+            "binh_korn" => Ok(ProblemSpec::BinhKorn),
+            "srinivas" => Ok(ProblemSpec::Srinivas),
+            "tanaka" => Ok(ProblemSpec::Tanaka),
+            "constr" => Ok(ProblemSpec::Constr),
+            "zdt1" => Ok(ProblemSpec::Zdt1(n(arg)?)),
+            "zdt2" => Ok(ProblemSpec::Zdt2(n(arg)?)),
+            "zdt3" => Ok(ProblemSpec::Zdt3(n(arg)?)),
+            "drivable" => Ok(ProblemSpec::Drivable),
+            other => Err(ServerError::InvalidSpec(format!(
+                "unknown problem {other:?}"
+            ))),
+        }
+    }
+
+    /// The canonical token this spec serializes to.
+    pub fn token(&self) -> String {
+        match self {
+            ProblemSpec::Schaffer => "schaffer".into(),
+            ProblemSpec::BinhKorn => "binh_korn".into(),
+            ProblemSpec::Srinivas => "srinivas".into(),
+            ProblemSpec::Tanaka => "tanaka".into(),
+            ProblemSpec::Constr => "constr".into(),
+            ProblemSpec::Zdt1(n) => format!("zdt1:{n}"),
+            ProblemSpec::Zdt2(n) => format!("zdt2:{n}"),
+            ProblemSpec::Zdt3(n) => format!("zdt3:{n}"),
+            ProblemSpec::Drivable => "drivable".into(),
+        }
+    }
+
+    /// Instantiates the problem behind a type-erased handle.
+    pub fn build(&self) -> Box<dyn Problem + Send + Sync> {
+        match self {
+            ProblemSpec::Schaffer => Box::new(Schaffer::new()),
+            ProblemSpec::BinhKorn => Box::new(BinhKorn::new()),
+            ProblemSpec::Srinivas => Box::new(Srinivas::new()),
+            ProblemSpec::Tanaka => Box::new(Tanaka::new()),
+            ProblemSpec::Constr => Box::new(Constr::new()),
+            ProblemSpec::Zdt1(n) => Box::new(Zdt1::new(*n)),
+            ProblemSpec::Zdt2(n) => Box::new(Zdt2::new(*n)),
+            ProblemSpec::Zdt3(n) => Box::new(Zdt3::new(*n)),
+            ProblemSpec::Drivable => Box::new(DrivableLoadProblem::new(Spec::featured())),
+        }
+    }
+
+    /// The partition slice range to configure for partitioned algorithms,
+    /// when the problem needs one beyond the default.
+    fn slice_range(&self) -> Option<(f64, f64)> {
+        match self {
+            ProblemSpec::Drivable => Some(DrivableLoadProblem::slice_range()),
+            _ => None,
+        }
+    }
+}
+
+/// The algorithm arm a job runs, with its core sizing knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgoSpec {
+    /// SACGA: annealed local-to-global competition.
+    Sacga {
+        /// Population size.
+        pop: usize,
+        /// Generations to run.
+        gens: usize,
+        /// Objective-space partitions.
+        parts: usize,
+    },
+    /// The pure local-competition GA of Sec. 4.3.
+    Local {
+        /// Population size.
+        pop: usize,
+        /// Generations to run.
+        gens: usize,
+        /// Objective-space partitions.
+        parts: usize,
+    },
+    /// MESACGA with the paper's expanding-partition cascade over `span`
+    /// total generations.
+    Mesacga {
+        /// Population size.
+        pop: usize,
+        /// Total generation span across all phases.
+        span: usize,
+    },
+    /// The NSGA-II baseline (purely global competition).
+    Nsga2 {
+        /// Population size.
+        pop: usize,
+        /// Generations to run.
+        gens: usize,
+    },
+    /// The island-model GA baseline.
+    Island {
+        /// Total population size across islands.
+        pop: usize,
+        /// Generations to run.
+        gens: usize,
+        /// Island count.
+        islands: usize,
+    },
+}
+
+fn algo_params(body: &str, head: &str) -> Result<Vec<(String, usize)>, ServerError> {
+    let mut out = Vec::new();
+    for part in body.split(',') {
+        let (k, v) = part.split_once('=').ok_or_else(|| {
+            ServerError::InvalidSpec(format!("algo {head}: expected key=value, got {part:?}"))
+        })?;
+        let v = v
+            .parse::<usize>()
+            .map_err(|_| ServerError::InvalidSpec(format!("algo {head}: bad value in {part:?}")))?;
+        out.push((k.to_string(), v));
+    }
+    Ok(out)
+}
+
+fn take(params: &[(String, usize)], key: &str, head: &str) -> Result<usize, ServerError> {
+    params
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| ServerError::InvalidSpec(format!("algo {head}: missing {key}=")))
+}
+
+impl AlgoSpec {
+    /// Parses an algorithm token
+    /// (`sacga:pop=16,gens=10,parts=4`, `nsga2:pop=16,gens=10`, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::InvalidSpec`] for unknown algorithms,
+    /// missing or malformed parameters.
+    pub fn parse(token: &str) -> Result<Self, ServerError> {
+        let (head, body) = token.split_once(':').ok_or_else(|| {
+            ServerError::InvalidSpec(format!(
+                "algo token {token:?} needs parameters, e.g. sacga:pop=16,gens=10,parts=4"
+            ))
+        })?;
+        let p = algo_params(body, head)?;
+        match head {
+            "sacga" => Ok(AlgoSpec::Sacga {
+                pop: take(&p, "pop", head)?,
+                gens: take(&p, "gens", head)?,
+                parts: take(&p, "parts", head)?,
+            }),
+            "local" => Ok(AlgoSpec::Local {
+                pop: take(&p, "pop", head)?,
+                gens: take(&p, "gens", head)?,
+                parts: take(&p, "parts", head)?,
+            }),
+            "mesacga" => Ok(AlgoSpec::Mesacga {
+                pop: take(&p, "pop", head)?,
+                span: take(&p, "span", head)?,
+            }),
+            "nsga2" => Ok(AlgoSpec::Nsga2 {
+                pop: take(&p, "pop", head)?,
+                gens: take(&p, "gens", head)?,
+            }),
+            "island" => Ok(AlgoSpec::Island {
+                pop: take(&p, "pop", head)?,
+                gens: take(&p, "gens", head)?,
+                islands: take(&p, "islands", head)?,
+            }),
+            other => Err(ServerError::InvalidSpec(format!("unknown algo {other:?}"))),
+        }
+    }
+
+    /// The canonical token this spec serializes to.
+    pub fn token(&self) -> String {
+        match self {
+            AlgoSpec::Sacga { pop, gens, parts } => {
+                format!("sacga:pop={pop},gens={gens},parts={parts}")
+            }
+            AlgoSpec::Local { pop, gens, parts } => {
+                format!("local:pop={pop},gens={gens},parts={parts}")
+            }
+            AlgoSpec::Mesacga { pop, span } => format!("mesacga:pop={pop},span={span}"),
+            AlgoSpec::Nsga2 { pop, gens } => format!("nsga2:pop={pop},gens={gens}"),
+            AlgoSpec::Island { pop, gens, islands } => {
+                format!("island:pop={pop},gens={gens},islands={islands}")
+            }
+        }
+    }
+
+    /// Whether this arm's builder accepts a shared (tenant) cache.
+    pub fn supports_shared_cache(&self) -> bool {
+        matches!(
+            self,
+            AlgoSpec::Sacga { .. } | AlgoSpec::Mesacga { .. } | AlgoSpec::Nsga2 { .. }
+        )
+    }
+}
+
+/// A complete job description: problem + algorithm arm + seed + service
+/// policy. The canonical text form is one line (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Human-chosen job name; part of the identity hash, so reruns of an
+    /// identical configuration vary only this.
+    pub name: String,
+    /// Shared-cache pool this job draws from; `None` means a private
+    /// per-run cache. Only arms for which
+    /// [`AlgoSpec::supports_shared_cache`] is `true` may set a tenant.
+    pub tenant: Option<String>,
+    /// The benchmark problem.
+    pub problem: ProblemSpec,
+    /// The algorithm arm.
+    pub algo: AlgoSpec,
+    /// RNG seed; together with the spec this pins the run bit-exactly.
+    pub seed: u64,
+    /// Queue priority 0–9; higher pops first, FIFO within a level.
+    pub priority: u8,
+    /// Cooperative-preemption quantum in generations; `0` runs each
+    /// job to completion in one slice. Ignored by arms that cannot
+    /// checkpoint (NSGA-II, island), which always run to completion.
+    pub slice: usize,
+    /// Stall-detector window in generations; `0` disables the detector.
+    pub stall_window: usize,
+    /// Fault-rate alarm threshold (faults per candidate per generation);
+    /// `None` disables the alarm.
+    pub fault_alarm: Option<f64>,
+    /// Rate of injected non-finite evaluations (fault-injection harness
+    /// for health testing); `0` injects nothing.
+    pub inject_nonfinite: f64,
+}
+
+fn valid_token(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+impl JobSpec {
+    /// A spec with the given identity fields and default policy: no
+    /// tenant, priority 0, no preemption, watchdogs off, no injection.
+    pub fn new(name: impl Into<String>, problem: ProblemSpec, algo: AlgoSpec, seed: u64) -> Self {
+        JobSpec {
+            name: name.into(),
+            tenant: None,
+            problem,
+            algo,
+            seed,
+            priority: 0,
+            slice: 0,
+            stall_window: 0,
+            fault_alarm: None,
+            inject_nonfinite: 0.0,
+        }
+    }
+
+    /// Sets the tenant cache pool.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Sets the queue priority (0–9).
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the preemption quantum in generations.
+    pub fn slice(mut self, slice: usize) -> Self {
+        self.slice = slice;
+        self
+    }
+
+    /// Enables the stall detector with the given window.
+    pub fn stall_window(mut self, window: usize) -> Self {
+        self.stall_window = window;
+        self
+    }
+
+    /// Enables the fault-rate alarm with the given threshold.
+    pub fn fault_alarm(mut self, rate: f64) -> Self {
+        self.fault_alarm = Some(rate);
+        self
+    }
+
+    /// Enables non-finite fault injection at the given rate.
+    pub fn inject_nonfinite(mut self, rate: f64) -> Self {
+        self.inject_nonfinite = rate;
+        self
+    }
+
+    /// Validates field ranges and cross-field constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::InvalidSpec`] describing the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), ServerError> {
+        if !valid_token(&self.name) {
+            return Err(ServerError::InvalidSpec(format!(
+                "name {:?} must be non-empty [A-Za-z0-9._-]",
+                self.name
+            )));
+        }
+        if let Some(t) = &self.tenant {
+            if !valid_token(t) {
+                return Err(ServerError::InvalidSpec(format!(
+                    "tenant {t:?} must be non-empty [A-Za-z0-9._-]"
+                )));
+            }
+            if !self.algo.supports_shared_cache() {
+                return Err(ServerError::InvalidSpec(format!(
+                    "algo {} does not support a tenant cache",
+                    self.algo.token()
+                )));
+            }
+        }
+        if self.priority > 9 {
+            return Err(ServerError::InvalidSpec(format!(
+                "priority {} out of range 0-9",
+                self.priority
+            )));
+        }
+        if let Some(rate) = self.fault_alarm {
+            if !(rate.is_finite() && rate >= 0.0) {
+                return Err(ServerError::InvalidSpec(format!(
+                    "fault alarm rate {rate} must be finite and >= 0"
+                )));
+            }
+        }
+        if !(self.inject_nonfinite.is_finite() && (0.0..=1.0).contains(&self.inject_nonfinite)) {
+            return Err(ServerError::InvalidSpec(format!(
+                "inject rate {} must be in [0, 1]",
+                self.inject_nonfinite
+            )));
+        }
+        Ok(())
+    }
+
+    /// The canonical single-line text form; hashing this yields
+    /// [`JobSpec::id`].
+    pub fn canonical(&self) -> String {
+        format!(
+            "job v1 name={} tenant={} problem={} algo={} seed={} priority={} slice={} stall={} fault={} inject={}",
+            self.name,
+            self.tenant.as_deref().unwrap_or("none"),
+            self.problem.token(),
+            self.algo.token(),
+            self.seed,
+            self.priority,
+            self.slice,
+            self.stall_window,
+            self.fault_alarm
+                .map_or_else(|| "none".to_string(), |r| r.to_string()),
+            self.inject_nonfinite,
+        )
+    }
+
+    /// The deterministic identifier of this spec.
+    pub fn id(&self) -> JobId {
+        JobId(fnv1a64(&self.canonical()))
+    }
+
+    /// Parses the canonical line form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::InvalidSpec`] on malformed input or
+    /// failed validation.
+    pub fn parse(line: &str) -> Result<JobSpec, ServerError> {
+        let mut tokens = line.split_whitespace();
+        match (tokens.next(), tokens.next()) {
+            (Some("job"), Some("v1")) => {}
+            _ => {
+                return Err(ServerError::InvalidSpec(
+                    "spec must start with 'job v1'".into(),
+                ))
+            }
+        }
+        let mut name = None;
+        let mut tenant = None;
+        let mut problem = None;
+        let mut algo = None;
+        let mut seed = None;
+        let mut priority = 0u8;
+        let mut slice = 0usize;
+        let mut stall = 0usize;
+        let mut fault = None;
+        let mut inject = 0.0f64;
+        for tok in tokens {
+            let (k, v) = tok.split_once('=').ok_or_else(|| {
+                ServerError::InvalidSpec(format!("expected key=value, got {tok:?}"))
+            })?;
+            let bad = |what: &str| ServerError::InvalidSpec(format!("bad {what} value {v:?}"));
+            match k {
+                "name" => name = Some(v.to_string()),
+                "tenant" => tenant = (v != "none").then(|| v.to_string()),
+                "problem" => problem = Some(ProblemSpec::parse(v)?),
+                "algo" => algo = Some(AlgoSpec::parse(v)?),
+                "seed" => seed = Some(v.parse::<u64>().map_err(|_| bad("seed"))?),
+                "priority" => priority = v.parse::<u8>().map_err(|_| bad("priority"))?,
+                "slice" => slice = v.parse::<usize>().map_err(|_| bad("slice"))?,
+                "stall" => stall = v.parse::<usize>().map_err(|_| bad("stall"))?,
+                "fault" => {
+                    fault = if v == "none" {
+                        None
+                    } else {
+                        Some(v.parse::<f64>().map_err(|_| bad("fault"))?)
+                    }
+                }
+                "inject" => inject = v.parse::<f64>().map_err(|_| bad("inject"))?,
+                other => {
+                    return Err(ServerError::InvalidSpec(format!("unknown key {other:?}")));
+                }
+            }
+        }
+        let missing = |what: &str| ServerError::InvalidSpec(format!("missing {what}="));
+        let spec = JobSpec {
+            name: name.ok_or_else(|| missing("name"))?,
+            tenant,
+            problem: problem.ok_or_else(|| missing("problem"))?,
+            algo: algo.ok_or_else(|| missing("algo"))?,
+            seed: seed.ok_or_else(|| missing("seed"))?,
+            priority,
+            slice,
+            stall_window: stall,
+            fault_alarm: fault,
+            inject_nonfinite: inject,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Instantiates the optimizer for this job, wiring in the tenant
+    /// cache (when given) and the fault-injection harness (when
+    /// `inject_nonfinite > 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::InvalidSpec`] when the underlying config
+    /// builder rejects the sizing parameters.
+    pub fn build_optimizer(
+        &self,
+        cache: Option<SharedCache<Evaluation>>,
+    ) -> Result<Box<dyn DynOptimizer>, ServerError> {
+        let cfg_err = |e: moea::OptimizeError| ServerError::InvalidSpec(e.to_string());
+        let problem = self.problem.build();
+        let plan = (self.inject_nonfinite > 0.0)
+            .then(|| FaultPlan::seeded(self.seed).nonfinite(self.inject_nonfinite));
+        match &self.algo {
+            AlgoSpec::Sacga { pop, gens, parts } => {
+                let mut b = SacgaConfig::builder()
+                    .population_size(*pop)
+                    .generations(*gens)
+                    .partitions(*parts);
+                if let Some((lo, hi)) = self.problem.slice_range() {
+                    b = b.slice_range(lo, hi);
+                }
+                if let Some(cache) = cache {
+                    b = b.shared_cache(cache);
+                }
+                if let Some(plan) = plan {
+                    b = b.fault_policy(FaultPolicy::tolerant(3)).inject_faults(plan);
+                }
+                Ok(Box::new(Sacga::new(problem, b.build().map_err(cfg_err)?)))
+            }
+            AlgoSpec::Local { pop, gens, parts } => {
+                let mut b = LocalCompetitionGaBuilder::new()
+                    .population_size(*pop)
+                    .generations(*gens)
+                    .partitions(*parts);
+                if let Some((lo, hi)) = self.problem.slice_range() {
+                    b = b.slice_range(lo, hi);
+                }
+                if let Some(plan) = plan {
+                    b = b.fault_policy(FaultPolicy::tolerant(3)).inject_faults(plan);
+                }
+                Ok(Box::new(b.build(problem).map_err(cfg_err)?))
+            }
+            AlgoSpec::Mesacga { pop, span } => {
+                let mut b = MesacgaConfig::builder()
+                    .population_size(*pop)
+                    .paper_phases(*span);
+                if let Some((lo, hi)) = self.problem.slice_range() {
+                    b = b.slice_range(lo, hi);
+                }
+                if let Some(cache) = cache {
+                    b = b.shared_cache(cache);
+                }
+                if let Some(plan) = plan {
+                    b = b.fault_policy(FaultPolicy::tolerant(3)).inject_faults(plan);
+                }
+                Ok(Box::new(Mesacga::new(problem, b.build().map_err(cfg_err)?)))
+            }
+            AlgoSpec::Nsga2 { pop, gens } => {
+                let mut b = Nsga2Config::builder()
+                    .population_size(*pop)
+                    .generations(*gens);
+                if let Some(cache) = cache {
+                    b = b.shared_cache(cache);
+                }
+                if let Some(plan) = plan {
+                    b = b.fault_policy(FaultPolicy::tolerant(3)).inject_faults(plan);
+                }
+                Ok(Box::new(Nsga2::new(problem, b.build().map_err(cfg_err)?)))
+            }
+            AlgoSpec::Island { pop, gens, islands } => {
+                let mut b = IslandConfig::builder()
+                    .population_size(*pop)
+                    .generations(*gens)
+                    .islands(*islands);
+                if let Some(plan) = plan {
+                    b = b.fault_policy(FaultPolicy::tolerant(3)).inject_faults(plan);
+                }
+                Ok(Box::new(IslandGa::new(
+                    problem,
+                    b.build().map_err(cfg_err)?,
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> JobSpec {
+        JobSpec::new(
+            "demo",
+            ProblemSpec::Schaffer,
+            AlgoSpec::Sacga {
+                pop: 16,
+                gens: 10,
+                parts: 4,
+            },
+            42,
+        )
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        let spec = demo()
+            .tenant("acme")
+            .priority(3)
+            .slice(2)
+            .stall_window(5)
+            .fault_alarm(0.25)
+            .inject_nonfinite(0.1);
+        let line = spec.canonical();
+        let back = JobSpec::parse(&line).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.id(), spec.id());
+        assert_eq!(back.canonical(), line);
+    }
+
+    #[test]
+    fn id_is_stable_and_name_sensitive() {
+        let a = demo();
+        let mut b = demo();
+        assert_eq!(a.id(), b.id());
+        b.name = "demo2".into();
+        assert_ne!(a.id(), b.id());
+        // Pinned: the id derives only from the canonical text.
+        assert_eq!(a.id().to_string().len(), 16);
+        assert_eq!(JobId::parse(&a.id().to_string()).unwrap(), a.id());
+    }
+
+    #[test]
+    fn tenant_rejected_for_uncached_arms() {
+        let spec = JobSpec::new(
+            "x",
+            ProblemSpec::Schaffer,
+            AlgoSpec::Island {
+                pop: 32,
+                gens: 5,
+                islands: 2,
+            },
+            1,
+        )
+        .tenant("acme");
+        assert!(matches!(spec.validate(), Err(ServerError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(JobSpec::parse("submit stuff").is_err());
+        assert!(JobSpec::parse("job v1 name=x").is_err()); // missing problem/algo/seed
+        assert!(JobSpec::parse(
+            "job v1 name=x problem=nope algo=sacga:pop=1,gens=1,parts=1 seed=0"
+        )
+        .is_err());
+        assert!(JobSpec::parse("job v1 name=x problem=schaffer algo=sacga:pop=1 seed=0").is_err());
+    }
+
+    #[test]
+    fn every_arm_builds_an_optimizer() {
+        let arms = [
+            AlgoSpec::Sacga {
+                pop: 16,
+                gens: 4,
+                parts: 4,
+            },
+            AlgoSpec::Local {
+                pop: 16,
+                gens: 4,
+                parts: 4,
+            },
+            AlgoSpec::Mesacga { pop: 16, span: 12 },
+            AlgoSpec::Nsga2 { pop: 16, gens: 4 },
+            AlgoSpec::Island {
+                pop: 32,
+                gens: 4,
+                islands: 2,
+            },
+        ];
+        for algo in arms {
+            let spec = JobSpec::new("t", ProblemSpec::Schaffer, algo.clone(), 7);
+            let opt = spec.build_optimizer(None).unwrap();
+            let outcome = opt.run_dyn(7).unwrap();
+            assert!(!outcome.front.is_empty(), "{}", algo.token());
+        }
+    }
+}

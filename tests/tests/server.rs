@@ -1,0 +1,472 @@
+//! Integration tests of the optimization service: crash-safe resume,
+//! cooperative-preemption determinism across all five optimizer loops,
+//! exact per-job cache attribution under a shared tenant, watchdog-driven
+//! health transitions, and the TCP protocol end to end.
+//!
+//! The crash-safety golden snapshot lives in `tests/golden/` (re-record
+//! with `UPDATE_GOLDEN=1 cargo test -p integration-tests --test server`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+
+use dse_server::{
+    AlgoSpec, JobHealth, JobSpec, JobStatus, ProblemSpec, Server, ServerConfig, ServerError,
+};
+
+/// A scratch directory unique to this test run, wiped on entry.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("server-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(name)
+}
+
+/// Compares against the committed snapshot, or re-records it when the
+/// `UPDATE_GOLDEN` environment variable is set.
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {}: {e}; record it with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "server outcome diverged from committed snapshot {}",
+        path.display()
+    );
+}
+
+fn sacga_spec(name: &str) -> JobSpec {
+    JobSpec::new(
+        name,
+        ProblemSpec::Schaffer,
+        AlgoSpec::Sacga {
+            pop: 16,
+            gens: 12,
+            parts: 4,
+        },
+        42,
+    )
+}
+
+fn mesacga_spec(name: &str) -> JobSpec {
+    JobSpec::new(
+        name,
+        ProblemSpec::Schaffer,
+        AlgoSpec::Mesacga { pop: 16, span: 12 },
+        42,
+    )
+}
+
+fn config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers,
+        ..ServerConfig::new()
+    }
+}
+
+/// Runs `specs` on a fresh uninterrupted server and returns each job's
+/// final `outcome.cell` bytes.
+fn reference_outcomes(tag: &str, specs: &[JobSpec], workers: usize) -> Vec<Vec<u8>> {
+    let root = scratch_dir(tag);
+    let server = Server::open(&root, config(workers)).unwrap();
+    let ids: Vec<_> = specs
+        .iter()
+        .map(|s| server.submit(s.clone()).unwrap())
+        .collect();
+    server.run_until_idle().unwrap();
+    let outcomes = ids
+        .iter()
+        .map(|&id| std::fs::read(server.store().outcome_path(id)).unwrap())
+        .collect();
+    let _ = std::fs::remove_dir_all(&root);
+    outcomes
+}
+
+#[test]
+fn killed_daemon_resumes_in_flight_jobs_bit_identically() {
+    let specs = [
+        sacga_spec("crash-a").slice(2),
+        mesacga_spec("crash-b").slice(3),
+    ];
+    let root = scratch_dir("crash");
+
+    // Phase 1: start both jobs, kill the pool after 4 slices.
+    let server = Server::open(&root, config(2)).unwrap();
+    let ids: Vec<_> = specs
+        .iter()
+        .map(|s| server.submit(s.clone()).unwrap())
+        .collect();
+    let drained = server.run_slices_at_most(4).unwrap();
+    assert!(!drained, "4 slices must not finish 12+12 generations");
+    for &id in &ids {
+        let view = server.status(id).unwrap();
+        assert!(
+            !view.status.is_terminal(),
+            "job {id} should be in flight, was {:?}",
+            view.status
+        );
+    }
+    drop(server);
+
+    // Phase 2: a new daemon over the same store rescans and resumes.
+    let server = Server::open(&root, config(2)).unwrap();
+    for &id in &ids {
+        assert_eq!(server.status(id).unwrap().status, JobStatus::Queued);
+    }
+    server.run_until_idle().unwrap();
+    let resumed: Vec<Vec<u8>> = ids
+        .iter()
+        .map(|&id| std::fs::read(server.store().outcome_path(id)).unwrap())
+        .collect();
+
+    // The resumed fronts must be byte-identical to an uninterrupted run.
+    let reference = reference_outcomes("crash-ref", &specs, 1);
+    assert_eq!(resumed, reference);
+
+    // And pinned: the SACGA outcome is a committed golden snapshot.
+    check_golden(
+        "server_sacga_schaffer_seed42.cell",
+        std::str::from_utf8(&resumed[0]).unwrap(),
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn torn_state_file_is_reenqueued_and_resumed() {
+    let spec = sacga_spec("torn").slice(2);
+    let root = scratch_dir("torn");
+    let server = Server::open(&root, config(1)).unwrap();
+    let id = server.submit(spec.clone()).unwrap();
+    // Make some progress, then die.
+    assert!(!server.run_slices_at_most(2).unwrap());
+    drop(server);
+
+    // Simulate a daemon killed mid-write: a state file cut off without
+    // its `end` marker.
+    let state_path = root.join(format!("job_{id}")).join("state.job");
+    std::fs::write(&state_path, "jobstate v1\nstatus runn").unwrap();
+
+    let server = Server::open(&root, config(1)).unwrap();
+    let view = server.status(id).unwrap();
+    assert_eq!(view.status, JobStatus::Queued, "torn state means in flight");
+    server.run_until_idle().unwrap();
+    assert_eq!(server.status(id).unwrap().status, JobStatus::Done);
+
+    let resumed = std::fs::read(server.store().outcome_path(id)).unwrap();
+    let reference = reference_outcomes("torn-ref", &[spec], 1);
+    assert_eq!(vec![resumed], reference);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn preemption_determinism_across_all_five_loops() {
+    // A job suspended and resumed K times at arbitrary generation
+    // boundaries must produce the same outcome as an unpreempted run —
+    // for every optimizer loop. Loops that cannot checkpoint (NSGA-II,
+    // island) ignore the quantum and run to completion, so the claim
+    // holds trivially for them.
+    let arms: Vec<(&str, AlgoSpec)> = vec![
+        (
+            "sacga",
+            AlgoSpec::Sacga {
+                pop: 16,
+                gens: 10,
+                parts: 4,
+            },
+        ),
+        (
+            "local",
+            AlgoSpec::Local {
+                pop: 16,
+                gens: 10,
+                parts: 4,
+            },
+        ),
+        ("mesacga", AlgoSpec::Mesacga { pop: 16, span: 12 }),
+        ("nsga2", AlgoSpec::Nsga2 { pop: 16, gens: 10 }),
+        (
+            "island",
+            AlgoSpec::Island {
+                pop: 32,
+                gens: 10,
+                islands: 2,
+            },
+        ),
+    ];
+    for (label, algo) in arms {
+        let mut outcomes = Vec::new();
+        for slice in [0usize, 1, 3] {
+            let root = scratch_dir(&format!("preempt-{label}-{slice}"));
+            let server = Server::open(&root, config(1)).unwrap();
+            let spec = JobSpec::new(
+                format!("preempt-{label}"),
+                ProblemSpec::Schaffer,
+                algo.clone(),
+                42,
+            )
+            .slice(slice);
+            let id = server.submit(spec).unwrap();
+            server.run_until_idle().unwrap();
+            let view = server.status(id).unwrap();
+            assert_eq!(view.status, JobStatus::Done, "{label} slice={slice}");
+            outcomes.push(std::fs::read(server.store().outcome_path(id)).unwrap());
+            let _ = std::fs::remove_dir_all(&root);
+        }
+        assert_eq!(
+            outcomes[0], outcomes[1],
+            "{label}: slice=1 diverged from unpreempted run"
+        );
+        assert_eq!(
+            outcomes[0], outcomes[2],
+            "{label}: slice=3 diverged from unpreempted run"
+        );
+    }
+}
+
+#[test]
+fn contended_queue_preempts_and_still_matches_reference() {
+    // Two sliced jobs on one worker force the requeue path: each job
+    // yields at its slice boundary because the other is waiting, so the
+    // worker alternates between them.
+    let specs = [
+        sacga_spec("yield-a").slice(2),
+        sacga_spec("yield-b").slice(2),
+    ];
+    // Different seeds so the jobs are distinct runs.
+    let specs = [specs[0].clone(), {
+        let mut s = specs[1].clone();
+        s.seed = 43;
+        s
+    }];
+    let root = scratch_dir("contended");
+    let server = Server::open(&root, config(1)).unwrap();
+    let ids: Vec<_> = specs
+        .iter()
+        .map(|s| server.submit(s.clone()).unwrap())
+        .collect();
+    server.run_until_idle().unwrap();
+    let interleaved: Vec<Vec<u8>> = ids
+        .iter()
+        .map(|&id| std::fs::read(server.store().outcome_path(id)).unwrap())
+        .collect();
+    let reference = reference_outcomes("contended-ref", &specs, 1);
+    assert_eq!(interleaved, reference);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn shared_tenant_cache_attribution_is_exact() {
+    // Two jobs in one tenant run the identical (problem, algo, seed)
+    // configuration: the second is answered almost entirely from the
+    // shared cache, yet per-job counters attribute every candidate
+    // exactly, and both fronts match an uncached solo run byte for byte.
+    let a = sacga_spec("cache-a").tenant("acme");
+    let b = sacga_spec("cache-b").tenant("acme");
+    let root = scratch_dir("tenant");
+    let server = Server::open(&root, config(1)).unwrap();
+    let id_a = server.submit(a).unwrap();
+    let id_b = server.submit(b).unwrap();
+    server.run_until_idle().unwrap();
+
+    let va = server.status(id_a).unwrap();
+    let vb = server.status(id_b).unwrap();
+    // Exact per-job accounting: every candidate is either evaluated or
+    // a cache hit, per job, even though the cache is shared.
+    assert_eq!(va.candidates, va.evaluations + va.cache_hits);
+    assert_eq!(vb.candidates, vb.evaluations + vb.cache_hits);
+    assert_eq!(va.candidates, vb.candidates, "same seed, same stream");
+    // The first job filled the cache the second one drained.
+    assert!(va.evaluations > 0);
+    let total_hits = va.cache_hits + vb.cache_hits;
+    assert!(
+        total_hits > 0,
+        "identical runs in one tenant must share evaluations"
+    );
+    assert!(
+        va.evaluations + vb.evaluations < va.candidates + vb.candidates,
+        "the tenant cache absorbed no work"
+    );
+
+    // Scheduling must not leak into results: both outcomes equal the
+    // uncached reference.
+    let reference = reference_outcomes("tenant-ref", &[sacga_spec("solo")], 1);
+    let out_a = std::fs::read(server.store().outcome_path(id_a)).unwrap();
+    let out_b = std::fs::read(server.store().outcome_path(id_b)).unwrap();
+    let strip_name = |bytes: &[u8]| -> Vec<u8> { bytes.to_vec() };
+    // outcome.cell stores arm label + seed, not the job name, so the
+    // bytes are directly comparable across differently-named jobs.
+    assert_eq!(strip_name(&out_a), reference[0]);
+    assert_eq!(strip_name(&out_b), reference[0]);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn health_transitions_healthy_to_stalled_mid_run() {
+    // Schaffer converges in a handful of generations; a 5-generation
+    // stall window over a 60-generation run must fire long before the
+    // end. Suspend the job partway to observe the health endpoint in
+    // its live (non-terminal) state.
+    let spec = JobSpec::new(
+        "stall",
+        ProblemSpec::Schaffer,
+        AlgoSpec::Sacga {
+            pop: 24,
+            gens: 60,
+            parts: 4,
+        },
+        42,
+    )
+    .slice(10)
+    .stall_window(5);
+    let root = scratch_dir("stall");
+    let server = Server::open(&root, config(1)).unwrap();
+    let id = server.submit(spec).unwrap();
+    assert_eq!(
+        server.health(id).unwrap(),
+        JobHealth::Healthy,
+        "queued jobs start healthy"
+    );
+    // 4 slices = 40 generations, then a forced suspension.
+    assert!(!server.run_slices_at_most(4).unwrap());
+    let view = server.status(id).unwrap();
+    assert!(!view.status.is_terminal());
+    assert_eq!(
+        view.health,
+        JobHealth::Stalled,
+        "plateau must trip the detector"
+    );
+    // The budget halt simulated a kill, so finish under a fresh daemon:
+    // terminal status masks watchdog health at the endpoint, but the
+    // persisted state keeps the stall on record.
+    drop(server);
+    let server = Server::open(&root, config(1)).unwrap();
+    server.run_until_idle().unwrap();
+    assert_eq!(server.health(id).unwrap(), JobHealth::Done);
+    let state = server.store().read_state(id).unwrap();
+    assert_eq!(state.health, JobHealth::Stalled);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn health_transitions_healthy_to_faulty_under_fault_injection() {
+    // Inject non-finite evaluations at 20% — far above the 1% alarm
+    // threshold — and watch the health endpoint flip to faulty.
+    let spec = JobSpec::new(
+        "faulty",
+        ProblemSpec::Schaffer,
+        AlgoSpec::Sacga {
+            pop: 16,
+            gens: 20,
+            parts: 4,
+        },
+        19,
+    )
+    .slice(5)
+    .fault_alarm(0.01)
+    .inject_nonfinite(0.2);
+    let root = scratch_dir("faulty");
+    let server = Server::open(&root, config(1)).unwrap();
+    let id = server.submit(spec).unwrap();
+    assert_eq!(server.health(id).unwrap(), JobHealth::Healthy);
+    assert!(!server.run_slices_at_most(2).unwrap());
+    let view = server.status(id).unwrap();
+    assert!(!view.status.is_terminal());
+    assert_eq!(view.health, JobHealth::Faulty);
+    // Finish under a fresh daemon; the fault record survives the restart.
+    drop(server);
+    let server = Server::open(&root, config(1)).unwrap();
+    server.run_until_idle().unwrap();
+    assert_eq!(server.health(id).unwrap(), JobHealth::Done);
+    assert_eq!(
+        server.store().read_state(id).unwrap().health,
+        JobHealth::Faulty
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn duplicate_submission_is_rejected_until_renamed() {
+    let root = scratch_dir("dup");
+    let server = Server::open(&root, config(1)).unwrap();
+    server.submit(sacga_spec("dup")).unwrap();
+    assert!(matches!(
+        server.submit(sacga_spec("dup")),
+        Err(ServerError::DuplicateJob(_))
+    ));
+    server.submit(sacga_spec("dup2")).unwrap();
+    // Duplicates survive restarts: the rescan re-registers known ids.
+    drop(server);
+    let server = Server::open(&root, config(1)).unwrap();
+    assert!(matches!(
+        server.submit(sacga_spec("dup")),
+        Err(ServerError::DuplicateJob(_))
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn tcp_protocol_end_to_end() {
+    let root = scratch_dir("tcp");
+    let server = Server::open(&root, config(1)).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    std::thread::scope(|scope| {
+        let daemon = scope.spawn(|| server.serve(listener));
+
+        let send = |line: &str| -> Vec<String> {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            writeln!(stream, "{line}").unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            let mut lines = Vec::new();
+            let multi = line.starts_with("list") || line.starts_with("stream");
+            for line in reader.lines() {
+                let line = line.unwrap();
+                let stop = !multi || line.starts_with("end") || line.starts_with("err");
+                lines.push(line);
+                if stop {
+                    break;
+                }
+            }
+            lines
+        };
+
+        assert_eq!(send("ping"), vec!["ok pong"]);
+        let spec = sacga_spec("tcp").slice(2);
+        let resp = send(&format!("submit {}", spec.canonical()));
+        let id = resp[0].strip_prefix("ok ").expect(&resp[0]).to_string();
+
+        // Stream the job live: the subscriber follows until `end done`.
+        let streamed = send(&format!("stream {id}"));
+        assert_eq!(streamed.first().map(String::as_str), Some("ok streaming"));
+        assert_eq!(streamed.last().map(String::as_str), Some("end done"));
+        let events = streamed.iter().filter(|l| l.starts_with("event ")).count();
+        assert!(
+            events >= 12,
+            "one GenerationEnd per generation, got {events}"
+        );
+
+        let status = send(&format!("status {id}"));
+        assert!(status[0].contains("status=done"), "{}", status[0]);
+        assert!(status[0].contains("generations=12"), "{}", status[0]);
+
+        assert_eq!(send("shutdown"), vec!["ok shutting-down"]);
+        daemon.join().unwrap().unwrap();
+    });
+    let _ = std::fs::remove_dir_all(&root);
+}
