@@ -53,5 +53,53 @@ fn bench_stack(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_stack);
+/// Deterministic unit-cube batch matching the `batch_equivalence` and
+/// `bench_eval` fixtures, so all three measure the same designs.
+fn pseudo_batch(n: usize, salt: u64) -> Vec<Vec<f64>> {
+    #[allow(clippy::cast_precision_loss)]
+    (0..n)
+        .map(|i| {
+            (0..15)
+                .map(|j| {
+                    let x = (i as f64 + 1.0) * 12.9898 + j as f64 * 78.233 + salt as f64 * 0.517;
+                    (x.sin() * 43758.5453).fract().abs()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Scalar loop vs struct-of-arrays `evaluate_all` over a generation-
+/// sized batch; the equivalence suite pins the two bit-identical, so
+/// any gap here is pure kernel overhead or win.
+fn bench_batch_kernels(c: &mut Criterion) {
+    let batch = pseudo_batch(64, 42);
+    let drivable = DrivableLoadProblem::new(Spec::featured());
+    let integrator = IntegratorProblem::new(Spec::featured());
+
+    let mut group = c.benchmark_group("batch64");
+    group.bench_function("drivable_scalar", |b| {
+        b.iter(|| {
+            for genes in &batch {
+                black_box(drivable.evaluate(black_box(genes)));
+            }
+        });
+    });
+    group.bench_function("drivable_evaluate_all", |b| {
+        b.iter(|| black_box(drivable.evaluate_all(black_box(&batch))));
+    });
+    group.bench_function("integrator_scalar", |b| {
+        b.iter(|| {
+            for genes in &batch {
+                black_box(integrator.evaluate(black_box(genes)));
+            }
+        });
+    });
+    group.bench_function("integrator_evaluate_all", |b| {
+        b.iter(|| black_box(integrator.evaluate_all(black_box(&batch))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stack, bench_batch_kernels);
 criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Pins raw evaluator throughput into `results/BENCH_eval.json`.
+//!
+//! ```text
+//! bench_eval [--quick]
+//! ```
+//!
+//! Measures the scalar `Problem::evaluate` loop against the
+//! struct-of-arrays `evaluate_all` batch kernels for both circuit
+//! problems, over a fixed deterministic batch of designs, and reports
+//! evals/sec plus the batch-over-scalar speedup. `--quick` shrinks the
+//! per-routine budget for CI smoke runs. The two paths are pinned
+//! bit-identical by the `batch_equivalence` suite, so this binary only
+//! cares about throughput.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use analog_circuits::{DrivableLoadProblem, IntegratorProblem, Spec};
+use moea::Problem;
+
+/// Designs per measured repetition (also the kernel batch size).
+const BATCH: usize = 256;
+
+/// One kernel's measurement.
+struct Sample {
+    label: &'static str,
+    evals: u64,
+    wall_s: f64,
+}
+
+impl Sample {
+    fn evals_per_sec(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let evals = self.evals as f64;
+        evals / self.wall_s
+    }
+}
+
+/// Deterministic unit-cube batch (same recipe as the equivalence
+/// tests, so the measured designs are reproducible across runs).
+fn pseudo_batch(n: usize, salt: u64) -> Vec<Vec<f64>> {
+    #[allow(clippy::cast_precision_loss)]
+    (0..n)
+        .map(|i| {
+            (0..15)
+                .map(|j| {
+                    let x = (i as f64 + 1.0) * 12.9898 + j as f64 * 78.233 + salt as f64 * 0.517;
+                    (x.sin() * 43758.5453).fract().abs()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs `routine` repeatedly (each rep evaluates [`BATCH`] designs)
+/// until `budget` elapses, after one untimed warm-up rep.
+fn measure(label: &'static str, budget: Duration, mut routine: impl FnMut()) -> Sample {
+    routine();
+    let start = Instant::now();
+    let mut reps = 0u64;
+    while start.elapsed() < budget {
+        routine();
+        reps += 1;
+    }
+    Sample {
+        label,
+        evals: reps * BATCH as u64,
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn bench_problem<P: Problem>(
+    name: &str,
+    problem: &P,
+    batch: &[Vec<f64>],
+    budget: Duration,
+    scalar_label: &'static str,
+    batch_label: &'static str,
+) -> (Sample, Sample, f64) {
+    let scalar = measure(scalar_label, budget, || {
+        for genes in batch {
+            black_box(problem.evaluate(black_box(genes)));
+        }
+    });
+    let kernel = measure(batch_label, budget, || {
+        black_box(problem.evaluate_all(black_box(batch)));
+    });
+    let speedup = kernel.evals_per_sec() / scalar.evals_per_sec();
+    println!(
+        "{name:<12} scalar {:>9.0} evals/s | batch {:>9.0} evals/s | {speedup:.2}x",
+        scalar.evals_per_sec(),
+        kernel.evals_per_sec(),
+    );
+    (scalar, kernel, speedup)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let budget = if quick {
+        Duration::from_millis(100)
+    } else {
+        Duration::from_millis(400)
+    };
+    let batch = pseudo_batch(BATCH, 42);
+
+    let drivable = DrivableLoadProblem::new(Spec::featured());
+    let (d_scalar, d_batch, d_speedup) = bench_problem(
+        "drivable",
+        &drivable,
+        &batch,
+        budget,
+        "drivable_scalar",
+        "drivable_batch",
+    );
+    let integrator = IntegratorProblem::new(Spec::featured());
+    let (i_scalar, i_batch, i_speedup) = bench_problem(
+        "integrator",
+        &integrator,
+        &batch,
+        budget,
+        "integrator_scalar",
+        "integrator_batch",
+    );
+
+    let kernels = [&d_scalar, &d_batch, &i_scalar, &i_batch]
+        .map(|s| {
+            format!(
+                "{{\"label\":{:?},\"evals\":{},\"wall_s\":{:?},\"evals_per_sec\":{:?}}}",
+                s.label,
+                s.evals,
+                s.wall_s,
+                s.evals_per_sec()
+            )
+        })
+        .join(",");
+    let doc = format!(
+        "{{\"schema\":1,\"batch\":{BATCH},\"kernels\":[{kernels}],\
+         \"speedup\":{{\"drivable\":{d_speedup:?},\"integrator\":{i_speedup:?}}}}}\n"
+    );
+    let path = std::path::Path::new("results").join("BENCH_eval.json");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write(&path, doc).expect("write BENCH_eval.json");
+    println!("\nwrote {}", path.display());
+}

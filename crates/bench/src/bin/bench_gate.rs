@@ -1,0 +1,77 @@
+//! CI regression gate over `BENCH_runtime.json` stage breakdowns.
+//!
+//! ```text
+//! bench_gate <fresh.json> <baseline.json>
+//! ```
+//!
+//! Replays the comparison [`dse_bench::trace::gate_runtime_report`]
+//! defines: every baseline run must still exist in the fresh report
+//! with evals/sec above `baseline / 8`, a non-dead memoization cache,
+//! and no support stage ballooning past its baseline share of
+//! wall-clock. Tolerances are deliberately generous — the gate exists
+//! to catch order-of-magnitude regressions across heterogeneous CI
+//! machines, not timing jitter.
+//!
+//! Exit codes: 0 pass, 1 usage error, 2 unreadable input or gate
+//! failure.
+
+use std::process::ExitCode;
+
+use dse_bench::trace::{gate_runtime_report, parse_runtime_report};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [fresh_path, baseline_path] = args.as_slice() else {
+        eprintln!("usage: bench_gate <fresh.json> <baseline.json>");
+        return ExitCode::from(1);
+    };
+    let fresh = match load(fresh_path) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("bench_gate: {fresh_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match load(baseline_path) {
+        Ok(runs) => runs,
+        Err(e) => {
+            eprintln!("bench_gate: {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let violations = gate_runtime_report(&fresh, &baseline);
+    if violations.is_empty() {
+        println!(
+            "bench_gate: ok — {} run(s) within tolerance of {baseline_path}",
+            baseline.len()
+        );
+        for run in &fresh {
+            let eps = run
+                .evals_per_sec
+                .map_or_else(|| "n/a".to_string(), |e| format!("{e:.1}"));
+            let hit = run
+                .cache_hit_rate
+                .map_or_else(|| "n/a".to_string(), |h| format!("{:.1}%", h * 100.0));
+            println!(
+                "  {:<24} evals/sec {eps:>9}  cache hits {hit:>6}",
+                run.label
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_gate: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::from(2)
+    }
+}
+
+fn load(path: &str) -> Result<Vec<dse_bench::trace::RuntimeRun>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let runs = parse_runtime_report(&text)?;
+    if runs.is_empty() {
+        return Err("report holds no runs".to_string());
+    }
+    Ok(runs)
+}

@@ -32,6 +32,16 @@ pub const PHASE1_MAX: usize = 200;
 /// Default seed; override with the first CLI argument.
 pub const DEFAULT_SEED: u64 = 42;
 
+/// Memoization-cache capacity of every figure run. The circuit problems
+/// quantize designs onto manufacturing grids, so distinct raw gene
+/// vectors frequently collapse to one evaluated design; the problems'
+/// cache canonicalizer keys the cache by the quantized basis, turning
+/// those collisions into hits (they were all misses when raw genes were
+/// the key, which is why earlier `BENCH_runtime.json` aggregates showed
+/// a 0% hit rate). Cached answers are bit-identical to re-evaluation,
+/// so fronts match cache-free runs exactly.
+pub const FIG_CACHE_CAPACITY: usize = 1 << 16;
+
 /// Parses `args[1]` as a seed, defaulting to [`DEFAULT_SEED`].
 pub fn seed_from_args() -> u64 {
     std::env::args()
@@ -55,6 +65,7 @@ pub fn tpg_ga(problem: &DrivableLoadProblem, gens: usize) -> Nsga2<&DrivableLoad
     let cfg = Nsga2Config::builder()
         .population_size(POP)
         .generations(gens)
+        .cache_capacity(FIG_CACHE_CAPACITY)
         .build()
         .expect("static config");
     Nsga2::new(problem, cfg)
@@ -102,6 +113,7 @@ pub fn sacga_ga(
         .partitions(partitions)
         .phase1_max(PHASE1_MAX.min(gens / 2))
         .slice_range(lo, hi)
+        .cache_capacity(FIG_CACHE_CAPACITY)
         .build()
         .expect("static config");
     Sacga::new(problem, cfg)
@@ -161,6 +173,7 @@ pub fn mesacga_ga(
                 .collect(),
         )
         .slice_range(lo, hi)
+        .cache_capacity(FIG_CACHE_CAPACITY)
         .build()
         .expect("static config");
     Mesacga::new(problem, cfg)

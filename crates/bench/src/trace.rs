@@ -311,6 +311,241 @@ fn json_f64(x: f64) -> String {
     }
 }
 
+/// One run row parsed back out of a `BENCH_runtime.json` document — the
+/// subset of [`runtime_json_entry`] fields the regression gate compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeRun {
+    /// Run label (the source log's file stem).
+    pub label: String,
+    /// Generations that carried stage timings.
+    pub timed_generations: u64,
+    /// Total timed wall-clock in seconds.
+    pub wall_s: f64,
+    /// Evaluations per timed second (`null` when nothing was timed).
+    pub evals_per_sec: Option<f64>,
+    /// Memoization hit rate over submitted candidates.
+    pub cache_hit_rate: Option<f64>,
+    /// Per-stage seconds in [`Stage::ALL`] order.
+    pub stage_s: Vec<(String, f64)>,
+}
+
+impl RuntimeRun {
+    /// Fraction of total timed stage seconds spent in `stage`; `None`
+    /// when the stage is absent or nothing was timed.
+    pub fn stage_share(&self, stage: &str) -> Option<f64> {
+        let total: f64 = self.stage_s.iter().map(|(_, s)| s).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        self.stage_s
+            .iter()
+            .find(|(name, _)| name == stage)
+            .map(|(_, s)| s / total)
+    }
+}
+
+/// Parses a `BENCH_runtime.json` document written by `trace_report
+/// --json` back into its run rows. Hand-rolled for exactly the fixed
+/// schema [`runtime_json_entry`] emits; anything else is an error, not
+/// a guess.
+pub fn parse_runtime_report(text: &str) -> Result<Vec<RuntimeRun>, String> {
+    let runs_start = text
+        .find("\"runs\":[")
+        .ok_or_else(|| "missing \"runs\" array".to_string())?
+        + "\"runs\":[".len();
+    let mut runs = Vec::new();
+    let mut depth = 0usize;
+    let mut obj_start = None;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in text[runs_start..].char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    obj_start = Some(runs_start + i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    let start = obj_start.take().ok_or("unbalanced braces")?;
+                    runs.push(parse_runtime_run(&text[start..=runs_start + i])?);
+                }
+            }
+            ']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    Ok(runs)
+}
+
+fn parse_runtime_run(obj: &str) -> Result<RuntimeRun, String> {
+    let label = json_string_field(obj, "label")?;
+    let timed_generations = json_number_field(obj, "timed_generations")?
+        .ok_or_else(|| format!("{label}: timed_generations is null"))?
+        as u64;
+    let wall_s =
+        json_number_field(obj, "wall_s")?.ok_or_else(|| format!("{label}: wall_s is null"))?;
+    let evals_per_sec = json_number_field(obj, "evals_per_sec")?;
+    let cache_hit_rate = json_number_field(obj, "cache_hit_rate")?;
+    let stages_at = obj
+        .find("\"stage_s\":{")
+        .ok_or_else(|| format!("{label}: missing stage_s"))?;
+    let stages_obj = &obj[stages_at + "\"stage_s\":".len()..];
+    let stages_end = stages_obj
+        .find('}')
+        .ok_or_else(|| format!("{label}: unterminated stage_s"))?;
+    let mut stage_s = Vec::new();
+    for stage in Stage::ALL {
+        let secs = json_number_field(&stages_obj[..=stages_end], stage.name())?
+            .ok_or_else(|| format!("{label}: stage {} is null", stage.name()))?;
+        stage_s.push((stage.name().to_string(), secs));
+    }
+    Ok(RuntimeRun {
+        label,
+        timed_generations,
+        wall_s,
+        evals_per_sec,
+        cache_hit_rate,
+        stage_s,
+    })
+}
+
+/// Extracts `"key":"value"` from a flat JSON object, undoing the two
+/// escapes `{:?}` formatting produces for file-stem labels.
+fn json_string_field(obj: &str, key: &str) -> Result<String, String> {
+    let needle = format!("\"{key}\":\"");
+    let start = obj
+        .find(&needle)
+        .ok_or_else(|| format!("missing string field {key:?}"))?
+        + needle.len();
+    let mut out = String::new();
+    let mut escaped = false;
+    for c in obj[start..].chars() {
+        if escaped {
+            out.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Ok(out);
+        } else {
+            out.push(c);
+        }
+    }
+    Err(format!("unterminated string field {key:?}"))
+}
+
+/// Extracts `"key":<number|null>`; `Ok(None)` means an explicit `null`.
+fn json_number_field(obj: &str, key: &str) -> Result<Option<f64>, String> {
+    let needle = format!("\"{key}\":");
+    let start = obj
+        .find(&needle)
+        .ok_or_else(|| format!("missing field {key:?}"))?
+        + needle.len();
+    let rest = &obj[start..];
+    if rest.starts_with("null") {
+        return Ok(None);
+    }
+    let end = rest
+        .find([',', '}'])
+        .ok_or_else(|| format!("unterminated field {key:?}"))?;
+    rest[..end]
+        .trim()
+        .parse::<f64>()
+        .map(Some)
+        .map_err(|e| format!("field {key:?}: {e}"))
+}
+
+/// A fresh run may be this many times slower than the baseline before
+/// the gate fails. Generous on purpose: CI machines vary widely, and
+/// the gate exists to catch order-of-magnitude regressions (a dropped
+/// batch kernel, an accidentally quadratic stage), not jitter.
+pub const GATE_MIN_THROUGHPUT_FACTOR: f64 = 8.0;
+
+/// Absolute slack allowed on each stage's share of timed wall-clock.
+/// Evaluation dominates every committed baseline (>90%), so a support
+/// stage climbing more than this many points signals a real regression
+/// rather than machine noise.
+pub const GATE_STAGE_SHARE_SLACK: f64 = 0.15;
+
+/// Compares a fresh runtime report against a pinned baseline and
+/// returns human-readable violations (empty = pass). Checks, per
+/// baseline label: the label still exists and carries timings, evals
+/// per second has not collapsed below `baseline /`
+/// [`GATE_MIN_THROUGHPUT_FACTOR`], the memoization hit rate has not
+/// regressed to zero, and no stage's share of wall-clock grew by more
+/// than [`GATE_STAGE_SHARE_SLACK`].
+pub fn gate_runtime_report(fresh: &[RuntimeRun], baseline: &[RuntimeRun]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for base in baseline {
+        let Some(run) = fresh.iter().find(|r| r.label == base.label) else {
+            violations.push(format!("{}: missing from fresh report", base.label));
+            continue;
+        };
+        if run.timed_generations == 0 {
+            violations.push(format!("{}: no timed generations", run.label));
+            continue;
+        }
+        match (run.evals_per_sec, base.evals_per_sec) {
+            (Some(fresh_eps), Some(base_eps)) => {
+                let floor = base_eps / GATE_MIN_THROUGHPUT_FACTOR;
+                if fresh_eps < floor {
+                    violations.push(format!(
+                        "{}: evals/sec {fresh_eps:.1} fell below {floor:.1} \
+                         (baseline {base_eps:.1} / {GATE_MIN_THROUGHPUT_FACTOR})",
+                        run.label
+                    ));
+                }
+            }
+            (None, Some(_)) => {
+                violations.push(format!(
+                    "{}: evals/sec missing (baseline had one)",
+                    run.label
+                ));
+            }
+            _ => {}
+        }
+        if base.cache_hit_rate.unwrap_or(0.0) > 0.0 && run.cache_hit_rate.unwrap_or(0.0) <= 0.0 {
+            violations.push(format!(
+                "{}: cache hit rate dropped to zero (baseline {:.1}%)",
+                run.label,
+                base.cache_hit_rate.unwrap_or(0.0) * 100.0
+            ));
+        }
+        for (stage, _) in &base.stage_s {
+            let (Some(base_share), Some(fresh_share)) =
+                (base.stage_share(stage), run.stage_share(stage))
+            else {
+                continue;
+            };
+            if fresh_share > base_share + GATE_STAGE_SHARE_SLACK {
+                violations.push(format!(
+                    "{}: stage {stage} grew to {:.1}% of wall-clock \
+                     (baseline {:.1}%, slack {:.0} points)",
+                    run.label,
+                    fresh_share * 100.0,
+                    base_share * 100.0,
+                    GATE_STAGE_SHARE_SLACK * 100.0
+                ));
+            }
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -437,5 +672,86 @@ mod tests {
         assert!(json.contains("\"skipped_lines\":1"));
         assert!(json.contains("\"evaluation\":"));
         assert!(!json.contains("inf"));
+    }
+
+    fn sample_report() -> String {
+        let s = RunSummary::from_events(&sample_stream(), None);
+        format!(
+            "{{\"schema\":1,\"runs\":[{},{}]}}\n",
+            runtime_json_entry("alpha", &s, 0),
+            runtime_json_entry("beta", &s, 2),
+        )
+    }
+
+    #[test]
+    fn runtime_report_round_trips_through_the_parser() {
+        let s = RunSummary::from_events(&sample_stream(), None);
+        let runs = parse_runtime_report(&sample_report()).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].label, "alpha");
+        assert_eq!(runs[1].label, "beta");
+        assert_eq!(runs[0].timed_generations, 3);
+        assert!((runs[0].wall_s - s.wall_seconds()).abs() < 1e-12);
+        assert_eq!(runs[0].evals_per_sec, s.evals_per_sec());
+        assert_eq!(runs[0].cache_hit_rate, s.cache_hit_rate());
+        assert_eq!(runs[0].stage_s.len(), Stage::ALL.len());
+        // Evaluation dominates the synthetic stream's timings.
+        assert!(runs[0].stage_share("evaluation").unwrap() > 0.99);
+    }
+
+    #[test]
+    fn runtime_report_parser_rejects_garbage() {
+        assert!(parse_runtime_report("not json").is_err());
+        assert!(parse_runtime_report("{\"schema\":1,\"runs\":[{\"label\":\"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn gate_passes_a_report_against_itself() {
+        let runs = parse_runtime_report(&sample_report()).unwrap();
+        assert!(gate_runtime_report(&runs, &runs).is_empty());
+    }
+
+    #[test]
+    fn gate_flags_throughput_collapse_and_dead_cache() {
+        let baseline = parse_runtime_report(&sample_report()).unwrap();
+        let mut fresh = baseline.clone();
+        fresh[0].evals_per_sec = baseline[0].evals_per_sec.map(|e| e / 100.0);
+        fresh[1].cache_hit_rate = Some(0.0);
+        let violations = gate_runtime_report(&fresh, &baseline);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("alpha") && violations[0].contains("evals/sec"));
+        assert!(violations[1].contains("beta") && violations[1].contains("cache hit rate"));
+    }
+
+    #[test]
+    fn gate_flags_missing_labels_and_stage_blowups() {
+        let baseline = parse_runtime_report(&sample_report()).unwrap();
+        let mut fresh = vec![baseline[0].clone()];
+        // Ranking balloons from ~0% to half the wall-clock.
+        let total: f64 = fresh[0].stage_s.iter().map(|(_, s)| s).sum();
+        for (name, secs) in &mut fresh[0].stage_s {
+            if name == "ranking" {
+                *secs = total;
+            }
+        }
+        let violations = gate_runtime_report(&fresh, &baseline);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("ranking"), "{violations:?}");
+        assert!(violations[1].contains("beta") && violations[1].contains("missing"));
+    }
+
+    #[test]
+    fn gate_tolerates_machine_speed_jitter() {
+        let baseline = parse_runtime_report(&sample_report()).unwrap();
+        let mut fresh = baseline.clone();
+        // Half the throughput and a mild share shuffle stay in tolerance.
+        for run in &mut fresh {
+            run.evals_per_sec = run.evals_per_sec.map(|e| e / 2.0);
+            run.cache_hit_rate = run.cache_hit_rate.map(|h| h / 3.0);
+            for (_, secs) in &mut run.stage_s {
+                *secs *= 1.7;
+            }
+        }
+        assert!(gate_runtime_report(&fresh, &baseline).is_empty());
     }
 }

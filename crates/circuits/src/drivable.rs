@@ -19,12 +19,13 @@
 //! The 15 decision parameters are the 14 sizing parameters of
 //! [`DesignVector`] plus the input common-mode voltage (gene 15).
 
+use crate::batch::DesignBatch;
 use crate::integrator::{self, ClockContext, IntegratorReport};
 use crate::problem::IntegratorProblem;
 use crate::process::Process;
 use crate::sizing::{DesignVector, CL_RANGE, NUM_PARAMS};
 use crate::specs::Spec;
-use crate::yield_est;
+use crate::yield_est::{self, SamplePoint};
 use moea::evaluation::{Evaluation, ViolationBuilder};
 use moea::individual::Individual;
 use moea::problem::{Bounds, Problem};
@@ -187,6 +188,80 @@ impl DrivableLoadProblem {
     pub fn slice_range() -> (f64, f64) {
         (-CL_RANGE.1, 0.0)
     }
+
+    /// Evaluates one already-decoded, already-quantized design against a
+    /// pre-built robustness sample table.
+    ///
+    /// This is the single evaluation body shared by the scalar
+    /// [`Problem::evaluate`] path and the batch kernel
+    /// ([`Problem::evaluate_all`]): the scalar path builds a fresh table
+    /// per call, the batch path builds it once per generation. Because
+    /// both paths execute this exact function, they are bit-for-bit
+    /// identical by construction.
+    pub(crate) fn evaluate_quantized(
+        &self,
+        dv: &DesignVector,
+        plan: &[(SamplePoint, Process)],
+    ) -> Evaluation {
+        let spec = &self.spec;
+
+        let (cl, report) = match self.drivable_load(dv) {
+            Some((cl, report)) => (cl, report),
+            None => {
+                // Cannot drive even the minimum load: grade the violations
+                // at the minimum load so the GA has a gradient toward
+                // drivability.
+                let report =
+                    integrator::analyze(&dv.with_cl(CL_RANGE.0), &self.process, &self.clock);
+                (0.0, report)
+            }
+        };
+        let drivable = cl > 0.0;
+
+        // Robustness at the claimed operating point (full, unmargined
+        // spec): corner headroom must come from the LOAD_MARGIN.
+        let dv_at = dv.with_cl(if drivable { cl } else { CL_RANGE.0 });
+        let robustness = if report.is_biased() {
+            yield_est::robustness_prepared(&dv_at, plan, &self.clock, spec).0
+        } else {
+            0.0
+        };
+
+        let mut v = ViolationBuilder::new();
+        v.at_least(report.dynamic_range_db, spec.dr_min_db); // 1 DR
+        v.at_least(report.output_range, spec.or_min_v); // 2 OR
+                                                        // 3–5: drivability at the minimum load (zero once drivable).
+        if drivable {
+            v.require(true).require(true).require(true);
+        } else {
+            v.at_most(report.settling_time, LOAD_MARGIN * spec.st_max);
+            v.at_most(report.settling_error, LOAD_MARGIN * spec.se_max);
+            v.at_least(report.p2, STABILITY_RATIO * report.omega_c);
+        }
+        v.at_most(report.area, spec.area_max); // 6 area
+        v.at_least(report.opamp.sat_margin, spec.sat_margin_min); // 7 regions
+        v.at_most(report.opamp.systematic_offset, 2e-3); // 8 matching
+        v.at_least(robustness, spec.robustness_min); // 9 yield
+
+        Evaluation::new(vec![-cl, report.power], v.finish())
+    }
+}
+
+/// Cache canonicalizer for the drivable-load gene encoding: collapses every
+/// raw gene vector onto the genes of its *quantized* design (unit fingers,
+/// unit capacitors, bias-DAC steps), so candidates that decode to the same
+/// manufactured sizing share one cache entry. Gene 15 (input common-mode)
+/// is continuous — it is passed through clamped, not re-derived, because
+/// [`DesignVector::to_genes`] slot 14 encodes the load capacitance, which
+/// the drivable-load formulation does not take from the genome.
+pub fn canonical_sizing_genes(genes: &[f64]) -> Vec<f64> {
+    if genes.len() != NUM_PARAMS {
+        return genes.to_vec();
+    }
+    let dv = DesignVector::from_sizing_genes(genes).quantize();
+    let mut basis = dv.to_genes();
+    basis[NUM_PARAMS - 1] = genes[NUM_PARAMS - 1].clamp(0.0, 1.0);
+    basis
 }
 
 impl Problem for DrivableLoadProblem {
@@ -211,47 +286,22 @@ impl Problem for DrivableLoadProblem {
         // Designs are evaluated as they would be drawn: unit fingers, unit
         // capacitors, bias-DAC steps (see [`DesignVector::quantize`]).
         let dv = DesignVector::from_sizing_genes(x).quantize();
-        let spec = &self.spec;
+        self.evaluate_quantized(&dv, &yield_est::prepared_plan(&self.process))
+    }
 
-        let (cl, report) = match self.drivable_load(&dv) {
-            Some((cl, report)) => (cl, report),
-            None => {
-                // Cannot drive even the minimum load: grade the violations
-                // at the minimum load so the GA has a gradient toward
-                // drivability.
-                let report =
-                    integrator::analyze(&dv.with_cl(CL_RANGE.0), &self.process, &self.clock);
-                (0.0, report)
-            }
-        };
-        let drivable = cl > 0.0;
+    fn evaluate_all(&self, batch: &[Vec<f64>]) -> Vec<Evaluation> {
+        // Struct-of-arrays fast path: decode the whole generation into
+        // contiguous per-parameter columns, quantize column-wise, and hoist
+        // the corner/mismatch process table out of the per-candidate loop.
+        let db = DesignBatch::decode_sizing(batch).quantize();
+        let plan = yield_est::prepared_plan(&self.process);
+        (0..db.len())
+            .map(|i| self.evaluate_quantized(&db.design(i), &plan))
+            .collect()
+    }
 
-        // Robustness at the claimed operating point (full, unmargined
-        // spec): corner headroom must come from the LOAD_MARGIN.
-        let dv_at = dv.with_cl(if drivable { cl } else { CL_RANGE.0 });
-        let robustness = if report.is_biased() {
-            yield_est::robustness(&dv_at, &self.process, &self.clock, spec)
-        } else {
-            0.0
-        };
-
-        let mut v = ViolationBuilder::new();
-        v.at_least(report.dynamic_range_db, spec.dr_min_db); // 1 DR
-        v.at_least(report.output_range, spec.or_min_v); // 2 OR
-                                                        // 3–5: drivability at the minimum load (zero once drivable).
-        if drivable {
-            v.require(true).require(true).require(true);
-        } else {
-            v.at_most(report.settling_time, LOAD_MARGIN * spec.st_max);
-            v.at_most(report.settling_error, LOAD_MARGIN * spec.se_max);
-            v.at_least(report.p2, STABILITY_RATIO * report.omega_c);
-        }
-        v.at_most(report.area, spec.area_max); // 6 area
-        v.at_least(report.opamp.sat_margin, spec.sat_margin_min); // 7 regions
-        v.at_most(report.opamp.systematic_offset, 2e-3); // 8 matching
-        v.at_least(robustness, spec.robustness_min); // 9 yield
-
-        Evaluation::new(vec![-cl, report.power], v.finish())
+    fn cache_canonicalizer(&self) -> Option<engine::CacheCanonicalizer> {
+        Some(canonical_sizing_genes)
     }
 }
 
@@ -358,5 +408,49 @@ mod tests {
         let p = DrivableLoadProblem::new(Spec::featured());
         let r = p.report(&[0.0; 15]);
         assert!(r.power.is_finite());
+    }
+
+    #[test]
+    fn batch_evaluate_all_is_bit_identical_to_scalar() {
+        let p = DrivableLoadProblem::new(Spec::featured());
+        let batch: Vec<Vec<f64>> = (0..7)
+            .map(|i| {
+                (0..15)
+                    .map(|j| ((i * 15 + j) as f64 * 0.173).fract())
+                    .collect()
+            })
+            .collect();
+        let fast = p.evaluate_all(&batch);
+        let slow: Vec<_> = batch.iter().map(|g| p.evaluate(g)).collect();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn canonicalizer_collapses_quantization_neighbors() {
+        let a = vec![0.43; 15];
+        // Perturb a width gene by far less than one quantization cell.
+        let mut b = a.clone();
+        b[0] += 1e-7;
+        let ca = canonical_sizing_genes(&a);
+        let cb = canonical_sizing_genes(&b);
+        assert_eq!(ca, cb, "sub-cell perturbation must share a cache key basis");
+        let p = DrivableLoadProblem::new(Spec::featured());
+        assert_eq!(p.evaluate(&a), p.evaluate(&b));
+    }
+
+    #[test]
+    fn canonicalizer_preserves_common_mode() {
+        let mut a = vec![0.43; 15];
+        let mut b = vec![0.43; 15];
+        a[14] = 0.2;
+        b[14] = 0.8;
+        assert_ne!(canonical_sizing_genes(&a), canonical_sizing_genes(&b));
+        assert_eq!(canonical_sizing_genes(&a)[14], 0.2);
+    }
+
+    #[test]
+    fn canonicalizer_passes_foreign_lengths_through() {
+        let odd = vec![0.5; 3];
+        assert_eq!(canonical_sizing_genes(&odd), odd);
     }
 }

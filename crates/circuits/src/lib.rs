@@ -29,7 +29,11 @@
 //! * [`specs`] — the featured specification and the 20 graded
 //!   specifications of the paper;
 //! * [`problem`] — the [`moea::Problem`] implementation: minimize power,
-//!   maximize drivable load capacitance, under the full constraint set.
+//!   maximize drivable load capacitance, under the full constraint set;
+//! * [`batch`] — struct-of-arrays generation decoding behind the
+//!   bit-identical `Problem::evaluate_all` fast paths;
+//! * [`surrogate`] — the opt-in analytic pre-screen that answers obvious
+//!   losers before the full model runs.
 //!
 //! All quantities are SI (volts, amperes, farads, seconds, meters) unless a
 //! name says otherwise.
@@ -48,6 +52,7 @@
 //! assert_eq!(ev.objectives().len(), 2);
 //! ```
 
+pub mod batch;
 pub mod capacitor;
 pub mod drivable;
 pub mod frequency;
@@ -59,6 +64,7 @@ pub mod process;
 pub mod sigma_delta;
 pub mod sizing;
 pub mod specs;
+pub mod surrogate;
 pub mod transient;
 pub mod yield_est;
 

@@ -6,11 +6,12 @@
 //! reporting helpers convert to the paper's axes (C_L in pF on x, power in
 //! W on y) and to the paper's hypervolume units (0.1 mW · pF).
 
+use crate::batch::DesignBatch;
 use crate::integrator::{self, ClockContext, IntegratorReport};
 use crate::process::Process;
 use crate::sizing::{DesignVector, NUM_PARAMS};
 use crate::specs::Spec;
-use crate::yield_est;
+use crate::yield_est::{self, SamplePoint};
 use moea::evaluation::{Evaluation, ViolationBuilder};
 use moea::individual::Individual;
 use moea::problem::{Bounds, Problem};
@@ -95,12 +96,25 @@ impl IntegratorProblem {
 
     /// Evaluates a decoded design (shared by [`Problem::evaluate`]).
     pub fn evaluate_design(&self, dv: &DesignVector) -> Evaluation {
+        self.evaluate_design_prepared(dv, &yield_est::prepared_plan(&self.process))
+    }
+
+    /// Evaluates a decoded design against a pre-built robustness sample
+    /// table (see [`yield_est::prepared_plan`]). The scalar path builds a
+    /// fresh table per call; the batch kernel ([`Problem::evaluate_all`])
+    /// builds one per generation. Both paths execute this same body, so
+    /// they are bit-for-bit identical by construction.
+    pub(crate) fn evaluate_design_prepared(
+        &self,
+        dv: &DesignVector,
+        plan: &[(SamplePoint, Process)],
+    ) -> Evaluation {
         let report = integrator::analyze(dv, &self.process, &self.clock);
 
         // Robustness: skip the 8 extra corner analyses when the nominal
         // point is not even biased — it cannot pass anywhere.
         let robustness = if report.is_biased() {
-            yield_est::robustness(dv, &self.process, &self.clock, &self.spec)
+            yield_est::robustness_prepared(dv, plan, &self.clock, &self.spec).0
         } else {
             0.0
         };
@@ -218,6 +232,16 @@ impl Problem for IntegratorProblem {
         let dv = DesignVector::from_genes(x);
         self.evaluate_design(&dv)
     }
+
+    fn evaluate_all(&self, batch: &[Vec<f64>]) -> Vec<Evaluation> {
+        // Struct-of-arrays fast path: column-wise gene decode plus one
+        // corner/mismatch process table for the whole generation.
+        let db = DesignBatch::decode(batch);
+        let plan = yield_est::prepared_plan(&self.process);
+        (0..db.len())
+            .map(|i| self.evaluate_design_prepared(&db.design(i), &plan))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +344,21 @@ mod tests {
         let report = p.report(&genes);
         let ev = p.evaluate(&genes);
         assert!((report.power - ev.objectives()[1]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn batch_evaluate_all_is_bit_identical_to_scalar() {
+        let p = IntegratorProblem::new(Spec::featured());
+        let batch: Vec<Vec<f64>> = (0..5)
+            .map(|i| {
+                (0..15)
+                    .map(|j| ((i * 15 + j) as f64 * 0.219).fract())
+                    .collect()
+            })
+            .collect();
+        let fast = p.evaluate_all(&batch);
+        let slow: Vec<_> = batch.iter().map(|g| p.evaluate(g)).collect();
+        assert_eq!(fast, slow);
     }
 
     #[test]

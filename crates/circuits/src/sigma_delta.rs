@@ -71,6 +71,17 @@ impl StageModel {
     }
 }
 
+/// Batch companion to [`StageModel::from_report`]: derives the stage model
+/// for every report of a sized generation in one sweep, preserving input
+/// order. Element `i` is bit-identical to
+/// `StageModel::from_report(&reports[i], gain, osr)`.
+pub fn stage_models(reports: &[IntegratorReport], gain: f64, osr: f64) -> Vec<StageModel> {
+    reports
+        .iter()
+        .map(|r| StageModel::from_report(r, gain, osr))
+        .collect()
+}
+
 /// A single-loop, single-bit, distributed-feedback Σ∆ modulator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Modulator {
@@ -335,6 +346,28 @@ mod tests {
         );
         assert!(stage.gain_error > 0.0 && stage.gain_error < 1e-2);
         assert!(stage.noise_rms > 0.0 && stage.noise_rms < 1e-2);
+    }
+
+    #[test]
+    fn stage_models_batch_matches_from_report() {
+        use crate::integrator::{analyze, ClockContext};
+        use crate::process::Process;
+        use crate::sizing::DesignVector;
+        let reports: Vec<_> = [0.5e-12, 1e-12, 2e-12]
+            .iter()
+            .map(|&cl| {
+                analyze(
+                    &DesignVector::reference().with_cl(cl),
+                    &Process::nominal(),
+                    &ClockContext::standard(),
+                )
+            })
+            .collect();
+        let batch = stage_models(&reports, 0.5, 128.0);
+        assert_eq!(batch.len(), reports.len());
+        for (b, r) in batch.iter().zip(&reports) {
+            assert_eq!(*b, StageModel::from_report(r, 0.5, 128.0));
+        }
     }
 
     #[test]

@@ -94,7 +94,9 @@ pub const C_UNIT: f64 = 0.25e-12;
 pub const I_UNIT: f64 = 0.5e-6;
 
 /// `(min, max, log?)` for each of the 15 parameters, in gene order.
-const PARAM_RANGES: [(f64, f64, bool); NUM_PARAMS] = [
+/// Shared with the struct-of-arrays batch decoder (`crate::batch`), which
+/// must reproduce [`DesignVector::from_genes`] bit for bit.
+pub(crate) const PARAM_RANGES: [(f64, f64, bool); NUM_PARAMS] = [
     (1.0e-6, 400.0e-6, true),        // w1
     (0.18e-6, 1.5e-6, true),         // l1
     (1.0e-6, 400.0e-6, true),        // w3
@@ -112,13 +114,20 @@ const PARAM_RANGES: [(f64, f64, bool); NUM_PARAMS] = [
     (CL_RANGE.0, CL_RANGE.1, false), // cl — linear
 ];
 
-fn map_gene(u: f64, (lo, hi, log): (f64, f64, bool)) -> f64 {
+pub(crate) fn map_gene(u: f64, (lo, hi, log): (f64, f64, bool)) -> f64 {
     let u = u.clamp(0.0, 1.0);
     if log {
         (lo.ln() + u * (hi.ln() - lo.ln())).exp()
     } else {
         lo + u * (hi - lo)
     }
+}
+
+/// Snaps `v` to whole multiples of `unit` (at least one unit) — the
+/// quantization step used by [`DesignVector::quantize`] and the batch
+/// decoder's column-wise quantization.
+pub(crate) fn snap_to_unit(v: f64, unit: f64) -> f64 {
+    (v / unit).round().max(1.0) * unit
 }
 
 fn unmap_value(v: f64, (lo, hi, log): (f64, f64, bool)) -> f64 {
@@ -195,7 +204,7 @@ impl DesignVector {
     /// makes the power/load trade-off a *discrete* frontier — small moves
     /// along the front require whole-finger re-sizing.
     pub fn quantize(mut self) -> Self {
-        let snap = |v: f64, unit: f64| (v / unit).round().max(1.0) * unit;
+        let snap = snap_to_unit;
         self.w1 = snap(self.w1, W_UNIT);
         self.w3 = snap(self.w3, W_UNIT);
         self.w5 = snap(self.w5, W_UNIT);

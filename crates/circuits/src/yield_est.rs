@@ -82,6 +82,45 @@ pub fn passes_performance(report: &IntegratorReport, spec: &Spec) -> bool {
         && report.opamp.sat_margin >= spec.sat_margin_min
 }
 
+/// The [`sample_plan`] with the skewed [`Process`] of every sample point
+/// already built. Deriving the nine corner/mismatch process descriptions
+/// is design-independent, so a batch sweep prepares this table once and
+/// amortizes it across every candidate in the generation; the scalar path
+/// uses the identical table so both paths are bit-for-bit interchangeable.
+pub fn prepared_plan(nominal: &Process) -> Vec<(SamplePoint, Process)> {
+    sample_plan()
+        .into_iter()
+        .map(|sp| {
+            let process = nominal
+                .at_corner(sp.corner)
+                .with_mismatch(sp.dvt_n, sp.dvt_p, sp.dkp);
+            (sp, process)
+        })
+        .collect()
+}
+
+/// Robustness of a design against a pre-built sample table (see
+/// [`prepared_plan`]): the fraction of points at which all performance
+/// constraints of `spec` hold, plus the per-sample verdicts.
+pub fn robustness_prepared(
+    dv: &DesignVector,
+    plan: &[(SamplePoint, Process)],
+    clock: &ClockContext,
+    spec: &Spec,
+) -> (f64, Vec<(SamplePoint, bool)>) {
+    let mut outcomes = Vec::with_capacity(plan.len());
+    let mut passed = 0usize;
+    for (sp, process) in plan {
+        let report = integrator::analyze(dv, process, clock);
+        let ok = passes_performance(&report, spec);
+        if ok {
+            passed += 1;
+        }
+        outcomes.push((*sp, ok));
+    }
+    (passed as f64 / outcomes.len() as f64, outcomes)
+}
+
 /// Robustness of a design: the fraction of [`sample_plan`] points at which
 /// all performance constraints of `spec` hold. Returns a value in `[0, 1]`
 /// together with the per-sample reports (for diagnostics).
@@ -91,21 +130,7 @@ pub fn robustness_detailed(
     clock: &ClockContext,
     spec: &Spec,
 ) -> (f64, Vec<(SamplePoint, bool)>) {
-    let plan = sample_plan();
-    let mut outcomes = Vec::with_capacity(plan.len());
-    let mut passed = 0usize;
-    for sp in plan {
-        let process = nominal
-            .at_corner(sp.corner)
-            .with_mismatch(sp.dvt_n, sp.dvt_p, sp.dkp);
-        let report = integrator::analyze(dv, &process, clock);
-        let ok = passes_performance(&report, spec);
-        if ok {
-            passed += 1;
-        }
-        outcomes.push((sp, ok));
-    }
-    (passed as f64 / outcomes.len() as f64, outcomes)
+    robustness_prepared(dv, &prepared_plan(nominal), clock, spec)
 }
 
 /// Robustness of a design (just the fraction). See [`robustness_detailed`].
@@ -155,6 +180,19 @@ mod tests {
         let a = robustness(&dv, &Process::nominal(), &ClockContext::standard(), &spec);
         let b = robustness(&dv, &Process::nominal(), &ClockContext::standard(), &spec);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prepared_plan_matches_per_call_construction() {
+        let dv = DesignVector::reference();
+        let spec = Spec::featured();
+        let nominal = Process::nominal();
+        let clock = ClockContext::standard();
+        let plan = prepared_plan(&nominal);
+        let (a, da) = robustness_prepared(&dv, &plan, &clock, &spec);
+        let (b, db) = robustness_detailed(&dv, &nominal, &clock, &spec);
+        assert_eq!(a, b);
+        assert_eq!(da, db);
     }
 
     #[test]

@@ -261,8 +261,10 @@ fn write_state(out: &mut String, s: &EngineState) {
         ));
     }
     let st = &s.stats;
+    // `screened` rides at the end so checkpoints written before the
+    // surrogate screen existed (14 tokens) still parse (as screened = 0).
     out.push_str(&format!(
-        "stats {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+        "stats {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
         st.candidates,
         st.evaluations,
         st.cache_hits,
@@ -276,7 +278,8 @@ fn write_state(out: &mut String, s: &EngineState) {
         st.backoff_time.as_nanos(),
         st.injected_panics,
         st.injected_nonfinite,
-        st.injected_delays
+        st.injected_delays,
+        st.screened
     ));
     out.push_str(&format!("partitions {}\n", s.partitions.len()));
     for (pi, part) in s.partitions.iter().enumerate() {
@@ -483,6 +486,8 @@ fn parse_state(lines: &mut Lines<'_>) -> Result<EngineState, OptimizeError> {
         injected_panics: parse_u64(toks[11], no)?,
         injected_nonfinite: parse_u64(toks[12], no)?,
         injected_delays: parse_u64(toks[13], no)?,
+        // Absent in pre-screen checkpoints: default to zero.
+        screened: toks.get(14).map_or(Ok(0), |t| parse_u64(t, no))?,
     };
     let n_partitions = lines.tagged_usize("partitions")?;
     if n_partitions != grid_partitions || alive.len() != grid_partitions {
@@ -631,6 +636,7 @@ mod tests {
                 injected_panics: 2,
                 injected_nonfinite: 1,
                 injected_delays: 0,
+                screened: 4,
             },
         }
     }
@@ -645,6 +651,32 @@ mod tests {
         assert_eq!(cp, back);
         // second serialization is byte-identical (canonical form)
         assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn legacy_14_token_stats_line_parses_with_zero_screened() {
+        let cp = SacgaCheckpoint {
+            state: sample_state(),
+        };
+        let text = cp.to_text();
+        // Strip the trailing token to simulate a checkpoint written before
+        // the surrogate screen existed.
+        let legacy: String = text
+            .lines()
+            .map(|l| {
+                if let Some(rest) = l.strip_prefix("stats ") {
+                    let toks: Vec<&str> = rest.split_whitespace().take(14).collect();
+                    format!("stats {}", toks.join(" "))
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let back = SacgaCheckpoint::from_text(&legacy).unwrap();
+        assert_eq!(back.state.stats.screened, 0);
+        assert_eq!(back.state.stats.candidates, 40);
     }
 
     #[test]

@@ -175,6 +175,14 @@ impl LocalCompetitionGaBuilder {
         self
     }
 
+    /// Attaches an opt-in analytic surrogate screen (see
+    /// [`SacgaConfigBuilder::surrogate_screen`]): screened runs are not
+    /// byte-identical to unscreened ones.
+    pub fn surrogate_screen(mut self, screen: engine::SurrogateScreen<moea::Evaluation>) -> Self {
+        self.inner = self.inner.surrogate_screen(screen);
+        self
+    }
+
     /// Finalizes against a problem.
     ///
     /// # Errors

@@ -77,6 +77,7 @@ pub struct MesacgaConfigBuilder {
     variation: Option<moea::operators::Variation>,
     engine: engine::EngineConfig,
     shared_cache: Option<engine::SharedCache<moea::Evaluation>>,
+    surrogate_screen: Option<engine::SurrogateScreen<moea::Evaluation>>,
 }
 
 impl Default for MesacgaConfigBuilder {
@@ -93,6 +94,7 @@ impl Default for MesacgaConfigBuilder {
             variation: None,
             engine: engine::EngineConfig::default(),
             shared_cache: None,
+            surrogate_screen: None,
         }
     }
 }
@@ -208,6 +210,13 @@ impl MesacgaConfigBuilder {
         self
     }
 
+    /// Attaches an opt-in surrogate pre-screen (see
+    /// [`SacgaConfigBuilder::surrogate_screen`](crate::sacga::SacgaConfigBuilder::surrogate_screen)).
+    pub fn surrogate_screen(mut self, screen: engine::SurrogateScreen<moea::Evaluation>) -> Self {
+        self.surrogate_screen = Some(screen);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -255,6 +264,7 @@ impl MesacgaConfigBuilder {
         let mut base = base_builder.build()?;
         base.engine = self.engine;
         base.shared_cache = self.shared_cache;
+        base.surrogate_screen = self.surrogate_screen;
         Ok(MesacgaConfig {
             base,
             phases: self.phases,

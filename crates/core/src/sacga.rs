@@ -25,7 +25,7 @@ use crate::partition::{PartitionGrid, PartitionedPopulation};
 use crate::telemetry::{expect_complete, EventKind, NullSink, Optimizer, RunEvent, Sink};
 use engine::{
     EngineConfig, EngineStats, EvaluatorKind, ExecutionEngine, FaultPlan, FaultPolicy, SharedCache,
-    Stage, StageTimer,
+    Stage, StageTimer, SurrogateScreen,
 };
 use moea::individual::Individual;
 use moea::operators::{random_vector, Variation};
@@ -65,6 +65,7 @@ pub struct SacgaConfig {
     pub(crate) mode: CompetitionMode,
     pub(crate) engine: EngineConfig,
     pub(crate) shared_cache: Option<SharedCache<Evaluation>>,
+    pub(crate) surrogate_screen: Option<SurrogateScreen<Evaluation>>,
 }
 
 impl SacgaConfig {
@@ -110,6 +111,7 @@ pub struct SacgaConfigBuilder {
     mode: CompetitionMode,
     engine: EngineConfig,
     shared_cache: Option<SharedCache<Evaluation>>,
+    surrogate_screen: Option<SurrogateScreen<Evaluation>>,
 }
 
 impl Default for SacgaConfigBuilder {
@@ -128,6 +130,7 @@ impl Default for SacgaConfigBuilder {
             mode: CompetitionMode::Annealed,
             engine: EngineConfig::default(),
             shared_cache: None,
+            surrogate_screen: None,
         }
     }
 }
@@ -246,6 +249,17 @@ impl SacgaConfigBuilder {
         self
     }
 
+    /// Attaches an opt-in [`SurrogateScreen`]: candidates the screen
+    /// answers skip the full model (counted in
+    /// [`EngineStats::screened`], never cached). Screening changes which
+    /// candidates reach the model, so runs with an active screen are
+    /// *not* byte-identical to unscreened runs — leave this unset (or use
+    /// a never-firing screen) to keep pinned artifacts reproducible.
+    pub fn surrogate_screen(mut self, screen: SurrogateScreen<Evaluation>) -> Self {
+        self.surrogate_screen = Some(screen);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -309,6 +323,7 @@ impl SacgaConfigBuilder {
             mode: self.mode,
             engine: self.engine,
             shared_cache: self.shared_cache,
+            surrogate_screen: self.surrogate_screen,
         })
     }
 }
@@ -317,6 +332,27 @@ impl SacgaConfigBuilder {
 /// [`RunOutcome`].
 #[deprecated(since = "0.2.0", note = "use `moea::RunOutcome` instead")]
 pub type SacgaResult = RunOutcome;
+
+/// Builds the execution engine for a run: engine config, pooled cache,
+/// the problem's cache canonicalizer and the optional surrogate screen.
+/// Shared by [`Engine::start`] and [`Engine::restore`] so fresh and
+/// resumed runs wire the evaluation path identically.
+pub(crate) fn configure_exec<P: Problem + ?Sized>(
+    problem: &P,
+    config: &SacgaConfig,
+) -> ExecutionEngine<Evaluation> {
+    let mut exec = ExecutionEngine::new(config.engine.clone());
+    if let Some(shared) = &config.shared_cache {
+        exec.attach_shared_cache(shared.clone());
+    }
+    if let Some(f) = problem.cache_canonicalizer() {
+        exec.set_cache_canonicalizer(f);
+    }
+    if let Some(screen) = &config.surrogate_screen {
+        exec.attach_screen(screen.clone());
+    }
+    exec
+}
 
 /// Former name of the bounded-run outcome, now the generic
 /// [`RunStatus`].
@@ -578,14 +614,15 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
             ));
         }
         let bounds = problem.bounds().clone();
-        let mut exec = ExecutionEngine::new(config.engine.clone());
-        if let Some(shared) = &config.shared_cache {
-            exec.attach_shared_cache(shared.clone());
-        }
+        let mut exec = configure_exec(problem, config);
         let init_genes: Vec<Vec<f64>> = (0..config.population_size)
             .map(|_| random_vector(rng, &bounds))
             .collect();
-        let init_evals = exec.try_evaluate_batch(&init_genes, &|genes| problem.evaluate(genes))?;
+        let init_evals = exec.try_evaluate_batch_with(
+            &init_genes,
+            &|genes| problem.evaluate(genes),
+            &|chunk: &[Vec<f64>]| problem.evaluate_all(chunk),
+        )?;
         let initial: Vec<Individual> = init_genes
             .into_iter()
             .zip(init_evals)
@@ -848,9 +885,11 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
             }
         }
         self.timer.start(Stage::Evaluation);
-        let evals = self
-            .exec
-            .try_evaluate_batch(&child_genes, &|genes| problem.evaluate(genes))?;
+        let evals = self.exec.try_evaluate_batch_with(
+            &child_genes,
+            &|genes| problem.evaluate(genes),
+            &|chunk: &[Vec<f64>]| problem.evaluate_all(chunk),
+        )?;
         self.timer.stop();
         Ok(child_genes
             .into_iter()
@@ -934,10 +973,7 @@ impl<'p, P: Problem + Sync> Engine<'p, P> {
             .collect();
         let pop = PartitionedPopulation::from_parts(grid, members, state.alive.clone())?;
         let bounds = problem.bounds().clone();
-        let mut exec = ExecutionEngine::new(config.engine.clone());
-        if let Some(shared) = &config.shared_cache {
-            exec.attach_shared_cache(shared.clone());
-        }
+        let mut exec = configure_exec(problem, config);
         exec.restore_stats(state.stats.clone());
         let variation = config
             .variation

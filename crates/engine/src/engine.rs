@@ -6,8 +6,10 @@ use crate::fault::{
     EvalFailure, EvalOutcome, FaultEvent, FaultInjector, FaultPlan, FaultPolicy, FaultResolution,
     Quarantine,
 };
+use crate::screen::SurrogateScreen;
 use crate::shared::SharedCache;
 use crate::stats::EngineStats;
+use std::panic::{self, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Configuration of an [`ExecutionEngine`].
@@ -65,6 +67,13 @@ impl EngineConfig {
     }
 }
 
+/// Maps raw genes to the canonical representative the memoization
+/// cache keys on (see
+/// [`set_cache_canonicalizer`](ExecutionEngine::set_cache_canonicalizer)).
+/// A plain `fn` pointer: deterministic by construction and cheap to
+/// compare.
+pub type CacheCanonicalizer = fn(&[f64]) -> Vec<f64>;
+
 /// Owns candidate evaluation for one optimizer run: consults the
 /// memoization cache, fans misses out through the configured evaluator,
 /// and accumulates [`EngineStats`].
@@ -77,6 +86,12 @@ pub struct ExecutionEngine<T> {
     /// [`attach_shared_cache`](ExecutionEngine::attach_shared_cache)).
     shared: Option<SharedCache<T>>,
     stats: EngineStats,
+    // Maps genes to a canonical representative before cache-key
+    // quantization, so gene vectors the problem decodes to one design
+    // share a cache entry.
+    canonicalize: Option<CacheCanonicalizer>,
+    // Opt-in surrogate pre-screen applied to cache misses.
+    screen: Option<SurrogateScreen<T>>,
     injector: Option<FaultInjector>,
     // Injection totals carried over from a checkpoint: a resumed run's
     // injector restarts its counters at zero, so the restored totals act
@@ -102,6 +117,8 @@ impl<T: Clone + Send> ExecutionEngine<T> {
             cache,
             shared: None,
             stats: EngineStats::default(),
+            canonicalize: None,
+            screen: None,
             injector,
             injected_base: crate::fault::InjectionCounts::default(),
             fault_events: Vec::new(),
@@ -127,13 +144,54 @@ impl<T: Clone + Send> ExecutionEngine<T> {
         self.shared.as_ref()
     }
 
+    /// Installs a canonicalizer applied to genes before cache-key
+    /// quantization.
+    ///
+    /// Problems that decode genes through a coarse discretization (the
+    /// drivable-load problem snaps widths to unit fingers, capacitors to
+    /// unit caps, …) map many distinct raw gene vectors onto one design;
+    /// without canonicalization each raw vector gets its own cache key
+    /// and the cache never hits. The canonicalizer must be *exact*: two
+    /// gene vectors may share a canonical form only when the problem's
+    /// `evaluate` provably returns bit-identical results for both.
+    pub fn set_cache_canonicalizer(&mut self, f: CacheCanonicalizer) {
+        self.canonicalize = Some(f);
+    }
+
+    /// The cache-key canonicalizer currently installed, if any.
+    pub fn cache_canonicalizer(&self) -> Option<CacheCanonicalizer> {
+        self.canonicalize
+    }
+
+    /// Attaches an opt-in surrogate pre-screen: every cache miss is
+    /// offered to `screen` first, and candidates it answers skip the
+    /// full evaluation entirely. Screened placeholders are counted in
+    /// [`EngineStats::screened`] and are never cached.
+    pub fn attach_screen(&mut self, screen: SurrogateScreen<T>) {
+        self.screen = Some(screen);
+    }
+
+    /// The surrogate screen currently attached, if any.
+    pub fn screen(&self) -> Option<&SurrogateScreen<T>> {
+        self.screen.as_ref()
+    }
+
     /// Whether any memoization layer (private or shared) is active.
     fn caching_enabled(&self) -> bool {
         self.shared.is_some() || self.config.cache.capacity > 0
     }
 
-    /// Quantized key of `genes` under the active cache layer's grid.
+    /// Quantized key of `genes` under the active cache layer's grid,
+    /// after canonicalization (when a canonicalizer is installed).
     fn cache_key(&self, genes: &[f64]) -> Vec<i64> {
+        let canonical;
+        let genes = match self.canonicalize {
+            Some(f) => {
+                canonical = f(genes);
+                &canonical[..]
+            }
+            None => genes,
+        };
         match &self.shared {
             Some(shared) => shared.key_of(genes),
             None => self.cache.key_of(genes),
@@ -203,16 +261,37 @@ impl<T: Clone + Send> ExecutionEngine<T> {
     where
         F: Fn(&[f64]) -> T + Sync,
     {
+        self.evaluate_batch_with(batch, eval, &|chunk: &[Vec<f64>]| {
+            chunk.iter().map(|genes| eval(genes)).collect()
+        })
+    }
+
+    /// [`evaluate_batch`](ExecutionEngine::evaluate_batch) with an
+    /// explicit batch kernel.
+    ///
+    /// `batch_eval` must be observationally identical to mapping `eval`
+    /// over the chunk (same values, bit for bit) — it exists so problems
+    /// with a struct-of-arrays fast path can evaluate a whole miss set in
+    /// one call. The kernel is used only under the serial evaluator; the
+    /// parallel evaluator keeps the per-candidate fan-out so a batch
+    /// still spreads across threads.
+    pub fn evaluate_batch_with<F, B>(
+        &mut self,
+        batch: &[Vec<f64>],
+        eval: &F,
+        batch_eval: &B,
+    ) -> Vec<T>
+    where
+        F: Fn(&[f64]) -> T + Sync,
+        B: Fn(&[Vec<f64>]) -> Vec<T>,
+    {
         self.stats.candidates += batch.len() as u64;
         self.stats.batches += 1;
         self.stats.max_batch = self.stats.max_batch.max(batch.len() as u64);
 
         if !self.caching_enabled() {
-            self.stats.evaluations += batch.len() as u64;
-            let t0 = Instant::now();
-            let out = self.config.evaluator.eval_batch(eval, batch);
-            self.stats.eval_time += t0.elapsed();
-            return out;
+            let (values, _screened) = self.run_values_with(batch, eval, batch_eval);
+            return values;
         }
 
         // Resolve each candidate to a cached result or a miss slot. A
@@ -244,13 +323,16 @@ impl<T: Clone + Send> ExecutionEngine<T> {
             }
         }
 
-        self.stats.evaluations += miss_genes.len() as u64;
-        let t0 = Instant::now();
-        let miss_results = self.config.evaluator.eval_batch(eval, &miss_genes);
-        self.stats.eval_time += t0.elapsed();
+        let (miss_results, screened) = self.run_values_with(&miss_genes, eval, batch_eval);
 
-        for (key, value) in miss_keys.into_iter().zip(miss_results.iter()) {
-            self.cache_put(key, value.clone());
+        for ((key, value), &was_screened) in miss_keys
+            .into_iter()
+            .zip(miss_results.iter())
+            .zip(&screened)
+        {
+            if !was_screened {
+                self.cache_put(key, value.clone());
+            }
         }
 
         resolved
@@ -262,6 +344,73 @@ impl<T: Clone + Send> ExecutionEngine<T> {
                 (None, None) => unreachable!("every candidate is a hit or a miss"),
             })
             .collect()
+    }
+
+    /// Evaluates a miss set for the plain (non-fault-tolerant) path:
+    /// screened candidates are answered by the surrogate, the rest go
+    /// through the batch kernel (serial evaluator) or the scalar fan-out
+    /// (parallel evaluators). Returns values in miss order plus the
+    /// screened mask (screened values must not be cached).
+    fn run_values_with<F, B>(
+        &mut self,
+        miss: &[Vec<f64>],
+        eval: &F,
+        batch_eval: &B,
+    ) -> (Vec<T>, Vec<bool>)
+    where
+        F: Fn(&[f64]) -> T + Sync,
+        B: Fn(&[Vec<f64>]) -> Vec<T>,
+    {
+        let mut slots: Vec<Option<T>> = vec![None; miss.len()];
+        let mut screened = vec![false; miss.len()];
+        if let Some(screen) = self.screen.clone() {
+            for (i, genes) in miss.iter().enumerate() {
+                if let Some(value) = screen.screen(genes) {
+                    self.stats.screened += 1;
+                    screened[i] = true;
+                    slots[i] = Some(value);
+                }
+            }
+        }
+        let live: Vec<usize> = (0..miss.len()).filter(|&i| !screened[i]).collect();
+        self.stats.evaluations += live.len() as u64;
+        let serial = matches!(self.config.evaluator, EvaluatorKind::Serial);
+        let t0 = Instant::now();
+        if live.len() == miss.len() {
+            // Nothing screened: evaluate the miss set in place.
+            let values = if serial {
+                batch_eval(miss)
+            } else {
+                self.config.evaluator.eval_batch(eval, miss)
+            };
+            self.stats.eval_time += t0.elapsed();
+            assert_eq!(
+                values.len(),
+                miss.len(),
+                "batch kernel mis-sized its output"
+            );
+            return (values, screened);
+        }
+        let live_genes: Vec<Vec<f64>> = live.iter().map(|&i| miss[i].clone()).collect();
+        let values = if serial {
+            batch_eval(&live_genes)
+        } else {
+            self.config.evaluator.eval_batch(eval, &live_genes)
+        };
+        self.stats.eval_time += t0.elapsed();
+        assert_eq!(
+            values.len(),
+            live_genes.len(),
+            "batch kernel mis-sized its output"
+        );
+        for (&i, value) in live.iter().zip(values) {
+            slots[i] = Some(value);
+        }
+        let out = slots
+            .into_iter()
+            .map(|slot| slot.expect("every miss slot is screened or evaluated"))
+            .collect();
+        (out, screened)
     }
 }
 
@@ -287,13 +436,39 @@ impl<T: Clone + Send + Quarantine> ExecutionEngine<T> {
     where
         F: Fn(&[f64]) -> T + Sync,
     {
+        self.try_evaluate_batch_with(batch, eval, &|chunk: &[Vec<f64>]| {
+            chunk.iter().map(|genes| eval(genes)).collect()
+        })
+    }
+
+    /// [`try_evaluate_batch`](ExecutionEngine::try_evaluate_batch) with
+    /// an explicit batch kernel.
+    ///
+    /// `batch_eval` must be observationally identical to mapping `eval`
+    /// over the chunk (same values, bit for bit). Under the serial
+    /// evaluator, cache misses that are neither screened nor scheduled
+    /// for fault injection run through the kernel in one call;
+    /// fault-scheduled candidates keep the scalar guarded path so
+    /// injection, retry, and quarantine accounting stay bit-identical to
+    /// a scalar sweep. A kernel that panics (or mis-sizes its output)
+    /// demotes the affected candidates to the scalar guarded path, so
+    /// the fault policy still contains per-candidate panics.
+    pub fn try_evaluate_batch_with<F, B>(
+        &mut self,
+        batch: &[Vec<f64>],
+        eval: &F,
+        batch_eval: &B,
+    ) -> Result<Vec<T>, EvalFailure>
+    where
+        F: Fn(&[f64]) -> T + Sync,
+        B: Fn(&[Vec<f64>]) -> Vec<T>,
+    {
         self.stats.candidates += batch.len() as u64;
         self.stats.batches += 1;
         self.stats.max_batch = self.stats.max_batch.max(batch.len() as u64);
 
         if !self.caching_enabled() {
-            self.stats.evaluations += batch.len() as u64;
-            let outcomes = self.run_guarded(batch, eval);
+            let (outcomes, _screened) = self.run_outcomes_with(batch, eval, batch_eval);
             return self.absorb_outcomes(outcomes, |i| i);
         }
 
@@ -323,8 +498,7 @@ impl<T: Clone + Send + Quarantine> ExecutionEngine<T> {
             }
         }
 
-        self.stats.evaluations += miss_genes.len() as u64;
-        let outcomes = self.run_guarded(&miss_genes, eval);
+        let (outcomes, screened) = self.run_outcomes_with(&miss_genes, eval, batch_eval);
         let miss_results = self.absorb_outcomes(outcomes, |m| {
             // Map a miss slot back to the first batch position that
             // produced it, for a meaningful failure index.
@@ -334,8 +508,12 @@ impl<T: Clone + Send + Quarantine> ExecutionEngine<T> {
                 .unwrap_or(m)
         })?;
 
-        for (key, value) in miss_keys.into_iter().zip(miss_results.iter()) {
-            if !value.is_tainted() {
+        for ((key, value), &was_screened) in miss_keys
+            .into_iter()
+            .zip(miss_results.iter())
+            .zip(&screened)
+        {
+            if !was_screened && !value.is_tainted() {
                 self.cache_put(key, value.clone());
             }
         }
@@ -349,6 +527,108 @@ impl<T: Clone + Send + Quarantine> ExecutionEngine<T> {
                 (None, None) => unreachable!("every candidate is a hit or a miss"),
             })
             .collect())
+    }
+
+    /// Produces per-candidate outcomes for a miss set: screened
+    /// candidates become immediate [`EvalOutcome::Ok`] placeholders,
+    /// fault-scheduled candidates run through the scalar guarded path,
+    /// and the remaining clean candidates run through the batch kernel
+    /// (serial evaluator) or the scalar guarded fan-out (parallel
+    /// evaluators). Returns outcomes in miss order plus the screened
+    /// mask.
+    fn run_outcomes_with<F, B>(
+        &mut self,
+        miss: &[Vec<f64>],
+        eval: &F,
+        batch_eval: &B,
+    ) -> (Vec<EvalOutcome<T>>, Vec<bool>)
+    where
+        F: Fn(&[f64]) -> T + Sync,
+        B: Fn(&[Vec<f64>]) -> Vec<T>,
+    {
+        let mut slots: Vec<Option<EvalOutcome<T>>> = (0..miss.len()).map(|_| None).collect();
+        let mut screened = vec![false; miss.len()];
+        if let Some(screen) = self.screen.clone() {
+            for (i, genes) in miss.iter().enumerate() {
+                if let Some(value) = screen.screen(genes) {
+                    self.stats.screened += 1;
+                    screened[i] = true;
+                    slots[i] = Some(EvalOutcome::Ok(value));
+                }
+            }
+        }
+        let live: Vec<usize> = (0..miss.len()).filter(|&i| !screened[i]).collect();
+        self.stats.evaluations += live.len() as u64;
+
+        if !matches!(self.config.evaluator, EvaluatorKind::Serial) {
+            // Parallel fan-out: per-candidate guarded evaluation already
+            // spreads the batch across threads; the kernel is a
+            // serial-throughput tool.
+            let live_genes: Vec<Vec<f64>> = live.iter().map(|&i| miss[i].clone()).collect();
+            let outcomes = self.run_guarded(&live_genes, eval);
+            for (&i, outcome) in live.iter().zip(outcomes) {
+                slots[i] = Some(outcome);
+            }
+            return (Self::sealed(slots), screened);
+        }
+
+        let policy = self.config.fault;
+        let t0 = Instant::now();
+        {
+            let injector = self.injector.as_ref();
+            let guarded = |genes: &[f64]| -> EvalOutcome<T> {
+                match injector {
+                    Some(inj) => policy.execute(&|g: &[f64]| inj.invoke(eval, g), genes),
+                    None => policy.execute(eval, genes),
+                }
+            };
+            // Candidates the plan schedules a fault for keep the scalar
+            // path (injection state, retries, and backoff accounting are
+            // per-candidate, so order relative to the kernel is
+            // irrelevant); everything else is clean and batchable.
+            let mut clean: Vec<usize> = Vec::with_capacity(live.len());
+            for &i in &live {
+                if injector.is_some_and(|inj| inj.schedules_fault(&miss[i])) {
+                    slots[i] = Some(guarded(&miss[i]));
+                } else {
+                    clean.push(i);
+                }
+            }
+            if !clean.is_empty() {
+                let clean_genes: Vec<Vec<f64>> = clean.iter().map(|&i| miss[i].clone()).collect();
+                match panic::catch_unwind(AssertUnwindSafe(|| batch_eval(&clean_genes))) {
+                    Ok(values) if values.len() == clean_genes.len() => {
+                        for (&i, value) in clean.iter().zip(values) {
+                            if policy.quarantine_nonfinite && value.is_tainted() {
+                                // The scalar path would retry and then
+                                // quarantine or fail this candidate;
+                                // replay it so the accounting matches.
+                                slots[i] = Some(guarded(&miss[i]));
+                            } else {
+                                slots[i] = Some(EvalOutcome::Ok(value));
+                            }
+                        }
+                    }
+                    _ => {
+                        // Kernel panicked or mis-sized its output:
+                        // demote to the scalar guarded path.
+                        for &i in &clean {
+                            slots[i] = Some(guarded(&miss[i]));
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.eval_time += t0.elapsed();
+        (Self::sealed(slots), screened)
+    }
+
+    /// Unwraps fully-populated outcome slots.
+    fn sealed(slots: Vec<Option<EvalOutcome<T>>>) -> Vec<EvalOutcome<T>> {
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every miss slot is screened or evaluated"))
+            .collect()
     }
 
     /// Fans `batch` out through the evaluator with each candidate
@@ -687,6 +967,153 @@ mod tests {
         assert_eq!(err.index, 0);
         assert_eq!(err.attempts, 1);
         assert_eq!(err.kind, crate::FaultKind::Panic);
+    }
+
+    #[test]
+    fn batch_kernel_is_used_for_serial_misses() {
+        let kernel_calls = AtomicU64::new(0);
+        let scalar_calls = AtomicU64::new(0);
+        let mut engine: ExecutionEngine<f64> =
+            ExecutionEngine::new(EngineConfig::default().cache_capacity(16));
+        let eval = |genes: &[f64]| {
+            scalar_calls.fetch_add(1, Ordering::SeqCst);
+            genes[0] * 2.0
+        };
+        let kernel = |chunk: &[Vec<f64>]| {
+            kernel_calls.fetch_add(1, Ordering::SeqCst);
+            chunk.iter().map(|g| g[0] * 2.0).collect::<Vec<f64>>()
+        };
+        let batch = vec![vec![1.0], vec![2.0], vec![1.0]];
+        let out = engine
+            .try_evaluate_batch_with(&batch, &eval, &kernel)
+            .unwrap();
+        assert_eq!(out, vec![2.0, 4.0, 2.0]);
+        assert_eq!(kernel_calls.load(Ordering::SeqCst), 1);
+        assert_eq!(scalar_calls.load(Ordering::SeqCst), 0);
+        assert_eq!(engine.stats().evaluations, 2);
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn batch_kernel_panic_demotes_to_scalar_path() {
+        let mut engine: ExecutionEngine<f64> = ExecutionEngine::new(EngineConfig::default());
+        let eval = |genes: &[f64]| genes[0] + 1.0;
+        let kernel = |_chunk: &[Vec<f64>]| -> Vec<f64> { panic!("kernel exploded") };
+        let batch = vec![vec![1.0], vec![2.0]];
+        let out = engine
+            .try_evaluate_batch_with(&batch, &eval, &kernel)
+            .unwrap();
+        assert_eq!(out, vec![2.0, 3.0]);
+        // The scalar fallback succeeds on the first attempt, so the
+        // kernel panic leaves no failure accounting behind.
+        assert_eq!(engine.stats().failures, 0);
+    }
+
+    #[test]
+    fn mis_sized_kernel_demotes_to_scalar_path() {
+        let mut engine: ExecutionEngine<f64> = ExecutionEngine::new(EngineConfig::default());
+        let eval = |genes: &[f64]| genes[0] + 1.0;
+        let kernel = |_chunk: &[Vec<f64>]| -> Vec<f64> { vec![0.0] };
+        let batch = vec![vec![1.0], vec![2.0]];
+        let out = engine
+            .try_evaluate_batch_with(&batch, &eval, &kernel)
+            .unwrap();
+        assert_eq!(out, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn kernel_and_injection_compose_bit_identically() {
+        let plan = crate::FaultPlan::seeded(13).panics(0.2).nonfinite(0.2);
+        let cfg = EngineConfig::default()
+            .fault_policy(crate::FaultPolicy::tolerant(3))
+            .inject_faults(plan);
+        let mut with_kernel: ExecutionEngine<f64> = ExecutionEngine::new(cfg.clone());
+        let mut scalar: ExecutionEngine<f64> = ExecutionEngine::new(cfg);
+        let eval = |genes: &[f64]| genes[0] * 2.0;
+        let kernel = |chunk: &[Vec<f64>]| chunk.iter().map(|g| g[0] * 2.0).collect::<Vec<f64>>();
+        let batch: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let a = with_kernel
+            .try_evaluate_batch_with(&batch, &eval, &kernel)
+            .unwrap();
+        let b = scalar.try_evaluate_batch(&batch, &eval).unwrap();
+        assert_eq!(a, b);
+        let mut sa = with_kernel.stats().clone();
+        let mut sb = scalar.stats().clone();
+        sa.eval_time = std::time::Duration::ZERO;
+        sb.eval_time = std::time::Duration::ZERO;
+        sa.backoff_time = sb.backoff_time;
+        assert_eq!(sa, sb);
+        assert_eq!(
+            with_kernel.take_fault_events(),
+            scalar.take_fault_events(),
+            "fault episodes must land on the same candidates"
+        );
+    }
+
+    #[test]
+    fn screen_answers_obvious_losers_and_never_caches_them() {
+        let calls = AtomicU64::new(0);
+        let mut engine: ExecutionEngine<f64> =
+            ExecutionEngine::new(EngineConfig::default().cache_capacity(16));
+        engine.attach_screen(crate::SurrogateScreen::new("negatives", |g: &[f64]| {
+            (g[0] < 0.0).then_some(-999.0)
+        }));
+        let eval = counted_sum(&calls);
+        let batch = vec![vec![-1.0], vec![2.0], vec![3.0]];
+        let out = engine.try_evaluate_batch(&batch, &eval).unwrap();
+        assert_eq!(out, vec![-999.0, 2.0, 3.0]);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        let s = engine.stats();
+        assert_eq!(s.screened, 1);
+        assert_eq!(s.candidates, s.evaluations + s.cache_hits + s.screened);
+        // Screened placeholders are never cached: the same loser is
+        // screened again (not served as a hit) on the next batch.
+        let out2 = engine.try_evaluate_batch(&batch, &eval).unwrap();
+        assert_eq!(out2, vec![-999.0, 2.0, 3.0]);
+        let s = engine.stats();
+        assert_eq!(s.screened, 2);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.candidates, s.evaluations + s.cache_hits + s.screened);
+    }
+
+    #[test]
+    fn never_screen_is_a_no_op() {
+        let mut screened: ExecutionEngine<f64> =
+            ExecutionEngine::new(EngineConfig::default().cache_capacity(8));
+        screened.attach_screen(crate::SurrogateScreen::new("never", |_: &[f64]| None));
+        let mut plain: ExecutionEngine<f64> =
+            ExecutionEngine::new(EngineConfig::default().cache_capacity(8));
+        let eval = |genes: &[f64]| genes[0] * 3.0;
+        let batch: Vec<Vec<f64>> = (0..10).map(|i| vec![(i % 4) as f64]).collect();
+        assert_eq!(
+            screened.try_evaluate_batch(&batch, &eval).unwrap(),
+            plain.try_evaluate_batch(&batch, &eval).unwrap()
+        );
+        assert_eq!(screened.stats().screened, 0);
+        assert_eq!(screened.stats().evaluations, plain.stats().evaluations);
+    }
+
+    #[test]
+    fn canonicalizer_collapses_equivalent_genes_to_one_entry() {
+        fn snap(genes: &[f64]) -> Vec<f64> {
+            genes.iter().map(|g| g.round()).collect()
+        }
+        let calls = AtomicU64::new(0);
+        // The model itself also rounds, so canonically-equal genes have
+        // bit-identical values and may share a cache entry.
+        let eval = |genes: &[f64]| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            genes[0].round() * 10.0
+        };
+        let mut engine: ExecutionEngine<f64> =
+            ExecutionEngine::new(EngineConfig::default().cache_capacity(16));
+        engine.set_cache_canonicalizer(snap);
+        let batch = vec![vec![1.02], vec![0.97], vec![2.2]];
+        let out = engine.evaluate_batch(&batch, &eval);
+        assert_eq!(out, vec![10.0, 10.0, 20.0]);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert!(engine.cache_canonicalizer().is_some());
     }
 
     #[test]

@@ -616,6 +616,19 @@ impl FaultInjector {
         }
     }
 
+    /// `true` when the plan schedules *any* fault for `genes`.
+    ///
+    /// Like the internal fault decision, this is a pure function of
+    /// the gene bits and the plan seed: it never touches the
+    /// per-candidate call counters, so probing a candidate here and then
+    /// routing it around the injected invocation path (the batch
+    /// fast path does this for unscheduled candidates) leaves the
+    /// injector in exactly the state a plain scalar sweep produces —
+    /// `invoke` itself only bumps counters for scheduled candidates.
+    pub fn schedules_fault(&self, genes: &[f64]) -> bool {
+        self.decide(genes).is_some()
+    }
+
     /// Returns the number of previous calls recorded for this candidate
     /// and increments the counter.
     fn bump(&self, genes: &[f64]) -> u32 {

@@ -22,7 +22,17 @@
 //!   and wall-clock time spent inside evaluation.
 //! * [`ExecutionEngine`] — ties the three together behind one
 //!   [`evaluate_batch`](ExecutionEngine::evaluate_batch) call, configured
-//!   by an [`EngineConfig`].
+//!   by an [`EngineConfig`]. Problems with a struct-of-arrays fast path
+//!   hand a batch kernel to
+//!   [`evaluate_batch_with`](ExecutionEngine::evaluate_batch_with) /
+//!   [`try_evaluate_batch_with`](ExecutionEngine::try_evaluate_batch_with),
+//!   which must be bit-identical to the scalar closure; an opt-in
+//!   [`SurrogateScreen`] can answer obvious losers before the full model
+//!   runs (counted in [`EngineStats::screened`], never cached), and a
+//!   cache canonicalizer
+//!   ([`set_cache_canonicalizer`](ExecutionEngine::set_cache_canonicalizer))
+//!   lets problems that decode genes through a coarse discretization
+//!   share cache entries across equivalent raw gene vectors.
 //! * The fault layer — [`FaultPolicy`]/[`RetryPolicy`] contain evaluator
 //!   panics, retry within a bounded deterministic budget, and quarantine
 //!   non-finite results ([`Quarantine`]); per-candidate verdicts
@@ -64,18 +74,20 @@ mod engine;
 mod evaluator;
 mod fault;
 pub mod pool;
+mod screen;
 mod shared;
 mod stats;
 mod timing;
 
 pub use cache::{CacheConfig, MemoCache};
-pub use engine::{EngineConfig, ExecutionEngine};
+pub use engine::{CacheCanonicalizer, EngineConfig, ExecutionEngine};
 pub use evaluator::{Evaluator, EvaluatorKind, ParallelEvaluator, SerialEvaluator};
 pub use fault::{
     silence_injected_panics, EvalFailure, EvalOutcome, ExhaustedAction, FaultEvent,
     FaultInjectingEvaluator, FaultInjector, FaultKind, FaultPlan, FaultPolicy, FaultResolution,
     InjectedPanic, InjectionCounts, Quarantine, RetryPolicy,
 };
+pub use screen::SurrogateScreen;
 pub use shared::{SharedCache, SharedCacheStats};
 pub use stats::EngineStats;
 pub use timing::{Stage, StageNanos, StageTimer};

@@ -1,0 +1,111 @@
+//! Opt-in analytic surrogate pre-screening of candidates.
+//!
+//! A [`SurrogateScreen`] is a cheap model that inspects a candidate's
+//! genes *before* the full evaluation runs and may answer with a
+//! pessimistic placeholder result for obvious losers. Screened
+//! candidates never reach the expensive model and never enter the
+//! memoization cache (the placeholder is not the true value of the
+//! candidate); they are counted separately in
+//! [`EngineStats::screened`](crate::EngineStats).
+//!
+//! The screen must be *sound with respect to the caller's use*: the
+//! engine applies it unconditionally to every cache miss, so a screen
+//! that answers `Some` for a candidate the optimizer would have kept
+//! changes the run. Callers therefore attach screens explicitly (they
+//! are opt-in per run) and conservative thresholds — or a "never
+//! screen" configuration whose closure always returns `None` — keep a
+//! screened run bit-identical to an unscreened one.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The shared screening closure behind a [`SurrogateScreen`] handle.
+type ScreenFn<T> = Arc<dyn Fn(&[f64]) -> Option<T> + Send + Sync>;
+
+/// A cheap pre-evaluation filter: `Some(placeholder)` short-circuits the
+/// full model for a candidate, `None` lets it through.
+///
+/// Cloning is shallow (the underlying closure is shared) and equality is
+/// identity — two handles are equal only when they share one closure —
+/// so the type can sit inside `PartialEq` run configurations the same
+/// way [`SharedCache`](crate::SharedCache) does.
+pub struct SurrogateScreen<T> {
+    name: String,
+    f: ScreenFn<T>,
+}
+
+impl<T> SurrogateScreen<T> {
+    /// Wraps a screening closure under a diagnostic name.
+    pub fn new<F>(name: impl Into<String>, f: F) -> Self
+    where
+        F: Fn(&[f64]) -> Option<T> + Send + Sync + 'static,
+    {
+        SurrogateScreen {
+            name: name.into(),
+            f: Arc::new(f),
+        }
+    }
+
+    /// The diagnostic name the screen was built with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Applies the screen to one candidate.
+    pub fn screen(&self, genes: &[f64]) -> Option<T> {
+        (self.f)(genes)
+    }
+}
+
+impl<T> Clone for SurrogateScreen<T> {
+    fn clone(&self) -> Self {
+        SurrogateScreen {
+            name: self.name.clone(),
+            f: Arc::clone(&self.f),
+        }
+    }
+}
+
+impl<T> fmt::Debug for SurrogateScreen<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SurrogateScreen")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> PartialEq for SurrogateScreen<T> {
+    fn eq(&self, other: &Self) -> bool {
+        #[allow(ambiguous_wide_pointer_comparisons)]
+        Arc::ptr_eq(&self.f, &other.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn screen_answers_and_passes() {
+        let s: SurrogateScreen<f64> =
+            SurrogateScreen::new("negatives", |g: &[f64]| (g[0] < 0.0).then_some(-1.0));
+        assert_eq!(s.screen(&[-2.0]), Some(-1.0));
+        assert_eq!(s.screen(&[2.0]), None);
+        assert_eq!(s.name(), "negatives");
+    }
+
+    #[test]
+    fn equality_is_identity() {
+        let a: SurrogateScreen<f64> = SurrogateScreen::new("a", |_: &[f64]| None);
+        let b = a.clone();
+        let c: SurrogateScreen<f64> = SurrogateScreen::new("a", |_: &[f64]| None);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn debug_shows_name() {
+        let s: SurrogateScreen<f64> = SurrogateScreen::new("gbw-floor", |_: &[f64]| None);
+        assert!(format!("{s:?}").contains("gbw-floor"));
+    }
+}

@@ -14,6 +14,10 @@ pub struct EngineStats {
     /// Candidates answered from the memoization cache (including
     /// duplicates within a single batch).
     pub cache_hits: u64,
+    /// Candidates answered by an attached surrogate pre-screen instead
+    /// of the full model (never cached; see
+    /// [`SurrogateScreen`](crate::SurrogateScreen)).
+    pub screened: u64,
     /// Number of batches processed.
     pub batches: u64,
     /// Largest single batch submitted.
@@ -74,6 +78,7 @@ impl EngineStats {
             candidates: self.candidates.saturating_sub(earlier.candidates),
             evaluations: self.evaluations.saturating_sub(earlier.evaluations),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            screened: self.screened.saturating_sub(earlier.screened),
             batches: self.batches.saturating_sub(earlier.batches),
             max_batch: self.max_batch,
             eval_time: self.eval_time.saturating_sub(earlier.eval_time),
@@ -96,6 +101,7 @@ impl EngineStats {
         self.candidates += other.candidates;
         self.evaluations += other.evaluations;
         self.cache_hits += other.cache_hits;
+        self.screened += other.screened;
         self.batches += other.batches;
         self.max_batch = self.max_batch.max(other.max_batch);
         self.eval_time += other.eval_time;
@@ -179,6 +185,7 @@ mod tests {
             candidates: 10,
             evaluations: 8,
             cache_hits: 2,
+            screened: 0,
             batches: 1,
             max_batch: 10,
             eval_time: Duration::from_millis(1),
@@ -195,6 +202,7 @@ mod tests {
             candidates: 4,
             evaluations: 4,
             cache_hits: 0,
+            screened: 3,
             batches: 2,
             max_batch: 12,
             eval_time: Duration::from_millis(2),
@@ -211,6 +219,7 @@ mod tests {
         assert_eq!(a.candidates, 14);
         assert_eq!(a.evaluations, 12);
         assert_eq!(a.cache_hits, 2);
+        assert_eq!(a.screened, 3);
         assert_eq!(a.batches, 3);
         assert_eq!(a.max_batch, 12);
         assert_eq!(a.eval_time, Duration::from_millis(3));

@@ -16,7 +16,7 @@ use crate::selection::binary_tournament;
 use crate::sorting::{environmental_selection, rank_and_crowd};
 use engine::{
     EngineConfig, EvaluatorKind, ExecutionEngine, FaultEvent, FaultPlan, FaultPolicy, SharedCache,
-    Stage, StageNanos, StageTimer,
+    Stage, StageNanos, StageTimer, SurrogateScreen,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,6 +29,7 @@ pub struct Nsga2Config {
     variation: Option<Variation>,
     engine: EngineConfig,
     shared_cache: Option<SharedCache<crate::Evaluation>>,
+    surrogate_screen: Option<SurrogateScreen<crate::Evaluation>>,
 }
 
 impl Nsga2Config {
@@ -61,6 +62,7 @@ pub struct Nsga2ConfigBuilder {
     variation: Option<Variation>,
     engine: EngineConfig,
     shared_cache: Option<SharedCache<crate::Evaluation>>,
+    surrogate_screen: Option<SurrogateScreen<crate::Evaluation>>,
 }
 
 impl Nsga2ConfigBuilder {
@@ -125,6 +127,16 @@ impl Nsga2ConfigBuilder {
         self
     }
 
+    /// Attaches an opt-in [`SurrogateScreen`]: candidates the screen
+    /// answers skip the full model (counted in
+    /// [`engine::EngineStats::screened`], never cached). Screening
+    /// changes which candidates reach the model, so screened runs are
+    /// *not* byte-identical to unscreened ones.
+    pub fn surrogate_screen(mut self, screen: SurrogateScreen<crate::Evaluation>) -> Self {
+        self.surrogate_screen = Some(screen);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors
@@ -158,6 +170,7 @@ impl Nsga2ConfigBuilder {
             variation: self.variation,
             engine: self.engine,
             shared_cache: self.shared_cache,
+            surrogate_screen: self.surrogate_screen,
         })
     }
 }
@@ -318,12 +331,19 @@ impl<P: Problem> Nsga2<P> {
         if let Some(shared) = &self.config.shared_cache {
             exec.attach_shared_cache(shared.clone());
         }
+        if let Some(f) = self.problem.cache_canonicalizer() {
+            exec.set_cache_canonicalizer(f);
+        }
+        if let Some(screen) = &self.config.surrogate_screen {
+            exec.attach_screen(screen.clone());
+        }
         let eval_fn = |genes: &[f64]| self.problem.evaluate(genes);
+        let batch_fn = |chunk: &[Vec<f64>]| self.problem.evaluate_all(chunk);
 
         // Initialization: draw all genes first (sole RNG consumer), then
         // batch-evaluate through the engine.
         let init_genes: Vec<Vec<f64>> = (0..n).map(|_| random_vector(rng, &bounds)).collect();
-        let init_evals = exec.try_evaluate_batch(&init_genes, &eval_fn)?;
+        let init_evals = exec.try_evaluate_batch_with(&init_genes, &eval_fn, &batch_fn)?;
         let mut pop: Vec<Individual> = init_genes
             .into_iter()
             .zip(init_evals)
@@ -358,7 +378,7 @@ impl<P: Problem> Nsga2<P> {
                 }
             }
             timer.start(Stage::Evaluation);
-            let child_evals = exec.try_evaluate_batch(&child_genes, &eval_fn)?;
+            let child_evals = exec.try_evaluate_batch_with(&child_genes, &eval_fn, &batch_fn)?;
             timer.stop();
             let offspring: Vec<Individual> = child_genes
                 .into_iter()

@@ -3,6 +3,7 @@
 
 use crate::error::OptimizeError;
 use crate::evaluation::Evaluation;
+use engine::CacheCanonicalizer;
 
 /// Box bounds of the decision space.
 ///
@@ -170,6 +171,34 @@ pub trait Problem {
     /// called by the optimizers of this workspace.
     fn evaluate(&self, x: &[f64]) -> Evaluation;
 
+    /// Evaluates a whole batch of decision vectors, returning one
+    /// [`Evaluation`] per input in order.
+    ///
+    /// The default maps [`evaluate`](Problem::evaluate) over the batch;
+    /// problems with a struct-of-arrays fast path override this with a
+    /// batch kernel. Overrides **must** be bit-identical to the default
+    /// (`evaluate_all(&b)[i] == evaluate(&b[i])`, objective for
+    /// objective, bit for bit) — the execution engine treats the two as
+    /// interchangeable and pinned artifacts depend on it.
+    fn evaluate_all(&self, batch: &[Vec<f64>]) -> Vec<Evaluation> {
+        batch.iter().map(|x| self.evaluate(x)).collect()
+    }
+
+    /// An optional canonicalizer for memoization keys.
+    ///
+    /// Problems that decode genes through a coarse discretization (e.g.
+    /// snapping widths to layout unit fingers) evaluate many distinct
+    /// raw gene vectors to bit-identical results; returning a function
+    /// that maps genes to a canonical representative lets the execution
+    /// engine's cache serve all of them from one entry. Two gene vectors
+    /// may share a canonical form only when
+    /// [`evaluate`](Problem::evaluate) provably returns bit-identical
+    /// results for both. The default (`None`) keys the cache on the raw
+    /// genes.
+    fn cache_canonicalizer(&self) -> Option<CacheCanonicalizer> {
+        None
+    }
+
     /// Number of decision variables; provided from the bounds.
     fn num_variables(&self) -> usize {
         self.bounds().len()
@@ -218,6 +247,12 @@ impl<P: Problem + ?Sized> Problem for Box<P> {
     fn evaluate(&self, x: &[f64]) -> Evaluation {
         (**self).evaluate(x)
     }
+    fn evaluate_all(&self, batch: &[Vec<f64>]) -> Vec<Evaluation> {
+        (**self).evaluate_all(batch)
+    }
+    fn cache_canonicalizer(&self) -> Option<CacheCanonicalizer> {
+        (**self).cache_canonicalizer()
+    }
 }
 
 // Allow passing shared references to problems everywhere a `Problem` is
@@ -237,6 +272,12 @@ impl<P: Problem + ?Sized> Problem for &P {
     }
     fn evaluate(&self, x: &[f64]) -> Evaluation {
         (**self).evaluate(x)
+    }
+    fn evaluate_all(&self, batch: &[Vec<f64>]) -> Vec<Evaluation> {
+        (**self).evaluate_all(batch)
+    }
+    fn cache_canonicalizer(&self) -> Option<CacheCanonicalizer> {
+        (**self).cache_canonicalizer()
     }
 }
 
@@ -316,6 +357,29 @@ mod tests {
         assert!(toy.check_evaluation(&bad).is_err());
         let bad_cons = Evaluation::new(vec![1.0, 2.0], vec![0.0]);
         assert!(toy.check_evaluation(&bad_cons).is_err());
+    }
+
+    #[test]
+    fn default_evaluate_all_maps_evaluate() {
+        let toy = Toy {
+            bounds: Bounds::uniform(1, 0.0, 1.0).unwrap(),
+        };
+        let batch = vec![vec![0.1], vec![0.9]];
+        let all = toy.evaluate_all(&batch);
+        assert_eq!(all.len(), 2);
+        for (x, ev) in batch.iter().zip(&all) {
+            assert_eq!(ev, &toy.evaluate(x));
+        }
+        // Forwarding impls delegate both batch evaluation and the
+        // canonicalizer.
+        let boxed: Box<dyn Problem> = Box::new(Toy {
+            bounds: Bounds::uniform(1, 0.0, 1.0).unwrap(),
+        });
+        assert_eq!(boxed.evaluate_all(&batch), all);
+        assert!(boxed.cache_canonicalizer().is_none());
+        let by_ref: &Toy = &toy;
+        assert_eq!(Problem::evaluate_all(&by_ref, &batch), all);
+        assert!(Problem::cache_canonicalizer(&by_ref).is_none());
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! submit job v1 name=...    -> ok <16-hex job id>
 //! status <id>               -> ok id=... name=... status=... health=...
 //!                              generations=... candidates=...
-//!                              evaluations=... cache_hits=... [error=...]
+//!                              evaluations=... cache_hits=...
+//!                              screened=... [error=...]
 //! health <id>               -> ok <healthy|stalled|faulty|done|failed>
 //! list                      -> ok <count>
 //!                              job <id> <name> <status> <health>   (xN)
@@ -93,7 +94,7 @@ fn handle_line(server: &Server, line: &str, out: &mut dyn Write) -> bool {
             .and_then(|id| server.status(id))
             .map(|v| {
                 let mut line = format!(
-                    "ok id={} name={} status={} health={} generations={} candidates={} evaluations={} cache_hits={}",
+                    "ok id={} name={} status={} health={} generations={} candidates={} evaluations={} cache_hits={} screened={}",
                     v.id,
                     v.name,
                     v.status.token(),
@@ -102,6 +103,7 @@ fn handle_line(server: &Server, line: &str, out: &mut dyn Write) -> bool {
                     v.candidates,
                     v.evaluations,
                     v.cache_hits,
+                    v.screened,
                 );
                 if let Some(err) = &v.error {
                     line.push_str(&format!(" error={}", one_line(err)));

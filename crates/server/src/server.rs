@@ -95,6 +95,10 @@ pub struct JobView {
     pub evaluations: u64,
     /// Candidates answered from the cache for this job.
     pub cache_hits: u64,
+    /// Candidates rejected by the job's surrogate screen, never passed
+    /// to the full model (`candidates = evaluations + cache_hits +
+    /// screened`).
+    pub screened: u64,
     /// Error message for failed jobs.
     pub error: Option<String>,
 }
@@ -385,6 +389,7 @@ impl Server {
             candidates: state.candidates,
             evaluations: state.evaluations,
             cache_hits: state.cache_hits,
+            screened: state.screened,
             error: state.error,
         }
     }
@@ -706,6 +711,7 @@ impl Server {
             s.candidates = outcome.stats.candidates;
             s.evaluations = outcome.stats.evaluations;
             s.cache_hits = outcome.stats.cache_hits;
+            s.screened = outcome.stats.screened;
             s.health = health;
         });
         rt.hub.finish();
@@ -751,7 +757,10 @@ mod tests {
         assert_eq!(view.health, JobHealth::Done);
         assert_eq!(view.generations, 6);
         assert!(view.candidates > 0);
-        assert_eq!(view.candidates, view.evaluations + view.cache_hits);
+        assert_eq!(
+            view.candidates,
+            view.evaluations + view.cache_hits + view.screened
+        );
         assert!(server.store().read_outcome(id).is_some());
         let _ = fs::remove_dir_all(&root);
     }

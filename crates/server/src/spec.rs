@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! job v1 name=demo tenant=none problem=schaffer algo=sacga:pop=16,gens=10,parts=4 \
-//!     seed=42 priority=0 slice=0 stall=0 fault=none inject=0
+//!     seed=42 priority=0 slice=0 stall=0 fault=none inject=0 screen=0
 //! ```
 //!
 //! (shown wrapped; the wire format is a single line). The [`JobId`] is
@@ -16,8 +16,9 @@
 use std::fmt;
 
 use crate::error::ServerError;
+use analog_circuits::surrogate::{drivable_screen, ScreenThresholds};
 use analog_circuits::{DrivableLoadProblem, Spec};
-use engine::{FaultPlan, FaultPolicy, SharedCache};
+use engine::{FaultPlan, FaultPolicy, SharedCache, SurrogateScreen};
 use moea::nsga2::{Nsga2, Nsga2Config};
 use moea::problems::{BinhKorn, Constr, Schaffer, Srinivas, Tanaka, Zdt1, Zdt2, Zdt3};
 use moea::{Evaluation, Problem};
@@ -164,6 +165,22 @@ impl ProblemSpec {
             _ => None,
         }
     }
+
+    /// The analytic surrogate pre-screen for this problem, when one
+    /// exists. Jobs opt in via `screen=1`; screened runs are not
+    /// byte-identical to unscreened ones.
+    fn surrogate_screen(&self) -> Option<SurrogateScreen<Evaluation>> {
+        match self {
+            ProblemSpec::Drivable => {
+                let problem = DrivableLoadProblem::new(Spec::featured());
+                Some(drivable_screen(
+                    problem.process(),
+                    ScreenThresholds::conservative(),
+                ))
+            }
+            _ => None,
+        }
+    }
 }
 
 /// The algorithm arm a job runs, with its core sizing knobs.
@@ -302,6 +319,11 @@ impl AlgoSpec {
             AlgoSpec::Sacga { .. } | AlgoSpec::Mesacga { .. } | AlgoSpec::Nsga2 { .. }
         )
     }
+
+    /// Whether this arm's builder accepts a surrogate pre-screen.
+    pub fn supports_screen(&self) -> bool {
+        !matches!(self, AlgoSpec::Island { .. })
+    }
 }
 
 /// A complete job description: problem + algorithm arm + seed + service
@@ -335,6 +357,12 @@ pub struct JobSpec {
     /// Rate of injected non-finite evaluations (fault-injection harness
     /// for health testing); `0` injects nothing.
     pub inject_nonfinite: f64,
+    /// Opt-in analytic surrogate pre-screen: obviously infeasible
+    /// candidates are answered by the surrogate (counted as `screened`)
+    /// instead of the full model. Only valid for problems that have a
+    /// surrogate and arms that accept one; changes results, so it is
+    /// part of the job identity.
+    pub screen: bool,
 }
 
 fn valid_token(s: &str) -> bool {
@@ -358,6 +386,7 @@ impl JobSpec {
             stall_window: 0,
             fault_alarm: None,
             inject_nonfinite: 0.0,
+            screen: false,
         }
     }
 
@@ -394,6 +423,12 @@ impl JobSpec {
     /// Enables non-finite fault injection at the given rate.
     pub fn inject_nonfinite(mut self, rate: f64) -> Self {
         self.inject_nonfinite = rate;
+        self
+    }
+
+    /// Enables the problem's analytic surrogate pre-screen.
+    pub fn screen(mut self) -> Self {
+        self.screen = true;
         self
     }
 
@@ -442,6 +477,20 @@ impl JobSpec {
                 self.inject_nonfinite
             )));
         }
+        if self.screen {
+            if self.problem.surrogate_screen().is_none() {
+                return Err(ServerError::InvalidSpec(format!(
+                    "problem {} has no surrogate screen",
+                    self.problem.token()
+                )));
+            }
+            if !self.algo.supports_screen() {
+                return Err(ServerError::InvalidSpec(format!(
+                    "algo {} does not support a surrogate screen",
+                    self.algo.token()
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -449,7 +498,7 @@ impl JobSpec {
     /// [`JobSpec::id`].
     pub fn canonical(&self) -> String {
         format!(
-            "job v1 name={} tenant={} problem={} algo={} seed={} priority={} slice={} stall={} fault={} inject={}",
+            "job v1 name={} tenant={} problem={} algo={} seed={} priority={} slice={} stall={} fault={} inject={} screen={}",
             self.name,
             self.tenant.as_deref().unwrap_or("none"),
             self.problem.token(),
@@ -461,6 +510,7 @@ impl JobSpec {
             self.fault_alarm
                 .map_or_else(|| "none".to_string(), |r| r.to_string()),
             self.inject_nonfinite,
+            u8::from(self.screen),
         )
     }
 
@@ -495,6 +545,7 @@ impl JobSpec {
         let mut stall = 0usize;
         let mut fault = None;
         let mut inject = 0.0f64;
+        let mut screen = false;
         for tok in tokens {
             let (k, v) = tok.split_once('=').ok_or_else(|| {
                 ServerError::InvalidSpec(format!("expected key=value, got {tok:?}"))
@@ -517,6 +568,13 @@ impl JobSpec {
                     }
                 }
                 "inject" => inject = v.parse::<f64>().map_err(|_| bad("inject"))?,
+                "screen" => {
+                    screen = match v {
+                        "0" => false,
+                        "1" => true,
+                        _ => return Err(bad("screen")),
+                    }
+                }
                 other => {
                     return Err(ServerError::InvalidSpec(format!("unknown key {other:?}")));
                 }
@@ -534,6 +592,7 @@ impl JobSpec {
             stall_window: stall,
             fault_alarm: fault,
             inject_nonfinite: inject,
+            screen,
         };
         spec.validate()?;
         Ok(spec)
@@ -555,6 +614,10 @@ impl JobSpec {
         let problem = self.problem.build();
         let plan = (self.inject_nonfinite > 0.0)
             .then(|| FaultPlan::seeded(self.seed).nonfinite(self.inject_nonfinite));
+        let screen = self
+            .screen
+            .then(|| self.problem.surrogate_screen())
+            .flatten();
         match &self.algo {
             AlgoSpec::Sacga { pop, gens, parts } => {
                 let mut b = SacgaConfig::builder()
@@ -570,6 +633,9 @@ impl JobSpec {
                 if let Some(plan) = plan {
                     b = b.fault_policy(FaultPolicy::tolerant(3)).inject_faults(plan);
                 }
+                if let Some(screen) = screen {
+                    b = b.surrogate_screen(screen);
+                }
                 Ok(Box::new(Sacga::new(problem, b.build().map_err(cfg_err)?)))
             }
             AlgoSpec::Local { pop, gens, parts } => {
@@ -582,6 +648,9 @@ impl JobSpec {
                 }
                 if let Some(plan) = plan {
                     b = b.fault_policy(FaultPolicy::tolerant(3)).inject_faults(plan);
+                }
+                if let Some(screen) = screen {
+                    b = b.surrogate_screen(screen);
                 }
                 Ok(Box::new(b.build(problem).map_err(cfg_err)?))
             }
@@ -598,6 +667,9 @@ impl JobSpec {
                 if let Some(plan) = plan {
                     b = b.fault_policy(FaultPolicy::tolerant(3)).inject_faults(plan);
                 }
+                if let Some(screen) = screen {
+                    b = b.surrogate_screen(screen);
+                }
                 Ok(Box::new(Mesacga::new(problem, b.build().map_err(cfg_err)?)))
             }
             AlgoSpec::Nsga2 { pop, gens } => {
@@ -609,6 +681,9 @@ impl JobSpec {
                 }
                 if let Some(plan) = plan {
                     b = b.fault_policy(FaultPolicy::tolerant(3)).inject_faults(plan);
+                }
+                if let Some(screen) = screen {
+                    b = b.surrogate_screen(screen);
                 }
                 Ok(Box::new(Nsga2::new(problem, b.build().map_err(cfg_err)?)))
             }
@@ -672,6 +747,51 @@ mod tests {
         // Pinned: the id derives only from the canonical text.
         assert_eq!(a.id().to_string().len(), 16);
         assert_eq!(JobId::parse(&a.id().to_string()).unwrap(), a.id());
+    }
+
+    #[test]
+    fn screen_round_trips_and_is_identity_relevant() {
+        let plain = JobSpec::new(
+            "s",
+            ProblemSpec::Drivable,
+            AlgoSpec::Sacga {
+                pop: 16,
+                gens: 4,
+                parts: 4,
+            },
+            7,
+        );
+        let screened = plain.clone().screen();
+        assert_ne!(plain.id(), screened.id(), "screening changes results");
+        let back = JobSpec::parse(&screened.canonical()).unwrap();
+        assert_eq!(back, screened);
+        // Legacy lines without screen= parse as unscreened.
+        let legacy = plain.canonical().replace(" screen=0", "");
+        assert!(!JobSpec::parse(&legacy).unwrap().screen);
+    }
+
+    #[test]
+    fn screen_rejected_without_a_surrogate_or_support() {
+        let no_surrogate = demo().screen(); // schaffer has no surrogate
+        assert!(matches!(
+            no_surrogate.validate(),
+            Err(ServerError::InvalidSpec(_))
+        ));
+        let island = JobSpec::new(
+            "i",
+            ProblemSpec::Drivable,
+            AlgoSpec::Island {
+                pop: 32,
+                gens: 4,
+                islands: 2,
+            },
+            7,
+        )
+        .screen();
+        assert!(matches!(
+            island.validate(),
+            Err(ServerError::InvalidSpec(_))
+        ));
     }
 
     #[test]

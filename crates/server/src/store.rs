@@ -136,6 +136,10 @@ pub struct JobState {
     pub evaluations: u64,
     /// Candidates answered from the cache on this job's behalf.
     pub cache_hits: u64,
+    /// Candidates rejected by the job's surrogate screen (never passed
+    /// to the full model). `candidates = evaluations + cache_hits +
+    /// screened` always balances.
+    pub screened: u64,
     /// Watchdog health (never `Done`/`Failed`; those are derived from
     /// `status` by [`JobState::endpoint_health`]).
     pub health: JobHealth,
@@ -152,6 +156,7 @@ impl JobState {
             candidates: 0,
             evaluations: 0,
             cache_hits: 0,
+            screened: 0,
             health: JobHealth::Healthy,
             error: None,
         }
@@ -175,6 +180,9 @@ impl JobState {
         out.push_str(&format!("candidates {}\n", self.candidates));
         out.push_str(&format!("evaluations {}\n", self.evaluations));
         out.push_str(&format!("cache_hits {}\n", self.cache_hits));
+        // Written after cache_hits so state files from older daemons
+        // (which simply lack the line) still parse with screened = 0.
+        out.push_str(&format!("screened {}\n", self.screened));
         out.push_str(&format!("health {}\n", self.health.token()));
         if let Some(err) = &self.error {
             out.push_str(&format!("error {}\n", err.replace('\n', " ")));
@@ -225,6 +233,11 @@ impl JobState {
                     state.cache_hits = value
                         .parse()
                         .map_err(|_| format!("bad cache_hits {value:?}"))?;
+                }
+                "screened" => {
+                    state.screened = value
+                        .parse()
+                        .map_err(|_| format!("bad screened {value:?}"))?;
                 }
                 "health" => {
                     state.health =
@@ -431,8 +444,9 @@ mod tests {
         state.status = JobStatus::Failed;
         state.generations = 7;
         state.candidates = 100;
-        state.evaluations = 90;
+        state.evaluations = 85;
         state.cache_hits = 10;
+        state.screened = 5;
         state.health = JobHealth::Faulty;
         state.error = Some("boom\nsecond line".into());
         let text = state.to_text();
@@ -440,7 +454,18 @@ mod tests {
         assert_eq!(back.status, JobStatus::Failed);
         assert_eq!(back.error.as_deref(), Some("boom second line"));
         assert_eq!(back.generations, 7);
+        assert_eq!(back.screened, 5);
         assert_eq!(back.health, JobHealth::Faulty);
+    }
+
+    #[test]
+    fn legacy_state_without_screened_line_parses_with_zero() {
+        // Stores written by pre-screening daemons lack the line entirely.
+        let legacy = "jobstate v1\nstatus done\ngenerations 6\ncandidates 40\n\
+                      evaluations 30\ncache_hits 10\nhealth healthy\nend\n";
+        let state = JobState::from_text(legacy).unwrap();
+        assert_eq!(state.screened, 0);
+        assert_eq!(state.candidates, state.evaluations + state.cache_hits);
     }
 
     #[test]

@@ -399,6 +399,122 @@ fn health_transitions_healthy_to_faulty_under_fault_injection() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Candidate attribution must balance exactly: every candidate a job
+/// submits is either evaluated, answered from cache, or screened out.
+fn assert_attribution_balances(view: &dse_server::JobView) {
+    assert_eq!(
+        view.candidates,
+        view.evaluations + view.cache_hits + view.screened,
+        "attribution must balance for job {}: {view:?}",
+        view.name
+    );
+}
+
+#[test]
+fn screened_job_attribution_balances_end_to_end() {
+    // A drivable job with the surrogate screen enabled: screened
+    // candidates are counted separately from evaluations and the
+    // persisted state carries the attribution.
+    let spec = JobSpec::new(
+        "screened",
+        ProblemSpec::Drivable,
+        AlgoSpec::Sacga {
+            pop: 48,
+            gens: 8,
+            parts: 4,
+        },
+        42,
+    )
+    .screen();
+    let root = scratch_dir("screened");
+    let server = Server::open(&root, config(1)).unwrap();
+    let id = server.submit(spec).unwrap();
+    server.run_until_idle().unwrap();
+    let view = server.status(id).unwrap();
+    assert_eq!(view.status, JobStatus::Done);
+    assert!(view.screened > 0, "the screen never fired: {view:?}");
+    assert!(
+        view.evaluations > 0,
+        "the screen must not answer everything"
+    );
+    assert_attribution_balances(&view);
+    // The attribution survives persistence.
+    let state = server.store().read_state(id).unwrap();
+    assert_eq!(state.screened, view.screened);
+    assert_eq!(state.candidates, view.candidates);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn attribution_balances_across_kill_and_resume() {
+    // A screened drivable job killed mid-run and resumed by a fresh
+    // daemon must report the same balanced attribution as an
+    // uninterrupted run: checkpoints carry the engine counters.
+    let make_spec = |name: &str| {
+        JobSpec::new(
+            name,
+            ProblemSpec::Drivable,
+            AlgoSpec::Sacga {
+                pop: 48,
+                gens: 8,
+                parts: 4,
+            },
+            42,
+        )
+        .screen()
+        .slice(2)
+    };
+    let root = scratch_dir("kill-attr");
+    let server = Server::open(&root, config(1)).unwrap();
+    let id = server.submit(make_spec("kill-attr")).unwrap();
+    assert!(!server.run_slices_at_most(2).unwrap());
+    drop(server);
+    let server = Server::open(&root, config(1)).unwrap();
+    server.run_until_idle().unwrap();
+    let resumed = server.status(id).unwrap();
+    assert_eq!(resumed.status, JobStatus::Done);
+    assert_attribution_balances(&resumed);
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Uninterrupted reference with the same spec (name-insensitive
+    // counters): identical candidate/evaluation/screened totals.
+    let root = scratch_dir("kill-attr-ref");
+    let server = Server::open(&root, config(1)).unwrap();
+    let rid = server.submit(make_spec("kill-attr-ref")).unwrap();
+    server.run_until_idle().unwrap();
+    let reference = server.status(rid).unwrap();
+    assert_attribution_balances(&reference);
+    assert_eq!(resumed.candidates, reference.candidates);
+    assert_eq!(resumed.evaluations, reference.evaluations);
+    assert_eq!(resumed.cache_hits, reference.cache_hits);
+    assert_eq!(resumed.screened, reference.screened);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn attribution_balances_under_contended_preemption_slices() {
+    // Two sliced jobs alternating on one worker: per-job attribution
+    // stays exact through every requeue.
+    let a = sacga_spec("attr-a").slice(2).tenant("attr");
+    let b = {
+        let mut s = sacga_spec("attr-b").slice(3).tenant("attr");
+        s.seed = 43;
+        s
+    };
+    let root = scratch_dir("preempt-attr");
+    let server = Server::open(&root, config(1)).unwrap();
+    let id_a = server.submit(a).unwrap();
+    let id_b = server.submit(b).unwrap();
+    server.run_until_idle().unwrap();
+    for id in [id_a, id_b] {
+        let view = server.status(id).unwrap();
+        assert_eq!(view.status, JobStatus::Done);
+        assert!(view.candidates > 0);
+        assert_attribution_balances(&view);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn duplicate_submission_is_rejected_until_renamed() {
     let root = scratch_dir("dup");
