@@ -7,16 +7,22 @@
 //! Measures the scalar `Problem::evaluate` loop against the
 //! struct-of-arrays `evaluate_all` batch kernels for both circuit
 //! problems, over a fixed deterministic batch of designs, and reports
-//! evals/sec plus the batch-over-scalar speedup. `--quick` shrinks the
-//! per-routine budget for CI smoke runs. The two paths are pinned
-//! bit-identical by the `batch_equivalence` suite, so this binary only
-//! cares about throughput.
+//! evals/sec plus the batch-over-scalar speedup. Also measures the
+//! scheduling arm: a heterogeneous-cost (bimodal spin) workload pushed
+//! through a 4-worker engine both generationally (barrier batches) and
+//! through a steady [`engine::EvaluationSession`] (windowed submission,
+//! quantum drains), reporting the steady-over-barrier speedup that the
+//! `bench_gate --eval` CI gate pins. `--quick` shrinks the per-routine
+//! budget for CI smoke runs. The evaluation paths are pinned
+//! bit-identical by the `batch_equivalence` and session suites, so
+//! this binary only cares about throughput.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use analog_circuits::{DrivableLoadProblem, IntegratorProblem, Spec};
-use moea::Problem;
+use engine::{EngineConfig, EvaluatorKind, ExecutionEngine};
+use moea::{Evaluation, Problem};
 
 /// Designs per measured repetition (also the kernel batch size).
 const BATCH: usize = 256;
@@ -52,9 +58,14 @@ fn pseudo_batch(n: usize, salt: u64) -> Vec<Vec<f64>> {
         .collect()
 }
 
-/// Runs `routine` repeatedly (each rep evaluates [`BATCH`] designs)
+/// Runs `routine` repeatedly (each rep evaluates `per_rep` designs)
 /// until `budget` elapses, after one untimed warm-up rep.
-fn measure(label: &'static str, budget: Duration, mut routine: impl FnMut()) -> Sample {
+fn measure_n(
+    label: &'static str,
+    per_rep: usize,
+    budget: Duration,
+    mut routine: impl FnMut(),
+) -> Sample {
     routine();
     let start = Instant::now();
     let mut reps = 0u64;
@@ -64,9 +75,89 @@ fn measure(label: &'static str, budget: Duration, mut routine: impl FnMut()) -> 
     }
     Sample {
         label,
-        evals: reps * BATCH as u64,
+        evals: reps * per_rep as u64,
         wall_s: start.elapsed().as_secs_f64(),
     }
+}
+
+fn measure(label: &'static str, budget: Duration, routine: impl FnMut()) -> Sample {
+    measure_n(label, BATCH, budget, routine)
+}
+
+/// Candidates per scheduling-arm repetition.
+const SCHED_TOTAL: usize = 512;
+/// Worker threads for both scheduling arms.
+const SCHED_WORKERS: usize = 4;
+/// Barrier batch size of the generational arm.
+const SCHED_GEN_BATCH: usize = 16;
+/// Look-ahead window of the steady arm.
+const SCHED_WINDOW: usize = 64;
+/// Merge quantum of the steady arm.
+const SCHED_QUANTUM: usize = 8;
+
+/// Bimodal per-candidate cost: most designs are cheap, but a
+/// deterministic ~1-in-16 hash bucket costs 16x — the heterogeneity
+/// (one slow corner-case simulation per batch, on average) that makes
+/// a per-generation barrier expensive. The cost is paid as a blocking
+/// sleep, modelling an external simulator call: workers overlap their
+/// waits (even on a CPU-starved CI box), but a barrier still stalls the
+/// whole batch on its slowest candidate.
+fn hetero_cost(genes: &[f64]) -> Duration {
+    let h = genes[0].to_bits() ^ genes[1].to_bits().rotate_left(17);
+    if h.is_multiple_of(16) {
+        Duration::from_micros(800)
+    } else {
+        Duration::from_micros(50)
+    }
+}
+
+/// Measures the same heterogeneous workload under the generational
+/// barrier (batches of [`SCHED_GEN_BATCH`]) and under a steady
+/// [`engine::EvaluationSession`] (window/quantum submission), both on a
+/// [`SCHED_WORKERS`]-thread engine. Returns (generational, steady,
+/// steady-over-generational speedup).
+fn bench_scheduling(budget: Duration) -> (Sample, Sample, f64) {
+    let designs = pseudo_batch(SCHED_TOTAL, 7);
+    let eval = |genes: &[f64]| {
+        std::thread::sleep(hetero_cost(genes));
+        Evaluation::new(vec![genes[0]], vec![])
+    };
+    let batch_eval = |chunk: &[Vec<f64>]| chunk.iter().map(|g| eval(g)).collect::<Vec<_>>();
+    let engine_config =
+        || EngineConfig::default().evaluator(EvaluatorKind::ParallelWith(SCHED_WORKERS));
+
+    let mut barrier_engine: ExecutionEngine<Evaluation> = ExecutionEngine::new(engine_config());
+    let generational = measure_n("hetero_generational", SCHED_TOTAL, budget, || {
+        for chunk in designs.chunks(SCHED_GEN_BATCH) {
+            black_box(barrier_engine.evaluate_batch(chunk, &eval));
+        }
+    });
+
+    let mut steady_engine: ExecutionEngine<Evaluation> = ExecutionEngine::new(engine_config());
+    let steady = measure_n("hetero_steady", SCHED_TOTAL, budget, || {
+        steady_engine.with_session(&eval, &batch_eval, |session| {
+            let mut submitted = 0;
+            let mut drained = 0;
+            while drained < SCHED_TOTAL {
+                while submitted < SCHED_TOTAL && submitted - drained < SCHED_WINDOW {
+                    session.submit(&designs[submitted]);
+                    submitted += 1;
+                }
+                let want = SCHED_QUANTUM.min(SCHED_TOTAL - drained);
+                black_box(session.drain(want).expect("no faults injected"));
+                drained += want;
+            }
+        });
+    });
+
+    let speedup = steady.evals_per_sec() / generational.evals_per_sec();
+    println!(
+        "{:<12} barrier {:>9.0} evals/s | steady {:>9.0} evals/s | {speedup:.2}x ({SCHED_WORKERS} workers)",
+        "scheduling",
+        generational.evals_per_sec(),
+        steady.evals_per_sec(),
+    );
+    (generational, steady, speedup)
 }
 
 fn bench_problem<P: Problem>(
@@ -122,20 +213,32 @@ fn main() {
         "integrator_batch",
     );
 
-    let kernels = [&d_scalar, &d_batch, &i_scalar, &i_batch]
-        .map(|s| {
-            format!(
-                "{{\"label\":{:?},\"evals\":{},\"wall_s\":{:?},\"evals_per_sec\":{:?}}}",
-                s.label,
-                s.evals,
-                s.wall_s,
-                s.evals_per_sec()
-            )
-        })
-        .join(",");
+    let (generational, steady, sched_speedup) = bench_scheduling(budget);
+
+    let kernels = [
+        &d_scalar,
+        &d_batch,
+        &i_scalar,
+        &i_batch,
+        &generational,
+        &steady,
+    ]
+    .map(|s| {
+        format!(
+            "{{\"label\":{:?},\"evals\":{},\"wall_s\":{:?},\"evals_per_sec\":{:?}}}",
+            s.label,
+            s.evals,
+            s.wall_s,
+            s.evals_per_sec()
+        )
+    })
+    .join(",");
     let doc = format!(
-        "{{\"schema\":1,\"batch\":{BATCH},\"kernels\":[{kernels}],\
-         \"speedup\":{{\"drivable\":{d_speedup:?},\"integrator\":{i_speedup:?}}}}}\n"
+        "{{\"schema\":2,\"batch\":{BATCH},\"kernels\":[{kernels}],\
+         \"speedup\":{{\"drivable\":{d_speedup:?},\"integrator\":{i_speedup:?}}},\
+         \"scheduling\":{{\"total\":{SCHED_TOTAL},\"workers\":{SCHED_WORKERS},\
+         \"gen_batch\":{SCHED_GEN_BATCH},\"window\":{SCHED_WINDOW},\
+         \"quantum\":{SCHED_QUANTUM},\"steady_speedup\":{sched_speedup:?}}}}}\n"
     );
     let path = std::path::Path::new("results").join("BENCH_eval.json");
     std::fs::create_dir_all("results").expect("create results/");

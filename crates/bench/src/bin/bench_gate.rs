@@ -1,16 +1,23 @@
-//! CI regression gate over `BENCH_runtime.json` stage breakdowns.
+//! CI regression gate over `BENCH_runtime.json` stage breakdowns and
+//! the `BENCH_eval.json` scheduling speedup.
 //!
 //! ```text
 //! bench_gate <fresh.json> <baseline.json>
+//! bench_gate --eval <BENCH_eval.json> <min_steady_speedup>
 //! ```
 //!
-//! Replays the comparison [`dse_bench::trace::gate_runtime_report`]
-//! defines: every baseline run must still exist in the fresh report
-//! with evals/sec above `baseline / 8`, a non-dead memoization cache,
-//! and no support stage ballooning past its baseline share of
-//! wall-clock. Tolerances are deliberately generous — the gate exists
-//! to catch order-of-magnitude regressions across heterogeneous CI
-//! machines, not timing jitter.
+//! The two-report form replays the comparison
+//! [`dse_bench::trace::gate_runtime_report`] defines: every baseline
+//! run must still exist in the fresh report with evals/sec above
+//! `baseline / 8`, a non-dead memoization cache, and no support stage
+//! ballooning past its baseline share of wall-clock. Tolerances are
+//! deliberately generous — the gate exists to catch order-of-magnitude
+//! regressions across heterogeneous CI machines, not timing jitter.
+//!
+//! The `--eval` form reads the `scheduling.steady_speedup` field that
+//! `bench_eval` records (steady-session over generational-barrier
+//! throughput on the heterogeneous-cost workload) and fails when it
+//! drops below the given floor — a steady-state scheduling regression.
 //!
 //! Exit codes: 0 pass, 1 usage error, 2 unreadable input or gate
 //! failure.
@@ -19,10 +26,70 @@ use std::process::ExitCode;
 
 use dse_bench::trace::{gate_runtime_report, parse_runtime_report};
 
+/// Extracts `"steady_speedup":<number>` from a `BENCH_eval.json`
+/// document (schema 2).
+fn parse_steady_speedup(text: &str) -> Result<f64, String> {
+    let key = "\"steady_speedup\":";
+    let at = text
+        .find(key)
+        .ok_or_else(|| format!("no {key} field (schema < 2?)"))?;
+    let rest = &text[at + key.len()..];
+    let end = rest
+        .find(['}', ','])
+        .ok_or_else(|| "unterminated steady_speedup value".to_string())?;
+    rest[..end]
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| format!("bad steady_speedup value: {e}"))
+}
+
+fn gate_eval(path: &str, floor_tok: &str) -> ExitCode {
+    let floor: f64 = match floor_tok.parse() {
+        Ok(f) => f,
+        Err(_) => {
+            eprintln!("bench_gate: bad speedup floor {floor_tok:?}");
+            return ExitCode::from(1);
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match parse_steady_speedup(&text) {
+        Ok(speedup) if speedup >= floor => {
+            println!("bench_gate: ok — steady scheduling speedup {speedup:.2}x >= {floor:.2}x");
+            ExitCode::SUCCESS
+        }
+        Ok(speedup) => {
+            eprintln!(
+                "bench_gate: steady scheduling speedup {speedup:.2}x below the {floor:.2}x floor"
+            );
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {path}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let ["--eval", path, floor] = &args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        return gate_eval(path, floor);
+    }
     let [fresh_path, baseline_path] = args.as_slice() else {
-        eprintln!("usage: bench_gate <fresh.json> <baseline.json>");
+        eprintln!(
+            "usage: bench_gate <fresh.json> <baseline.json>\n       bench_gate --eval <BENCH_eval.json> <min_steady_speedup>"
+        );
         return ExitCode::from(1);
     };
     let fresh = match load(fresh_path) {

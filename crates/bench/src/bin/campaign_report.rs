@@ -1,13 +1,14 @@
 //! The SACGA-vs-TPG diversity claim as a statistical campaign.
 //!
 //! Runs an `m`-partition SACGA arm against the paper's TPG / "Only
-//! Global" baseline (the 1-partition degenerate of the same engine)
-//! over a pinned seed list, computes per-cell front metrics and
-//! pairwise rank-sum / bootstrap statistics, and writes the
-//! deterministic aggregate to `results/BENCH_campaign.json`. Running
-//! the binary twice with the same arguments produces byte-identical
-//! JSON whatever the thread count — that property is pinned by the
-//! `campaign-smoke` CI job.
+//! Global" baseline (the 1-partition degenerate of the same engine),
+//! plus the steady-state SACGA variant (same partitioning, no
+//! generation barrier), over a pinned seed list, computes per-cell
+//! front metrics and pairwise rank-sum / bootstrap statistics, and
+//! writes the deterministic aggregate to
+//! `results/BENCH_campaign.json`. Running the binary twice with the
+//! same arguments produces byte-identical JSON whatever the thread
+//! count — that property is pinned by the `campaign-smoke` CI job.
 //!
 //! Usage: `campaign_report [n_seeds] [gens] [threads] [--logs]`
 //! (defaults: 16 seeds, 120 generations, 4 threads). `--logs` fans
@@ -22,6 +23,7 @@ use dse_bench::{paper_problem, PHASE1_MAX, POP};
 use engine::{CacheConfig, SharedCache};
 use moea::Evaluation;
 use sacga::sacga::{Sacga, SacgaConfig};
+use sacga::steady::{SteadyConfig, SteadySacga};
 use sacga::telemetry::DynOptimizer;
 use std::path::Path;
 
@@ -45,7 +47,7 @@ fn main() {
     let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| SEED_BASE + i).collect();
 
     println!(
-        "campaign: sacga{PARTITIONS} vs tpg | {n_seeds} seeds | {gens} generations | {threads} threads"
+        "campaign: sacga{PARTITIONS} vs tpg vs steady{PARTITIONS} | {n_seeds} seeds | {gens} generations | {threads} threads"
     );
 
     let sacga_arm = |partitions: usize| {
@@ -64,9 +66,24 @@ fn main() {
             Box::new(Sacga::new(paper_problem(), config)) as Box<dyn DynOptimizer>
         }
     };
+    let steady_arm = move |shared: Option<&SharedCache<Evaluation>>| {
+        let (lo, hi) = DrivableLoadProblem::slice_range();
+        let mut b = SteadyConfig::builder()
+            .population_size(POP)
+            .generations(gens)
+            .partitions(PARTITIONS)
+            .phase1_max(PHASE1_MAX.min(gens / 2))
+            .slice_range(lo, hi);
+        if let Some(cache) = shared {
+            b = b.shared_cache(cache.clone());
+        }
+        let config = b.build().expect("static config");
+        Box::new(SteadySacga::new(paper_problem(), config)) as Box<dyn DynOptimizer>
+    };
     let campaign = Campaign::new("sacga-vs-tpg")
         .arm(format!("sacga{PARTITIONS}"), sacga_arm(PARTITIONS))
         .arm("tpg", sacga_arm(1))
+        .arm(format!("steady{PARTITIONS}"), steady_arm)
         .seeds(seeds);
 
     let mut config = RunnerConfig::default()
@@ -127,14 +144,16 @@ fn main() {
     }
 
     println!("\npairwise comparisons (one-sided exact rank-sum, 95% bootstrap CI):");
-    for metric in Metric::ALL {
-        let c = report
-            .comparison(&labels[0], "tpg", metric)
-            .expect("comparison exists");
-        println!(
-            "  {:<12} U = {:>6.1}  p({} > tpg) = {:.4}  p(tpg > {}) = {:.4}  mean diff = {:+.4} [{:+.4}, {:+.4}]",
-            c.metric, c.u_a, c.arm_a, c.p_a_greater, c.arm_a, c.p_b_greater, c.mean_diff, c.ci_lo, c.ci_hi
-        );
+    for pair in [(&labels[0], &labels[1]), (&labels[2], &labels[1])] {
+        for metric in Metric::ALL {
+            let c = report
+                .comparison(pair.0, pair.1, metric)
+                .expect("comparison exists");
+            println!(
+                "  {:<12} U = {:>6.1}  p({} > {}) = {:.4}  p({} > {}) = {:.4}  mean diff = {:+.4} [{:+.4}, {:+.4}]",
+                c.metric, c.u_a, c.arm_a, c.arm_b, c.p_a_greater, c.arm_b, c.arm_a, c.p_b_greater, c.mean_diff, c.ci_lo, c.ci_hi
+            );
+        }
     }
 
     let dir = Path::new("results");

@@ -18,6 +18,7 @@ use std::time::Duration;
 
 const SACGA_HEADER: &str = "sacga-checkpoint v1";
 const MESACGA_HEADER: &str = "mesacga-checkpoint v1";
+const STEADY_HEADER: &str = "steady-checkpoint v1";
 
 /// A serialized individual: genes, evaluation, and ranking bookkeeping.
 #[derive(Debug, Clone, PartialEq)]
@@ -196,6 +197,63 @@ impl MesacgaCheckpoint {
             phase_start,
             phase_fronts,
         })
+    }
+}
+
+/// A suspended steady-state SACGA run, resumable via
+/// [`Optimizer::resume`](crate::telemetry::Optimizer::resume) on a
+/// [`SteadySacga`](crate::steady::SteadySacga) configured identically.
+///
+/// Steady-state production runs ahead of merging, so at a generation
+/// boundary there may be offspring already submitted (their selection and
+/// variation RNG consumed) but not yet merged into the population. Those
+/// travel in [`pending`](SteadyCheckpoint::pending) as genes plus their
+/// completed evaluations, in submission order; resume primes them back
+/// into the evaluation session so the merge stream continues exactly
+/// where it stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteadyCheckpoint {
+    /// The engine state at the suspension boundary.
+    pub state: EngineState,
+    /// Offspring submitted but not yet merged: genes and evaluations in
+    /// submission order (rank/crowding carry the freshly-constructed
+    /// individual's defaults, exactly as an in-stream merge would see).
+    pub pending: Vec<SavedIndividual>,
+}
+
+impl SteadyCheckpoint {
+    /// Serializes the checkpoint to its text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(STEADY_HEADER);
+        out.push('\n');
+        write_state(&mut out, &self.state);
+        out.push_str(&format!("pending {}\n", self.pending.len()));
+        for ind in &self.pending {
+            write_individual(&mut out, ind);
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a checkpoint from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidCheckpoint`] on a wrong header,
+    /// malformed records, or truncation.
+    pub fn from_text(text: &str) -> Result<Self, OptimizeError> {
+        let mut lines = Lines::new(text);
+        lines.expect_literal(STEADY_HEADER)?;
+        let state = parse_state(&mut lines)?;
+        let n_pending = lines.tagged_usize("pending")?;
+        let mut pending = Vec::with_capacity(n_pending);
+        for _ in 0..n_pending {
+            pending.push(parse_individual(&mut lines)?);
+        }
+        lines.expect_literal("end")?;
+        lines.expect_exhausted()?;
+        Ok(SteadyCheckpoint { state, pending })
     }
 }
 
@@ -542,6 +600,22 @@ impl crate::telemetry::CheckpointText for SacgaCheckpoint {
     }
 }
 
+impl crate::telemetry::CheckpointText for SteadyCheckpoint {
+    const SUSPENDABLE: bool = true;
+
+    fn to_checkpoint_text(&self) -> String {
+        self.to_text()
+    }
+
+    fn from_checkpoint_text(text: &str) -> Result<Self, OptimizeError> {
+        SteadyCheckpoint::from_text(text)
+    }
+
+    fn generation(&self) -> usize {
+        self.state.gen
+    }
+}
+
 impl crate::telemetry::CheckpointText for MesacgaCheckpoint {
     const SUSPENDABLE: bool = true;
 
@@ -697,6 +771,59 @@ mod tests {
         let back = MesacgaCheckpoint::from_text(&text).unwrap();
         assert_eq!(cp, back);
         assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn steady_checkpoint_round_trips() {
+        let cp = SteadyCheckpoint {
+            state: sample_state(),
+            pending: vec![
+                SavedIndividual {
+                    genes: vec![0.25, -1.5],
+                    objectives: vec![2.0, 3.0],
+                    violations: vec![0.0],
+                    rank: 0,
+                    crowding: 0.0,
+                },
+                SavedIndividual {
+                    genes: vec![0.75, 0.5],
+                    objectives: vec![1.0, f64::INFINITY],
+                    violations: vec![0.5],
+                    rank: 0,
+                    crowding: 0.0,
+                },
+            ],
+        };
+        let text = cp.to_text();
+        let back = SteadyCheckpoint::from_text(&text).unwrap();
+        assert_eq!(cp, back);
+        assert_eq!(text, back.to_text());
+        // empty pending set round-trips too (suspension with nothing ahead)
+        let empty = SteadyCheckpoint {
+            state: sample_state(),
+            pending: vec![],
+        };
+        assert_eq!(
+            SteadyCheckpoint::from_text(&empty.to_text()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn steady_header_is_not_interchangeable() {
+        let steady = SteadyCheckpoint {
+            state: sample_state(),
+            pending: vec![],
+        };
+        let sacga = SacgaCheckpoint {
+            state: sample_state(),
+        };
+        assert!(SacgaCheckpoint::from_text(&steady.to_text()).is_err());
+        assert!(SteadyCheckpoint::from_text(&sacga.to_text()).is_err());
+        // truncation before the pending block is caught
+        let text = steady.to_text();
+        let truncated = text.rsplit_once("pending").unwrap().0;
+        assert!(SteadyCheckpoint::from_text(truncated).is_err());
     }
 
     #[test]

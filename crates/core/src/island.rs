@@ -16,7 +16,7 @@
 //! `ablation_competition_modes` harness or your own experiments.
 
 use crate::telemetry::{EventKind, NoCheckpoint, NullSink, Optimizer, RunEvent, Sink};
-use engine::{EngineConfig, EvaluatorKind, ExecutionEngine, Stage, StageTimer};
+use engine::{EvaluatorKind, Stage, StageTimer};
 use moea::individual::Individual;
 use moea::operators::{random_vector, Variation};
 use moea::problem::Problem;
@@ -36,7 +36,7 @@ pub struct IslandConfig {
     migration_interval: usize,
     migrants: usize,
     variation: Option<Variation>,
-    engine: EngineConfig,
+    exec: moea::setup::EngineSetup,
 }
 
 impl IslandConfig {
@@ -70,7 +70,7 @@ pub struct IslandConfigBuilder {
     migration_interval: usize,
     migrants: usize,
     variation: Option<Variation>,
-    engine: EngineConfig,
+    exec: moea::setup::EngineSetup,
 }
 
 impl Default for IslandConfigBuilder {
@@ -82,7 +82,7 @@ impl Default for IslandConfigBuilder {
             migration_interval: 20,
             migrants: 2,
             variation: None,
-            engine: EngineConfig::default(),
+            exec: moea::setup::EngineSetup::new(),
         }
     }
 }
@@ -124,29 +124,37 @@ impl IslandConfigBuilder {
         self
     }
 
+    /// Replaces the whole engine-knob bundle at once (see
+    /// [`moea::EngineSetup`]); the individual knob methods below
+    /// delegate to the same bundle.
+    pub fn engine_setup(mut self, exec: moea::setup::EngineSetup) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Selects the candidate-evaluation strategy (default: serial).
     pub fn evaluator(mut self, evaluator: impl Into<EvaluatorKind>) -> Self {
-        self.engine = self.engine.evaluator(evaluator);
+        self.exec = self.exec.evaluator(evaluator);
         self
     }
 
     /// Enables evaluation memoization with room for `capacity` entries
     /// (default: disabled).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
-        self.engine = self.engine.cache_capacity(capacity);
+        self.exec = self.exec.cache_capacity(capacity);
         self
     }
 
     /// Sets the memoization quantization grid (must be positive).
     pub fn cache_grid(mut self, grid: f64) -> Self {
-        self.engine = self.engine.cache_grid(grid);
+        self.exec = self.exec.cache_grid(grid);
         self
     }
 
     /// Sets the fault-handling policy for candidate evaluation: retry
     /// budget, non-finite quarantine, and exhaustion behavior.
     pub fn fault_policy(mut self, fault: engine::FaultPolicy) -> Self {
-        self.engine = self.engine.fault_policy(fault);
+        self.exec = self.exec.fault_policy(fault);
         self
     }
 
@@ -154,7 +162,7 @@ impl IslandConfigBuilder {
     /// testing/chaos harness — injected faults are reproducible per
     /// candidate).
     pub fn inject_faults(mut self, plan: engine::FaultPlan) -> Self {
-        self.engine = self.engine.inject_faults(plan);
+        self.exec = self.exec.inject_faults(plan);
         self
     }
 
@@ -208,14 +216,10 @@ impl IslandConfigBuilder {
             migration_interval: self.migration_interval,
             migrants: self.migrants,
             variation: self.variation,
-            engine: self.engine,
+            exec: self.exec,
         })
     }
 }
-
-/// Outcome of an island-model run.
-#[deprecated(since = "0.2.0", note = "use `moea::RunOutcome` instead")]
-pub type IslandResult = RunOutcome;
 
 /// The island-model multi-objective GA.
 ///
@@ -282,11 +286,10 @@ impl<P: Problem> IslandGa<P> {
             .unwrap_or_else(|| Variation::standard(bounds.len()));
         let per_island = self.config.population_size / self.config.islands;
         // One shared engine: the memoization cache spans the archipelago.
-        let mut exec: ExecutionEngine<moea::Evaluation> =
-            ExecutionEngine::new(self.config.engine.clone());
-        if let Some(f) = self.problem.cache_canonicalizer() {
-            exec.set_cache_canonicalizer(f);
-        }
+        let mut exec = self
+            .config
+            .exec
+            .build_engine(self.problem.cache_canonicalizer());
         let eval_fn = |genes: &[f64]| self.problem.evaluate(genes);
         let batch_fn = |chunk: &[Vec<f64>]| self.problem.evaluate_all(chunk);
 

@@ -31,14 +31,18 @@
 //!   a cascade of SACGA phases with progressively fewer, larger partitions
 //!   (e.g. 20 → 13 → 8 → 5 → 3 → 2 → 1), removing the need to guess the
 //!   optimal static partition count;
-//! * [`checkpoint`] — plain-text run checkpoints: SACGA and MESACGA runs
-//!   can be suspended at any generation boundary
+//! * [`steady`] — steady-state SACGA: the same algorithm driven through
+//!   the engine's incremental submission/completion API, with no
+//!   per-generation evaluation barrier and bit-identical seeded results
+//!   across worker counts;
+//! * [`checkpoint`] — plain-text run checkpoints: SACGA, MESACGA, and
+//!   steady-state runs can be suspended at any generation boundary
 //!   ([`Sacga::run_until`](sacga::Sacga::run_until),
 //!   [`Mesacga::run_until`](mesacga::Mesacga::run_until)) and resumed
 //!   bit-identically, including across process restarts.
 //!
-//! All five loops — [`moea::nsga2::Nsga2`], [`local`], [`sacga`],
-//! [`mesacga`], [`island`] — implement the unified
+//! All six loops — [`moea::nsga2::Nsga2`], [`local`], [`sacga`],
+//! [`mesacga`], [`island`], [`steady`] — implement the unified
 //! [`Optimizer`] run API and emit the structured
 //! [`RunEvent`] stream of the [`telemetry`] module
 //! into composable [`Sink`]s.
@@ -82,25 +86,21 @@ pub mod mesacga;
 pub mod partition;
 pub mod prelude;
 pub mod sacga;
+pub mod steady;
 pub mod telemetry;
 
 pub use anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
 pub use checkpoint::{
     cell_artifact_name, EngineState, MesacgaCheckpoint, SacgaCheckpoint, SavedIndividual,
+    SteadyCheckpoint,
 };
 pub use island::{IslandConfig, IslandGa};
 pub use mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
 pub use partition::PartitionGrid;
 pub use sacga::{Sacga, SacgaConfig};
+pub use steady::{SteadyConfig, SteadySacga};
 pub use telemetry::{
     CheckpointText, DynOptimizer, DynRunStatus, EventKind, FaultRateAlarm, HealthWarning,
     InfeasibilityAlarm, JsonlSink, MemorySink, MetricsRow, MetricsSink, NoCheckpoint, NullSink,
     Optimizer, RunEvent, Sink, StallDetector, Tee, EVENT_SCHEMA_VERSION,
 };
-
-#[allow(deprecated)]
-pub use island::IslandResult;
-#[allow(deprecated)]
-pub use mesacga::{MesacgaResult, MesacgaRun};
-#[allow(deprecated)]
-pub use sacga::{SacgaResult, SacgaRun};

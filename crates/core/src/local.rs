@@ -145,6 +145,13 @@ impl LocalCompetitionGaBuilder {
         self
     }
 
+    /// Replaces the whole engine-knob bundle at once (see
+    /// [`moea::EngineSetup`]).
+    pub fn engine_setup(mut self, exec: moea::setup::EngineSetup) -> Self {
+        self.inner = self.inner.engine_setup(exec);
+        self
+    }
+
     /// Selects the candidate-evaluation strategy (default: serial).
     pub fn evaluator(mut self, evaluator: impl Into<engine::EvaluatorKind>) -> Self {
         self.inner = self.inner.evaluator(evaluator);
@@ -172,6 +179,13 @@ impl LocalCompetitionGaBuilder {
     /// Enables deterministic fault injection with the given plan.
     pub fn inject_faults(mut self, plan: engine::FaultPlan) -> Self {
         self.inner = self.inner.inject_faults(plan);
+        self
+    }
+
+    /// Routes memoization through a cache pooled across concurrent runs
+    /// (see [`SacgaConfigBuilder::shared_cache`]).
+    pub fn shared_cache(mut self, cache: engine::SharedCache<moea::Evaluation>) -> Self {
+        self.inner = self.inner.shared_cache(cache);
         self
     }
 

@@ -75,9 +75,7 @@ pub struct MesacgaConfigBuilder {
     slice_objective: usize,
     slice_range: Option<(f64, f64)>,
     variation: Option<moea::operators::Variation>,
-    engine: engine::EngineConfig,
-    shared_cache: Option<engine::SharedCache<moea::Evaluation>>,
-    surrogate_screen: Option<engine::SurrogateScreen<moea::Evaluation>>,
+    exec: moea::setup::EngineSetup,
 }
 
 impl Default for MesacgaConfigBuilder {
@@ -92,9 +90,7 @@ impl Default for MesacgaConfigBuilder {
             slice_objective: 0,
             slice_range: None,
             variation: None,
-            engine: engine::EngineConfig::default(),
-            shared_cache: None,
-            surrogate_screen: None,
+            exec: moea::setup::EngineSetup::new(),
         }
     }
 }
@@ -169,29 +165,37 @@ impl MesacgaConfigBuilder {
         self
     }
 
+    /// Replaces the whole engine-knob bundle at once (see
+    /// [`moea::EngineSetup`]); the individual knob methods below
+    /// delegate to the same bundle.
+    pub fn engine_setup(mut self, exec: moea::setup::EngineSetup) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Selects the candidate-evaluation strategy (default: serial).
     pub fn evaluator(mut self, evaluator: impl Into<engine::EvaluatorKind>) -> Self {
-        self.engine = self.engine.evaluator(evaluator);
+        self.exec = self.exec.evaluator(evaluator);
         self
     }
 
     /// Enables evaluation memoization with room for `capacity` entries
     /// (default: disabled).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
-        self.engine = self.engine.cache_capacity(capacity);
+        self.exec = self.exec.cache_capacity(capacity);
         self
     }
 
     /// Sets the memoization quantization grid (must be positive).
     pub fn cache_grid(mut self, grid: f64) -> Self {
-        self.engine = self.engine.cache_grid(grid);
+        self.exec = self.exec.cache_grid(grid);
         self
     }
 
     /// Sets the fault-handling policy for candidate evaluation: retry
     /// budget, non-finite quarantine, and exhaustion behavior.
     pub fn fault_policy(mut self, fault: engine::FaultPolicy) -> Self {
-        self.engine = self.engine.fault_policy(fault);
+        self.exec = self.exec.fault_policy(fault);
         self
     }
 
@@ -199,21 +203,21 @@ impl MesacgaConfigBuilder {
     /// testing/chaos harness — injected faults are reproducible per
     /// candidate).
     pub fn inject_faults(mut self, plan: engine::FaultPlan) -> Self {
-        self.engine = self.engine.inject_faults(plan);
+        self.exec = self.exec.inject_faults(plan);
         self
     }
 
     /// Routes memoization through a cache pooled across concurrent runs
     /// (see [`SacgaConfigBuilder::shared_cache`](crate::sacga::SacgaConfigBuilder::shared_cache)).
     pub fn shared_cache(mut self, cache: engine::SharedCache<moea::Evaluation>) -> Self {
-        self.shared_cache = Some(cache);
+        self.exec = self.exec.shared_cache(cache);
         self
     }
 
     /// Attaches an opt-in surrogate pre-screen (see
     /// [`SacgaConfigBuilder::surrogate_screen`](crate::sacga::SacgaConfigBuilder::surrogate_screen)).
     pub fn surrogate_screen(mut self, screen: engine::SurrogateScreen<moea::Evaluation>) -> Self {
-        self.surrogate_screen = Some(screen);
+        self.exec = self.exec.surrogate_screen(screen);
         self
     }
 
@@ -262,29 +266,13 @@ impl MesacgaConfigBuilder {
             base_builder = base_builder.variation(v);
         }
         let mut base = base_builder.build()?;
-        base.engine = self.engine;
-        base.shared_cache = self.shared_cache;
-        base.surrogate_screen = self.surrogate_screen;
+        base.exec = self.exec;
         Ok(MesacgaConfig {
             base,
             phases: self.phases,
         })
     }
 }
-
-/// Former name of the MESACGA run result, now the workspace-wide
-/// [`RunOutcome`] (phase snapshots live in
-/// [`RunOutcome::phase_fronts`]).
-#[deprecated(since = "0.2.0", note = "use `moea::RunOutcome` instead")]
-pub type MesacgaResult = RunOutcome;
-
-/// Former name of the bounded-run outcome, now the generic
-/// [`RunStatus`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `moea::RunStatus<MesacgaCheckpoint>` instead"
-)]
-pub type MesacgaRun = RunStatus<MesacgaCheckpoint>;
 
 /// How a drive begins: a fresh seed or a stored checkpoint.
 enum Launch<'c> {

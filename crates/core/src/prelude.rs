@@ -1,4 +1,4 @@
-//! One-stop imports for driving any of the five optimization loops
+//! One-stop imports for driving any of the six optimization loops
 //! through the unified [`Optimizer`] API with instrumentation attached.
 //!
 //! ```
@@ -19,11 +19,14 @@
 //! # }
 //! ```
 
-pub use crate::checkpoint::{EngineState, MesacgaCheckpoint, SacgaCheckpoint, SavedIndividual};
+pub use crate::checkpoint::{
+    EngineState, MesacgaCheckpoint, SacgaCheckpoint, SavedIndividual, SteadyCheckpoint,
+};
 pub use crate::island::{IslandConfig, IslandGa};
 pub use crate::local::{LocalCompetitionGa, LocalCompetitionGaBuilder};
 pub use crate::mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
 pub use crate::sacga::{CompetitionMode, Sacga, SacgaConfig};
+pub use crate::steady::{SteadyConfig, SteadyConfigBuilder, SteadySacga};
 pub use crate::telemetry::{
     DynOptimizer, EventKind, EventParseError, FaultRateAlarm, HealthWarning, InfeasibilityAlarm,
     JsonlSink, MemorySink, MetricsRow, MetricsSink, NoCheckpoint, NullSink, Optimizer, RunEvent,

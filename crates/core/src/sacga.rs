@@ -31,6 +31,7 @@ use moea::individual::Individual;
 use moea::operators::{random_vector, Variation};
 use moea::problem::Problem;
 use moea::selection::RankRoulette;
+use moea::setup::EngineSetup;
 use moea::sorting::rank_and_crowd;
 use moea::{Evaluation, OptimizeError, RunOutcome, RunStatus};
 use rand::rngs::StdRng;
@@ -63,9 +64,7 @@ pub struct SacgaConfig {
     pub(crate) slice_objective: usize,
     pub(crate) slice_range: Option<(f64, f64)>,
     pub(crate) mode: CompetitionMode,
-    pub(crate) engine: EngineConfig,
-    pub(crate) shared_cache: Option<SharedCache<Evaluation>>,
-    pub(crate) surrogate_screen: Option<SurrogateScreen<Evaluation>>,
+    pub(crate) exec: EngineSetup,
 }
 
 impl SacgaConfig {
@@ -91,7 +90,7 @@ impl SacgaConfig {
 
     /// Evaluation-engine settings.
     pub fn engine(&self) -> &EngineConfig {
-        &self.engine
+        self.exec.engine()
     }
 }
 
@@ -109,9 +108,7 @@ pub struct SacgaConfigBuilder {
     slice_objective: usize,
     slice_range: Option<(f64, f64)>,
     mode: CompetitionMode,
-    engine: EngineConfig,
-    shared_cache: Option<SharedCache<Evaluation>>,
-    surrogate_screen: Option<SurrogateScreen<Evaluation>>,
+    exec: EngineSetup,
 }
 
 impl Default for SacgaConfigBuilder {
@@ -128,9 +125,7 @@ impl Default for SacgaConfigBuilder {
             slice_objective: 0,
             slice_range: None,
             mode: CompetitionMode::Annealed,
-            engine: EngineConfig::default(),
-            shared_cache: None,
-            surrogate_screen: None,
+            exec: EngineSetup::new(),
         }
     }
 }
@@ -205,29 +200,37 @@ impl SacgaConfigBuilder {
         self
     }
 
+    /// Replaces the whole engine-knob bundle at once (see
+    /// [`EngineSetup`]); the individual knob methods below delegate to
+    /// the same bundle.
+    pub fn engine_setup(mut self, exec: EngineSetup) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Selects the candidate-evaluation strategy (default: serial).
     pub fn evaluator(mut self, evaluator: impl Into<EvaluatorKind>) -> Self {
-        self.engine = self.engine.evaluator(evaluator);
+        self.exec = self.exec.evaluator(evaluator);
         self
     }
 
     /// Enables evaluation memoization with room for `capacity` entries
     /// (default: disabled).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
-        self.engine = self.engine.cache_capacity(capacity);
+        self.exec = self.exec.cache_capacity(capacity);
         self
     }
 
     /// Sets the memoization quantization grid (must be positive).
     pub fn cache_grid(mut self, grid: f64) -> Self {
-        self.engine = self.engine.cache_grid(grid);
+        self.exec = self.exec.cache_grid(grid);
         self
     }
 
     /// Sets the fault-handling policy for candidate evaluation: retry
     /// budget, non-finite quarantine, and exhaustion behavior.
     pub fn fault_policy(mut self, fault: FaultPolicy) -> Self {
-        self.engine = self.engine.fault_policy(fault);
+        self.exec = self.exec.fault_policy(fault);
         self
     }
 
@@ -235,7 +238,7 @@ impl SacgaConfigBuilder {
     /// testing/chaos harness — injected faults are reproducible per
     /// candidate).
     pub fn inject_faults(mut self, plan: FaultPlan) -> Self {
-        self.engine = self.engine.inject_faults(plan);
+        self.exec = self.exec.inject_faults(plan);
         self
     }
 
@@ -245,7 +248,7 @@ impl SacgaConfigBuilder {
     /// never changes a run's results — only how many model evaluations
     /// it performs.
     pub fn shared_cache(mut self, cache: SharedCache<Evaluation>) -> Self {
-        self.shared_cache = Some(cache);
+        self.exec = self.exec.shared_cache(cache);
         self
     }
 
@@ -256,7 +259,7 @@ impl SacgaConfigBuilder {
     /// *not* byte-identical to unscreened runs — leave this unset (or use
     /// a never-firing screen) to keep pinned artifacts reproducible.
     pub fn surrogate_screen(mut self, screen: SurrogateScreen<Evaluation>) -> Self {
-        self.surrogate_screen = Some(screen);
+        self.exec = self.exec.surrogate_screen(screen);
         self
     }
 
@@ -321,46 +324,22 @@ impl SacgaConfigBuilder {
             slice_objective: self.slice_objective,
             slice_range: self.slice_range,
             mode: self.mode,
-            engine: self.engine,
-            shared_cache: self.shared_cache,
-            surrogate_screen: self.surrogate_screen,
+            exec: self.exec,
         })
     }
 }
 
-/// Former name of the SACGA run result, now the workspace-wide
-/// [`RunOutcome`].
-#[deprecated(since = "0.2.0", note = "use `moea::RunOutcome` instead")]
-pub type SacgaResult = RunOutcome;
-
-/// Builds the execution engine for a run: engine config, pooled cache,
-/// the problem's cache canonicalizer and the optional surrogate screen.
+/// Builds the execution engine for a run via
+/// [`EngineSetup::build_engine`]: engine config, pooled cache, the
+/// problem's cache canonicalizer and the optional surrogate screen.
 /// Shared by [`Engine::start`] and [`Engine::restore`] so fresh and
 /// resumed runs wire the evaluation path identically.
 pub(crate) fn configure_exec<P: Problem + ?Sized>(
     problem: &P,
     config: &SacgaConfig,
 ) -> ExecutionEngine<Evaluation> {
-    let mut exec = ExecutionEngine::new(config.engine.clone());
-    if let Some(shared) = &config.shared_cache {
-        exec.attach_shared_cache(shared.clone());
-    }
-    if let Some(f) = problem.cache_canonicalizer() {
-        exec.set_cache_canonicalizer(f);
-    }
-    if let Some(screen) = &config.surrogate_screen {
-        exec.attach_screen(screen.clone());
-    }
-    exec
+    config.exec.build_engine(problem.cache_canonicalizer())
 }
-
-/// Former name of the bounded-run outcome, now the generic
-/// [`RunStatus`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `moea::RunStatus<SacgaCheckpoint>` instead"
-)]
-pub type SacgaRun = RunStatus<SacgaCheckpoint>;
 
 /// How a drive begins: a fresh seed or a stored checkpoint.
 pub(crate) enum Launch<'c> {

@@ -4,10 +4,13 @@ use engine::{EngineConfig, EvalOutcome, ExecutionEngine, ExhaustedAction, FaultP
 use moea::evaluation::Evaluation;
 use moea::individual::Individual;
 use moea::problems::Schaffer;
+use moea::RunStatus;
 use proptest::prelude::*;
 use sacga::anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
 use sacga::partition::{PartitionGrid, PartitionedPopulation};
 use sacga::sacga::{Sacga, SacgaConfig};
+use sacga::steady::{SteadyConfig, SteadySacga};
+use sacga::telemetry::Optimizer;
 use std::cell::Cell;
 
 proptest! {
@@ -336,5 +339,92 @@ proptest! {
         }
         let tainted = first.iter().filter(|v| !v.is_finite()).count() as u64;
         prop_assert_eq!(tainted, q1);
+    }
+
+    // ---- steady-state SACGA ----
+
+    #[test]
+    fn steady_merges_are_deterministic_across_worker_counts(
+        seed in 0u64..1000,
+        pop_half in 4usize..10,
+        gens in 2usize..7,
+        partitions in 1usize..5,
+        window_extra in 0usize..24,
+        quantum in 1usize..24,
+    ) {
+        // Completions are applied in submission-index order, so a seeded
+        // steady run must be bit-identical however many workers race on
+        // the evaluations.
+        let pop = pop_half * 2;
+        let make = |threads: usize| {
+            let mut b = SteadyConfig::builder()
+                .population_size(pop)
+                .generations(gens)
+                .partitions(partitions)
+                .window(2 + window_extra)
+                .quantum(quantum);
+            if threads > 0 {
+                b = b.evaluator(engine::EvaluatorKind::ParallelWith(threads));
+            }
+            SteadySacga::new(Schaffer::new(), b.build().unwrap())
+        };
+        let serial = make(0).run_seeded(seed).unwrap();
+        for threads in [2usize, 4] {
+            let parallel = make(threads).run_seeded(seed).unwrap();
+            prop_assert_eq!(&serial.front_objectives(), &parallel.front_objectives());
+            prop_assert_eq!(&serial.history, &parallel.history);
+            let genes = |r: &moea::RunOutcome| r
+                .population
+                .iter()
+                .map(|m| m.genes.clone())
+                .collect::<Vec<_>>();
+            prop_assert_eq!(genes(&serial), genes(&parallel), "{} workers diverged", threads);
+        }
+    }
+
+    #[test]
+    fn steady_kill_resume_at_any_boundary_is_lossless(
+        seed in 0u64..1000,
+        pop_half in 4usize..10,
+        gens in 2usize..8,
+        partitions in 1usize..5,
+        window_extra in 0usize..24,
+        quantum in 1usize..24,
+        stop_frac in 0.0f64..1.0,
+    ) {
+        // Suspending at an arbitrary generation boundary — with the
+        // look-ahead mid-flight — and resuming from the checkpoint text
+        // must reproduce the uninterrupted run bit for bit.
+        let pop = pop_half * 2;
+        let config = SteadyConfig::builder()
+            .population_size(pop)
+            .generations(gens)
+            .partitions(partitions)
+            .window(2 + window_extra)
+            .quantum(quantum)
+            .build()
+            .unwrap();
+        let ga = SteadySacga::new(Schaffer::new(), config);
+        let full = ga.run_seeded(seed).unwrap();
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let stop = ((gens as f64) * stop_frac) as usize;
+        // stop_frac < 1.0, so stop < gens and the run must suspend.
+        let cp = match ga.run_until(seed, stop).unwrap() {
+            RunStatus::Suspended(cp) => cp,
+            RunStatus::Complete(_) => panic!("stop {stop} < gens {gens} must suspend"),
+        };
+        prop_assert_eq!(cp.state.gen, stop);
+        let restored = sacga::SteadyCheckpoint::from_text(&cp.to_text()).unwrap();
+        prop_assert_eq!(&restored, &*cp);
+        let resumed = ga.resume(&restored).unwrap();
+        prop_assert_eq!(resumed.front_objectives(), full.front_objectives());
+        prop_assert_eq!(&resumed.history, &full.history);
+        prop_assert_eq!(resumed.gen_t, full.gen_t);
+        let scrub = |mut s: engine::EngineStats| {
+            s.eval_time = std::time::Duration::ZERO;
+            s.backoff_time = std::time::Duration::ZERO;
+            s
+        };
+        prop_assert_eq!(scrub(resumed.stats), scrub(full.stats));
     }
 }

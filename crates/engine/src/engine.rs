@@ -2,14 +2,11 @@
 
 use crate::cache::{CacheConfig, MemoCache};
 use crate::evaluator::EvaluatorKind;
-use crate::fault::{
-    EvalFailure, EvalOutcome, FaultEvent, FaultInjector, FaultPlan, FaultPolicy, FaultResolution,
-    Quarantine,
-};
+use crate::fault::{EvalFailure, FaultEvent, FaultInjector, FaultPlan, FaultPolicy, Quarantine};
 use crate::screen::SurrogateScreen;
+use crate::session::EvaluationSession;
 use crate::shared::SharedCache;
 use crate::stats::EngineStats;
-use std::panic::{self, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Configuration of an [`ExecutionEngine`].
@@ -79,33 +76,42 @@ pub type CacheCanonicalizer = fn(&[f64]) -> Vec<f64>;
 /// and accumulates [`EngineStats`].
 #[derive(Debug)]
 pub struct ExecutionEngine<T> {
-    config: EngineConfig,
-    cache: MemoCache<T>,
+    pub(crate) config: EngineConfig,
+    pub(crate) cache: MemoCache<T>,
     /// When attached, supersedes the private `cache`: all lookups and
     /// insertions go to the shared store (see
     /// [`attach_shared_cache`](ExecutionEngine::attach_shared_cache)).
-    shared: Option<SharedCache<T>>,
-    stats: EngineStats,
+    pub(crate) shared: Option<SharedCache<T>>,
+    pub(crate) stats: EngineStats,
     // Maps genes to a canonical representative before cache-key
     // quantization, so gene vectors the problem decodes to one design
     // share a cache entry.
-    canonicalize: Option<CacheCanonicalizer>,
+    pub(crate) canonicalize: Option<CacheCanonicalizer>,
     // Opt-in surrogate pre-screen applied to cache misses.
-    screen: Option<SurrogateScreen<T>>,
-    injector: Option<FaultInjector>,
+    pub(crate) screen: Option<SurrogateScreen<T>>,
+    pub(crate) injector: Option<FaultInjector>,
     // Injection totals carried over from a checkpoint: a resumed run's
     // injector restarts its counters at zero, so the restored totals act
     // as a base offset.
-    injected_base: crate::fault::InjectionCounts,
+    pub(crate) injected_base: crate::fault::InjectionCounts,
     // Resolved fault episodes not yet drained by `take_fault_events`,
     // in batch order. Bounded: see `MAX_PENDING_FAULT_EVENTS`.
-    fault_events: Vec<FaultEvent>,
+    pub(crate) fault_events: Vec<FaultEvent>,
 }
 
 /// Cap on buffered [`FaultEvent`]s between drains, so a caller that never
 /// drains cannot grow the buffer without bound (counters in
 /// [`EngineStats`] remain exact regardless).
 const MAX_PENDING_FAULT_EVENTS: usize = 65_536;
+
+/// Buffers a resolved fault episode for the next
+/// [`take_fault_events`](ExecutionEngine::take_fault_events) drain,
+/// dropping events beyond the pending cap.
+pub(crate) fn push_fault_event(events: &mut Vec<FaultEvent>, event: FaultEvent) {
+    if events.len() < MAX_PENDING_FAULT_EVENTS {
+        events.push(event);
+    }
+}
 
 impl<T: Clone + Send> ExecutionEngine<T> {
     /// Builds an engine from its configuration.
@@ -453,6 +459,12 @@ impl<T: Clone + Send + Quarantine> ExecutionEngine<T> {
     /// a scalar sweep. A kernel that panics (or mis-sizes its output)
     /// demotes the affected candidates to the scalar guarded path, so
     /// the fault policy still contains per-candidate panics.
+    ///
+    /// This is a thin wrapper over the incremental submission API: the
+    /// whole batch is submitted to an [`EvaluationSession`] and drained
+    /// to a barrier, which reproduces the historical one-shot semantics
+    /// (hit/alias resolution in batch order, fault accounting in batch
+    /// order, misses cached in first-occurrence order) bit for bit.
     pub fn try_evaluate_batch_with<F, B>(
         &mut self,
         batch: &[Vec<f64>],
@@ -463,280 +475,35 @@ impl<T: Clone + Send + Quarantine> ExecutionEngine<T> {
         F: Fn(&[f64]) -> T + Sync,
         B: Fn(&[Vec<f64>]) -> Vec<T>,
     {
-        self.stats.candidates += batch.len() as u64;
-        self.stats.batches += 1;
-        self.stats.max_batch = self.stats.max_batch.max(batch.len() as u64);
-
-        if !self.caching_enabled() {
-            let (outcomes, _screened) = self.run_outcomes_with(batch, eval, batch_eval);
-            return self.absorb_outcomes(outcomes, |i| i);
-        }
-
-        // Same hit/miss resolution as `evaluate_batch`.
-        let mut resolved: Vec<Option<T>> = Vec::with_capacity(batch.len());
-        resolved.resize_with(batch.len(), || None);
-        let mut miss_genes: Vec<Vec<f64>> = Vec::new();
-        let mut miss_keys: Vec<Vec<i64>> = Vec::new();
-        let mut miss_of: Vec<Option<usize>> = vec![None; batch.len()];
-        let mut pending: std::collections::HashMap<Vec<i64>, usize> =
-            std::collections::HashMap::new();
-
-        for (i, genes) in batch.iter().enumerate() {
-            let key = self.cache_key(genes);
-            if let Some(value) = self.cache_get(&key) {
-                self.stats.cache_hits += 1;
-                resolved[i] = Some(value);
-            } else if let Some(&m) = pending.get(&key) {
-                self.stats.cache_hits += 1;
-                miss_of[i] = Some(m);
-            } else {
-                let m = miss_genes.len();
-                miss_genes.push(genes.clone());
-                pending.insert(key.clone(), m);
-                miss_keys.push(key);
-                miss_of[i] = Some(m);
+        self.with_session(eval, batch_eval, |session| {
+            for genes in batch {
+                session.submit(genes);
             }
-        }
-
-        let (outcomes, screened) = self.run_outcomes_with(&miss_genes, eval, batch_eval);
-        let miss_results = self.absorb_outcomes(outcomes, |m| {
-            // Map a miss slot back to the first batch position that
-            // produced it, for a meaningful failure index.
-            miss_of
-                .iter()
-                .position(|&slot| slot == Some(m))
-                .unwrap_or(m)
-        })?;
-
-        for ((key, value), &was_screened) in miss_keys
-            .into_iter()
-            .zip(miss_results.iter())
-            .zip(&screened)
-        {
-            if !was_screened && !value.is_tainted() {
-                self.cache_put(key, value.clone());
-            }
-        }
-
-        Ok(resolved
-            .into_iter()
-            .zip(miss_of)
-            .map(|(hit, miss)| match (hit, miss) {
-                (Some(v), _) => v,
-                (None, Some(m)) => miss_results[m].clone(),
-                (None, None) => unreachable!("every candidate is a hit or a miss"),
-            })
-            .collect())
+            session.drain_all()
+        })
     }
 
-    /// Produces per-candidate outcomes for a miss set: screened
-    /// candidates become immediate [`EvalOutcome::Ok`] placeholders,
-    /// fault-scheduled candidates run through the scalar guarded path,
-    /// and the remaining clean candidates run through the batch kernel
-    /// (serial evaluator) or the scalar guarded fan-out (parallel
-    /// evaluators). Returns outcomes in miss order plus the screened
-    /// mask.
-    fn run_outcomes_with<F, B>(
+    /// Opens an [`EvaluationSession`] over this engine and runs `f`
+    /// inside it.
+    ///
+    /// The session borrows the engine exclusively: stats, cache
+    /// contents, and fault events accumulated by the session are visible
+    /// on the engine as soon as `f` returns. Under a parallel evaluator
+    /// the session spawns its worker pool for the duration of `f`, so
+    /// submissions evaluate concurrently with the caller's own work
+    /// between drains; see the [`session`](crate::session) module docs
+    /// for the full semantics.
+    pub fn with_session<F, B, R>(
         &mut self,
-        miss: &[Vec<f64>],
         eval: &F,
         batch_eval: &B,
-    ) -> (Vec<EvalOutcome<T>>, Vec<bool>)
+        f: impl FnOnce(&mut EvaluationSession<'_, T, F, B>) -> R,
+    ) -> R
     where
         F: Fn(&[f64]) -> T + Sync,
         B: Fn(&[Vec<f64>]) -> Vec<T>,
     {
-        let mut slots: Vec<Option<EvalOutcome<T>>> = (0..miss.len()).map(|_| None).collect();
-        let mut screened = vec![false; miss.len()];
-        if let Some(screen) = self.screen.clone() {
-            for (i, genes) in miss.iter().enumerate() {
-                if let Some(value) = screen.screen(genes) {
-                    self.stats.screened += 1;
-                    screened[i] = true;
-                    slots[i] = Some(EvalOutcome::Ok(value));
-                }
-            }
-        }
-        let live: Vec<usize> = (0..miss.len()).filter(|&i| !screened[i]).collect();
-        self.stats.evaluations += live.len() as u64;
-
-        if !matches!(self.config.evaluator, EvaluatorKind::Serial) {
-            // Parallel fan-out: per-candidate guarded evaluation already
-            // spreads the batch across threads; the kernel is a
-            // serial-throughput tool.
-            let live_genes: Vec<Vec<f64>> = live.iter().map(|&i| miss[i].clone()).collect();
-            let outcomes = self.run_guarded(&live_genes, eval);
-            for (&i, outcome) in live.iter().zip(outcomes) {
-                slots[i] = Some(outcome);
-            }
-            return (Self::sealed(slots), screened);
-        }
-
-        let policy = self.config.fault;
-        let t0 = Instant::now();
-        {
-            let injector = self.injector.as_ref();
-            let guarded = |genes: &[f64]| -> EvalOutcome<T> {
-                match injector {
-                    Some(inj) => policy.execute(&|g: &[f64]| inj.invoke(eval, g), genes),
-                    None => policy.execute(eval, genes),
-                }
-            };
-            // Candidates the plan schedules a fault for keep the scalar
-            // path (injection state, retries, and backoff accounting are
-            // per-candidate, so order relative to the kernel is
-            // irrelevant); everything else is clean and batchable.
-            let mut clean: Vec<usize> = Vec::with_capacity(live.len());
-            for &i in &live {
-                if injector.is_some_and(|inj| inj.schedules_fault(&miss[i])) {
-                    slots[i] = Some(guarded(&miss[i]));
-                } else {
-                    clean.push(i);
-                }
-            }
-            if !clean.is_empty() {
-                let clean_genes: Vec<Vec<f64>> = clean.iter().map(|&i| miss[i].clone()).collect();
-                match panic::catch_unwind(AssertUnwindSafe(|| batch_eval(&clean_genes))) {
-                    Ok(values) if values.len() == clean_genes.len() => {
-                        for (&i, value) in clean.iter().zip(values) {
-                            if policy.quarantine_nonfinite && value.is_tainted() {
-                                // The scalar path would retry and then
-                                // quarantine or fail this candidate;
-                                // replay it so the accounting matches.
-                                slots[i] = Some(guarded(&miss[i]));
-                            } else {
-                                slots[i] = Some(EvalOutcome::Ok(value));
-                            }
-                        }
-                    }
-                    _ => {
-                        // Kernel panicked or mis-sized its output:
-                        // demote to the scalar guarded path.
-                        for &i in &clean {
-                            slots[i] = Some(guarded(&miss[i]));
-                        }
-                    }
-                }
-            }
-        }
-        self.stats.eval_time += t0.elapsed();
-        (Self::sealed(slots), screened)
-    }
-
-    /// Unwraps fully-populated outcome slots.
-    fn sealed(slots: Vec<Option<EvalOutcome<T>>>) -> Vec<EvalOutcome<T>> {
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every miss slot is screened or evaluated"))
-            .collect()
-    }
-
-    /// Fans `batch` out through the evaluator with each candidate
-    /// guarded by the fault policy (and the injector, when configured).
-    fn run_guarded<F>(&mut self, batch: &[Vec<f64>], eval: &F) -> Vec<EvalOutcome<T>>
-    where
-        F: Fn(&[f64]) -> T + Sync,
-    {
-        let policy = self.config.fault;
-        let evaluator = self.config.evaluator;
-        let injector = self.injector.as_ref();
-        let guarded = move |genes: &[f64]| -> EvalOutcome<T> {
-            match injector {
-                Some(inj) => policy.execute(&|g: &[f64]| inj.invoke(eval, g), genes),
-                None => policy.execute(eval, genes),
-            }
-        };
-        let t0 = Instant::now();
-        let outcomes = evaluator.eval_batch(&guarded, batch);
-        self.stats.eval_time += t0.elapsed();
-        outcomes
-    }
-
-    /// Folds per-candidate outcomes into stats (in input order) and
-    /// unwraps them into plain values, surfacing the first failure.
-    fn absorb_outcomes(
-        &mut self,
-        outcomes: Vec<EvalOutcome<T>>,
-        index_of: impl Fn(usize) -> usize,
-    ) -> Result<Vec<T>, EvalFailure> {
-        let mut values = Vec::with_capacity(outcomes.len());
-        let mut first_failure: Option<EvalFailure> = None;
-        for (i, outcome) in outcomes.into_iter().enumerate() {
-            let retries = outcome.retries() as u64;
-            match outcome {
-                EvalOutcome::Ok(value) => values.push(value),
-                EvalOutcome::Recovered {
-                    value,
-                    failures,
-                    backoff,
-                    kind,
-                } => {
-                    self.stats.failures += failures as u64;
-                    self.stats.retries += retries;
-                    self.stats.recovered += 1;
-                    self.stats.backoff_time += backoff;
-                    self.push_fault_event(FaultEvent {
-                        index: index_of(i),
-                        kind,
-                        failures,
-                        resolution: FaultResolution::Recovered,
-                    });
-                    values.push(value);
-                }
-                EvalOutcome::Quarantined {
-                    value,
-                    failures,
-                    backoff,
-                    kind,
-                } => {
-                    self.stats.failures += failures as u64;
-                    self.stats.retries += retries;
-                    self.stats.quarantined += 1;
-                    self.stats.backoff_time += backoff;
-                    self.push_fault_event(FaultEvent {
-                        index: index_of(i),
-                        kind,
-                        failures,
-                        resolution: FaultResolution::Quarantined,
-                    });
-                    values.push(value);
-                }
-                EvalOutcome::Failed(mut failure) => {
-                    self.stats.failures += failure.attempts as u64;
-                    self.stats.retries += retries;
-                    self.stats.backoff_time += failure.backoff;
-                    if first_failure.is_none() {
-                        failure.index = index_of(i);
-                        first_failure = Some(failure);
-                    }
-                }
-            }
-        }
-        self.refresh_injection_stats();
-        match first_failure {
-            Some(failure) => Err(failure),
-            None => Ok(values),
-        }
-    }
-
-    /// Buffers a resolved fault episode for the next
-    /// [`take_fault_events`](ExecutionEngine::take_fault_events) drain,
-    /// dropping events beyond the pending cap.
-    fn push_fault_event(&mut self, event: FaultEvent) {
-        if self.fault_events.len() < MAX_PENDING_FAULT_EVENTS {
-            self.fault_events.push(event);
-        }
-    }
-
-    /// Copies the injector's running totals into the stats block (on top
-    /// of any totals restored from a checkpoint).
-    fn refresh_injection_stats(&mut self) {
-        if let Some(injector) = &self.injector {
-            let counts = injector.counts();
-            self.stats.injected_panics = self.injected_base.panics + counts.panics;
-            self.stats.injected_nonfinite = self.injected_base.nonfinite + counts.nonfinite;
-            self.stats.injected_delays = self.injected_base.delays + counts.delays;
-        }
+        crate::session::run_session(self, eval, batch_eval, f)
     }
 }
 

@@ -33,6 +33,13 @@
 //!   ([`set_cache_canonicalizer`](ExecutionEngine::set_cache_canonicalizer))
 //!   lets problems that decode genes through a coarse discretization
 //!   share cache entries across equivalent raw gene vectors.
+//! * [`EvaluationSession`] — the incremental submission/completion view
+//!   of the same machinery ([`with_session`](ExecutionEngine::with_session)):
+//!   candidates are submitted as selection produces them, evaluate out of
+//!   order on a worker pool, and drain back in deterministic submission
+//!   order — the engine API behind steady-state (asynchronous)
+//!   evolution. The one-shot batch calls are thin submit-all/drain-all
+//!   wrappers over it.
 //! * The fault layer — [`FaultPolicy`]/[`RetryPolicy`] contain evaluator
 //!   panics, retry within a bounded deterministic budget, and quarantine
 //!   non-finite results ([`Quarantine`]); per-candidate verdicts
@@ -75,6 +82,7 @@ mod evaluator;
 mod fault;
 pub mod pool;
 mod screen;
+pub mod session;
 mod shared;
 mod stats;
 mod timing;
@@ -88,6 +96,7 @@ pub use fault::{
     InjectedPanic, InjectionCounts, Quarantine, RetryPolicy,
 };
 pub use screen::SurrogateScreen;
+pub use session::EvaluationSession;
 pub use shared::{SharedCache, SharedCacheStats};
 pub use stats::EngineStats;
 pub use timing::{Stage, StageNanos, StageTimer};

@@ -63,6 +63,7 @@ pub mod problem;
 pub mod problems;
 pub mod scalarize;
 pub mod selection;
+pub mod setup;
 pub mod sorting;
 
 pub use archive::ParetoArchive;
@@ -72,3 +73,4 @@ pub use evaluation::Evaluation;
 pub use individual::{Individual, Population};
 pub use outcome::{GenerationStats, RunOutcome, RunStatus};
 pub use problem::{Bounds, Problem};
+pub use setup::EngineSetup;

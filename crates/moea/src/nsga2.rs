@@ -13,10 +13,11 @@ use crate::operators::{random_vector, Variation};
 use crate::outcome::{GenerationStats, RunOutcome};
 use crate::problem::Problem;
 use crate::selection::binary_tournament;
+use crate::setup::EngineSetup;
 use crate::sorting::{environmental_selection, rank_and_crowd};
 use engine::{
-    EngineConfig, EvaluatorKind, ExecutionEngine, FaultEvent, FaultPlan, FaultPolicy, SharedCache,
-    Stage, StageNanos, StageTimer, SurrogateScreen,
+    EngineConfig, EvaluatorKind, FaultEvent, FaultPlan, FaultPolicy, SharedCache, Stage,
+    StageNanos, StageTimer, SurrogateScreen,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,9 +28,7 @@ pub struct Nsga2Config {
     population_size: usize,
     generations: usize,
     variation: Option<Variation>,
-    engine: EngineConfig,
-    shared_cache: Option<SharedCache<crate::Evaluation>>,
-    surrogate_screen: Option<SurrogateScreen<crate::Evaluation>>,
+    exec: EngineSetup,
 }
 
 impl Nsga2Config {
@@ -50,7 +49,7 @@ impl Nsga2Config {
 
     /// Evaluation-engine settings.
     pub fn engine(&self) -> &EngineConfig {
-        &self.engine
+        self.exec.engine()
     }
 }
 
@@ -60,9 +59,7 @@ pub struct Nsga2ConfigBuilder {
     population_size: Option<usize>,
     generations: Option<usize>,
     variation: Option<Variation>,
-    engine: EngineConfig,
-    shared_cache: Option<SharedCache<crate::Evaluation>>,
-    surrogate_screen: Option<SurrogateScreen<crate::Evaluation>>,
+    exec: EngineSetup,
 }
 
 impl Nsga2ConfigBuilder {
@@ -85,35 +82,43 @@ impl Nsga2ConfigBuilder {
         self
     }
 
+    /// Replaces the whole engine-knob bundle at once (see
+    /// [`EngineSetup`]); the individual knob methods below delegate to
+    /// the same bundle.
+    pub fn engine_setup(mut self, exec: EngineSetup) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Selects the candidate-evaluation strategy (default: serial).
     pub fn evaluator(mut self, evaluator: impl Into<EvaluatorKind>) -> Self {
-        self.engine = self.engine.evaluator(evaluator);
+        self.exec = self.exec.evaluator(evaluator);
         self
     }
 
     /// Enables evaluation memoization with room for `capacity` entries
     /// (default: disabled).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
-        self.engine = self.engine.cache_capacity(capacity);
+        self.exec = self.exec.cache_capacity(capacity);
         self
     }
 
     /// Sets the memoization quantization grid (must be positive).
     pub fn cache_grid(mut self, grid: f64) -> Self {
-        self.engine = self.engine.cache_grid(grid);
+        self.exec = self.exec.cache_grid(grid);
         self
     }
 
     /// Sets the fault-handling policy (retry budget, non-finite
     /// quarantine, exhausted action) applied to every evaluation.
     pub fn fault_policy(mut self, fault: FaultPolicy) -> Self {
-        self.engine = self.engine.fault_policy(fault);
+        self.exec = self.exec.fault_policy(fault);
         self
     }
 
     /// Enables deterministic fault injection (test harness).
     pub fn inject_faults(mut self, plan: FaultPlan) -> Self {
-        self.engine = self.engine.inject_faults(plan);
+        self.exec = self.exec.inject_faults(plan);
         self
     }
 
@@ -123,7 +128,7 @@ impl Nsga2ConfigBuilder {
     /// never changes a run's results — only how many model evaluations
     /// it performs.
     pub fn shared_cache(mut self, cache: SharedCache<crate::Evaluation>) -> Self {
-        self.shared_cache = Some(cache);
+        self.exec = self.exec.shared_cache(cache);
         self
     }
 
@@ -133,7 +138,7 @@ impl Nsga2ConfigBuilder {
     /// changes which candidates reach the model, so screened runs are
     /// *not* byte-identical to unscreened ones.
     pub fn surrogate_screen(mut self, screen: SurrogateScreen<crate::Evaluation>) -> Self {
-        self.surrogate_screen = Some(screen);
+        self.exec = self.exec.surrogate_screen(screen);
         self
     }
 
@@ -168,17 +173,10 @@ impl Nsga2ConfigBuilder {
             population_size,
             generations,
             variation: self.variation,
-            engine: self.engine,
-            shared_cache: self.shared_cache,
-            surrogate_screen: self.surrogate_screen,
+            exec: self.exec,
         })
     }
 }
-
-/// Former name of the NSGA-II run result, now the workspace-wide
-/// [`RunOutcome`].
-#[deprecated(since = "0.2.0", note = "use `moea::RunOutcome` instead")]
-pub type RunResult = RunOutcome;
 
 /// Per-generation trace record passed to [`Nsga2::run_traced`]
 /// observers. Borrowed from the run loop between generations; consumers
@@ -327,16 +325,10 @@ impl<P: Problem> Nsga2<P> {
             .variation
             .unwrap_or_else(|| Variation::standard(bounds.len()));
         let n = self.config.population_size;
-        let mut exec = ExecutionEngine::new(self.config.engine.clone());
-        if let Some(shared) = &self.config.shared_cache {
-            exec.attach_shared_cache(shared.clone());
-        }
-        if let Some(f) = self.problem.cache_canonicalizer() {
-            exec.set_cache_canonicalizer(f);
-        }
-        if let Some(screen) = &self.config.surrogate_screen {
-            exec.attach_screen(screen.clone());
-        }
+        let mut exec = self
+            .config
+            .exec
+            .build_engine(self.problem.cache_canonicalizer());
         let eval_fn = |genes: &[f64]| self.problem.evaluate(genes);
         let batch_fn = |chunk: &[Vec<f64>]| self.problem.evaluate_all(chunk);
 

@@ -23,7 +23,10 @@ use moea::nsga2::{Nsga2, Nsga2Config};
 use moea::problems::{BinhKorn, Constr, Schaffer, Srinivas, Tanaka, Zdt1, Zdt2, Zdt3};
 use moea::{Evaluation, Problem};
 use sacga::local::LocalCompetitionGaBuilder;
-use sacga::{DynOptimizer, IslandConfig, IslandGa, Mesacga, MesacgaConfig, Sacga, SacgaConfig};
+use sacga::{
+    DynOptimizer, IslandConfig, IslandGa, Mesacga, MesacgaConfig, Sacga, SacgaConfig, SteadyConfig,
+    SteadySacga,
+};
 
 /// Deterministic job identifier: FNV-1a 64 of the canonical spec line,
 /// printed as 16 lower-case hex digits.
@@ -212,6 +215,20 @@ pub enum AlgoSpec {
         /// Total generation span across all phases.
         span: usize,
     },
+    /// Steady-state SACGA: same algorithm as `Sacga`, driven through the
+    /// engine's incremental submission API with no generation barrier.
+    Steady {
+        /// Population size.
+        pop: usize,
+        /// Generations to run.
+        gens: usize,
+        /// Objective-space partitions.
+        parts: usize,
+        /// Look-ahead window (submitted-but-unmerged offspring).
+        window: usize,
+        /// Completions folded per merge.
+        quantum: usize,
+    },
     /// The NSGA-II baseline (purely global competition).
     Nsga2 {
         /// Population size.
@@ -252,6 +269,13 @@ fn take(params: &[(String, usize)], key: &str, head: &str) -> Result<usize, Serv
         .ok_or_else(|| ServerError::InvalidSpec(format!("algo {head}: missing {key}=")))
 }
 
+fn take_or(params: &[(String, usize)], key: &str, default: usize) -> usize {
+    params
+        .iter()
+        .find(|(k, _)| k == key)
+        .map_or(default, |(_, v)| *v)
+}
+
 impl AlgoSpec {
     /// Parses an algorithm token
     /// (`sacga:pop=16,gens=10,parts=4`, `nsga2:pop=16,gens=10`, ...).
@@ -282,6 +306,18 @@ impl AlgoSpec {
                 pop: take(&p, "pop", head)?,
                 span: take(&p, "span", head)?,
             }),
+            "steady" => {
+                let pop = take(&p, "pop", head)?;
+                Ok(AlgoSpec::Steady {
+                    pop,
+                    gens: take(&p, "gens", head)?,
+                    parts: take(&p, "parts", head)?,
+                    // Same defaults as the config builder; the canonical
+                    // token always spells them out.
+                    window: take_or(&p, "window", pop),
+                    quantum: take_or(&p, "quantum", (pop / 4).max(1)),
+                })
+            }
             "nsga2" => Ok(AlgoSpec::Nsga2 {
                 pop: take(&p, "pop", head)?,
                 gens: take(&p, "gens", head)?,
@@ -305,6 +341,17 @@ impl AlgoSpec {
                 format!("local:pop={pop},gens={gens},parts={parts}")
             }
             AlgoSpec::Mesacga { pop, span } => format!("mesacga:pop={pop},span={span}"),
+            AlgoSpec::Steady {
+                pop,
+                gens,
+                parts,
+                window,
+                quantum,
+            } => {
+                format!(
+                    "steady:pop={pop},gens={gens},parts={parts},window={window},quantum={quantum}"
+                )
+            }
             AlgoSpec::Nsga2 { pop, gens } => format!("nsga2:pop={pop},gens={gens}"),
             AlgoSpec::Island { pop, gens, islands } => {
                 format!("island:pop={pop},gens={gens},islands={islands}")
@@ -316,7 +363,10 @@ impl AlgoSpec {
     pub fn supports_shared_cache(&self) -> bool {
         matches!(
             self,
-            AlgoSpec::Sacga { .. } | AlgoSpec::Mesacga { .. } | AlgoSpec::Nsga2 { .. }
+            AlgoSpec::Sacga { .. }
+                | AlgoSpec::Mesacga { .. }
+                | AlgoSpec::Steady { .. }
+                | AlgoSpec::Nsga2 { .. }
         )
     }
 
@@ -672,6 +722,36 @@ impl JobSpec {
                 }
                 Ok(Box::new(Mesacga::new(problem, b.build().map_err(cfg_err)?)))
             }
+            AlgoSpec::Steady {
+                pop,
+                gens,
+                parts,
+                window,
+                quantum,
+            } => {
+                let mut b = SteadyConfig::builder()
+                    .population_size(*pop)
+                    .generations(*gens)
+                    .partitions(*parts)
+                    .window(*window)
+                    .quantum(*quantum);
+                if let Some((lo, hi)) = self.problem.slice_range() {
+                    b = b.slice_range(lo, hi);
+                }
+                if let Some(cache) = cache {
+                    b = b.shared_cache(cache);
+                }
+                if let Some(plan) = plan {
+                    b = b.fault_policy(FaultPolicy::tolerant(3)).inject_faults(plan);
+                }
+                if let Some(screen) = screen {
+                    b = b.surrogate_screen(screen);
+                }
+                Ok(Box::new(SteadySacga::new(
+                    problem,
+                    b.build().map_err(cfg_err)?,
+                )))
+            }
             AlgoSpec::Nsga2 { pop, gens } => {
                 let mut b = Nsga2Config::builder()
                     .population_size(*pop)
@@ -795,6 +875,30 @@ mod tests {
     }
 
     #[test]
+    fn steady_arm_defaults_window_and_quantum() {
+        let parsed = AlgoSpec::parse("steady:pop=16,gens=10,parts=4").unwrap();
+        assert_eq!(
+            parsed,
+            AlgoSpec::Steady {
+                pop: 16,
+                gens: 10,
+                parts: 4,
+                window: 16,
+                quantum: 4,
+            }
+        );
+        // The canonical token always spells the defaults out and
+        // round-trips.
+        assert_eq!(
+            parsed.token(),
+            "steady:pop=16,gens=10,parts=4,window=16,quantum=4"
+        );
+        assert_eq!(AlgoSpec::parse(&parsed.token()).unwrap(), parsed);
+        assert!(parsed.supports_shared_cache());
+        assert!(parsed.supports_screen());
+    }
+
+    #[test]
     fn tenant_rejected_for_uncached_arms() {
         let spec = JobSpec::new(
             "x",
@@ -835,6 +939,13 @@ mod tests {
                 parts: 4,
             },
             AlgoSpec::Mesacga { pop: 16, span: 12 },
+            AlgoSpec::Steady {
+                pop: 16,
+                gens: 4,
+                parts: 4,
+                window: 20,
+                quantum: 4,
+            },
             AlgoSpec::Nsga2 { pop: 16, gens: 4 },
             AlgoSpec::Island {
                 pop: 32,

@@ -17,6 +17,7 @@ use analog_dse::moea::problems::Schaffer;
 use analog_dse::moea::RunStatus;
 use analog_dse::sacga::mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
 use analog_dse::sacga::sacga::{Sacga, SacgaConfig};
+use analog_dse::sacga::steady::{SteadyConfig, SteadySacga};
 use analog_dse::sacga::telemetry::Optimizer;
 use std::path::PathBuf;
 
@@ -160,6 +161,75 @@ fn mesacga_kill_and_resume_front_matches_snapshot() {
     let cp = analog_dse::sacga::MesacgaCheckpoint::from_text(&cp.to_text()).unwrap();
     let r = ga.resume(&cp).unwrap();
     check_golden("mesacga_schaffer_seed42.txt", &render_front(&r.front));
+}
+
+fn steady_config() -> SteadyConfig {
+    SteadyConfig::builder()
+        .population_size(32)
+        .generations(20)
+        .partitions(5)
+        .window(48)
+        .quantum(8)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn steady_serial_front_matches_snapshot() {
+    let r = SteadySacga::new(Schaffer::new(), steady_config())
+        .run_seeded(SEED)
+        .unwrap();
+    check_golden("steady_schaffer_seed42.txt", &render_front(&r.front));
+}
+
+#[test]
+fn steady_parallel_front_matches_snapshot() {
+    let cfg = SteadyConfig::builder()
+        .population_size(32)
+        .generations(20)
+        .partitions(5)
+        .window(48)
+        .quantum(8)
+        .evaluator(ParallelEvaluator::with_threads(4))
+        .build()
+        .unwrap();
+    let r = SteadySacga::new(Schaffer::new(), cfg)
+        .run_seeded(SEED)
+        .unwrap();
+    check_golden("steady_schaffer_seed42.txt", &render_front(&r.front));
+}
+
+#[test]
+fn steady_kill_and_resume_front_matches_snapshot() {
+    let ga = SteadySacga::new(Schaffer::new(), steady_config());
+    let cp = match ga.run_until(SEED, 9).unwrap() {
+        RunStatus::Suspended(cp) => cp,
+        RunStatus::Complete(_) => panic!("run should suspend at gen 9"),
+    };
+    // The look-ahead runs ahead of the merge frontier, so the rescued
+    // pending evaluations cross the text boundary too.
+    let cp = analog_dse::sacga::SteadyCheckpoint::from_text(&cp.to_text()).unwrap();
+    let r = ga.resume(&cp).unwrap();
+    check_golden("steady_schaffer_seed42.txt", &render_front(&r.front));
+}
+
+#[test]
+fn steady_degenerate_window_matches_the_sacga_snapshot() {
+    // With window == quantum == population_size the steady loop executes
+    // the generational schedule exactly, so it must reproduce the
+    // *generational* SACGA golden byte for byte.
+    let cfg = SteadyConfig::builder()
+        .population_size(32)
+        .generations(20)
+        .partitions(5)
+        .window(32)
+        .quantum(32)
+        .build()
+        .unwrap();
+    let r = SteadySacga::new(Schaffer::new(), cfg)
+        .run_seeded(SEED)
+        .unwrap();
+    check_golden("sacga_schaffer_seed42.txt", &render_front(&r.front));
 }
 
 /// Delegating wrapper that hides a problem's `evaluate_all` override (and
