@@ -233,8 +233,12 @@ fn main() {
         )
     })
     .join(",");
+    // Host parallelism contextualizes the numbers: a 1.1x scheduling
+    // speedup on a 2-core CI box is not comparable to one on 32 cores.
+    let host_workers = std::thread::available_parallelism().map_or(0, std::num::NonZero::get);
     let doc = format!(
-        "{{\"schema\":2,\"batch\":{BATCH},\"kernels\":[{kernels}],\
+        "{{\"schema\":3,\"batch\":{BATCH},\"host_workers\":{host_workers},\
+         \"kernels\":[{kernels}],\
          \"speedup\":{{\"drivable\":{d_speedup:?},\"integrator\":{i_speedup:?}}},\
          \"scheduling\":{{\"total\":{SCHED_TOTAL},\"workers\":{SCHED_WORKERS},\
          \"gen_batch\":{SCHED_GEN_BATCH},\"window\":{SCHED_WINDOW},\

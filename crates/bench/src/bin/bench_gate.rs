@@ -26,21 +26,38 @@ use std::process::ExitCode;
 
 use dse_bench::trace::{gate_runtime_report, parse_runtime_report};
 
-/// Extracts `"steady_speedup":<number>` from a `BENCH_eval.json`
-/// document (schema 2).
-fn parse_steady_speedup(text: &str) -> Result<f64, String> {
-    let key = "\"steady_speedup\":";
+/// Extracts a top-level `"key":<number>` scalar from a flat JSON
+/// document by substring scan (the reports are machine-written with no
+/// nesting surprises).
+fn parse_number(text: &str, key: &str) -> Result<f64, String> {
+    let needle = format!("\"{key}\":");
     let at = text
-        .find(key)
-        .ok_or_else(|| format!("no {key} field (schema < 2?)"))?;
-    let rest = &text[at + key.len()..];
+        .find(&needle)
+        .ok_or_else(|| format!("no {needle} field"))?;
+    let rest = &text[at + needle.len()..];
     let end = rest
         .find(['}', ','])
-        .ok_or_else(|| "unterminated steady_speedup value".to_string())?;
+        .ok_or_else(|| format!("unterminated {key} value"))?;
     rest[..end]
         .trim()
         .parse::<f64>()
-        .map_err(|e| format!("bad steady_speedup value: {e}"))
+        .map_err(|e| format!("bad {key} value: {e}"))
+}
+
+/// Extracts `"steady_speedup":<number>` from a `BENCH_eval.json`
+/// document, after validating its schema stamp (the scheduling block
+/// exists since schema 2; schema 3 added `host_workers`).
+fn parse_steady_speedup(text: &str) -> Result<f64, String> {
+    let schema =
+        parse_number(text, "schema").map_err(|e| format!("{e} (not a BENCH_eval.json?)"))?;
+    if schema < 2.0 {
+        return Err(format!("schema {schema} predates the scheduling block"));
+    }
+    if schema >= 3.0 {
+        let host = parse_number(text, "host_workers")?;
+        println!("bench_gate: eval report from a {host}-thread host");
+    }
+    parse_number(text, "steady_speedup")
 }
 
 fn gate_eval(path: &str, floor_tok: &str) -> ExitCode {

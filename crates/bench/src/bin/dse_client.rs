@@ -9,6 +9,9 @@
 //!   dse_client 127.0.0.1:4242 status <id>
 //!   dse_client 127.0.0.1:4242 stream <id>
 //!   dse_client 127.0.0.1:4242 list
+//!   dse_client 127.0.0.1:4242 metrics          # Prometheus text scrape
+//!   dse_client 127.0.0.1:4242 metrics json     # one-line JSON snapshot
+//!   dse_client 127.0.0.1:4242 debug <id>       # per-job flight recorder
 //!   dse_client 127.0.0.1:4242 shutdown
 //! ```
 //!
@@ -26,7 +29,12 @@ fn run() -> Result<ExitCode, String> {
     }
     let addr = &argv[0];
     let command = argv[1..].join(" ");
-    let multi_line = matches!(argv[1].as_str(), "list" | "stream");
+    let multi_line = match argv[1].as_str() {
+        "list" | "stream" | "debug" => true,
+        // `metrics` streams the text exposition; `metrics json` is one line.
+        "metrics" => argv.len() == 2,
+        _ => false,
+    };
     let mut stream =
         TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     writeln!(stream, "{command}").map_err(|e| format!("send failed: {e}"))?;

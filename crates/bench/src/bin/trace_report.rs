@@ -2,7 +2,8 @@
 //! logs.
 //!
 //! ```text
-//! trace_report <log.jsonl>... [--json [PATH]]   per-run summaries
+//! trace_report <log.jsonl>... [--json [PATH]] [--scrape ADDR]
+//! trace_report --scrape ADDR                    print a live snapshot
 //! trace_report --diff <a.jsonl> <b.jsonl>       compare two runs
 //! trace_report --clean [DIR]                    remove *.partial/*.bak
 //! ```
@@ -13,6 +14,11 @@
 //! recorded by the `stage_timing` events. `--json` additionally writes
 //! the machine-readable runtime aggregate `BENCH_runtime.json`
 //! (default `results/BENCH_runtime.json`) that CI publishes.
+//!
+//! `--scrape ADDR` asks a running `dse_serve` daemon for its live
+//! metrics snapshot (the `metrics json` protocol command) and prints
+//! it; combined with `--json` the snapshot is folded into the runtime
+//! report as a `"scrape"` sibling of `"runs"`.
 //!
 //! Exit status: `0` on success, `1` on usage errors, `2` when a log
 //! cannot be read or replays to an empty summary (no generations) —
@@ -33,7 +39,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         None | Some("--help" | "-h") => {
             eprintln!(
-                "usage: trace_report <log.jsonl>... [--json [PATH]]\n\
+                "usage: trace_report <log.jsonl>... [--json [PATH]] [--scrape ADDR]\n\
+                 \x20      trace_report --scrape ADDR\n\
                  \x20      trace_report --diff <a.jsonl> <b.jsonl>\n\
                  \x20      trace_report --clean [DIR]"
             );
@@ -83,6 +90,7 @@ fn load(path: &Path) -> Option<(Vec<RunEvent>, usize)> {
 fn summaries(args: &[String]) -> ExitCode {
     let mut logs: Vec<PathBuf> = Vec::new();
     let mut json_path: Option<PathBuf> = None;
+    let mut scrape_addr: Option<String> = None;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         if arg == "--json" {
@@ -91,6 +99,14 @@ fn summaries(args: &[String]) -> ExitCode {
                 Some(_) => PathBuf::from(iter.next().unwrap()),
                 None => PathBuf::from("results/BENCH_runtime.json"),
             });
+        } else if arg == "--scrape" {
+            match iter.next() {
+                Some(addr) => scrape_addr = Some(addr.clone()),
+                None => {
+                    eprintln!("trace_report: --scrape needs an address");
+                    return ExitCode::from(1);
+                }
+            }
         } else if arg.starts_with("--") {
             eprintln!("trace_report: unknown flag {arg}");
             return ExitCode::from(1);
@@ -98,10 +114,24 @@ fn summaries(args: &[String]) -> ExitCode {
             logs.push(PathBuf::from(arg));
         }
     }
-    if logs.is_empty() {
+    if logs.is_empty() && scrape_addr.is_none() {
         eprintln!("trace_report: no logs given");
         return ExitCode::from(1);
     }
+
+    let scrape = match &scrape_addr {
+        Some(addr) => match scrape_metrics(addr) {
+            Ok(snapshot) => {
+                println!("live scrape from {addr}: {} bytes", snapshot.len());
+                Some(snapshot)
+            }
+            Err(e) => {
+                eprintln!("trace_report: scrape of {addr} failed: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
 
     let mut entries = Vec::new();
     for path in &logs {
@@ -125,7 +155,15 @@ fn summaries(args: &[String]) -> ExitCode {
     }
 
     if let Some(path) = json_path {
-        let doc = format!("{{\"schema\":1,\"runs\":[{}]}}\n", entries.join(","));
+        // The parser brace-matches inside "runs":[...], so the optional
+        // "scrape" sibling stays backward compatible.
+        let scrape_field = scrape
+            .as_deref()
+            .map_or_else(String::new, |s| format!(",\"scrape\":{s}"));
+        let doc = format!(
+            "{{\"schema\":1,\"runs\":[{}]{scrape_field}}}\n",
+            entries.join(",")
+        );
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             let _ = std::fs::create_dir_all(parent);
         }
@@ -134,8 +172,26 @@ fn summaries(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
         println!("\nwrote {}", path.display());
+    } else if let Some(snapshot) = &scrape {
+        println!("{snapshot}");
     }
     ExitCode::SUCCESS
+}
+
+/// Fetches one `metrics json` snapshot from a running daemon over the
+/// line protocol; returns the bare JSON document.
+fn scrape_metrics(addr: &str) -> Result<String, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    writeln!(stream, "metrics json").map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let line = line.trim_end();
+    line.strip_prefix("ok ")
+        .filter(|body| body.starts_with('{'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("unexpected reply {line:?}"))
 }
 
 fn print_summary(path: &Path, s: &RunSummary, skipped: usize) {

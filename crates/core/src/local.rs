@@ -197,6 +197,13 @@ impl LocalCompetitionGaBuilder {
         self
     }
 
+    /// Attaches a live [`engine::EngineMetrics`] bundle (see
+    /// [`SacgaConfigBuilder::metrics`]).
+    pub fn metrics(mut self, metrics: engine::EngineMetrics) -> Self {
+        self.inner = self.inner.metrics(metrics);
+        self
+    }
+
     /// Finalizes against a problem.
     ///
     /// # Errors

@@ -221,6 +221,13 @@ impl MesacgaConfigBuilder {
         self
     }
 
+    /// Attaches a live [`engine::EngineMetrics`] bundle (see
+    /// [`SacgaConfigBuilder::metrics`](crate::sacga::SacgaConfigBuilder::metrics)).
+    pub fn metrics(mut self, metrics: engine::EngineMetrics) -> Self {
+        self.exec = self.exec.metrics(metrics);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors

@@ -263,6 +263,15 @@ impl SacgaConfigBuilder {
         self
     }
 
+    /// Attaches a live [`engine::EngineMetrics`] bundle: the engine
+    /// mirrors its counters and latency/batch-size histograms into the
+    /// bundle's registry as evaluation happens. Observation only — an
+    /// instrumented run is bit-identical to a bare one.
+    pub fn metrics(mut self, metrics: engine::EngineMetrics) -> Self {
+        self.exec = self.exec.metrics(metrics);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors

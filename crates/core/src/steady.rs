@@ -276,6 +276,13 @@ impl SteadyConfigBuilder {
         self
     }
 
+    /// Attaches a live [`engine::EngineMetrics`] bundle (see
+    /// [`SacgaConfigBuilder::metrics`]).
+    pub fn metrics(mut self, metrics: engine::EngineMetrics) -> Self {
+        self.inner = self.inner.metrics(metrics);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Errors

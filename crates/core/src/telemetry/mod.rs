@@ -46,6 +46,7 @@ mod event;
 mod json;
 mod metrics;
 mod optimizer;
+mod registry;
 mod sink;
 mod watchdog;
 
@@ -54,5 +55,6 @@ pub use json::{EventParseError, LossyReplay};
 pub use metrics::{MetricsRow, MetricsSink};
 pub(crate) use optimizer::expect_complete;
 pub use optimizer::{CheckpointText, DynOptimizer, DynRunStatus, NoCheckpoint, Optimizer};
+pub use registry::RegistrySink;
 pub use sink::{JsonlSink, MemorySink, NullSink, Sink, Tee};
 pub use watchdog::{FaultRateAlarm, HealthWarning, InfeasibilityAlarm, StallDetector};

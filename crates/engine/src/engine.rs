@@ -3,6 +3,7 @@
 use crate::cache::{CacheConfig, MemoCache};
 use crate::evaluator::EvaluatorKind;
 use crate::fault::{EvalFailure, FaultEvent, FaultInjector, FaultPlan, FaultPolicy, Quarantine};
+use crate::metrics::EngineMetrics;
 use crate::screen::SurrogateScreen;
 use crate::session::EvaluationSession;
 use crate::shared::SharedCache;
@@ -97,6 +98,9 @@ pub struct ExecutionEngine<T> {
     // Resolved fault episodes not yet drained by `take_fault_events`,
     // in batch order. Bounded: see `MAX_PENDING_FAULT_EVENTS`.
     pub(crate) fault_events: Vec<FaultEvent>,
+    // Opt-in live metric handles mirroring `stats` into a registry.
+    // Recording is observation only: it never steers evaluation.
+    pub(crate) metrics: Option<EngineMetrics>,
 }
 
 /// Cap on buffered [`FaultEvent`]s between drains, so a caller that never
@@ -110,6 +114,23 @@ const MAX_PENDING_FAULT_EVENTS: usize = 65_536;
 pub(crate) fn push_fault_event(events: &mut Vec<FaultEvent>, event: FaultEvent) {
     if events.len() < MAX_PENDING_FAULT_EVENTS {
         events.push(event);
+    }
+}
+
+/// Spreads one batch call's wall time over its `n` candidates in the
+/// attached latency histogram (kernel batches have no per-candidate
+/// timings, so each candidate is charged the mean).
+pub(crate) fn observe_amortized(
+    metrics: Option<&EngineMetrics>,
+    elapsed: std::time::Duration,
+    n: usize,
+) {
+    if let Some(m) = metrics {
+        if n > 0 {
+            #[allow(clippy::cast_precision_loss)]
+            m.eval_latency
+                .observe_n(elapsed.as_secs_f64() / n as f64, n as u64);
+        }
     }
 }
 
@@ -128,6 +149,7 @@ impl<T: Clone + Send> ExecutionEngine<T> {
             injector,
             injected_base: crate::fault::InjectionCounts::default(),
             fault_events: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -180,6 +202,22 @@ impl<T: Clone + Send> ExecutionEngine<T> {
     /// The surrogate screen currently attached, if any.
     pub fn screen(&self) -> Option<&SurrogateScreen<T>> {
         self.screen.as_ref()
+    }
+
+    /// Attaches a live metric bundle (see
+    /// [`EngineMetrics::register`]): every counter mirrored from
+    /// [`EngineStats`] is also recorded into the bundle's registry as it
+    /// happens, plus per-evaluation latency and batch-size histograms.
+    /// Recording is atomic and observation-only — it never touches the
+    /// RNG, candidate ordering, or results, so an instrumented run stays
+    /// bit-identical to a bare one.
+    pub fn attach_metrics(&mut self, metrics: EngineMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The metric bundle currently attached, if any.
+    pub fn metrics(&self) -> Option<&EngineMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Whether any memoization layer (private or shared) is active.
@@ -294,6 +332,11 @@ impl<T: Clone + Send> ExecutionEngine<T> {
         self.stats.candidates += batch.len() as u64;
         self.stats.batches += 1;
         self.stats.max_batch = self.stats.max_batch.max(batch.len() as u64);
+        if let Some(m) = &self.metrics {
+            m.candidates.add(batch.len() as u64);
+            #[allow(clippy::cast_precision_loss)]
+            m.batch_size.observe(batch.len() as f64);
+        }
 
         if !self.caching_enabled() {
             let (values, _screened) = self.run_values_with(batch, eval, batch_eval);
@@ -312,6 +355,7 @@ impl<T: Clone + Send> ExecutionEngine<T> {
         let mut pending: std::collections::HashMap<Vec<i64>, usize> =
             std::collections::HashMap::new();
 
+        let hits_before = self.stats.cache_hits;
         for (i, genes) in batch.iter().enumerate() {
             let key = self.cache_key(genes);
             if let Some(value) = self.cache_get(&key) {
@@ -327,6 +371,9 @@ impl<T: Clone + Send> ExecutionEngine<T> {
                 miss_keys.push(key);
                 miss_of[i] = Some(m);
             }
+        }
+        if let Some(m) = &self.metrics {
+            m.cache_hits.add(self.stats.cache_hits - hits_before);
         }
 
         let (miss_results, screened) = self.run_values_with(&miss_genes, eval, batch_eval);
@@ -380,6 +427,10 @@ impl<T: Clone + Send> ExecutionEngine<T> {
         }
         let live: Vec<usize> = (0..miss.len()).filter(|&i| !screened[i]).collect();
         self.stats.evaluations += live.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.screened.add((miss.len() - live.len()) as u64);
+            m.evaluations.add(live.len() as u64);
+        }
         let serial = matches!(self.config.evaluator, EvaluatorKind::Serial);
         let t0 = Instant::now();
         if live.len() == miss.len() {
@@ -389,7 +440,9 @@ impl<T: Clone + Send> ExecutionEngine<T> {
             } else {
                 self.config.evaluator.eval_batch(eval, miss)
             };
-            self.stats.eval_time += t0.elapsed();
+            let dt = t0.elapsed();
+            self.stats.eval_time += dt;
+            observe_amortized(self.metrics.as_ref(), dt, live.len());
             assert_eq!(
                 values.len(),
                 miss.len(),
@@ -403,7 +456,9 @@ impl<T: Clone + Send> ExecutionEngine<T> {
         } else {
             self.config.evaluator.eval_batch(eval, &live_genes)
         };
-        self.stats.eval_time += t0.elapsed();
+        let dt = t0.elapsed();
+        self.stats.eval_time += dt;
+        observe_amortized(self.metrics.as_ref(), dt, live.len());
         assert_eq!(
             values.len(),
             live_genes.len(),

@@ -80,6 +80,7 @@ mod cache;
 mod engine;
 mod evaluator;
 mod fault;
+pub mod metrics;
 pub mod pool;
 mod screen;
 pub mod session;
@@ -95,6 +96,7 @@ pub use fault::{
     FaultInjectingEvaluator, FaultInjector, FaultKind, FaultPlan, FaultPolicy, FaultResolution,
     InjectedPanic, InjectionCounts, Quarantine, RetryPolicy,
 };
+pub use metrics::{Counter, EngineMetrics, Gauge, Histogram, MetricsRegistry, PoolMetrics};
 pub use screen::SurrogateScreen;
 pub use session::EvaluationSession;
 pub use shared::{SharedCache, SharedCacheStats};

@@ -45,12 +45,13 @@
 //! one-shot API loses the whole batch in the same way).
 
 use crate::cache::MemoCache;
-use crate::engine::{push_fault_event, CacheCanonicalizer, ExecutionEngine};
+use crate::engine::{observe_amortized, push_fault_event, CacheCanonicalizer, ExecutionEngine};
 use crate::evaluator::EvaluatorKind;
 use crate::fault::{
     EvalFailure, EvalOutcome, FaultEvent, FaultInjector, FaultPolicy, FaultResolution,
     InjectionCounts, Quarantine,
 };
+use crate::metrics::EngineMetrics;
 use crate::screen::SurrogateScreen;
 use crate::shared::SharedCache;
 use crate::stats::EngineStats;
@@ -163,6 +164,9 @@ pub struct EvaluationSession<'a, T, F, B> {
     /// Cache key → submission index of the pending miss that owns it.
     pending: HashMap<Vec<i64>, usize>,
     drained: usize,
+    /// Live metric handles mirroring the stats counters (observation
+    /// only; never steers evaluation).
+    metrics: Option<EngineMetrics>,
 }
 
 /// One candidate evaluation under the fault policy (and the injector,
@@ -228,10 +232,16 @@ where
     pub fn submit(&mut self, genes: &[f64]) -> usize {
         let idx = self.entries.len();
         self.stats.candidates += 1;
+        if let Some(m) = &self.metrics {
+            m.candidates.inc();
+        }
         if self.cache.enabled {
             let key = self.cache.key_of(genes);
             if let Some(value) = self.cache.get(&key) {
                 self.stats.cache_hits += 1;
+                if let Some(m) = &self.metrics {
+                    m.cache_hits.inc();
+                }
                 self.entries.push(Entry {
                     slot: Slot::Ready(value),
                     key: None,
@@ -240,6 +250,9 @@ where
             }
             if let Some(&m) = self.pending.get(&key) {
                 self.stats.cache_hits += 1;
+                if let Some(mm) = &self.metrics {
+                    mm.cache_hits.inc();
+                }
                 self.entries.push(Entry {
                     slot: Slot::Alias(m),
                     key: None,
@@ -283,6 +296,9 @@ where
         if let Some(screen) = &self.screen {
             if let Some(value) = screen.screen(genes) {
                 self.stats.screened += 1;
+                if let Some(m) = &self.metrics {
+                    m.screened.inc();
+                }
                 self.entries.push(Entry {
                     slot: Slot::Ready(value),
                     key: None,
@@ -296,6 +312,9 @@ where
     /// Routes a cache-miss submission to the backend.
     fn dispatch(&mut self, idx: usize, genes: &[f64], key: Option<Vec<i64>>) {
         self.stats.evaluations += 1;
+        if let Some(m) = &self.metrics {
+            m.evaluations.inc();
+        }
         let slot = match &self.backend {
             Backend::Workers(link) => {
                 link.jobs
@@ -335,6 +354,10 @@ where
         let hi = lo + count;
         self.stats.batches += 1;
         self.stats.max_batch = self.stats.max_batch.max(count as u64);
+        if let Some(m) = &self.metrics {
+            #[allow(clippy::cast_precision_loss)]
+            m.batch_size.observe(count as f64);
+        }
 
         match &self.backend {
             Backend::Workers(_) => self.await_arrivals(lo, hi),
@@ -355,6 +378,7 @@ where
                 let value = fold_outcome(
                     self.stats,
                     self.fault_events,
+                    self.metrics.as_ref(),
                     i,
                     outcome,
                     &mut first_failure,
@@ -440,9 +464,11 @@ where
         let eval = self.eval;
         let guarded = |genes: &[f64]| guarded_eval(policy, injector, eval, genes);
         let t0 = Instant::now();
+        let mut evaluated = 0usize;
         let mut clean: Vec<(usize, Vec<f64>)> = Vec::new();
         for i in lo..hi {
             if matches!(self.entries[i].slot, Slot::Queued(_)) {
+                evaluated += 1;
                 let Slot::Queued(genes) =
                     std::mem::replace(&mut self.entries[i].slot, Slot::Done(None))
                 else {
@@ -480,7 +506,9 @@ where
                 }
             }
         }
-        self.stats.eval_time += t0.elapsed();
+        let dt = t0.elapsed();
+        self.stats.eval_time += dt;
+        observe_amortized(self.metrics.as_ref(), dt, evaluated);
     }
 }
 
@@ -489,6 +517,7 @@ where
 fn fold_outcome<T>(
     stats: &mut EngineStats,
     events: &mut Vec<FaultEvent>,
+    metrics: Option<&EngineMetrics>,
     index: usize,
     outcome: EvalOutcome<T>,
     first_failure: &mut Option<EvalFailure>,
@@ -506,6 +535,10 @@ fn fold_outcome<T>(
             stats.retries += retries;
             stats.recovered += 1;
             stats.backoff_time += backoff;
+            if let Some(m) = metrics {
+                m.fault_retries.add(retries);
+                m.fault_recovered.inc();
+            }
             push_fault_event(
                 events,
                 FaultEvent {
@@ -527,6 +560,10 @@ fn fold_outcome<T>(
             stats.retries += retries;
             stats.quarantined += 1;
             stats.backoff_time += backoff;
+            if let Some(m) = metrics {
+                m.fault_retries.add(retries);
+                m.fault_quarantined.inc();
+            }
             push_fault_event(
                 events,
                 FaultEvent {
@@ -542,6 +579,9 @@ fn fold_outcome<T>(
             stats.failures += failure.attempts as u64;
             stats.retries += retries;
             stats.backoff_time += failure.backoff;
+            if let Some(m) = metrics {
+                m.fault_retries.add(retries);
+            }
             if first_failure.is_none() {
                 failure.index = index;
                 *first_failure = Some(failure);
@@ -608,10 +648,12 @@ where
         injector,
         injected_base,
         fault_events,
+        metrics,
     } = engine;
     let policy = config.fault;
     let injector = injector.as_ref();
     let injected_base = *injected_base;
+    let metrics = metrics.clone();
     let cache_view = CacheView {
         enabled: shared.is_some() || config.cache.capacity > 0,
         shared: shared.as_ref(),
@@ -638,23 +680,32 @@ where
             entries: Vec::new(),
             pending: HashMap::new(),
             drained: 0,
+            metrics,
         };
         return f(&mut session);
     }
     let (job_tx, job_rx) = std::sync::mpsc::channel::<(usize, Vec<f64>)>();
     let (done_tx, done_rx) = std::sync::mpsc::channel::<(usize, EvalOutcome<T>)>();
     let job_rx = Mutex::new(job_rx);
+    // Workers time each evaluation individually — genuine per-candidate
+    // latency, unlike the kernel paths' amortized charge.
+    let eval_latency = metrics.as_ref().map(|m| m.eval_latency.clone());
     std::thread::scope(|scope| {
         let job_rx = &job_rx;
         for _ in 0..workers {
             let done_tx = done_tx.clone();
+            let eval_latency = eval_latency.clone();
             scope.spawn(move || loop {
                 // Take one job at a time so slow candidates do not block
                 // fast ones queued behind them on the same worker.
                 let job = job_rx.lock().expect("session job queue poisoned").recv();
                 match job {
                     Ok((idx, genes)) => {
+                        let t0 = eval_latency.as_ref().map(|_| Instant::now());
                         let outcome = guarded_eval(policy, injector, eval, &genes);
+                        if let (Some(h), Some(t0)) = (&eval_latency, t0) {
+                            h.observe_duration(t0.elapsed());
+                        }
                         // The session may already be gone (undrained
                         // submissions at teardown); that is not an error.
                         if done_tx.send((idx, outcome)).is_err() {
@@ -683,6 +734,7 @@ where
             entries: Vec::new(),
             pending: HashMap::new(),
             drained: 0,
+            metrics,
         };
         let result = f(&mut session);
         // Dropping the session closes the job channel; workers drain any

@@ -13,8 +13,8 @@
 //! and resumed runs.
 
 use engine::{
-    CacheCanonicalizer, EngineConfig, EvaluatorKind, ExecutionEngine, FaultPlan, FaultPolicy,
-    SharedCache, SurrogateScreen,
+    CacheCanonicalizer, EngineConfig, EngineMetrics, EvaluatorKind, ExecutionEngine, FaultPlan,
+    FaultPolicy, SharedCache, SurrogateScreen,
 };
 
 use crate::evaluation::Evaluation;
@@ -26,6 +26,7 @@ pub struct EngineSetup {
     engine: EngineConfig,
     shared_cache: Option<SharedCache<Evaluation>>,
     surrogate_screen: Option<SurrogateScreen<Evaluation>>,
+    metrics: Option<EngineMetrics>,
 }
 
 impl EngineSetup {
@@ -91,6 +92,16 @@ impl EngineSetup {
         self
     }
 
+    /// Attaches a live [`EngineMetrics`] bundle (handles into a
+    /// [`engine::MetricsRegistry`]): the engine mirrors its counters into
+    /// the registry as evaluation happens and records latency/batch-size
+    /// histograms. Observation only — an instrumented run is
+    /// bit-identical to a bare one.
+    pub fn metrics(mut self, metrics: EngineMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// The raw engine configuration.
     pub fn engine(&self) -> &EngineConfig {
         &self.engine
@@ -113,6 +124,9 @@ impl EngineSetup {
         }
         if let Some(screen) = &self.surrogate_screen {
             exec.attach_screen(screen.clone());
+        }
+        if let Some(metrics) = &self.metrics {
+            exec.attach_metrics(metrics.clone());
         }
         exec
     }

@@ -20,6 +20,10 @@ struct Inner {
     /// Stream offset of `lines[0]`.
     base: u64,
     lines: VecDeque<String>,
+    /// Lines overwritten by the ring since the hub was created; equals
+    /// `base`, but kept as an explicit lifetime total so observability
+    /// surfaces (the `dse_hub_dropped_lines` gauge) read one field.
+    dropped: u64,
     done: bool,
 }
 
@@ -51,6 +55,7 @@ impl ProgressHub {
             inner: Mutex::new(Inner {
                 base: 0,
                 lines: VecDeque::new(),
+                dropped: 0,
                 done: false,
             }),
             grew: Condvar::new(),
@@ -63,10 +68,17 @@ impl ProgressHub {
         if inner.lines.len() == HUB_CAPACITY {
             inner.lines.pop_front();
             inner.base += 1;
+            inner.dropped += 1;
         }
         inner.lines.push_back(line);
         drop(inner);
         self.grew.notify_all();
+    }
+
+    /// Lifetime count of lines the ring overwrote; any subscriber that
+    /// started from cursor 0 has missed at least these.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
     }
 
     /// Marks the stream terminal and wakes blocked subscribers.
@@ -147,5 +159,13 @@ mod tests {
         assert_eq!(p.skipped, 10);
         assert_eq!(p.lines.len(), HUB_CAPACITY);
         assert_eq!(p.lines[0], "10");
+        assert_eq!(hub.dropped(), 10);
+    }
+
+    #[test]
+    fn dropped_is_zero_until_overflow() {
+        let hub = ProgressHub::new();
+        hub.publish("a".into());
+        assert_eq!(hub.dropped(), 0);
     }
 }

@@ -19,6 +19,14 @@
 //!                              event <RunEvent JSONL>              (xN)
 //!                              end <final status>
 //! cancel <id>               -> ok cancelled
+//! metrics                   -> ok metrics
+//!                              <Prometheus text exposition>     (xN)
+//!                              end
+//! metrics json              -> ok <canonical JSON snapshot>
+//! debug <id>                -> ok recorded=<n> dropped=<n> hub_dropped=<n>
+//!                              stage <name> <total nanos>       (x5)
+//!                              event <RunEvent JSONL>           (xN)
+//!                              end
 //! shutdown                  -> ok shutting-down
 //! ```
 
@@ -132,6 +140,36 @@ fn handle_line(server: &Server, line: &str, out: &mut dyn Write) -> bool {
             Ok(body)
         }
         "stream" => return stream_job(server, rest, out),
+        "metrics" => match rest {
+            "" => {
+                let mut body = String::from("ok metrics\n");
+                body.push_str(&server.metrics_text());
+                body.push_str("end");
+                Ok(body)
+            }
+            "json" => Ok(format!("ok {}", server.metrics_json())),
+            other => Err(crate::error::ServerError::InvalidSpec(format!(
+                "metrics takes no argument or 'json', got {other:?}"
+            ))),
+        },
+        "debug" => JobId::parse(rest)
+            .and_then(|id| server.debug_report(id))
+            .map(|r| {
+                let mut body = format!(
+                    "ok recorded={} dropped={} hub_dropped={}\n",
+                    r.lines.len(),
+                    r.dropped,
+                    r.hub_dropped
+                );
+                for stage in engine::Stage::ALL {
+                    body.push_str(&format!("stage {} {}\n", stage.name(), r.stages.get(stage)));
+                }
+                for line in &r.lines {
+                    body.push_str(&format!("event {line}\n"));
+                }
+                body.push_str("end");
+                body
+            }),
         "shutdown" => {
             let _ = writeln!(out, "ok shutting-down");
             server.request_shutdown();
@@ -241,6 +279,39 @@ mod tests {
         assert!(reply(&server, "status zzz").starts_with("err "));
         assert!(reply(&server, "bogus").starts_with("err "));
         assert!(reply(&server, "submit job v1 name=x").starts_with("err "));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn metrics_and_debug_commands_round_trip() {
+        let root = tmp_root("metrics");
+        let server = Server::open(&root, ServerConfig::new()).unwrap();
+        let spec = JobSpec::new(
+            "m",
+            ProblemSpec::Schaffer,
+            AlgoSpec::Sacga {
+                pop: 16,
+                gens: 4,
+                parts: 4,
+            },
+            7,
+        );
+        let id = server.submit(spec).unwrap();
+        server.run_until_idle().unwrap();
+        let scrape = reply(&server, "metrics");
+        assert!(scrape.starts_with("ok metrics\n"), "{scrape}");
+        assert!(scrape.contains("# TYPE dse_engine_candidates_total counter"));
+        assert!(scrape.trim_end().ends_with("end"), "{scrape}");
+        let json = reply(&server, "metrics json");
+        assert!(json.starts_with("ok {\"metrics\":["), "{json}");
+        assert_eq!(json.lines().count(), 1);
+        assert!(reply(&server, "metrics bogus").starts_with("err "));
+        let debug = reply(&server, &format!("debug {id}"));
+        assert!(debug.starts_with("ok recorded="), "{debug}");
+        assert!(debug.contains("stage evaluation "), "{debug}");
+        assert!(debug.contains("event {"), "{debug}");
+        assert!(debug.trim_end().ends_with("end"), "{debug}");
+        assert!(reply(&server, "debug zzz").starts_with("err "));
         let _ = std::fs::remove_dir_all(&root);
     }
 

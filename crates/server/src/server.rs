@@ -23,13 +23,13 @@
 //! produced, and the final front is bit-identical to an uninterrupted
 //! run of the same spec.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs;
 use std::io::BufWriter;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::ServerError;
 use crate::hub::ProgressHub;
@@ -37,15 +37,24 @@ use crate::queue::{JobQueue, PopMode};
 use crate::spec::{JobId, JobSpec};
 use crate::store::{JobHealth, JobState, JobStatus, JobStore};
 use campaign::CellResult;
-use engine::{CacheConfig, SharedCache};
+use engine::{
+    CacheConfig, Counter, EngineMetrics, Gauge, Histogram, MetricsRegistry, SharedCache, StageNanos,
+};
 use moea::{Evaluation, RunOutcome};
-use sacga::telemetry::{DynRunStatus, EventKind, FaultRateAlarm, JsonlSink, Sink, StallDetector};
+use sacga::telemetry::{
+    DynRunStatus, EventKind, FaultRateAlarm, JsonlSink, RegistrySink, Sink, StallDetector,
+};
 use sacga::RunEvent;
 
 /// Reference point used for the stall detector's hypervolume when a job
 /// enables `stall=`; generous enough to dominate every benchmark front
-/// in this workspace.
+/// in this workspace. The `dse_run_hypervolume` gauge uses the same
+/// point, so the scraped trajectory matches what the detector sees.
 const STALL_REF: f64 = 1e3;
+
+/// Event lines each job's flight recorder retains (a deliberately small
+/// tail — the full stream lives in `events.jsonl` and the hub).
+pub const FLIGHT_CAPACITY: usize = 256;
 
 /// Tuning of a [`Server`].
 #[derive(Debug, Clone)]
@@ -103,6 +112,89 @@ pub struct JobView {
     pub error: Option<String>,
 }
 
+/// Process-level service metrics, registered once per server in the
+/// shared registry (label-free: per-job series carry the labels).
+struct ServerMetrics {
+    jobs_submitted: Counter,
+    jobs_completed: Counter,
+    jobs_failed: Counter,
+    preemptions: Counter,
+    slices: Histogram,
+    queue_depth: Gauge,
+    jobs_running: Gauge,
+}
+
+impl ServerMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        ServerMetrics {
+            jobs_submitted: registry.counter("dse_server_jobs_submitted_total", &[]),
+            jobs_completed: registry.counter("dse_server_jobs_completed_total", &[]),
+            jobs_failed: registry.counter("dse_server_jobs_failed_total", &[]),
+            preemptions: registry.counter("dse_server_preemptions_total", &[]),
+            slices: registry.histogram(
+                "dse_server_slice_seconds",
+                &[],
+                &engine::metrics::latency_buckets(),
+            ),
+            queue_depth: registry.gauge("dse_server_queue_depth", &[]),
+            jobs_running: registry.gauge("dse_server_jobs_running", &[]),
+        }
+    }
+}
+
+/// Decrements the running-jobs count however its scope exits.
+struct RunningGuard<'a>(&'a AtomicUsize);
+
+impl Drop for RunningGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One job's flight recorder: a bounded tail of its most recent event
+/// lines plus cumulative per-stage nanoseconds, kept in memory for the
+/// `debug` endpoint (post-incident triage without replaying the full
+/// `events.jsonl`).
+#[derive(Debug, Default)]
+struct FlightRecorder {
+    lines: VecDeque<String>,
+    dropped: u64,
+    stages: StageNanos,
+    timed_generations: u64,
+}
+
+impl FlightRecorder {
+    fn record(&mut self, event: &RunEvent, line: &str) {
+        if self.lines.len() == FLIGHT_CAPACITY {
+            self.lines.pop_front();
+            self.dropped += 1;
+        }
+        self.lines.push_back(line.to_string());
+        if let RunEvent::StageTiming { stages, .. } = event {
+            self.stages.merge(stages);
+            self.timed_generations += 1;
+        }
+    }
+}
+
+/// A point-in-time copy of one job's flight recorder, as served by the
+/// `debug` protocol command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightReport {
+    /// Event lines currently retained (at most [`FLIGHT_CAPACITY`]).
+    pub lines: Vec<String>,
+    /// Older lines the recorder ring overwrote.
+    pub dropped: u64,
+    /// Lines the job's progress hub ring overwrote (see
+    /// [`ProgressHub::dropped`]).
+    pub hub_dropped: u64,
+    /// Cumulative per-stage nanoseconds across all recorded
+    /// `StageTiming` events.
+    pub stages: StageNanos,
+    /// Generations that contributed a `StageTiming` breakdown.
+    pub timed_generations: u64,
+}
+
 /// The live watchdogs of one job; they survive suspension and requeues
 /// so windowed detectors keep their history across slices.
 struct WatchdogSet {
@@ -156,18 +248,24 @@ impl WatchdogSet {
     }
 }
 
-/// Per-slice composite sink: disk JSONL + progress hub + watchdogs.
+/// Per-slice composite sink: disk JSONL + progress hub + watchdogs +
+/// flight recorder + registry bridge.
 struct SegmentSink<'a> {
     jsonl: &'a mut JsonlSink<BufWriter<fs::File>>,
     hub: &'a ProgressHub,
     watch: &'a mut WatchdogSet,
+    flight: &'a Mutex<FlightRecorder>,
+    run_metrics: &'a mut RegistrySink,
 }
 
 impl Sink for SegmentSink<'_> {
     fn record(&mut self, event: &RunEvent) {
         self.jsonl.record(event);
-        self.hub.publish(event.to_json());
+        let line = event.to_json();
+        self.flight.lock().unwrap().record(event, &line);
+        self.hub.publish(line);
         self.watch.record(event);
+        self.run_metrics.record(event);
     }
 
     fn flush(&mut self) -> std::io::Result<()> {
@@ -182,6 +280,7 @@ struct JobRuntime {
     cancel: AtomicBool,
     state: Mutex<JobState>,
     watch: Mutex<Option<WatchdogSet>>,
+    flight: Mutex<FlightRecorder>,
 }
 
 impl JobRuntime {
@@ -192,6 +291,7 @@ impl JobRuntime {
             cancel: AtomicBool::new(false),
             state: Mutex::new(state),
             watch: Mutex::new(None),
+            flight: Mutex::new(FlightRecorder::default()),
         }
     }
 }
@@ -212,6 +312,9 @@ pub struct Server {
     jobs: Mutex<HashMap<JobId, Arc<JobRuntime>>>,
     tenants: Mutex<HashMap<String, SharedCache<Evaluation>>>,
     shutdown: AtomicBool,
+    registry: MetricsRegistry,
+    metrics: ServerMetrics,
+    running: AtomicUsize,
 }
 
 impl Server {
@@ -227,6 +330,8 @@ impl Server {
         config: ServerConfig,
     ) -> Result<Server, ServerError> {
         let store = JobStore::open(store_root)?;
+        let registry = MetricsRegistry::new();
+        let metrics = ServerMetrics::register(&registry);
         let server = Server {
             queue: JobQueue::new(config.queue_capacity),
             config,
@@ -234,6 +339,9 @@ impl Server {
             jobs: Mutex::new(HashMap::new()),
             tenants: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
+            registry,
+            metrics,
+            running: AtomicUsize::new(0),
         };
         for id in server.store.scan()? {
             server.rescan_job(id)?;
@@ -366,6 +474,7 @@ impl Server {
             self.fail_job(id, &format!("not enqueued: {e}"));
             return Err(e);
         }
+        self.metrics.jobs_submitted.inc();
         Ok(id)
     }
 
@@ -447,6 +556,64 @@ impl Server {
         Ok(self.runtime(id)?.hub.poll(cursor, timeout))
     }
 
+    /// The process-wide metrics registry every job records into.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Pulls the scrape-time gauges (queue depth, running jobs, per-job
+    /// hub drops) up to date; counters and histograms are maintained on
+    /// the hot paths and need no refresh.
+    fn refresh_gauges(&self) {
+        #[allow(clippy::cast_precision_loss)]
+        self.metrics.queue_depth.set(self.queue.len() as f64);
+        #[allow(clippy::cast_precision_loss)]
+        self.metrics
+            .jobs_running
+            .set(self.running.load(Ordering::SeqCst) as f64);
+        let jobs = self.jobs.lock().unwrap();
+        for (id, rt) in jobs.iter() {
+            let job = id.to_string();
+            let tenant = rt.spec.tenant.as_deref().unwrap_or("none");
+            #[allow(clippy::cast_precision_loss)]
+            self.registry
+                .gauge(
+                    "dse_hub_dropped_lines",
+                    &[("tenant", tenant), ("job", job.as_str())],
+                )
+                .set(rt.hub.dropped() as f64);
+        }
+    }
+
+    /// A live snapshot in Prometheus text exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.refresh_gauges();
+        self.registry.render_text()
+    }
+
+    /// The same snapshot as one canonical JSON line.
+    pub fn metrics_json(&self) -> String {
+        self.refresh_gauges();
+        self.registry.render_json()
+    }
+
+    /// A copy of one job's flight recorder (see [`FlightReport`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownJob`] for ids never submitted here.
+    pub fn debug_report(&self, id: JobId) -> Result<FlightReport, ServerError> {
+        let rt = self.runtime(id)?;
+        let flight = rt.flight.lock().unwrap();
+        Ok(FlightReport {
+            lines: flight.lines.iter().cloned().collect(),
+            dropped: flight.dropped,
+            hub_dropped: rt.hub.dropped(),
+            stages: flight.stages,
+            timed_generations: flight.timed_generations,
+        })
+    }
+
     /// Whether a shutdown was requested.
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
@@ -485,12 +652,18 @@ impl Server {
     fn run_workers(&self, mode: PopMode, budget: Option<usize>) -> Result<bool, ServerError> {
         let spent = AtomicUsize::new(0);
         let halt = AtomicBool::new(false);
-        engine::pool::try_map_indexed(self.config.workers, self.config.workers, |_w| {
-            while let Some(id) = self.queue.pop(mode, &halt) {
-                self.run_one(id, budget, &spent, &halt);
-            }
-            Ok::<(), ServerError>(())
-        })?;
+        let pool = engine::PoolMetrics::register(&self.registry, &[("stage", "serve")]);
+        engine::pool::try_map_indexed_metered(
+            self.config.workers,
+            self.config.workers,
+            Some(&pool),
+            |_w| {
+                while let Some(id) = self.queue.pop(mode, &halt) {
+                    self.run_one(id, budget, &spent, &halt);
+                }
+                Ok::<(), ServerError>(())
+            },
+        )?;
         Ok(!halt.load(Ordering::SeqCst))
     }
 
@@ -548,6 +721,7 @@ impl Server {
                 s.error = Some(message.to_string());
             });
             rt.hub.finish();
+            self.metrics.jobs_failed.inc();
         }
     }
 
@@ -570,7 +744,23 @@ impl Server {
         }
         let spec = rt.spec.clone();
         let cache = spec.tenant.as_deref().map(|t| self.tenant_cache(t));
-        let opt = match spec.build_optimizer(cache) {
+        // Per-job labeled series in the shared registry. Registration is
+        // idempotent, so a requeued job keeps accumulating into the same
+        // handles.
+        let job_label = id.to_string();
+        let labels = [
+            ("tenant", spec.tenant.as_deref().unwrap_or("none")),
+            ("job", job_label.as_str()),
+            ("arm", spec.algo.arm()),
+        ];
+        let engine_metrics = EngineMetrics::register(&self.registry, &labels);
+        let nobj = spec.problem.build().num_objectives();
+        let mut run_metrics = RegistrySink::register(&self.registry, &labels).with_hypervolume(
+            &self.registry,
+            &labels,
+            vec![STALL_REF; nobj],
+        );
+        let opt = match spec.build_optimizer(cache, Some(engine_metrics)) {
             Ok(opt) => opt,
             Err(e) => {
                 self.fail_job(id, &e.to_string());
@@ -578,6 +768,8 @@ impl Server {
                 return;
             }
         };
+        self.running.fetch_add(1, Ordering::SeqCst);
+        let _running = RunningGuard(&self.running);
         // Watchdogs persist across requeues in memory; after a daemon
         // restart they are rebuilt by replaying the (trimmed) stream.
         let mut watch = rt.watch.lock().unwrap().take().unwrap_or_else(|| {
@@ -620,11 +812,15 @@ impl Server {
                 jsonl: &mut jsonl,
                 hub: &rt.hub,
                 watch: &mut watch,
+                flight: &rt.flight,
+                run_metrics: &mut run_metrics,
             };
+            let slice_start = Instant::now();
             let status = match &checkpoint_text {
                 Some(text) => opt.resume_until_dyn_with(text, target, &mut sink),
                 None => opt.run_until_dyn_with(spec.seed, target, &mut sink),
             };
+            self.metrics.slices.observe_duration(slice_start.elapsed());
             match status {
                 Err(e) => {
                     let _ = jsonl.flush();
@@ -679,6 +875,7 @@ impl Server {
                     }
                     if self.queue.contended() {
                         // Cooperative preemption: yield the worker.
+                        self.metrics.preemptions.inc();
                         self.update_state(id, &rt, |s| s.status = JobStatus::Queued);
                         *rt.watch.lock().unwrap() = Some(watch);
                         self.queue.requeue(id, spec.priority);
@@ -715,6 +912,7 @@ impl Server {
             s.health = health;
         });
         rt.hub.finish();
+        self.metrics.jobs_completed.inc();
     }
 }
 
@@ -794,6 +992,74 @@ mod tests {
             .filter(|e| e.kind() == EventKind::GenerationEnd)
             .count();
         assert_eq!(ends, 6);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scrape_balances_and_is_monotone() {
+        let root = tmp_root("scrape");
+        let server = Server::open(&root, ServerConfig::new()).unwrap();
+        let spec = quick_spec("scrape").tenant("acme");
+        let id = server.submit(spec).unwrap();
+        server.run_until_idle().unwrap();
+        let text = server.metrics_text();
+        let sample = |name: &str| -> u64 {
+            text.lines()
+                .find(|l| l.starts_with(name))
+                .unwrap_or_else(|| panic!("{name} missing from scrape:\n{text}"))
+                .rsplit(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let labels = format!("{{arm=\"sacga\",job=\"{id}\",tenant=\"acme\"}}");
+        let candidates = sample(&format!("dse_engine_candidates_total{labels}"));
+        let evaluations = sample(&format!("dse_engine_evaluations_total{labels}"));
+        let cache_hits = sample(&format!("dse_engine_cache_hits_total{labels}"));
+        let screened = sample(&format!("dse_engine_screened_total{labels}"));
+        assert!(candidates > 0);
+        assert_eq!(candidates, evaluations + cache_hits + screened);
+        let view = server.status(id).unwrap();
+        assert_eq!(candidates, view.candidates);
+        assert_eq!(sample(&format!("dse_run_generations_total{labels}")), 6);
+        assert_eq!(
+            sample(&format!("dse_engine_eval_latency_seconds_count{labels}")),
+            evaluations
+        );
+        assert!(text.contains("dse_run_hypervolume"));
+        assert!(text.contains("dse_server_jobs_submitted_total 1"));
+        assert!(text.contains("dse_server_jobs_completed_total 1"));
+        assert!(text.contains(&format!(
+            "dse_hub_dropped_lines{{job=\"{id}\",tenant=\"acme\"}} 0"
+        )));
+        // A second scrape with no new work is byte-identical (counters
+        // monotone, gauges unchanged).
+        assert_eq!(server.metrics_text(), text);
+        // JSON snapshot is one line over the same series.
+        let json = server.metrics_json();
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(!json.contains('\n'));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_the_event_tail() {
+        let root = tmp_root("flight");
+        let server = Server::open(&root, ServerConfig::new()).unwrap();
+        let id = server.submit(quick_spec("flight")).unwrap();
+        server.run_until_idle().unwrap();
+        let report = server.debug_report(id).unwrap();
+        assert!(!report.lines.is_empty());
+        assert!(report.lines.len() <= FLIGHT_CAPACITY);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.hub_dropped, 0);
+        // Every retained line is a replayable event.
+        let replay = RunEvent::parse_jsonl_lossy(&report.lines.join("\n"));
+        assert_eq!(replay.events.len(), report.lines.len());
+        assert!(server
+            .debug_report(JobId::parse("00000000deadbeef").unwrap())
+            .is_err());
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -18,7 +18,7 @@ use std::fmt;
 use crate::error::ServerError;
 use analog_circuits::surrogate::{drivable_screen, ScreenThresholds};
 use analog_circuits::{DrivableLoadProblem, Spec};
-use engine::{FaultPlan, FaultPolicy, SharedCache, SurrogateScreen};
+use engine::{EngineMetrics, FaultPlan, FaultPolicy, SharedCache, SurrogateScreen};
 use moea::nsga2::{Nsga2, Nsga2Config};
 use moea::problems::{BinhKorn, Constr, Schaffer, Srinivas, Tanaka, Zdt1, Zdt2, Zdt3};
 use moea::{Evaluation, Problem};
@@ -359,6 +359,19 @@ impl AlgoSpec {
         }
     }
 
+    /// The bare arm name (`sacga`, `steady`, ...) without parameters —
+    /// the value of the `arm` metric label.
+    pub fn arm(&self) -> &'static str {
+        match self {
+            AlgoSpec::Sacga { .. } => "sacga",
+            AlgoSpec::Local { .. } => "local",
+            AlgoSpec::Mesacga { .. } => "mesacga",
+            AlgoSpec::Steady { .. } => "steady",
+            AlgoSpec::Nsga2 { .. } => "nsga2",
+            AlgoSpec::Island { .. } => "island",
+        }
+    }
+
     /// Whether this arm's builder accepts a shared (tenant) cache.
     pub fn supports_shared_cache(&self) -> bool {
         matches!(
@@ -649,8 +662,9 @@ impl JobSpec {
     }
 
     /// Instantiates the optimizer for this job, wiring in the tenant
-    /// cache (when given) and the fault-injection harness (when
-    /// `inject_nonfinite > 0`).
+    /// cache (when given), the fault-injection harness (when
+    /// `inject_nonfinite > 0`), and a live [`EngineMetrics`] bundle
+    /// (when given; observation only, results are unchanged).
     ///
     /// # Errors
     ///
@@ -659,6 +673,7 @@ impl JobSpec {
     pub fn build_optimizer(
         &self,
         cache: Option<SharedCache<Evaluation>>,
+        metrics: Option<EngineMetrics>,
     ) -> Result<Box<dyn DynOptimizer>, ServerError> {
         let cfg_err = |e: moea::OptimizeError| ServerError::InvalidSpec(e.to_string());
         let problem = self.problem.build();
@@ -686,6 +701,9 @@ impl JobSpec {
                 if let Some(screen) = screen {
                     b = b.surrogate_screen(screen);
                 }
+                if let Some(metrics) = metrics {
+                    b = b.metrics(metrics);
+                }
                 Ok(Box::new(Sacga::new(problem, b.build().map_err(cfg_err)?)))
             }
             AlgoSpec::Local { pop, gens, parts } => {
@@ -701,6 +719,9 @@ impl JobSpec {
                 }
                 if let Some(screen) = screen {
                     b = b.surrogate_screen(screen);
+                }
+                if let Some(metrics) = metrics {
+                    b = b.metrics(metrics);
                 }
                 Ok(Box::new(b.build(problem).map_err(cfg_err)?))
             }
@@ -719,6 +740,9 @@ impl JobSpec {
                 }
                 if let Some(screen) = screen {
                     b = b.surrogate_screen(screen);
+                }
+                if let Some(metrics) = metrics {
+                    b = b.metrics(metrics);
                 }
                 Ok(Box::new(Mesacga::new(problem, b.build().map_err(cfg_err)?)))
             }
@@ -747,6 +771,9 @@ impl JobSpec {
                 if let Some(screen) = screen {
                     b = b.surrogate_screen(screen);
                 }
+                if let Some(metrics) = metrics {
+                    b = b.metrics(metrics);
+                }
                 Ok(Box::new(SteadySacga::new(
                     problem,
                     b.build().map_err(cfg_err)?,
@@ -765,6 +792,9 @@ impl JobSpec {
                 if let Some(screen) = screen {
                     b = b.surrogate_screen(screen);
                 }
+                if let Some(metrics) = metrics {
+                    b = b.metrics(metrics);
+                }
                 Ok(Box::new(Nsga2::new(problem, b.build().map_err(cfg_err)?)))
             }
             AlgoSpec::Island { pop, gens, islands } => {
@@ -774,6 +804,9 @@ impl JobSpec {
                     .islands(*islands);
                 if let Some(plan) = plan {
                     b = b.fault_policy(FaultPolicy::tolerant(3)).inject_faults(plan);
+                }
+                if let Some(metrics) = metrics {
+                    b = b.metrics(metrics);
                 }
                 Ok(Box::new(IslandGa::new(
                     problem,
@@ -955,9 +988,33 @@ mod tests {
         ];
         for algo in arms {
             let spec = JobSpec::new("t", ProblemSpec::Schaffer, algo.clone(), 7);
-            let opt = spec.build_optimizer(None).unwrap();
+            let opt = spec.build_optimizer(None, None).unwrap();
             let outcome = opt.run_dyn(7).unwrap();
             assert!(!outcome.front.is_empty(), "{}", algo.token());
         }
+    }
+
+    #[test]
+    fn metered_build_is_bit_identical_and_balances() {
+        let registry = engine::MetricsRegistry::new();
+        let spec = demo();
+        let labels = [("job", "demo"), ("arm", spec.algo.arm())];
+        let metrics = EngineMetrics::register(&registry, &labels);
+        let bare = spec
+            .build_optimizer(None, None)
+            .unwrap()
+            .run_dyn(7)
+            .unwrap();
+        let metered = spec
+            .build_optimizer(None, Some(metrics.clone()))
+            .unwrap()
+            .run_dyn(7)
+            .unwrap();
+        assert_eq!(bare.front_objectives(), metered.front_objectives());
+        assert_eq!(metrics.candidates.get(), metered.stats.candidates);
+        assert_eq!(
+            metrics.candidates.get(),
+            metrics.evaluations.get() + metrics.cache_hits.get() + metrics.screened.get()
+        );
     }
 }

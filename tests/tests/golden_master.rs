@@ -391,6 +391,170 @@ fn sacga_front_with_stage_timing_enabled_matches_snapshot() {
 }
 
 #[test]
+fn sacga_front_with_metrics_registry_attached_matches_snapshot() {
+    // ISSUE acceptance: mirroring the run into a live metrics registry
+    // (engine counter/histogram bundle + run-trajectory sink) is pure
+    // observation — the committed golden front is reproduced bit for
+    // bit, and the scraped counters balance exactly.
+    use analog_dse::engine::{EngineMetrics, MetricsRegistry};
+    use analog_dse::sacga::telemetry::RegistrySink;
+
+    let registry = MetricsRegistry::new();
+    let labels = [("arm", "sacga")];
+    let metrics = EngineMetrics::register(&registry, &labels);
+    let cfg = SacgaConfig::builder()
+        .population_size(32)
+        .generations(20)
+        .partitions(5)
+        .metrics(metrics.clone())
+        .build()
+        .unwrap();
+    let mut sink = RegistrySink::register(&registry, &labels);
+    let r = Sacga::new(Schaffer::new(), cfg)
+        .run_with(SEED, &mut sink)
+        .unwrap();
+    check_golden("sacga_schaffer_seed42.txt", &render_front(&r.front));
+    assert_eq!(metrics.candidates.get(), r.stats.candidates);
+    assert_eq!(
+        metrics.candidates.get(),
+        metrics.evaluations.get() + metrics.cache_hits.get() + metrics.screened.get()
+    );
+    assert_eq!(metrics.eval_latency.count(), metrics.evaluations.get());
+    let text = registry.render_text();
+    assert!(text.contains("dse_run_generations_total{arm=\"sacga\"} 20"));
+}
+
+#[test]
+fn mesacga_front_with_metrics_registry_attached_matches_snapshot() {
+    use analog_dse::engine::{EngineMetrics, MetricsRegistry};
+    use analog_dse::sacga::telemetry::RegistrySink;
+
+    let registry = MetricsRegistry::new();
+    let labels = [("arm", "mesacga")];
+    let metrics = EngineMetrics::register(&registry, &labels);
+    let cfg = MesacgaConfig::builder()
+        .population_size(32)
+        .phase1_max(5)
+        .phases(vec![
+            PhaseSpec::new(6, 7),
+            PhaseSpec::new(3, 7),
+            PhaseSpec::new(1, 7),
+        ])
+        .metrics(metrics.clone())
+        .build()
+        .unwrap();
+    let mut sink = RegistrySink::register(&registry, &labels);
+    let r = Mesacga::new(Schaffer::new(), cfg)
+        .run_with(SEED, &mut sink)
+        .unwrap();
+    check_golden("mesacga_schaffer_seed42.txt", &render_front(&r.front));
+    assert_eq!(
+        metrics.candidates.get(),
+        metrics.evaluations.get() + metrics.cache_hits.get() + metrics.screened.get()
+    );
+}
+
+#[test]
+fn steady_front_with_metrics_registry_attached_matches_snapshot() {
+    use analog_dse::engine::{EngineMetrics, MetricsRegistry};
+    use analog_dse::sacga::telemetry::RegistrySink;
+
+    let registry = MetricsRegistry::new();
+    let labels = [("arm", "steady")];
+    let metrics = EngineMetrics::register(&registry, &labels);
+    let cfg = SteadyConfig::builder()
+        .population_size(32)
+        .generations(20)
+        .partitions(5)
+        .window(48)
+        .quantum(8)
+        .metrics(metrics.clone())
+        .build()
+        .unwrap();
+    let mut sink = RegistrySink::register(&registry, &labels);
+    let r = SteadySacga::new(Schaffer::new(), cfg)
+        .run_with(SEED, &mut sink)
+        .unwrap();
+    check_golden("steady_schaffer_seed42.txt", &render_front(&r.front));
+    assert_eq!(
+        metrics.candidates.get(),
+        metrics.evaluations.get() + metrics.cache_hits.get() + metrics.screened.get()
+    );
+}
+
+#[test]
+fn local_island_nsga2_fronts_are_unchanged_by_an_attached_registry() {
+    // The remaining loops have no committed snapshot; pin instead that
+    // a bare run and a registry-attached run of the same seed produce
+    // identical fronts, and that each bundle balances.
+    use analog_dse::engine::{EngineMetrics, MetricsRegistry};
+    use analog_dse::moea::nsga2::{Nsga2, Nsga2Config};
+    use analog_dse::sacga::local::LocalCompetitionGaBuilder;
+    use analog_dse::sacga::{IslandConfig, IslandGa};
+
+    let registry = MetricsRegistry::new();
+    let balances = |m: &EngineMetrics| {
+        assert!(m.candidates.get() > 0);
+        assert_eq!(
+            m.candidates.get(),
+            m.evaluations.get() + m.cache_hits.get() + m.screened.get()
+        );
+    };
+
+    let local = |metrics: Option<EngineMetrics>| {
+        let mut b = LocalCompetitionGaBuilder::new()
+            .population_size(24)
+            .generations(12)
+            .partitions(4);
+        if let Some(m) = metrics {
+            b = b.metrics(m);
+        }
+        b.build(Schaffer::new()).unwrap().run_seeded(SEED).unwrap()
+    };
+    let m = EngineMetrics::register(&registry, &[("arm", "local")]);
+    assert_eq!(
+        local(None).front_objectives(),
+        local(Some(m.clone())).front_objectives()
+    );
+    balances(&m);
+
+    let island = |metrics: Option<EngineMetrics>| {
+        let mut b = IslandConfig::builder()
+            .population_size(24)
+            .generations(12)
+            .islands(3);
+        if let Some(m) = metrics {
+            b = b.metrics(m);
+        }
+        IslandGa::new(Schaffer::new(), b.build().unwrap())
+            .run_seeded(SEED)
+            .unwrap()
+    };
+    let m = EngineMetrics::register(&registry, &[("arm", "island")]);
+    assert_eq!(
+        island(None).front_objectives(),
+        island(Some(m.clone())).front_objectives()
+    );
+    balances(&m);
+
+    let nsga2 = |metrics: Option<EngineMetrics>| {
+        let mut b = Nsga2Config::builder().population_size(24).generations(12);
+        if let Some(m) = metrics {
+            b = b.metrics(m);
+        }
+        Nsga2::new(Schaffer::new(), b.build().unwrap())
+            .run_seeded(SEED)
+            .unwrap()
+    };
+    let m = EngineMetrics::register(&registry, &[("arm", "nsga2")]);
+    assert_eq!(
+        nsga2(None).front_objectives(),
+        nsga2(Some(m.clone())).front_objectives()
+    );
+    balances(&m);
+}
+
+#[test]
 fn mesacga_front_with_watchdogs_attached_matches_snapshot() {
     use analog_dse::sacga::telemetry::{FaultRateAlarm, InfeasibilityAlarm, StallDetector, Tee};
 
