@@ -24,41 +24,9 @@
 
 use std::process::ExitCode;
 
-use dse_bench::trace::{gate_runtime_report, parse_runtime_report};
-
-/// Extracts a top-level `"key":<number>` scalar from a flat JSON
-/// document by substring scan (the reports are machine-written with no
-/// nesting surprises).
-fn parse_number(text: &str, key: &str) -> Result<f64, String> {
-    let needle = format!("\"{key}\":");
-    let at = text
-        .find(&needle)
-        .ok_or_else(|| format!("no {needle} field"))?;
-    let rest = &text[at + needle.len()..];
-    let end = rest
-        .find(['}', ','])
-        .ok_or_else(|| format!("unterminated {key} value"))?;
-    rest[..end]
-        .trim()
-        .parse::<f64>()
-        .map_err(|e| format!("bad {key} value: {e}"))
-}
-
-/// Extracts `"steady_speedup":<number>` from a `BENCH_eval.json`
-/// document, after validating its schema stamp (the scheduling block
-/// exists since schema 2; schema 3 added `host_workers`).
-fn parse_steady_speedup(text: &str) -> Result<f64, String> {
-    let schema =
-        parse_number(text, "schema").map_err(|e| format!("{e} (not a BENCH_eval.json?)"))?;
-    if schema < 2.0 {
-        return Err(format!("schema {schema} predates the scheduling block"));
-    }
-    if schema >= 3.0 {
-        let host = parse_number(text, "host_workers")?;
-        println!("bench_gate: eval report from a {host}-thread host");
-    }
-    parse_number(text, "steady_speedup")
-}
+use dse_bench::trace::{
+    gate_runtime_report, parse_eval_report, parse_runtime_report, EVAL_REGEN_HINT,
+};
 
 fn gate_eval(path: &str, floor_tok: &str) -> ExitCode {
     let floor: f64 = match floor_tok.parse() {
@@ -71,25 +39,29 @@ fn gate_eval(path: &str, floor_tok: &str) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
+            eprintln!("bench_gate: {path}: {e}; {EVAL_REGEN_HINT}");
+            return ExitCode::from(2);
+        }
+    };
+    let reading = match parse_eval_report(&text) {
+        Ok(r) => r,
+        Err(e) => {
             eprintln!("bench_gate: {path}: {e}");
             return ExitCode::from(2);
         }
     };
-    match parse_steady_speedup(&text) {
-        Ok(speedup) if speedup >= floor => {
-            println!("bench_gate: ok — steady scheduling speedup {speedup:.2}x >= {floor:.2}x");
-            ExitCode::SUCCESS
-        }
-        Ok(speedup) => {
-            eprintln!(
-                "bench_gate: steady scheduling speedup {speedup:.2}x below the {floor:.2}x floor"
-            );
-            ExitCode::from(2)
-        }
-        Err(e) => {
-            eprintln!("bench_gate: {path}: {e}");
-            ExitCode::from(2)
-        }
+    if let Some(host) = reading.host_workers {
+        println!("bench_gate: eval report from a {host}-thread host");
+    }
+    let speedup = reading.steady_speedup;
+    if speedup >= floor {
+        println!("bench_gate: ok — steady scheduling speedup {speedup:.2}x >= {floor:.2}x");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: steady scheduling speedup {speedup:.2}x below the {floor:.2}x floor"
+        );
+        ExitCode::from(2)
     }
 }
 

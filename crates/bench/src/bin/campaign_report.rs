@@ -22,9 +22,11 @@ use campaign::{
 use dse_bench::{paper_problem, PHASE1_MAX, POP};
 use engine::{CacheConfig, SharedCache};
 use moea::Evaluation;
+use sacga::cellular::{CellularConfig, CellularGa};
 use sacga::sacga::{Sacga, SacgaConfig};
 use sacga::steady::{SteadyConfig, SteadySacga};
 use sacga::telemetry::DynOptimizer;
+use sacga::topology::Topology;
 use std::path::Path;
 
 /// Pinned seed base: campaign seeds are `SEED_BASE..SEED_BASE + n`.
@@ -32,6 +34,9 @@ const SEED_BASE: u64 = 1000;
 
 /// SACGA partition count under test (the paper's featured setting).
 const PARTITIONS: usize = 8;
+
+/// Total population of the cellular arms (split across cells).
+const CELL_POP: usize = 64;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,7 +52,7 @@ fn main() {
     let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| SEED_BASE + i).collect();
 
     println!(
-        "campaign: sacga{PARTITIONS} vs tpg vs steady{PARTITIONS} | {n_seeds} seeds | {gens} generations | {threads} threads"
+        "campaign: sacga{PARTITIONS} vs tpg vs steady{PARTITIONS} vs cell_ring{CELL_POP} vs cell_torus{CELL_POP} | {n_seeds} seeds | {gens} generations | {threads} threads"
     );
 
     let sacga_arm = |partitions: usize| {
@@ -80,10 +85,46 @@ fn main() {
         let config = b.build().expect("static config");
         Box::new(SteadySacga::new(paper_problem(), config)) as Box<dyn DynOptimizer>
     };
+    // Structured-population arms: the same total population spread over
+    // a ring of 8 cells and a 4×4 torus, with mild open mating. Neither
+    // uses objective-space partitions, so they probe whether topological
+    // locality alone buys the diversity that partitioned competition
+    // buys the SACGA arms.
+    let cellular_arm = |topology: Topology| {
+        move |shared: Option<&SharedCache<Evaluation>>| {
+            let mut b = CellularConfig::builder()
+                .population_size(CELL_POP)
+                .generations(gens)
+                .topology(topology.clone())
+                .migration_interval(10)
+                .migrants(1)
+                .openness(0.25);
+            if let Some(cache) = shared {
+                b = b.shared_cache(cache.clone());
+            }
+            let config = b.build().expect("static config");
+            Box::new(CellularGa::new(paper_problem(), config)) as Box<dyn DynOptimizer>
+        }
+    };
     let campaign = Campaign::new("sacga-vs-tpg")
         .arm(format!("sacga{PARTITIONS}"), sacga_arm(PARTITIONS))
         .arm("tpg", sacga_arm(1))
         .arm(format!("steady{PARTITIONS}"), steady_arm)
+        .arm(
+            format!("cell_ring{CELL_POP}"),
+            cellular_arm(Topology::Ring {
+                cells: 8,
+                radius: 1,
+            }),
+        )
+        .arm(
+            format!("cell_torus{CELL_POP}"),
+            cellular_arm(Topology::Torus {
+                rows: 4,
+                cols: 4,
+                radius: 1,
+            }),
+        )
         .seeds(seeds);
 
     let mut config = RunnerConfig::default()
@@ -144,7 +185,14 @@ fn main() {
     }
 
     println!("\npairwise comparisons (one-sided exact rank-sum, 95% bootstrap CI):");
-    for pair in [(&labels[0], &labels[1]), (&labels[2], &labels[1])] {
+    // Every arm against the TPG baseline (labels[1]).
+    let pairs: Vec<(&String, &String)> = labels
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 1)
+        .map(|(_, l)| (l, &labels[1]))
+        .collect();
+    for pair in pairs {
         for metric in Metric::ALL {
             let c = report
                 .comparison(pair.0, pair.1, metric)

@@ -546,6 +546,82 @@ pub fn gate_runtime_report(fresh: &[RuntimeRun], baseline: &[RuntimeRun]) -> Vec
     violations
 }
 
+/// Oldest `BENCH_eval.json` schema the eval gate accepts: schema 2
+/// introduced the `scheduling` block that carries `steady_speedup`.
+pub const EVAL_SCHEMA_MIN: f64 = 2.0;
+
+/// Newest schema this build understands (schema 3 added
+/// `host_workers`). `bench_eval` and this constant move together.
+pub const EVAL_SCHEMA_CURRENT: f64 = 3.0;
+
+/// The fields the `bench_gate --eval` gate reads out of a
+/// `BENCH_eval.json` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReading {
+    /// The report's schema stamp.
+    pub schema: f64,
+    /// Steady-session over generational-barrier throughput on the
+    /// heterogeneous-cost workload.
+    pub steady_speedup: f64,
+    /// Worker threads on the recording host (schema ≥ 3).
+    pub host_workers: Option<f64>,
+}
+
+/// How to regenerate a missing or outdated `BENCH_eval.json`.
+pub const EVAL_REGEN_HINT: &str =
+    "regenerate it with `cargo run --release -p dse-bench --bin bench_eval`";
+
+/// Parses the `schema` / `scheduling.steady_speedup` / `host_workers`
+/// fields of a `BENCH_eval.json` document, rejecting stale or
+/// too-new schema stamps with actionable messages instead of falling
+/// over on a missing field downstream.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the document has no schema
+/// stamp (probably not a `BENCH_eval.json` at all), when the stamp
+/// predates [`EVAL_SCHEMA_MIN`] or postdates [`EVAL_SCHEMA_CURRENT`],
+/// or when a required field is missing or non-numeric.
+pub fn parse_eval_report(text: &str) -> Result<EvalReading, String> {
+    let schema = json_number_field(text, "schema")
+        .ok()
+        .flatten()
+        .ok_or_else(|| format!("no \"schema\" stamp — not a BENCH_eval.json? {EVAL_REGEN_HINT}"))?;
+    if schema < EVAL_SCHEMA_MIN {
+        return Err(format!(
+            "stale schema {schema} predates the scheduling block \
+             (need >= {EVAL_SCHEMA_MIN}); {EVAL_REGEN_HINT}"
+        ));
+    }
+    if schema > EVAL_SCHEMA_CURRENT {
+        return Err(format!(
+            "schema {schema} is newer than this gate understands \
+             (<= {EVAL_SCHEMA_CURRENT}); rebuild bench_gate from the same tree as bench_eval"
+        ));
+    }
+    let host_workers = if schema >= 3.0 {
+        Some(
+            json_number_field(text, "host_workers")
+                .ok()
+                .flatten()
+                .ok_or_else(|| {
+                    format!("schema {schema} report lacks host_workers; {EVAL_REGEN_HINT}")
+                })?,
+        )
+    } else {
+        None
+    };
+    let steady_speedup = json_number_field(text, "steady_speedup")
+        .ok()
+        .flatten()
+        .ok_or_else(|| format!("no scheduling.steady_speedup field; {EVAL_REGEN_HINT}"))?;
+    Ok(EvalReading {
+        schema,
+        steady_speedup,
+        host_workers,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -753,5 +829,36 @@ mod tests {
             }
         }
         assert!(gate_runtime_report(&fresh, &baseline).is_empty());
+    }
+
+    #[test]
+    fn eval_report_parses_current_and_previous_schemas() {
+        let v3 = "{\"schema\":3,\"batch\":256,\"host_workers\":4,\
+                  \"scheduling\":{\"steady_speedup\":1.42}}";
+        let r = parse_eval_report(v3).unwrap();
+        assert_eq!(r.schema, 3.0);
+        assert_eq!(r.steady_speedup, 1.42);
+        assert_eq!(r.host_workers, Some(4.0));
+        let v2 = "{\"schema\":2,\"scheduling\":{\"steady_speedup\":1.1}}";
+        let r = parse_eval_report(v2).unwrap();
+        assert_eq!(r.host_workers, None);
+    }
+
+    #[test]
+    fn eval_report_rejects_missing_stale_and_future_schemas() {
+        let e = parse_eval_report("{\"steady_speedup\":1.0}").unwrap_err();
+        assert!(e.contains("not a BENCH_eval.json"), "{e}");
+        assert!(e.contains("bench_eval"), "{e}");
+        let e = parse_eval_report("{\"schema\":1,\"speedup\":{}}").unwrap_err();
+        assert!(e.contains("stale schema 1"), "{e}");
+        assert!(e.contains("regenerate"), "{e}");
+        let e = parse_eval_report("{\"schema\":9}").unwrap_err();
+        assert!(e.contains("newer than this gate"), "{e}");
+        // A current-schema report missing its required fields still
+        // names what is missing rather than panicking downstream.
+        let e = parse_eval_report("{\"schema\":3}").unwrap_err();
+        assert!(e.contains("host_workers"), "{e}");
+        let e = parse_eval_report("{\"schema\":3,\"host_workers\":2}").unwrap_err();
+        assert!(e.contains("steady_speedup"), "{e}");
     }
 }

@@ -19,6 +19,7 @@ use std::time::Duration;
 const SACGA_HEADER: &str = "sacga-checkpoint v1";
 const MESACGA_HEADER: &str = "mesacga-checkpoint v1";
 const STEADY_HEADER: &str = "steady-checkpoint v1";
+const CELLULAR_HEADER: &str = "cellular-checkpoint v1";
 
 /// A serialized individual: genes, evaluation, and ranking bookkeeping.
 #[derive(Debug, Clone, PartialEq)]
@@ -257,6 +258,101 @@ impl SteadyCheckpoint {
     }
 }
 
+/// A suspended cellular run, resumable via
+/// [`Optimizer::resume`](crate::telemetry::Optimizer::resume) on a
+/// [`CellularGa`](crate::cellular::CellularGa) configured identically.
+///
+/// The cellular loop drains every submitted offspring before crossing a
+/// generation boundary (its merge boundary), so — unlike
+/// [`SteadyCheckpoint`] — there is never a pending look-ahead to rescue:
+/// the checkpoint is just the RNG, the counters, the history, and each
+/// cell's members.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellularCheckpoint {
+    /// RNG internal state (xoshiro256**).
+    pub rng: [u64; 4],
+    /// Generations executed so far.
+    pub gen: usize,
+    /// Migration events performed so far.
+    pub migrations: usize,
+    /// Members of each cell, in topology order.
+    pub cells: Vec<Vec<SavedIndividual>>,
+    /// Per-generation history recorded so far.
+    pub history: Vec<GenerationStats>,
+    /// Evaluation-engine counters at suspension time.
+    pub stats: EngineStats,
+}
+
+impl CellularCheckpoint {
+    /// Serializes the checkpoint to its text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CELLULAR_HEADER);
+        out.push('\n');
+        out.push_str(&format!(
+            "rng {:016x} {:016x} {:016x} {:016x}\n",
+            self.rng[0], self.rng[1], self.rng[2], self.rng[3]
+        ));
+        out.push_str(&format!("gen {}\n", self.gen));
+        out.push_str(&format!("migrations {}\n", self.migrations));
+        write_history(&mut out, &self.history);
+        write_stats(&mut out, &self.stats);
+        out.push_str(&format!("cells {}\n", self.cells.len()));
+        for (ci, cell) in self.cells.iter().enumerate() {
+            out.push_str(&format!("c {ci} {}\n", cell.len()));
+            for ind in cell {
+                write_individual(&mut out, ind);
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses a checkpoint from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::InvalidCheckpoint`] on a wrong header,
+    /// malformed records, or truncation.
+    pub fn from_text(text: &str) -> Result<Self, OptimizeError> {
+        let mut lines = Lines::new(text);
+        lines.expect_literal(CELLULAR_HEADER)?;
+        let (no, toks) = lines.tagged("rng", 4)?;
+        let mut rng = [0u64; 4];
+        for (slot, tok) in rng.iter_mut().zip(&toks) {
+            *slot = parse_hex_u64(tok, no)?;
+        }
+        let gen = lines.tagged_usize("gen")?;
+        let migrations = lines.tagged_usize("migrations")?;
+        let history = parse_history(&mut lines)?;
+        let stats = parse_stats(&mut lines)?;
+        let n_cells = lines.tagged_usize("cells")?;
+        let mut cells = Vec::with_capacity(n_cells);
+        for ci in 0..n_cells {
+            let (no, toks) = lines.tagged("c", 2)?;
+            if parse_usize(toks[0], no)? != ci {
+                return Err(bad(no, "cell records out of order"));
+            }
+            let count = parse_usize(toks[1], no)?;
+            let mut cell = Vec::with_capacity(count);
+            for _ in 0..count {
+                cell.push(parse_individual(&mut lines)?);
+            }
+            cells.push(cell);
+        }
+        lines.expect_literal("end")?;
+        lines.expect_exhausted()?;
+        Ok(CellularCheckpoint {
+            rng,
+            gen,
+            migrations,
+            cells,
+            history,
+            stats,
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Writing
 
@@ -306,8 +402,20 @@ fn write_state(out: &mut String, s: &EngineState) {
         out.push(if a { '1' } else { '0' });
     }
     out.push('\n');
-    out.push_str(&format!("history {}\n", s.history.len()));
-    for h in &s.history {
+    write_history(out, &s.history);
+    write_stats(out, &s.stats);
+    out.push_str(&format!("partitions {}\n", s.partitions.len()));
+    for (pi, part) in s.partitions.iter().enumerate() {
+        out.push_str(&format!("p {pi} {}\n", part.len()));
+        for ind in part {
+            write_individual(out, ind);
+        }
+    }
+}
+
+fn write_history(out: &mut String, history: &[GenerationStats]) {
+    out.push_str(&format!("history {}\n", history.len()));
+    for h in history {
         out.push_str(&format!(
             "h {} {} {} {} {} {}\n",
             h.generation,
@@ -318,7 +426,9 @@ fn write_state(out: &mut String, s: &EngineState) {
             h.population
         ));
     }
-    let st = &s.stats;
+}
+
+fn write_stats(out: &mut String, st: &EngineStats) {
     // `screened` rides at the end so checkpoints written before the
     // surrogate screen existed (14 tokens) still parse (as screened = 0).
     out.push_str(&format!(
@@ -339,13 +449,6 @@ fn write_state(out: &mut String, s: &EngineState) {
         st.injected_delays,
         st.screened
     ));
-    out.push_str(&format!("partitions {}\n", s.partitions.len()));
-    for (pi, part) in s.partitions.iter().enumerate() {
-        out.push_str(&format!("p {pi} {}\n", part.len()));
-        for ind in part {
-            write_individual(out, ind);
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -513,40 +616,8 @@ fn parse_state(lines: &mut Lines<'_>) -> Result<EngineState, OptimizeError> {
             other => return Err(bad(no, format!("expected 0 or 1, got `{other}`"))),
         });
     }
-    let n_history = lines.tagged_usize("history")?;
-    let mut history = Vec::with_capacity(n_history);
-    for _ in 0..n_history {
-        let (no, toks) = lines.tagged("h", 6)?;
-        history.push(GenerationStats {
-            generation: parse_usize(toks[0], no)?,
-            phase: parse_usize(toks[1], no)?
-                .try_into()
-                .map_err(|_| bad(no, "phase out of range"))?,
-            temperature: parse_hex_f64(toks[2], no)?,
-            promoted: parse_usize(toks[3], no)?,
-            feasible: parse_usize(toks[4], no)?,
-            population: parse_usize(toks[5], no)?,
-        });
-    }
-    let (no, toks) = lines.tagged("stats", 14)?;
-    let stats = EngineStats {
-        candidates: parse_u64(toks[0], no)?,
-        evaluations: parse_u64(toks[1], no)?,
-        cache_hits: parse_u64(toks[2], no)?,
-        batches: parse_u64(toks[3], no)?,
-        max_batch: parse_u64(toks[4], no)?,
-        eval_time: parse_nanos(toks[5], no)?,
-        failures: parse_u64(toks[6], no)?,
-        retries: parse_u64(toks[7], no)?,
-        recovered: parse_u64(toks[8], no)?,
-        quarantined: parse_u64(toks[9], no)?,
-        backoff_time: parse_nanos(toks[10], no)?,
-        injected_panics: parse_u64(toks[11], no)?,
-        injected_nonfinite: parse_u64(toks[12], no)?,
-        injected_delays: parse_u64(toks[13], no)?,
-        // Absent in pre-screen checkpoints: default to zero.
-        screened: toks.get(14).map_or(Ok(0), |t| parse_u64(t, no))?,
-    };
+    let history = parse_history(lines)?;
+    let stats = parse_stats(lines)?;
     let n_partitions = lines.tagged_usize("partitions")?;
     if n_partitions != grid_partitions || alive.len() != grid_partitions {
         return Err(OptimizeError::invalid_checkpoint(format!(
@@ -584,6 +655,47 @@ fn parse_state(lines: &mut Lines<'_>) -> Result<EngineState, OptimizeError> {
     })
 }
 
+fn parse_history(lines: &mut Lines<'_>) -> Result<Vec<GenerationStats>, OptimizeError> {
+    let n_history = lines.tagged_usize("history")?;
+    let mut history = Vec::with_capacity(n_history);
+    for _ in 0..n_history {
+        let (no, toks) = lines.tagged("h", 6)?;
+        history.push(GenerationStats {
+            generation: parse_usize(toks[0], no)?,
+            phase: parse_usize(toks[1], no)?
+                .try_into()
+                .map_err(|_| bad(no, "phase out of range"))?,
+            temperature: parse_hex_f64(toks[2], no)?,
+            promoted: parse_usize(toks[3], no)?,
+            feasible: parse_usize(toks[4], no)?,
+            population: parse_usize(toks[5], no)?,
+        });
+    }
+    Ok(history)
+}
+
+fn parse_stats(lines: &mut Lines<'_>) -> Result<EngineStats, OptimizeError> {
+    let (no, toks) = lines.tagged("stats", 14)?;
+    Ok(EngineStats {
+        candidates: parse_u64(toks[0], no)?,
+        evaluations: parse_u64(toks[1], no)?,
+        cache_hits: parse_u64(toks[2], no)?,
+        batches: parse_u64(toks[3], no)?,
+        max_batch: parse_u64(toks[4], no)?,
+        eval_time: parse_nanos(toks[5], no)?,
+        failures: parse_u64(toks[6], no)?,
+        retries: parse_u64(toks[7], no)?,
+        recovered: parse_u64(toks[8], no)?,
+        quarantined: parse_u64(toks[9], no)?,
+        backoff_time: parse_nanos(toks[10], no)?,
+        injected_panics: parse_u64(toks[11], no)?,
+        injected_nonfinite: parse_u64(toks[12], no)?,
+        injected_delays: parse_u64(toks[13], no)?,
+        // Absent in pre-screen checkpoints: default to zero.
+        screened: toks.get(14).map_or(Ok(0), |t| parse_u64(t, no))?,
+    })
+}
+
 impl crate::telemetry::CheckpointText for SacgaCheckpoint {
     const SUSPENDABLE: bool = true;
 
@@ -613,6 +725,22 @@ impl crate::telemetry::CheckpointText for SteadyCheckpoint {
 
     fn generation(&self) -> usize {
         self.state.gen
+    }
+}
+
+impl crate::telemetry::CheckpointText for CellularCheckpoint {
+    const SUSPENDABLE: bool = true;
+
+    fn to_checkpoint_text(&self) -> String {
+        self.to_text()
+    }
+
+    fn from_checkpoint_text(text: &str) -> Result<Self, OptimizeError> {
+        CellularCheckpoint::from_text(text)
+    }
+
+    fn generation(&self) -> usize {
+        self.gen
     }
 }
 
@@ -807,6 +935,37 @@ mod tests {
             SteadyCheckpoint::from_text(&empty.to_text()).unwrap(),
             empty
         );
+    }
+
+    #[test]
+    fn cellular_checkpoint_round_trips() {
+        let base = sample_state();
+        let cp = CellularCheckpoint {
+            rng: [9, 8, 7, 6],
+            gen: 4,
+            migrations: 1,
+            cells: vec![
+                base.partitions[0].clone(),
+                vec![SavedIndividual {
+                    genes: vec![-0.0, f64::INFINITY],
+                    objectives: vec![0.5],
+                    violations: vec![],
+                    rank: 1,
+                    crowding: 0.25,
+                }],
+            ],
+            history: base.history.clone(),
+            stats: base.stats.clone(),
+        };
+        let text = cp.to_text();
+        assert!(text.starts_with("cellular-checkpoint v1\n"));
+        let back = CellularCheckpoint::from_text(&text).unwrap();
+        assert_eq!(cp, back);
+        assert_eq!(text, back.to_text());
+        // wrong header, truncation, and corruption are rejected
+        assert!(SteadyCheckpoint::from_text(&text).is_err());
+        assert!(CellularCheckpoint::from_text(text.rsplit_once("end").unwrap().0).is_err());
+        assert!(CellularCheckpoint::from_text(&text.replace("c 1", "c 9")).is_err());
     }
 
     #[test]

@@ -481,8 +481,9 @@ impl<P: Problem> IslandGa<P> {
 }
 
 /// Feasible globally non-dominated front of the merged archipelago,
-/// computed on a clone so ranking never disturbs the islands.
-fn merged_front_objectives(islands: &[Vec<Individual>]) -> Vec<Vec<f64>> {
+/// computed on a clone so ranking never disturbs the islands. Shared
+/// with the cellular loop, whose cells are islands by another name.
+pub(crate) fn merged_front_objectives(islands: &[Vec<Individual>]) -> Vec<Vec<f64>> {
     let mut pop: Vec<Individual> = islands.iter().flatten().cloned().collect();
     rank_and_crowd(&mut pop);
     pop.iter()

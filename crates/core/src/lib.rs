@@ -35,14 +35,18 @@
 //!   the engine's incremental submission/completion API, with no
 //!   per-generation evaluation barrier and bit-identical seeded results
 //!   across worker counts;
+//! * [`cellular`] — a structured-population GA over a pluggable
+//!   neighborhood [`topology`] (ring, torus, fully-connected,
+//!   small-world) that degenerates bit-for-bit to the [`island`] model
+//!   on a fully-connected graph;
 //! * [`checkpoint`] — plain-text run checkpoints: SACGA, MESACGA, and
 //!   steady-state runs can be suspended at any generation boundary
 //!   ([`Sacga::run_until`](sacga::Sacga::run_until),
 //!   [`Mesacga::run_until`](mesacga::Mesacga::run_until)) and resumed
 //!   bit-identically, including across process restarts.
 //!
-//! All six loops — [`moea::nsga2::Nsga2`], [`local`], [`sacga`],
-//! [`mesacga`], [`island`], [`steady`] — implement the unified
+//! All seven loops — [`moea::nsga2::Nsga2`], [`local`], [`sacga`],
+//! [`mesacga`], [`island`], [`steady`], [`cellular`] — implement the unified
 //! [`Optimizer`] run API and emit the structured
 //! [`RunEvent`] stream of the [`telemetry`] module
 //! into composable [`Sink`]s.
@@ -79,6 +83,7 @@
 //! ```
 
 pub mod anneal;
+pub mod cellular;
 pub mod checkpoint;
 pub mod island;
 pub mod local;
@@ -88,11 +93,13 @@ pub mod prelude;
 pub mod sacga;
 pub mod steady;
 pub mod telemetry;
+pub mod topology;
 
 pub use anneal::{AnnealingSchedule, ProbabilityShaper, PromotionPolicy};
+pub use cellular::{CellularConfig, CellularGa};
 pub use checkpoint::{
-    cell_artifact_name, EngineState, MesacgaCheckpoint, SacgaCheckpoint, SavedIndividual,
-    SteadyCheckpoint,
+    cell_artifact_name, CellularCheckpoint, EngineState, MesacgaCheckpoint, SacgaCheckpoint,
+    SavedIndividual, SteadyCheckpoint,
 };
 pub use island::{IslandConfig, IslandGa};
 pub use mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
@@ -104,3 +111,4 @@ pub use telemetry::{
     InfeasibilityAlarm, JsonlSink, MemorySink, MetricsRow, MetricsSink, NoCheckpoint, NullSink,
     Optimizer, RunEvent, Sink, StallDetector, Tee, EVENT_SCHEMA_VERSION,
 };
+pub use topology::Topology;

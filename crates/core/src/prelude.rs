@@ -1,4 +1,4 @@
-//! One-stop imports for driving any of the six optimization loops
+//! One-stop imports for driving any of the seven optimization loops
 //! through the unified [`Optimizer`] API with instrumentation attached.
 //!
 //! ```
@@ -19,8 +19,10 @@
 //! # }
 //! ```
 
+pub use crate::cellular::{CellularConfig, CellularConfigBuilder, CellularGa};
 pub use crate::checkpoint::{
-    EngineState, MesacgaCheckpoint, SacgaCheckpoint, SavedIndividual, SteadyCheckpoint,
+    CellularCheckpoint, EngineState, MesacgaCheckpoint, SacgaCheckpoint, SavedIndividual,
+    SteadyCheckpoint,
 };
 pub use crate::island::{IslandConfig, IslandGa};
 pub use crate::local::{LocalCompetitionGa, LocalCompetitionGaBuilder};
@@ -32,5 +34,6 @@ pub use crate::telemetry::{
     JsonlSink, MemorySink, MetricsRow, MetricsSink, NoCheckpoint, NullSink, Optimizer, RunEvent,
     Sink, StallDetector, Tee, EVENT_SCHEMA_VERSION,
 };
+pub use crate::topology::Topology;
 pub use moea::nsga2::Nsga2;
 pub use moea::{GenerationStats, OptimizeError, RunOutcome, RunStatus};

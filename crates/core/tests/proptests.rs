@@ -11,7 +11,40 @@ use sacga::partition::{PartitionGrid, PartitionedPopulation};
 use sacga::sacga::{Sacga, SacgaConfig};
 use sacga::steady::{SteadyConfig, SteadySacga};
 use sacga::telemetry::Optimizer;
+use sacga::topology::Topology;
 use std::cell::Cell;
+
+/// Realizes one of the four topology families from flat proptest
+/// parameters, always structurally valid: `kind` selects the family,
+/// `size` and `radius` are folded into that family's legal range.
+fn arb_topology(kind: usize, size: usize, radius: usize, seed: u64) -> Topology {
+    match kind % 4 {
+        0 => {
+            let cells = 3 + size % 14; // 3..=16
+            Topology::Ring {
+                cells,
+                radius: 1 + radius % ((cells - 1) / 2).max(1),
+            }
+        }
+        1 => Topology::Torus {
+            rows: 2 + size % 4,
+            cols: 2 + (size / 4) % 4,
+            radius: 1 + radius % 3,
+        },
+        2 => Topology::FullyConnected {
+            cells: 2 + size % 15,
+        },
+        _ => {
+            let cells = 3 + size % 14;
+            Topology::SmallWorld {
+                cells,
+                radius: 1 + radius % ((cells - 1) / 2).max(1),
+                chords: 1 + size % 5,
+                seed,
+            }
+        }
+    }
+}
 
 proptest! {
     #[test]
@@ -426,5 +459,88 @@ proptest! {
             s
         };
         prop_assert_eq!(scrub(resumed.stats), scrub(full.stats));
+    }
+
+    #[test]
+    fn topology_neighborhoods_are_symmetric_self_free_and_connected(
+        kind in 0usize..4,
+        size in 0usize..64,
+        radius in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let topo = arb_topology(kind, size, radius, seed);
+        prop_assert!(topo.validate().is_ok(), "{topo:?}");
+        let k = topo.cells();
+        for i in 0..k {
+            let n = topo.neighbors(i);
+            prop_assert!(!n.contains(&i), "{topo:?}: cell {i} neighbors itself");
+            // No duplicate edges out of one cell.
+            let mut dedup = n.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), n.len(), "{:?}: duplicate neighbor of {}", &topo, i);
+            // Symmetry: j sees i whenever i sees j.
+            for &j in &n {
+                prop_assert!(j < k, "{topo:?}: out-of-range neighbor {j}");
+                prop_assert!(
+                    topo.neighbors(j).contains(&i),
+                    "{topo:?}: edge {i}->{j} has no reverse"
+                );
+            }
+            // The forward/backward split is a partition of the
+            // neighborhood.
+            let (fwd, bwd) = topo.orientation(i);
+            let mut both = fwd;
+            both.extend(bwd);
+            both.sort_unstable();
+            let mut all = n.clone();
+            all.sort_unstable();
+            prop_assert_eq!(both, all, "{:?}: orientation is not a partition", &topo);
+        }
+        prop_assert!(topo.is_connected(), "{topo:?} is disconnected");
+    }
+
+    #[test]
+    fn migration_conserves_every_cell_population(
+        kind in 0usize..4,
+        size in 0usize..64,
+        radius in 0usize..8,
+        seed in 0u64..1000,
+        migrants in 1usize..4,
+        capacity_extra in 0usize..5,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let topo = arb_topology(kind, size, radius, seed);
+        let k = topo.cells();
+        let capacity = 4 + capacity_extra.max(migrants); // migrants < capacity
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Random two-objective cells, ranked the way a live run's are.
+        let mut cells: Vec<Vec<Individual>> = (0..k)
+            .map(|_| {
+                let mut cell: Vec<Individual> = (0..capacity)
+                    .map(|_| {
+                        let g = rng.gen::<f64>() * 4.0 - 2.0;
+                        Individual::new(
+                            vec![g],
+                            Evaluation::new(vec![g * g, (g - 2.0) * (g - 2.0)], vec![]),
+                        )
+                    })
+                    .collect();
+                moea::sorting::rank_and_crowd(&mut cell);
+                cell
+            })
+            .collect();
+        let adjacency: Vec<Vec<usize>> = (0..k).map(|i| topo.neighbors(i)).collect();
+        let (migrated, candidates) =
+            sacga::cellular::migrate(&mut cells, &adjacency, migrants, capacity, &mut rng);
+        prop_assert_eq!(migrated, k * migrants);
+        prop_assert!(candidates >= k, "each cell offers at least one candidate");
+        // Conservation: selection absorbs every delivery back to
+        // exactly `capacity` members per cell.
+        for (i, cell) in cells.iter().enumerate() {
+            prop_assert_eq!(cell.len(), capacity, "cell {} size drifted", i);
+        }
     }
 }

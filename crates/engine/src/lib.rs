@@ -96,7 +96,9 @@ pub use fault::{
     FaultInjectingEvaluator, FaultInjector, FaultKind, FaultPlan, FaultPolicy, FaultResolution,
     InjectedPanic, InjectionCounts, Quarantine, RetryPolicy,
 };
-pub use metrics::{Counter, EngineMetrics, Gauge, Histogram, MetricsRegistry, PoolMetrics};
+pub use metrics::{
+    CellMetrics, CellSeries, Counter, EngineMetrics, Gauge, Histogram, MetricsRegistry, PoolMetrics,
+};
 pub use screen::SurrogateScreen;
 pub use session::EvaluationSession;
 pub use shared::{SharedCache, SharedCacheStats};

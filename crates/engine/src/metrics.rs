@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Label names a metric may carry, in the canonical emission order.
-pub const LABEL_NAMES: [&str; 5] = ["tenant", "job", "arm", "stage", "worker"];
+pub const LABEL_NAMES: [&str; 6] = ["tenant", "job", "arm", "stage", "worker", "cell"];
 
 /// A monotonic counter. Cloning shares the underlying cell.
 #[derive(Clone, Debug, Default)]
@@ -623,6 +623,94 @@ impl PartialEq for PoolMetrics {
     }
 }
 
+/// A factory for per-cell metric bundles of a structured-population
+/// (cellular) run: each cell of the topology gets its own label slice
+/// (`cell="<index>"`) under the base labels the series was registered
+/// with.
+///
+/// Like the other bundles this is observation only — recording never
+/// touches the optimizer's RNG — and equality is identity, so configs
+/// holding a series stay `PartialEq`-derivable.
+#[derive(Clone, Debug)]
+pub struct CellSeries {
+    registry: MetricsRegistry,
+    labels: Vec<(String, String)>,
+}
+
+impl CellSeries {
+    /// Registers a series under `labels` in `registry`.
+    pub fn register(registry: &MetricsRegistry, labels: &[(&str, &str)]) -> Self {
+        CellSeries {
+            registry: registry.clone(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+        }
+    }
+
+    /// The underlying registry (for scraping in tests and endpoints).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The metric bundle of cell `index` (`cell="<index>"` replaces any
+    /// inherited `cell` label). Registration is idempotent, so calling
+    /// this again — e.g. after a resume — returns handles to the same
+    /// cells.
+    pub fn cell(&self, index: usize) -> CellMetrics {
+        let idx = index.to_string();
+        let mut labels: Vec<(&str, &str)> = self
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        labels.retain(|(k, _)| *k != "cell");
+        labels.push(("cell", idx.as_str()));
+        let stage = |stage: &'static str| {
+            let mut with_stage = labels.clone();
+            with_stage.retain(|(k, _)| *k != "stage");
+            with_stage.push(("stage", stage));
+            self.registry
+                .counter("dse_cell_stage_nanos_total", &with_stage)
+        };
+        CellMetrics {
+            candidates: self.registry.counter("dse_cell_candidates_total", &labels),
+            variation_nanos: stage("variation"),
+            selection_nanos: stage("selection"),
+            front_size: self.registry.gauge("dse_cell_front_size", &labels),
+        }
+    }
+}
+
+impl PartialEq for CellSeries {
+    fn eq(&self, other: &Self) -> bool {
+        self.registry.same_registry(&other.registry) && self.labels == other.labels
+    }
+}
+
+/// Per-cell metric bundle handed out by [`CellSeries::cell`].
+#[derive(Clone, Debug)]
+pub struct CellMetrics {
+    /// Offspring bred by this cell (`dse_cell_candidates_total`).
+    pub candidates: Counter,
+    /// Nanoseconds this cell spent breeding
+    /// (`dse_cell_stage_nanos_total{stage="variation"}`).
+    pub variation_nanos: Counter,
+    /// Nanoseconds this cell spent on survivor selection
+    /// (`dse_cell_stage_nanos_total{stage="selection"}`).
+    pub selection_nanos: Counter,
+    /// Size of the cell's local rank-0 front after the latest selection
+    /// (`dse_cell_front_size`).
+    pub front_size: Gauge,
+}
+
+impl PartialEq for CellMetrics {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.candidates.0, &other.candidates.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -743,6 +831,27 @@ mod tests {
         let c = EngineMetrics::register(&reg, &[("tenant", "u")]);
         assert_eq!(a, b, "same cells");
         assert_ne!(a, c, "different label set, different cells");
+    }
+
+    #[test]
+    fn cell_series_hands_out_per_cell_bundles() {
+        let reg = MetricsRegistry::new();
+        let series = CellSeries::register(&reg, &[("job", "j1"), ("arm", "cellular")]);
+        series.cell(0).candidates.add(8);
+        series.cell(1).variation_nanos.add(250);
+        series.cell(1).front_size.set(3.0);
+        // Idempotent: a second hand-out shares the same cells.
+        assert_eq!(series.cell(0).candidates.get(), 8);
+        assert_eq!(series.cell(0), series.cell(0));
+        assert_ne!(series.cell(0), series.cell(1));
+        let text = reg.render_text();
+        assert!(
+            text.contains("dse_cell_candidates_total{arm=\"cellular\",cell=\"0\",job=\"j1\"} 8")
+        );
+        assert!(text.contains(
+            "dse_cell_stage_nanos_total{arm=\"cellular\",cell=\"1\",job=\"j1\",stage=\"variation\"} 250"
+        ));
+        assert!(text.contains("dse_cell_front_size{arm=\"cellular\",cell=\"1\",job=\"j1\"} 3"));
     }
 
     #[test]

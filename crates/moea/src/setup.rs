@@ -13,8 +13,8 @@
 //! and resumed runs.
 
 use engine::{
-    CacheCanonicalizer, EngineConfig, EngineMetrics, EvaluatorKind, ExecutionEngine, FaultPlan,
-    FaultPolicy, SharedCache, SurrogateScreen,
+    CacheCanonicalizer, CellSeries, EngineConfig, EngineMetrics, EvaluatorKind, ExecutionEngine,
+    FaultPlan, FaultPolicy, SharedCache, SurrogateScreen,
 };
 
 use crate::evaluation::Evaluation;
@@ -27,6 +27,7 @@ pub struct EngineSetup {
     shared_cache: Option<SharedCache<Evaluation>>,
     surrogate_screen: Option<SurrogateScreen<Evaluation>>,
     metrics: Option<EngineMetrics>,
+    cell_series: Option<CellSeries>,
 }
 
 impl EngineSetup {
@@ -100,6 +101,21 @@ impl EngineSetup {
     pub fn metrics(mut self, metrics: EngineMetrics) -> Self {
         self.metrics = Some(metrics);
         self
+    }
+
+    /// Attaches a [`CellSeries`]: optimizers with a structured
+    /// population (the cellular loop) mirror per-cell stage timings and
+    /// counters into the series' registry under `cell="<index>"`
+    /// labels. Loops without cells ignore it. Observation only — an
+    /// instrumented run is bit-identical to a bare one.
+    pub fn cell_series(mut self, series: CellSeries) -> Self {
+        self.cell_series = Some(series);
+        self
+    }
+
+    /// The attached per-cell metric series, if any.
+    pub fn cell_series_ref(&self) -> Option<&CellSeries> {
+        self.cell_series.as_ref()
     }
 
     /// The raw engine configuration.

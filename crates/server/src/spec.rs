@@ -24,8 +24,8 @@ use moea::problems::{BinhKorn, Constr, Schaffer, Srinivas, Tanaka, Zdt1, Zdt2, Z
 use moea::{Evaluation, Problem};
 use sacga::local::LocalCompetitionGaBuilder;
 use sacga::{
-    DynOptimizer, IslandConfig, IslandGa, Mesacga, MesacgaConfig, Sacga, SacgaConfig, SteadyConfig,
-    SteadySacga,
+    CellularConfig, CellularGa, DynOptimizer, IslandConfig, IslandGa, Mesacga, MesacgaConfig,
+    Sacga, SacgaConfig, SteadyConfig, SteadySacga, Topology,
 };
 
 /// Deterministic job identifier: FNV-1a 64 of the canonical spec line,
@@ -245,6 +245,96 @@ pub enum AlgoSpec {
         /// Island count.
         islands: usize,
     },
+    /// The cellular structured-population GA over a neighborhood
+    /// topology.
+    Cellular {
+        /// Total population size across cells.
+        pop: usize,
+        /// Generations to run.
+        gens: usize,
+        /// Neighborhood graph family.
+        topo: CellTopo,
+        /// Cell count (`torus` requires a perfect square, laid out as a
+        /// √cells × √cells lattice).
+        cells: usize,
+        /// Neighborhood radius (ignored by `full`).
+        radius: usize,
+        /// Generations between migrations.
+        interval: usize,
+        /// Individuals each cell emits per migration.
+        migrants: usize,
+        /// Open-mating probability in percent (0–100).
+        open: usize,
+        /// Forward-bias of open matings in percent (0–100; 50 is
+        /// isotropic).
+        aniso: usize,
+    },
+}
+
+/// The neighborhood-graph family of a [`AlgoSpec::Cellular`] arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellTopo {
+    /// Cyclic ring lattice.
+    Ring,
+    /// 2-D torus lattice (cells must be a perfect square).
+    Torus,
+    /// Fully connected — the island-model degenerate point.
+    Full,
+    /// Ring plus seeded random chords (Watts–Strogatz style); the chord
+    /// seed is the job seed, so the graph is pinned by the spec.
+    SmallWorld,
+}
+
+impl CellTopo {
+    fn parse(token: &str, head: &str) -> Result<Self, ServerError> {
+        match token {
+            "ring" => Ok(CellTopo::Ring),
+            "torus" => Ok(CellTopo::Torus),
+            "full" => Ok(CellTopo::Full),
+            "smallworld" => Ok(CellTopo::SmallWorld),
+            other => Err(ServerError::InvalidSpec(format!(
+                "algo {head}: unknown topology {other:?} \
+                 (expected ring, torus, full or smallworld)"
+            ))),
+        }
+    }
+
+    fn token(self) -> &'static str {
+        match self {
+            CellTopo::Ring => "ring",
+            CellTopo::Torus => "torus",
+            CellTopo::Full => "full",
+            CellTopo::SmallWorld => "smallworld",
+        }
+    }
+
+    /// Realizes the concrete [`Topology`]; `seed` pins small-world
+    /// chords.
+    fn build(self, cells: usize, radius: usize, seed: u64) -> Result<Topology, ServerError> {
+        match self {
+            CellTopo::Ring => Ok(Topology::Ring { cells, radius }),
+            CellTopo::Torus => {
+                let side = (cells as f64).sqrt().round() as usize;
+                if side * side != cells {
+                    return Err(ServerError::InvalidSpec(format!(
+                        "algo cellular: torus needs a perfect-square cell count, got {cells}"
+                    )));
+                }
+                Ok(Topology::Torus {
+                    rows: side,
+                    cols: side,
+                    radius,
+                })
+            }
+            CellTopo::Full => Ok(Topology::FullyConnected { cells }),
+            CellTopo::SmallWorld => Ok(Topology::SmallWorld {
+                cells,
+                radius,
+                chords: cells / 4 + 1,
+                seed,
+            }),
+        }
+    }
 }
 
 fn algo_params(body: &str, head: &str) -> Result<Vec<(String, usize)>, ServerError> {
@@ -290,7 +380,23 @@ impl AlgoSpec {
                 "algo token {token:?} needs parameters, e.g. sacga:pop=16,gens=10,parts=4"
             ))
         })?;
-        let p = algo_params(body, head)?;
+        // The cellular arm carries one non-numeric parameter (the
+        // topology family), peeled off before the key=usize pass.
+        let mut topo = None;
+        let body = if head == "cellular" {
+            let mut numeric = Vec::new();
+            for part in body.split(',') {
+                if let Some(t) = part.strip_prefix("topo=") {
+                    topo = Some(CellTopo::parse(t, head)?);
+                } else {
+                    numeric.push(part);
+                }
+            }
+            numeric.join(",")
+        } else {
+            body.to_string()
+        };
+        let p = algo_params(&body, head)?;
         match head {
             "sacga" => Ok(AlgoSpec::Sacga {
                 pop: take(&p, "pop", head)?,
@@ -327,6 +433,19 @@ impl AlgoSpec {
                 gens: take(&p, "gens", head)?,
                 islands: take(&p, "islands", head)?,
             }),
+            "cellular" => Ok(AlgoSpec::Cellular {
+                pop: take(&p, "pop", head)?,
+                gens: take(&p, "gens", head)?,
+                topo: topo.unwrap_or(CellTopo::Ring),
+                cells: take(&p, "cells", head)?,
+                // Same defaults as the config builder; the canonical
+                // token always spells them out.
+                radius: take_or(&p, "radius", 1),
+                interval: take_or(&p, "interval", 10),
+                migrants: take_or(&p, "migrants", 1),
+                open: take_or(&p, "open", 0),
+                aniso: take_or(&p, "aniso", 50),
+            }),
             other => Err(ServerError::InvalidSpec(format!("unknown algo {other:?}"))),
         }
     }
@@ -356,6 +475,23 @@ impl AlgoSpec {
             AlgoSpec::Island { pop, gens, islands } => {
                 format!("island:pop={pop},gens={gens},islands={islands}")
             }
+            AlgoSpec::Cellular {
+                pop,
+                gens,
+                topo,
+                cells,
+                radius,
+                interval,
+                migrants,
+                open,
+                aniso,
+            } => {
+                format!(
+                    "cellular:pop={pop},gens={gens},topo={},cells={cells},radius={radius},\
+                     interval={interval},migrants={migrants},open={open},aniso={aniso}",
+                    topo.token()
+                )
+            }
         }
     }
 
@@ -369,6 +505,7 @@ impl AlgoSpec {
             AlgoSpec::Steady { .. } => "steady",
             AlgoSpec::Nsga2 { .. } => "nsga2",
             AlgoSpec::Island { .. } => "island",
+            AlgoSpec::Cellular { .. } => "cellular",
         }
     }
 
@@ -380,6 +517,7 @@ impl AlgoSpec {
                 | AlgoSpec::Mesacga { .. }
                 | AlgoSpec::Steady { .. }
                 | AlgoSpec::Nsga2 { .. }
+                | AlgoSpec::Cellular { .. }
         )
     }
 
@@ -813,6 +951,44 @@ impl JobSpec {
                     b.build().map_err(cfg_err)?,
                 )))
             }
+            AlgoSpec::Cellular {
+                pop,
+                gens,
+                topo,
+                cells,
+                radius,
+                interval,
+                migrants,
+                open,
+                aniso,
+            } => {
+                let topology = topo.build(*cells, *radius, self.seed)?;
+                #[allow(clippy::cast_precision_loss)]
+                let mut b = CellularConfig::builder()
+                    .population_size(*pop)
+                    .generations(*gens)
+                    .topology(topology)
+                    .migration_interval(*interval)
+                    .migrants(*migrants)
+                    .openness(*open as f64 / 100.0)
+                    .anisotropy(*aniso as f64 / 100.0);
+                if let Some(cache) = cache {
+                    b = b.shared_cache(cache);
+                }
+                if let Some(plan) = plan {
+                    b = b.fault_policy(FaultPolicy::tolerant(3)).inject_faults(plan);
+                }
+                if let Some(screen) = screen {
+                    b = b.surrogate_screen(screen);
+                }
+                if let Some(metrics) = metrics {
+                    b = b.metrics(metrics);
+                }
+                Ok(Box::new(CellularGa::new(
+                    problem,
+                    b.build().map_err(cfg_err)?,
+                )))
+            }
         }
     }
 }
@@ -932,6 +1108,43 @@ mod tests {
     }
 
     #[test]
+    fn cellular_arm_defaults_and_round_trips() {
+        let parsed = AlgoSpec::parse("cellular:pop=64,gens=12,cells=8").unwrap();
+        assert_eq!(
+            parsed,
+            AlgoSpec::Cellular {
+                pop: 64,
+                gens: 12,
+                topo: CellTopo::Ring,
+                cells: 8,
+                radius: 1,
+                interval: 10,
+                migrants: 1,
+                open: 0,
+                aniso: 50,
+            }
+        );
+        // The canonical token always spells the defaults out and
+        // round-trips, with the topology word in a fixed position.
+        assert_eq!(
+            parsed.token(),
+            "cellular:pop=64,gens=12,topo=ring,cells=8,radius=1,\
+             interval=10,migrants=1,open=0,aniso=50"
+        );
+        assert_eq!(AlgoSpec::parse(&parsed.token()).unwrap(), parsed);
+        assert!(parsed.supports_shared_cache());
+        assert!(parsed.supports_screen());
+        // Non-ring families parse; garbage and non-square tori do not.
+        let torus =
+            AlgoSpec::parse("cellular:pop=64,gens=12,topo=torus,cells=16,interval=4").unwrap();
+        assert_eq!(AlgoSpec::parse(&torus.token()).unwrap(), torus);
+        assert!(AlgoSpec::parse("cellular:pop=64,gens=12,topo=moebius,cells=8").is_err());
+        let bad_torus = AlgoSpec::parse("cellular:pop=60,gens=12,topo=torus,cells=15").unwrap();
+        let spec = JobSpec::new("t", ProblemSpec::Schaffer, bad_torus, 7);
+        assert!(spec.build_optimizer(None, None).is_err());
+    }
+
+    #[test]
     fn tenant_rejected_for_uncached_arms() {
         let spec = JobSpec::new(
             "x",
@@ -984,6 +1197,17 @@ mod tests {
                 pop: 32,
                 gens: 4,
                 islands: 2,
+            },
+            AlgoSpec::Cellular {
+                pop: 32,
+                gens: 4,
+                topo: CellTopo::SmallWorld,
+                cells: 4,
+                radius: 1,
+                interval: 2,
+                migrants: 1,
+                open: 25,
+                aniso: 50,
             },
         ];
         for algo in arms {

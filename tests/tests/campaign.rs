@@ -15,6 +15,14 @@ use sacga::sacga::{Sacga, SacgaConfig};
 use sacga::telemetry::DynOptimizer;
 use std::path::PathBuf;
 
+mod common;
+use common::check_golden;
+
+/// A scratch directory unique to this test binary's runs.
+fn scratch_dir(name: &str) -> PathBuf {
+    common::scratch_dir("campaign-it", name)
+}
+
 /// The fixed campaign under test: a 4-partition SACGA arm and a
 /// textbook NSGA-II arm, both on Schaffer, exercising two different
 /// optimizer types behind the object-safe API.
@@ -50,42 +58,6 @@ fn build_report(campaign: &Campaign<'_>, results: &[CellResult]) -> CampaignRepo
         .map(|a| a.label().to_string())
         .collect();
     CampaignReport::build(campaign.name(), &labels, results, &report_spec())
-}
-
-/// A scratch directory unique to this test run, wiped on entry.
-fn scratch_dir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("campaign-it-{name}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
-
-fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("golden")
-        .join(name)
-}
-
-/// Compares against the committed snapshot, or re-records it when the
-/// `UPDATE_GOLDEN` environment variable is set.
-fn check_golden(name: &str, rendered: &str) {
-    let path = golden_path(name);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, rendered).unwrap();
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden snapshot {}: {e}; record it with UPDATE_GOLDEN=1",
-            path.display()
-        )
-    });
-    assert_eq!(
-        rendered,
-        expected,
-        "campaign report diverged from committed snapshot {}",
-        path.display()
-    );
 }
 
 #[test]

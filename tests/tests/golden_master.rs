@@ -12,61 +12,17 @@
 //! ```
 
 use analog_dse::engine::ParallelEvaluator;
-use analog_dse::moea::individual::Individual;
 use analog_dse::moea::problems::Schaffer;
 use analog_dse::moea::RunStatus;
 use analog_dse::sacga::mesacga::{Mesacga, MesacgaConfig, PhaseSpec};
 use analog_dse::sacga::sacga::{Sacga, SacgaConfig};
 use analog_dse::sacga::steady::{SteadyConfig, SteadySacga};
 use analog_dse::sacga::telemetry::Optimizer;
-use std::path::PathBuf;
+
+mod common;
+use common::{check_golden, render_front};
 
 const SEED: u64 = 42;
-
-/// Renders a front with exact bit patterns: one member per line, gene
-/// bits then objective bits, all as 16-digit hex of `f64::to_bits`.
-fn render_front(front: &[Individual]) -> String {
-    let hex = |vs: &[f64]| {
-        vs.iter()
-            .map(|v| format!("{:016x}", v.to_bits()))
-            .collect::<Vec<_>>()
-            .join(" ")
-    };
-    let mut out = String::new();
-    for m in front {
-        out.push_str(&format!("{} | {}\n", hex(&m.genes), hex(m.objectives())));
-    }
-    out
-}
-
-fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("golden")
-        .join(name)
-}
-
-/// Compares against the committed snapshot, or re-records it when the
-/// `UPDATE_GOLDEN` environment variable is set.
-fn check_golden(name: &str, rendered: &str) {
-    let path = golden_path(name);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, rendered).unwrap();
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden snapshot {}: {e}; record it with UPDATE_GOLDEN=1",
-            path.display()
-        )
-    });
-    assert_eq!(
-        rendered,
-        expected,
-        "front diverged from committed snapshot {}",
-        path.display()
-    );
-}
 
 fn sacga_config() -> SacgaConfig {
     SacgaConfig::builder()

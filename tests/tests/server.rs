@@ -1,5 +1,5 @@
 //! Integration tests of the optimization service: crash-safe resume,
-//! cooperative-preemption determinism across all five optimizer loops,
+//! cooperative-preemption determinism across every optimizer loop,
 //! exact per-job cache attribution under a shared tenant, watchdog-driven
 //! health transitions, and the TCP protocol end to end.
 //!
@@ -14,40 +14,12 @@ use dse_server::{
     AlgoSpec, JobHealth, JobSpec, JobStatus, ProblemSpec, Server, ServerConfig, ServerError,
 };
 
-/// A scratch directory unique to this test run, wiped on entry.
+mod common;
+use common::check_golden;
+
+/// A scratch directory unique to this test binary's runs.
 fn scratch_dir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("server-it-{name}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
-
-fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("golden")
-        .join(name)
-}
-
-/// Compares against the committed snapshot, or re-records it when the
-/// `UPDATE_GOLDEN` environment variable is set.
-fn check_golden(name: &str, rendered: &str) {
-    let path = golden_path(name);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, rendered).unwrap();
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden snapshot {}: {e}; record it with UPDATE_GOLDEN=1",
-            path.display()
-        )
-    });
-    assert_eq!(
-        rendered,
-        expected,
-        "server outcome diverged from committed snapshot {}",
-        path.display()
-    );
+    common::scratch_dir("server-it", name)
 }
 
 fn sacga_spec(name: &str) -> JobSpec {
@@ -174,7 +146,7 @@ fn torn_state_file_is_reenqueued_and_resumed() {
 }
 
 #[test]
-fn preemption_determinism_across_all_five_loops() {
+fn preemption_determinism_across_all_loops() {
     // A job suspended and resumed K times at arbitrary generation
     // boundaries must produce the same outcome as an unpreempted run —
     // for every optimizer loop. Loops that cannot checkpoint (NSGA-II,
@@ -206,6 +178,11 @@ fn preemption_determinism_across_all_five_loops() {
                 gens: 10,
                 islands: 2,
             },
+        ),
+        (
+            "cellular",
+            AlgoSpec::parse("cellular:pop=32,gens=10,topo=ring,cells=4,interval=4,open=25")
+                .unwrap(),
         ),
     ];
     for (label, algo) in arms {
